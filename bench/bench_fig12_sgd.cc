@@ -1,0 +1,76 @@
+// Reproduces Fig. 12:
+//   12a — logistic-regression training time against the number of
+//         partitions (the distributed-SGD parameter): too few partitions
+//         starve parallelism, too many pay reduce/aggregation overhead.
+//   12b — the two-step optimization ablation on the same dataset:
+//         base   = gradient via per-step physical transpose of M_t,
+//         opt1   = Eq. 3 reformulation ((h(Mx)-y)^T M)^T,
+//         opt1+2 = opt1 plus the metadata-only vector transpose.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "ml/logreg.h"
+#include "workload/lr_data_gen.h"
+
+namespace spangle {
+namespace {
+
+using bench::PrintCell;
+using bench::PrintEnd;
+using bench::PrintHeader;
+
+}  // namespace
+}  // namespace spangle
+
+int main() {
+  using namespace spangle;
+  std::printf("Fig. 12 — SGD partitioning and optimization ablation\n");
+  LrDataOptions data_options;
+  data_options.rows = 16384;
+  data_options.features = 1024;
+  data_options.nnz_per_row = 24;
+  data_options.label_noise = 0.03;
+  auto data = GenerateLrData(data_options);
+
+  LogRegOptions base;
+  base.step_size = 0.6;
+  base.tolerance = 0.0001;
+  base.max_iterations = 30;
+  base.batch_fraction = 0.3;
+  base.block = 128;
+
+  PrintHeader("Fig. 12a: time vs #partitions", {"partitions", "time"});
+  for (int np : {1, 2, 4, 8, 16, 32}) {
+    Context ctx(4);
+    LogRegOptions options = base;
+    options.num_partitions = np;
+    auto result = *TrainLogReg(&ctx, data.train, options);
+    PrintCell(std::to_string(np));
+    PrintCell(result.total_seconds);
+    PrintEnd();
+  }
+
+  PrintHeader("Fig. 12b: optimization ablation",
+              {"variant", "time", "iters"});
+  struct Variant {
+    const char* name;
+    bool opt1;
+    bool opt2;
+  };
+  for (const Variant& v : {Variant{"base (transpose M)", false, false},
+                           Variant{"opt1 (Eq. 3)", true, false},
+                           Variant{"opt1+opt2 (metadata)", true, true}}) {
+    Context ctx(4);
+    LogRegOptions options = base;
+    options.num_partitions = 8;
+    options.opt1 = v.opt1;
+    options.opt2 = v.opt2;
+    auto result = *TrainLogReg(&ctx, data.train, options);
+    PrintCell(std::string(v.name));
+    PrintCell(result.total_seconds);
+    PrintCell(std::to_string(result.iterations));
+    PrintEnd();
+  }
+  return 0;
+}

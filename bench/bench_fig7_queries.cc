@@ -1,0 +1,135 @@
+// Reproduces Fig. 7: the Table I raster queries across four systems.
+//   Fig. 7a — Q1..Q5 without a range predicate, "100 images" workload,
+//             Spangle vs SciSpark vs RasterFrames vs SciDB.
+//   Fig. 7b — Q1, Q3, Q4, Q5 with a range predicate, the 10x larger
+//             "1000 images" workload, Spangle vs SciSpark (the only two
+//             systems that load it in the paper).
+// Workloads are SDSS-like synthetic sky images scaled to a laptop; the
+// shape to check is *who wins per query*, not absolute times.
+
+#include <cstdio>
+
+#include "baselines/dense_engine.h"
+#include "baselines/diskdb.h"
+#include "baselines/tile_engine.h"
+#include "bench/bench_util.h"
+#include "workload/queries.h"
+#include "workload/raster_gen.h"
+
+namespace spangle {
+namespace {
+
+using bench::PrintCell;
+using bench::PrintEnd;
+using bench::PrintHeader;
+using bench::TimeSeconds;
+
+QueryParams MakeParams(const RasterData& data, bool use_range) {
+  QueryParams q;
+  const int64_t images = static_cast<int64_t>(data.meta.dim(0).size);
+  const int64_t w = static_cast<int64_t>(data.meta.dim(1).size);
+  const int64_t h = static_cast<int64_t>(data.meta.dim(2).size);
+  q.lo = {0, w / 8, h / 8};
+  q.hi = {images / 2, w * 5 / 8, h * 5 / 8};
+  q.use_range = use_range;
+  q.attr = "u";
+  q.attr2 = "g";
+  q.threshold = 0.5;
+  q.threshold2 = 0.8;
+  q.grid = {1, 8, 8};
+  q.min_count = 2;
+  return q;
+}
+
+void RunSuite(const std::string& title, const RasterData& data,
+              bool use_range, bool include_single_node_systems) {
+  Context ctx(4);
+  std::vector<std::unique_ptr<RasterEngine>> engines;
+  engines.push_back(std::make_unique<SpangleRasterEngine>(
+      *data.ToSpangle(&ctx), /*overlap_radius=*/7));
+  engines.push_back(std::make_unique<SciSparkEngine>(
+      *SciSparkEngine::Load(&ctx, data)));
+  if (include_single_node_systems) {
+    engines.push_back(std::make_unique<RasterFramesEngine>(
+        *RasterFramesEngine::Load(&ctx, data, 8)));
+    engines.push_back(
+        std::make_unique<SciDbEngine>(*SciDbEngine::Load(data, "/tmp")));
+  }
+
+  std::vector<std::string> columns = {"query"};
+  for (const auto& e : engines) columns.push_back(e->name());
+  PrintHeader(title, columns);
+
+  auto q = MakeParams(data, use_range);
+  struct Row {
+    const char* name;
+    std::function<void(RasterEngine*)> run;
+    bool in_7a;  // Q2 is dropped from the range variant (paper Fig. 7b)
+  };
+  std::vector<Row> rows = {
+      {"Q1 aggregate", [&q](RasterEngine* e) { (void)*e->Q1Average(q); },
+       true},
+      {"Q2 regrid", [&q](RasterEngine* e) { (void)*e->Q2Regrid(q); }, true},
+      {"Q3 filter+agg",
+       [&q](RasterEngine* e) { (void)*e->Q3FilteredAverage(q); }, true},
+      {"Q4 polygons", [&q](RasterEngine* e) { (void)*e->Q4Polygons(q); },
+       true},
+      {"Q5 density", [&q](RasterEngine* e) { (void)*e->Q5Density(q); },
+       true},
+  };
+  for (const auto& row : rows) {
+    if (use_range && std::string(row.name).substr(0, 2) == "Q2") continue;
+    PrintCell(std::string(row.name));
+    for (auto& engine : engines) {
+      const double secs = TimeSeconds([&] { row.run(engine.get()); });
+      PrintCell(secs);
+    }
+    PrintEnd();
+  }
+}
+
+}  // namespace
+}  // namespace spangle
+
+int main() {
+  using namespace spangle;
+  std::printf("Fig. 7 — raster query processing (Table I queries)\n");
+
+  {
+    SkyOptions options;
+    options.images = 8;  // the paper's "100 images", scaled
+    options.width = 512;
+    options.height = 512;
+    options.bands = 5;
+    options.chunk = 128;  // the paper's 128x128x1 chunks
+    options.source_density = 0.004;
+    RasterData data = GenerateSky(options);
+    std::printf("\nworkload: %llu images %llux%llu, 5 bands, %llu valid cells\n",
+                (unsigned long long)options.images,
+                (unsigned long long)options.width,
+                (unsigned long long)options.height,
+                (unsigned long long)data.TotalValid());
+    RunSuite("Fig. 7a: queries without range (4 systems)", data,
+             /*use_range=*/false, /*include_single_node_systems=*/true);
+  }
+
+  {
+    SkyOptions options;
+    options.images = 32;  // the paper's "1000 images", scaled 10x up
+    options.width = 512;
+    options.height = 512;
+    options.bands = 5;
+    options.chunk = 128;
+    options.source_density = 0.004;
+    options.seed = 8;
+    RasterData data = GenerateSky(options);
+    std::printf("\nworkload: %llu images %llux%llu, 5 bands, %llu valid cells\n",
+                (unsigned long long)options.images,
+                (unsigned long long)options.width,
+                (unsigned long long)options.height,
+                (unsigned long long)data.TotalValid());
+    RunSuite("Fig. 7b: queries with range (Spangle vs SciSpark)", data,
+             /*use_range=*/true, /*include_single_node_systems=*/false);
+  }
+  return 0;
+}

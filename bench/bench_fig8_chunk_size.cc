@@ -1,0 +1,164 @@
+// Reproduces Fig. 8: processing time of Filter and Aggregate over the
+// CHL-like raster as the chunk size w varies, for three access methods:
+//   naive — sparse mode, every cell access re-counts the bitmask from
+//           the beginning (O(n) per access);
+//   dense — dense mode, direct array indexing;
+//   opt   — sparse mode with the Sec. IV-B optimizations (delta count
+//           for sequential scans, milestones + fast popcount for random
+//           access).
+// Expected shape: naive explodes as w grows; opt tracks dense closely;
+// tiny chunks are slower for everyone. The per-task scheduling latency a
+// real cluster pays is simulated (Context task_overhead_us) with one
+// task per ~4 chunks, reproducing the paper's left-side penalty.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "ops/aggregator.h"
+#include "ops/operators.h"
+#include "workload/raster_gen.h"
+
+namespace spangle {
+namespace {
+
+using bench::PrintCell;
+using bench::PrintEnd;
+using bench::PrintHeader;
+using bench::TimeSeconds;
+
+/// The naive random-access pattern: for every *cell index*, test validity
+/// and fetch through a rank counted from word zero. This is what Filter
+/// costs without the sequential/delta optimization.
+double RunFilterNaive(const ArrayRdd& attr, double threshold) {
+  return TimeSeconds([&] {
+    attr.chunks().AsRdd().Aggregate<uint64_t>(
+        0,
+        [threshold](uint64_t acc, const std::pair<ChunkId, Chunk>& rec) {
+          const Chunk& chunk = rec.second;
+          for (uint32_t off = 0; off < chunk.num_cells(); ++off) {
+            const double v = chunk.ValueNaiveOr(off, -1.0);
+            if (v > threshold) ++acc;
+          }
+          return acc;
+        },
+        [](uint64_t a, uint64_t b) { return a + b; });
+  });
+}
+
+/// Optimized sequential access: ForEachValid walks the bitmask once.
+double RunFilterOpt(const ArrayRdd& attr, double threshold) {
+  return TimeSeconds([&] {
+    attr.chunks().AsRdd().Aggregate<uint64_t>(
+        0,
+        [threshold](uint64_t acc, const std::pair<ChunkId, Chunk>& rec) {
+          rec.second.ForEachValid([&](uint32_t, double v) {
+            if (v > threshold) ++acc;
+          });
+          return acc;
+        },
+        [](uint64_t a, uint64_t b) { return a + b; });
+  });
+}
+
+double RunAggregateNaive(const ArrayRdd& attr) {
+  return TimeSeconds([&] {
+    attr.chunks().AsRdd().Aggregate<double>(
+        0.0,
+        [](double acc, const std::pair<ChunkId, Chunk>& rec) {
+          const Chunk& chunk = rec.second;
+          for (uint32_t off = 0; off < chunk.num_cells(); ++off) {
+            acc += chunk.ValueNaiveOr(off, 0.0);
+          }
+          return acc;
+        },
+        [](double a, double b) { return a + b; });
+  });
+}
+
+double RunAggregateOpt(const ArrayRdd& attr) {
+  return TimeSeconds([&] {
+    attr.chunks().AsRdd().Aggregate<double>(
+        0.0,
+        [](double acc, const std::pair<ChunkId, Chunk>& rec) {
+          rec.second.ForEachValid([&](uint32_t, double v) { acc += v; });
+          return acc;
+        },
+        [](double a, double b) { return a + b; });
+  });
+}
+
+}  // namespace
+}  // namespace spangle
+
+int main() {
+  using namespace spangle;
+  std::printf("Fig. 8 — Filter/Aggregate time vs chunk size "
+              "(naive / dense / opt)\n");
+  // 800us per task: the order of Spark's task launch overhead, scaled.
+  Context ctx(4, 0, /*task_overhead_us=*/800);
+
+  ChlOptions base;
+  base.lon = 720;
+  base.lat = 360;
+  base.time = 2;
+  RasterData data_template = GenerateChl(base);
+
+  bench::PrintHeader("Fig. 8a: Filter",
+                     {"chunk w", "naive", "dense", "opt"});
+  const std::vector<uint64_t> widths = {16, 32, 64, 128, 256};
+  for (uint64_t w : widths) {
+    ChlOptions options = base;
+    options.chunk_lon = w;
+    options.chunk_lat = w;
+    RasterData data = GenerateChl(options);
+    // One task per ~4 chunks: smaller chunks mean more tasks, so the
+    // per-task scheduling cost grows exactly as in the paper.
+    const int np = std::max<int>(
+        8, static_cast<int>(data.meta.total_chunks() / 4));
+    auto sparse = *ArrayRdd::FromCells(&ctx, data.meta, data.cells[0],
+                                       ModePolicy::Fixed(ChunkMode::kSparse),
+                                       np);
+    auto dense = *ArrayRdd::FromCells(&ctx, data.meta, data.cells[0],
+                                      ModePolicy::Fixed(ChunkMode::kDense),
+                                      np);
+    sparse.Cache();
+    dense.Cache();
+    sparse.CountValid();
+    dense.CountValid();
+    PrintCell(std::to_string(w) + "x" + std::to_string(w));
+    PrintCell(RunFilterNaive(sparse, 0.4));
+    PrintCell(RunFilterOpt(dense, 0.4));
+    PrintCell(RunFilterOpt(sparse, 0.4));
+    PrintEnd();
+  }
+
+  bench::PrintHeader("Fig. 8b: Aggregate",
+                     {"chunk w", "naive", "dense", "opt"});
+  for (uint64_t w : widths) {
+    ChlOptions options = base;
+    options.chunk_lon = w;
+    options.chunk_lat = w;
+    RasterData data = GenerateChl(options);
+    // One task per ~4 chunks: smaller chunks mean more tasks, so the
+    // per-task scheduling cost grows exactly as in the paper.
+    const int np = std::max<int>(
+        8, static_cast<int>(data.meta.total_chunks() / 4));
+    auto sparse = *ArrayRdd::FromCells(&ctx, data.meta, data.cells[0],
+                                       ModePolicy::Fixed(ChunkMode::kSparse),
+                                       np);
+    auto dense = *ArrayRdd::FromCells(&ctx, data.meta, data.cells[0],
+                                      ModePolicy::Fixed(ChunkMode::kDense),
+                                      np);
+    sparse.Cache();
+    dense.Cache();
+    sparse.CountValid();
+    dense.CountValid();
+    PrintCell(std::to_string(w) + "x" + std::to_string(w));
+    PrintCell(RunAggregateNaive(sparse));
+    PrintCell(RunAggregateOpt(dense));
+    PrintCell(RunAggregateOpt(sparse));
+    PrintEnd();
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Ablation of the population-count kernels from Sec. IV-B: one POPCNT
+// per word vs the Harley–Seal CSA network vs the AVX2 nibble-lookup of
+// Mula–Kurz–Lemire [21], across word counts spanning the paper's chunk
+// sizes (64 words = 4096 cells up to 1024 words = 65536 cells). Also
+// benchmarks the rank paths a sparse chunk actually uses: naive re-count,
+// milestone-assisted rank, and the sequential delta counter.
+
+#include <benchmark/benchmark.h>
+
+#include "bitmask/bitmask.h"
+#include "bitmask/popcount.h"
+#include "common/random.h"
+
+namespace spangle {
+namespace {
+
+std::vector<uint64_t> Words(size_t n) {
+  Rng rng(n * 7 + 1);
+  std::vector<uint64_t> words(n);
+  for (auto& w : words) w = rng.Next();
+  return words;
+}
+
+void BM_PopcountScalar(benchmark::State& state) {
+  auto words = Words(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountWordsScalar(words.data(), words.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * words.size() * 8);
+}
+BENCHMARK(BM_PopcountScalar)->Arg(64)->Arg(256)->Arg(1024)->Arg(16384);
+
+void BM_PopcountHarleySeal(benchmark::State& state) {
+  auto words = Words(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CountWordsHarleySeal(words.data(), words.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * words.size() * 8);
+}
+BENCHMARK(BM_PopcountHarleySeal)->Arg(64)->Arg(256)->Arg(1024)->Arg(16384);
+
+void BM_PopcountAvx2(benchmark::State& state) {
+  auto words = Words(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountWordsAvx2(words.data(), words.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * words.size() * 8);
+}
+BENCHMARK(BM_PopcountAvx2)->Arg(64)->Arg(256)->Arg(1024)->Arg(16384);
+
+Bitmask DenseMask(size_t bits) {
+  Rng rng(bits);
+  Bitmask m(bits);
+  for (size_t i = 0; i < bits; ++i) {
+    if (rng.NextBool(0.3)) m.Set(i);
+  }
+  return m;
+}
+
+// Random access, rank counted from word zero each time (Fig. 8 naive).
+void BM_RankNaive(benchmark::State& state) {
+  auto mask = DenseMask(static_cast<size_t>(state.range(0)));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mask.RankNaive(rng.NextBounded(mask.num_bits())));
+  }
+}
+BENCHMARK(BM_RankNaive)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+// Random access with milestones (Sec. IV-B2).
+void BM_RankMilestones(benchmark::State& state) {
+  auto mask = DenseMask(static_cast<size_t>(state.range(0)));
+  mask.BuildMilestones();
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mask.Rank(rng.NextBounded(mask.num_bits())));
+  }
+}
+BENCHMARK(BM_RankMilestones)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+// Sequential scan with the delta counter (Sec. IV-B1).
+void BM_SequentialDeltaScan(benchmark::State& state) {
+  auto mask = DenseMask(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    DeltaCounter delta(mask);
+    uint64_t last = 0;
+    for (size_t i = 0; i < mask.num_bits(); i += 64) {
+      last = delta.AdvanceTo(i);
+    }
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetItemsProcessed(state.iterations() * (mask.num_bits() / 64));
+}
+BENCHMARK(BM_SequentialDeltaScan)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+// The same sequential scan done naively (rank from zero at each step).
+void BM_SequentialNaiveScan(benchmark::State& state) {
+  auto mask = DenseMask(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    uint64_t last = 0;
+    for (size_t i = 0; i < mask.num_bits(); i += 64) {
+      last = mask.RankNaive(i);
+    }
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetItemsProcessed(state.iterations() * (mask.num_bits() / 64));
+}
+BENCHMARK(BM_SequentialNaiveScan)->Arg(4096)->Arg(65536);
+
+}  // namespace
+}  // namespace spangle
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+#ifndef SPANGLE_BENCH_BENCH_UTIL_H_
+#define SPANGLE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace spangle::bench {
+
+/// Wall-clock of one invocation (benches report single cold runs, like
+/// the paper's query timings).
+inline double TimeSeconds(const std::function<void()>& fn) {
+  Stopwatch timer;
+  fn();
+  return timer.ElapsedSeconds();
+}
+
+/// Fixed-width table printing for paper-style output.
+inline void PrintHeader(const std::string& title,
+                        const std::vector<std::string>& columns) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  for (const auto& c : columns) std::printf("%14s", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size(); ++i) std::printf("%14s", "------");
+  std::printf("\n");
+}
+
+inline void PrintCell(const std::string& s) { std::printf("%14s", s.c_str()); }
+inline void PrintCell(double seconds) { std::printf("%13.3fs", seconds); }
+inline void PrintEnd() { std::printf("\n"); }
+
+inline std::string Secs(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  return buf;
+}
+
+}  // namespace spangle::bench
+
+#endif  // SPANGLE_BENCH_BENCH_UTIL_H_

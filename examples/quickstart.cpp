@@ -1,0 +1,66 @@
+// Quickstart: build a multi-attribute array from cells, run the core
+// operators (Subarray, Filter, Join, Aggregator), and read results back.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+
+#include "array/spangle_array.h"
+#include "ops/aggregator.h"
+#include "ops/operators.h"
+
+using namespace spangle;
+
+int main() {
+  // A Context stands in for the cluster: 4 simulated workers.
+  Context ctx(4);
+
+  // A 100x100 grid of (temperature, humidity) sensor readings, chunked
+  // 25x25. Cells with no reading simply don't exist (null).
+  auto meta = *ArrayMetadata::Make({{"x", 0, 100, 25, 0},
+                                    {"y", 0, 100, 25, 0}});
+  std::vector<CellValue> temperature, humidity;
+  for (int64_t x = 0; x < 100; ++x) {
+    for (int64_t y = 0; y < 100; ++y) {
+      if ((x + y) % 3 == 0) {  // sensors cover a third of the grid
+        temperature.push_back({{x, y}, 15.0 + 0.1 * x + 0.05 * y});
+        humidity.push_back({{x, y}, 40.0 + 0.2 * y});
+      }
+    }
+  }
+  auto array = *SpangleArray::FromAttributes(
+      {{"temperature", *ArrayRdd::FromCells(&ctx, meta, temperature)},
+       {"humidity", *ArrayRdd::FromCells(&ctx, meta, humidity)}});
+  std::printf("loaded %llu valid cells across %zu attributes\n",
+              (unsigned long long)array.CountValid(),
+              array.num_attributes());
+
+  // Subarray: the box [20..59] x [20..59]. Lazy: only the hidden
+  // MaskRdd is updated.
+  auto region = *Subarray(array, {20, 20}, {59, 59});
+  std::printf("region holds %llu cells\n",
+              (unsigned long long)region.CountValid());
+
+  // Filter on one attribute restricts every attribute (the global view).
+  auto warm = *Filter(region, "temperature",
+                      [](double t) { return t > 20.0; });
+  std::printf("warm cells: %llu\n", (unsigned long long)warm.CountValid());
+
+  // Aggregate the *other* attribute over the same cells.
+  std::printf("avg humidity where warm: %.2f\n",
+              *Aggregate(warm, "humidity", AvgAgg()));
+  std::printf("max temperature in region: %.2f\n",
+              *Aggregate(region, "temperature", MaxAgg()));
+
+  // Collapse the y axis: one average temperature per x.
+  auto per_x = *AggregateAlongDims(warm, "temperature", AvgAgg(), {"y"});
+  std::printf("per-x averages hold %llu cells; x=30 -> %.2f\n",
+              (unsigned long long)per_x.CountValid(),
+              *per_x.GetCell({30}));
+
+  // Point query: routed to a single partition, ranked into the payload.
+  auto cell = array.RawAttribute("temperature")->GetCell({30, 30});
+  std::printf("temperature(30,30) = %.2f\n", *cell);
+  std::printf("engine metrics: %s\n", ctx.metrics().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,180 @@
+// A tiny interactive shell over a Spangle array — the "interactive
+// analysis" usage the paper motivates. Loads a CSV (or a demo dataset)
+// and evaluates one declarative operator per line.
+//
+//   ./examples/spangle_shell [file.csv dims...]       # or no args: demo
+//
+// Commands:
+//   attrs                           list attributes
+//   count                           valid cells in the current view
+//   sub <lo...> <hi...>             Subarray (one int per dimension)
+//   filter <attr> <op> <value>      Filter (op: gt | lt)
+//   agg <attr> <sum|avg|min|max|count>
+//   cell <attr> <coords...>         point query
+//   reset                           discard the operator chain
+//   quit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "array/ingest.h"
+#include "ops/aggregator.h"
+#include "ops/operators.h"
+#include "workload/raster_gen.h"
+
+using namespace spangle;
+
+namespace {
+
+Result<SpangleArray> LoadDemo(Context* ctx) {
+  SkyOptions sky;
+  sky.images = 2;
+  sky.width = 128;
+  sky.height = 128;
+  sky.bands = 3;
+  sky.chunk = 64;
+  sky.source_density = 0.01;
+  return GenerateSky(sky).ToSpangle(ctx);
+}
+
+std::vector<std::string> Tokens(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> out;
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Context ctx(4);
+  Result<SpangleArray> loaded = Status::Internal("unset");
+  if (argc >= 2) {
+    // CSV path followed by dim specs "name:size:chunk".
+    std::vector<Dimension> dims;
+    for (int i = 2; i < argc; ++i) {
+      Dimension d;
+      char name[64];
+      long long size = 0, chunk = 0;
+      if (std::sscanf(argv[i], "%63[^:]:%lld:%lld", name, &size, &chunk) !=
+          3) {
+        std::fprintf(stderr, "bad dim spec '%s' (want name:size:chunk)\n",
+                     argv[i]);
+        return 1;
+      }
+      d.name = name;
+      d.size = static_cast<uint64_t>(size);
+      d.chunk_size = static_cast<uint64_t>(chunk);
+      dims.push_back(d);
+    }
+    auto meta = ArrayMetadata::Make(std::move(dims));
+    if (!meta.ok()) {
+      std::fprintf(stderr, "%s\n", meta.status().ToString().c_str());
+      return 1;
+    }
+    loaded = ReadCsv(&ctx, argv[1], *meta);
+  } else {
+    std::printf("no file given; loading the demo sky survey\n");
+    loaded = LoadDemo(&ctx);
+  }
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  SpangleArray base = *loaded;
+  base.Cache();
+  SpangleArray view = base;
+  const size_t nd = base.metadata().num_dims();
+  std::printf("loaded %s with %llu valid cells; type 'help' for commands\n",
+              base.metadata().ToString().c_str(),
+              (unsigned long long)base.CountValid());
+
+  std::string line;
+  std::printf("spangle> ");
+  while (std::getline(std::cin, line)) {
+    auto tok = Tokens(line);
+    if (tok.empty()) {
+      std::printf("spangle> ");
+      continue;
+    }
+    const std::string& cmd = tok[0];
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      std::printf(
+          "attrs | count | sub <lo...> <hi...> | filter <attr> gt|lt <v> | "
+          "agg <attr> <fn> | cell <attr> <coords...> | reset | quit\n");
+    } else if (cmd == "attrs") {
+      for (const auto& name : view.attribute_names()) {
+        std::printf("  %s\n", name.c_str());
+      }
+    } else if (cmd == "count") {
+      std::printf("%llu valid cells\n",
+                  (unsigned long long)view.CountValid());
+    } else if (cmd == "reset") {
+      view = base;
+      std::printf("view reset\n");
+    } else if (cmd == "sub" && tok.size() == 1 + 2 * nd) {
+      Coords lo(nd), hi(nd);
+      for (size_t d = 0; d < nd; ++d) {
+        lo[d] = std::stoll(tok[1 + d]);
+        hi[d] = std::stoll(tok[1 + nd + d]);
+      }
+      auto next = Subarray(view, lo, hi);
+      if (next.ok()) {
+        view = *next;
+        std::printf("ok: %llu cells in view\n",
+                    (unsigned long long)view.CountValid());
+      } else {
+        std::printf("error: %s\n", next.status().ToString().c_str());
+      }
+    } else if (cmd == "filter" && tok.size() == 4) {
+      const double value = std::stod(tok[3]);
+      const bool greater = tok[2] == "gt";
+      auto next = Filter(view, tok[1], [value, greater](double v) {
+        return greater ? v > value : v < value;
+      });
+      if (next.ok()) {
+        view = *next;
+        std::printf("ok: %llu cells in view\n",
+                    (unsigned long long)view.CountValid());
+      } else {
+        std::printf("error: %s\n", next.status().ToString().c_str());
+      }
+    } else if (cmd == "agg" && tok.size() == 3) {
+      Result<double> r = Status::InvalidArgument("unknown fn " + tok[2]);
+      if (tok[2] == "sum") r = Aggregate(view, tok[1], SumAgg());
+      if (tok[2] == "avg") r = Aggregate(view, tok[1], AvgAgg());
+      if (tok[2] == "min") r = Aggregate(view, tok[1], MinAgg());
+      if (tok[2] == "max") r = Aggregate(view, tok[1], MaxAgg());
+      if (tok[2] == "count") r = Aggregate(view, tok[1], CountAgg());
+      if (r.ok()) {
+        std::printf("%s(%s) = %.6f\n", tok[2].c_str(), tok[1].c_str(), *r);
+      } else {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+      }
+    } else if (cmd == "cell" && tok.size() == 2 + nd) {
+      Coords pos(nd);
+      for (size_t d = 0; d < nd; ++d) pos[d] = std::stoll(tok[2 + d]);
+      auto attr = view.Attribute(tok[1]);
+      if (attr.ok()) {
+        auto v = attr->GetCell(pos);
+        if (v.ok()) {
+          std::printf("%.6f\n", *v);
+        } else {
+          std::printf("null (%s)\n", v.status().ToString().c_str());
+        }
+      } else {
+        std::printf("error: %s\n", attr.status().ToString().c_str());
+      }
+    } else {
+      std::printf("unrecognized; type 'help'\n");
+    }
+    std::printf("spangle> ");
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,235 @@
+#include "array/ingest.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace spangle {
+
+namespace {
+
+constexpr uint32_t kSgridMagic = 0x53475244;  // "SGRD"
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+bool IsNullField(const std::string& f) {
+  return f.empty() || f == "nan" || f == "NaN" || f == "NA";
+}
+
+}  // namespace
+
+Result<SpangleArray> ReadCsv(Context* ctx, const std::string& path,
+                             const ArrayMetadata& meta, ModePolicy policy,
+                             bool use_mask_rdd) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) return Status::IOError("empty file " + path);
+  auto header = SplitCsvLine(line);
+  const size_t nd = meta.num_dims();
+  if (header.size() <= nd) {
+    return Status::InvalidArgument("CSV header has no attribute columns");
+  }
+  for (size_t d = 0; d < nd; ++d) {
+    if (header[d] != meta.dim(d).name) {
+      return Status::InvalidArgument("CSV dim column '" + header[d] +
+                                     "' != metadata dim '" +
+                                     meta.dim(d).name + "'");
+    }
+  }
+  const size_t n_attrs = header.size() - nd;
+  std::vector<std::vector<CellValue>> cells(n_attrs);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto fields = SplitCsvLine(line);
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument("CSV line " + std::to_string(line_no) +
+                                     " has wrong field count");
+    }
+    Coords pos(nd);
+    for (size_t d = 0; d < nd; ++d) {
+      pos[d] = std::strtoll(fields[d].c_str(), nullptr, 10);
+    }
+    for (size_t a = 0; a < n_attrs; ++a) {
+      const std::string& f = fields[nd + a];
+      if (IsNullField(f)) continue;
+      const double v = std::strtod(f.c_str(), nullptr);
+      if (std::isnan(v)) continue;
+      cells[a].push_back(CellValue{pos, v});
+    }
+  }
+  std::vector<std::pair<std::string, ArrayRdd>> attrs;
+  for (size_t a = 0; a < n_attrs; ++a) {
+    SPANGLE_ASSIGN_OR_RETURN(
+        ArrayRdd rdd, ArrayRdd::FromCells(ctx, meta, cells[a], policy));
+    attrs.emplace_back(header[nd + a], std::move(rdd));
+  }
+  return SpangleArray::FromAttributes(std::move(attrs), use_mask_rdd);
+}
+
+Status WriteCsv(const SpangleArray& array, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot create " + path);
+  const ArrayMetadata& meta = array.metadata();
+  const auto names = array.attribute_names();
+  for (size_t d = 0; d < meta.num_dims(); ++d) {
+    if (d) out << ',';
+    out << meta.dim(d).name;
+  }
+  for (const auto& name : names) out << ',' << name;
+  out << '\n';
+  // Gather per-attribute cells keyed by coordinates.
+  std::map<Coords, std::vector<double>> rows;
+  const double nan = std::nan("");
+  for (size_t a = 0; a < names.size(); ++a) {
+    SPANGLE_ASSIGN_OR_RETURN(ArrayRdd attr, array.Attribute(names[a]));
+    for (const auto& cell : attr.CollectCells()) {
+      auto [it, inserted] =
+          rows.try_emplace(cell.pos, std::vector<double>(names.size(), nan));
+      it->second[a] = cell.value;
+    }
+  }
+  for (const auto& [pos, values] : rows) {
+    for (size_t d = 0; d < pos.size(); ++d) {
+      if (d) out << ',';
+      out << pos[d];
+    }
+    for (double v : values) {
+      out << ',';
+      if (!std::isnan(v)) out << v;
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status WriteSgrid(const std::string& path, const ArrayMetadata& meta,
+                  const std::vector<std::string>& attr_names,
+                  const std::vector<std::vector<double>>& planes) {
+  if (attr_names.size() != planes.size()) {
+    return Status::InvalidArgument("attribute name/plane count mismatch");
+  }
+  for (const auto& plane : planes) {
+    if (plane.size() != meta.total_cells()) {
+      return Status::InvalidArgument("plane size != total cells");
+    }
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot create " + path);
+  auto put_u32 = [&](uint32_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto put_i64 = [&](int64_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto put_str = [&](const std::string& s) {
+    put_u32(static_cast<uint32_t>(s.size()));
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  };
+  put_u32(kSgridMagic);
+  put_u32(static_cast<uint32_t>(meta.num_dims()));
+  for (const auto& d : meta.dims()) {
+    put_str(d.name);
+    put_i64(d.start);
+    put_i64(static_cast<int64_t>(d.size));
+    put_i64(static_cast<int64_t>(d.chunk_size));
+    put_i64(static_cast<int64_t>(d.overlap));
+  }
+  put_u32(static_cast<uint32_t>(attr_names.size()));
+  for (size_t a = 0; a < attr_names.size(); ++a) {
+    put_str(attr_names[a]);
+    out.write(reinterpret_cast<const char*>(planes[a].data()),
+              static_cast<std::streamsize>(planes[a].size() * sizeof(double)));
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<SpangleArray> ReadSgrid(Context* ctx, const std::string& path,
+                               ModePolicy policy, bool use_mask_rdd,
+                               const std::vector<uint64_t>* chunk_override) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  auto get_u32 = [&]() {
+    uint32_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  auto get_i64 = [&]() {
+    int64_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  auto get_str = [&]() {
+    const uint32_t n = get_u32();
+    std::string s(n, '\0');
+    in.read(s.data(), n);
+    return s;
+  };
+  if (get_u32() != kSgridMagic) {
+    return Status::InvalidArgument("not an sgrid file: " + path);
+  }
+  const uint32_t nd = get_u32();
+  if (nd == 0 || nd > 16) {
+    return Status::InvalidArgument("corrupt sgrid dimension count");
+  }
+  std::vector<Dimension> dims(nd);
+  for (auto& d : dims) {
+    d.name = get_str();
+    d.start = get_i64();
+    d.size = static_cast<uint64_t>(get_i64());
+    d.chunk_size = static_cast<uint64_t>(get_i64());
+    d.overlap = static_cast<uint64_t>(get_i64());
+  }
+  if (chunk_override != nullptr) {
+    if (chunk_override->size() != dims.size()) {
+      return Status::InvalidArgument("chunk override dimensionality mismatch");
+    }
+    for (size_t i = 0; i < dims.size(); ++i) {
+      dims[i].chunk_size = (*chunk_override)[i];
+    }
+  }
+  SPANGLE_ASSIGN_OR_RETURN(ArrayMetadata meta,
+                           ArrayMetadata::Make(std::move(dims)));
+  const uint32_t n_attrs = get_u32();
+  if (!in || n_attrs == 0 || n_attrs > 1024) {
+    return Status::InvalidArgument("corrupt sgrid attribute count");
+  }
+  std::vector<std::pair<std::string, ArrayRdd>> attrs;
+  const uint64_t cells = meta.total_cells();
+  for (uint32_t a = 0; a < n_attrs; ++a) {
+    std::string name = get_str();
+    std::vector<double> plane(cells);
+    in.read(reinterpret_cast<char*>(plane.data()),
+            static_cast<std::streamsize>(cells * sizeof(double)));
+    if (!in) return Status::IOError("truncated sgrid plane in " + path);
+    SPANGLE_ASSIGN_OR_RETURN(
+        ArrayRdd rdd,
+        ArrayRdd::FromDenseBuffer(
+            ctx, meta, plane, [](double v) { return std::isnan(v); },
+            policy));
+    attrs.emplace_back(std::move(name), std::move(rdd));
+  }
+  return SpangleArray::FromAttributes(std::move(attrs), use_mask_rdd);
+}
+
+}  // namespace spangle

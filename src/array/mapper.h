@@ -1,0 +1,72 @@
+#ifndef SPANGLE_ARRAY_MAPPER_H_
+#define SPANGLE_ARRAY_MAPPER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "array/metadata.h"
+
+namespace spangle {
+
+/// Globally unique chunk identifier (paper Sec. III-B): a single value
+/// standing in for multi-dimensional chunk-grid coordinates, so key length
+/// and lookup cost are independent of dimensionality.
+using ChunkId = uint64_t;
+
+/// Logical cell coordinates, one entry per dimension.
+using Coords = std::vector<int64_t>;
+
+/// Translates between the logical layout (coordinates) and the physical
+/// layout (ChunkId, in-chunk offset) using the array metadata — paper
+/// Sec. III-C and Algorithm 1. Strides are precomputed once per array.
+class Mapper {
+ public:
+  explicit Mapper(const ArrayMetadata& meta);
+
+  const ArrayMetadata& metadata() const { return meta_; }
+
+  /// Algorithm 1: ChunkId from cell coordinates.
+  ChunkId ChunkIdFromCoords(const Coords& pos) const;
+
+  /// Per-dimension chunk-grid index of a chunk.
+  std::vector<uint64_t> ChunkGridCoords(ChunkId id) const;
+
+  /// ChunkId from chunk-grid coordinates (inverse of ChunkGridCoords).
+  ChunkId ChunkIdFromGrid(const std::vector<uint64_t>& grid) const;
+
+  /// Row-major offset of a cell within its chunk.
+  uint32_t LocalOffset(const Coords& pos) const;
+
+  /// Cell coordinates from (chunk, in-chunk offset); inverse of the pair
+  /// (ChunkIdFromCoords, LocalOffset).
+  Coords CoordsFromChunkOffset(ChunkId id, uint32_t offset) const;
+
+  /// Logical coordinate where `id`'s chunk begins along dimension d.
+  int64_t ChunkStart(ChunkId id, size_t d) const;
+
+  /// True when `pos` lies within the array's logical bounds.
+  bool InBounds(const Coords& pos) const;
+
+  /// In-chunk offsets can address cells past the array's edge (edge chunks
+  /// are allocated full-size); true when (id, offset) maps to a real cell.
+  bool OffsetInBounds(ChunkId id, uint32_t offset) const;
+
+  /// All ChunkIds whose chunks intersect the closed box [lo, hi]
+  /// (paper's Subarray uses this to prune chunks before masking).
+  std::vector<ChunkId> ChunkIdsInRange(const Coords& lo,
+                                       const Coords& hi) const;
+
+  /// Number of cells a full chunk holds.
+  uint32_t cells_per_chunk() const { return cells_per_chunk_; }
+
+ private:
+  ArrayMetadata meta_;
+  std::vector<uint64_t> grid_;          // chunks along each dim
+  std::vector<uint64_t> chunk_stride_;  // ChunkId stride per dim (Alg. 1)
+  std::vector<uint32_t> local_stride_;  // in-chunk row-major stride per dim
+  uint32_t cells_per_chunk_ = 0;
+};
+
+}  // namespace spangle
+
+#endif  // SPANGLE_ARRAY_MAPPER_H_

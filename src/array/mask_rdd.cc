@@ -1,0 +1,161 @@
+#include "array/mask_rdd.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace spangle {
+
+Bitmask RangeMaskForChunk(const Mapper& mapper, ChunkId id, const Coords& lo,
+                          const Coords& hi) {
+  const ArrayMetadata& meta = mapper.metadata();
+  const size_t nd = meta.num_dims();
+  Bitmask mask(mapper.cells_per_chunk());
+  // Per-dimension local index span of the box within this chunk.
+  std::vector<uint32_t> first(nd), last(nd);
+  for (size_t d = 0; d < nd; ++d) {
+    const int64_t chunk_lo = mapper.ChunkStart(id, d);
+    const int64_t chunk_hi =
+        chunk_lo + static_cast<int64_t>(meta.dim(d).chunk_size) - 1;
+    const int64_t box_lo = std::max(lo[d], chunk_lo);
+    const int64_t box_hi = std::min(hi[d], chunk_hi);
+    if (box_lo > box_hi) return mask;  // disjoint: all zeros
+    first[d] = static_cast<uint32_t>(box_lo - chunk_lo);
+    last[d] = static_cast<uint32_t>(box_hi - chunk_lo);
+  }
+  // Walk every row of the box (all dims but the innermost) and set the
+  // innermost span with one SetRange per row.
+  std::vector<uint32_t> cur(first.begin(), first.end());
+  const size_t inner = nd - 1;
+  for (;;) {
+    uint32_t base = 0;
+    {
+      // Row-major offset of (cur[0..nd-2], first[inner]).
+      Coords pos(nd);
+      for (size_t d = 0; d < nd; ++d) {
+        pos[d] = mapper.ChunkStart(id, d) +
+                 static_cast<int64_t>(d == inner ? first[inner] : cur[d]);
+      }
+      base = mapper.LocalOffset(pos);
+    }
+    mask.SetRange(base, base + (last[inner] - first[inner] + 1));
+    if (nd == 1) break;
+    size_t d = nd - 1;
+    for (;;) {
+      if (d == 0) return mask;
+      --d;
+      if (cur[d] < last[d]) {
+        ++cur[d];
+        for (size_t j = d + 1; j < inner; ++j) cur[j] = first[j];
+        break;
+      }
+      cur[d] = first[d];
+    }
+  }
+  return mask;
+}
+
+MaskRdd MaskRdd::FromArray(const ArrayRdd& array) {
+  auto masks =
+      array.chunks().MapValues([](const Chunk& c) { return c.FlatMask(); });
+  return MaskRdd(array.mapper_ptr(), std::move(masks));
+}
+
+MaskRdd MaskRdd::And(const MaskRdd& other) const {
+  auto joined = masks_.Join(other.masks_);
+  auto combined =
+      joined
+          .MapValues([](const std::pair<Bitmask, Bitmask>& pair) {
+            Bitmask out = pair.first;
+            out.AndWith(pair.second);
+            return out;
+          })
+          .Filter([](const std::pair<ChunkId, Bitmask>& rec) {
+            return !rec.second.AllZero();
+          });
+  return MaskRdd(mapper_, std::move(combined));
+}
+
+MaskRdd MaskRdd::Or(const MaskRdd& other) const {
+  auto grouped = masks_.CoGroup(other.masks_);
+  auto combined = grouped.MapValues(
+      [](const std::pair<std::vector<Bitmask>, std::vector<Bitmask>>& sides) {
+        Bitmask out;
+        bool has = false;
+        for (const auto& side : {sides.first, sides.second}) {
+          for (const Bitmask& m : side) {
+            if (!has) {
+              out = m;
+              has = true;
+            } else {
+              out.OrWith(m);
+            }
+          }
+        }
+        return out;
+      });
+  return MaskRdd(mapper_, std::move(combined));
+}
+
+MaskRdd MaskRdd::AndRange(const Coords& lo, const Coords& hi) const {
+  // Prune whole chunks against the box first, then AND the virtual
+  // bitmask of the box into each survivor (Fig. 4a).
+  auto ids = mapper_->ChunkIdsInRange(lo, hi);
+  auto keep = std::make_shared<std::unordered_set<ChunkId>>(ids.begin(),
+                                                            ids.end());
+  std::shared_ptr<const Mapper> mapper = mapper_;
+  auto pruned = masks_.Filter(
+      [keep](const std::pair<ChunkId, Bitmask>& rec) {
+        return keep->count(rec.first) > 0;
+      });
+  auto ranged =
+      pruned.AsRdd()
+          .Map([mapper, lo, hi](const std::pair<ChunkId, Bitmask>& rec) {
+            Bitmask out = rec.second;
+            out.AndWith(RangeMaskForChunk(*mapper, rec.first, lo, hi));
+            return std::pair<ChunkId, Bitmask>(rec.first, std::move(out));
+          })
+          .Filter([](const std::pair<ChunkId, Bitmask>& rec) {
+            return !rec.second.AllZero();
+          });
+  return MaskRdd(mapper_, PairRdd<ChunkId, Bitmask>(std::move(ranged),
+                                                    masks_.partitioner()));
+}
+
+MaskRdd MaskRdd::AndPredicate(const ArrayRdd& attr,
+                              std::function<bool(double)> pred) const {
+  // Evaluate the predicate over the attribute's values to build the
+  // per-chunk pass mask, then AND into the global view (Fig. 4b).
+  auto pass = attr.chunks().MapValues([pred](const Chunk& c) {
+    Bitmask mask(c.num_cells());
+    c.ForEachValid([&](uint32_t off, double v) {
+      if (pred(v)) mask.Set(off);
+    });
+    return mask;
+  });
+  MaskRdd pass_view(mapper_, std::move(pass));
+  return And(pass_view);
+}
+
+ArrayRdd MaskRdd::ApplyTo(const ArrayRdd& attr) const {
+  auto joined = attr.chunks().Join(masks_);
+  auto applied =
+      joined
+          .MapValues([](const std::pair<Chunk, Bitmask>& pair) {
+            return pair.first.ApplyMask(pair.second);
+          })
+          .Filter([](const std::pair<ChunkId, Chunk>& rec) {
+            return rec.second.num_valid() > 0;
+          });
+  return ArrayRdd(attr.metadata(), std::move(applied));
+}
+
+uint64_t MaskRdd::CountValid() const {
+  return masks_.AsRdd().Aggregate<uint64_t>(
+      0,
+      [](uint64_t acc, const std::pair<ChunkId, Bitmask>& rec) {
+        return acc + rec.second.CountAll();
+      },
+      [](uint64_t a, uint64_t b) { return a + b; });
+}
+
+}  // namespace spangle

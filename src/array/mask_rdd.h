@@ -1,0 +1,73 @@
+#ifndef SPANGLE_ARRAY_MASK_RDD_H_
+#define SPANGLE_ARRAY_MASK_RDD_H_
+
+#include <functional>
+#include <memory>
+
+#include "array/array_rdd.h"
+
+namespace spangle {
+
+/// The hidden attribute (paper Sec. III-B1): a distributed bitmask keyed
+/// by ChunkId holding the *global* positions of valid cells across all
+/// attributes of an array. Operators (Subarray/Filter/Join) transform only
+/// the MaskRdd — Spangle's analogue of lazy evaluation — and visible
+/// attributes are reconciled on demand with ApplyTo(). This turns K
+/// per-operator attribute updates into one mask update plus K final
+/// applications (Fig. 9b).
+class MaskRdd {
+ public:
+  MaskRdd() = default;
+  MaskRdd(std::shared_ptr<const Mapper> mapper,
+          PairRdd<ChunkId, Bitmask> masks)
+      : mapper_(std::move(mapper)), masks_(std::move(masks)) {}
+
+  /// Extracts the validity view of one attribute.
+  static MaskRdd FromArray(const ArrayRdd& array);
+
+  const Mapper& mapper() const { return *mapper_; }
+  const PairRdd<ChunkId, Bitmask>& masks() const { return masks_; }
+
+  MaskRdd& Cache() {
+    masks_.Cache();
+    return *this;
+  }
+
+  /// and-join of two validity views: valid where both are valid. Chunks
+  /// absent on either side disappear.
+  MaskRdd And(const MaskRdd& other) const;
+
+  /// or-join: valid where either is valid.
+  MaskRdd Or(const MaskRdd& other) const;
+
+  /// Intersection with the closed coordinate box [lo, hi] (Subarray,
+  /// Fig. 4a): a *virtual bitmask* of the box is built per surviving
+  /// chunk and ANDed in; chunks outside the box are dropped outright.
+  MaskRdd AndRange(const Coords& lo, const Coords& hi) const;
+
+  /// Intersection with a per-cell predicate evaluated on `attr`'s values
+  /// (Filter, Fig. 4b): cells whose value fails `pred` become invalid.
+  MaskRdd AndPredicate(const ArrayRdd& attr,
+                       std::function<bool(double)> pred) const;
+
+  /// Reconciles one visible attribute against this global view: each
+  /// chunk keeps only cells valid in the mask; emptied chunks vanish.
+  ArrayRdd ApplyTo(const ArrayRdd& attr) const;
+
+  /// Total valid cells in the global view.
+  uint64_t CountValid() const;
+
+ private:
+  std::shared_ptr<const Mapper> mapper_;
+  PairRdd<ChunkId, Bitmask> masks_;
+};
+
+/// Virtual bitmask over one chunk for the closed box [lo, hi]: bits set
+/// exactly for the chunk's cells inside the box. Returns an all-zero mask
+/// when the chunk does not intersect the box.
+Bitmask RangeMaskForChunk(const Mapper& mapper, ChunkId id, const Coords& lo,
+                          const Coords& hi);
+
+}  // namespace spangle
+
+#endif  // SPANGLE_ARRAY_MASK_RDD_H_

@@ -1,0 +1,113 @@
+#include "array/spangle_array.h"
+
+namespace spangle {
+
+Result<SpangleArray> SpangleArray::FromAttributes(
+    std::vector<std::pair<std::string, ArrayRdd>> attrs, bool use_mask_rdd) {
+  if (attrs.empty()) {
+    return Status::InvalidArgument("array needs at least one attribute");
+  }
+  for (size_t i = 1; i < attrs.size(); ++i) {
+    if (!(attrs[i].second.metadata() == attrs[0].second.metadata())) {
+      return Status::InvalidArgument("attribute '" + attrs[i].first +
+                                     "' has mismatched metadata");
+    }
+  }
+  SpangleArray out;
+  out.use_mask_rdd_ = use_mask_rdd;
+  // Global view starts as the union of per-attribute validity.
+  MaskRdd mask = MaskRdd::FromArray(attrs[0].second);
+  for (size_t i = 1; i < attrs.size(); ++i) {
+    mask = mask.Or(MaskRdd::FromArray(attrs[i].second));
+  }
+  out.mask_ = std::move(mask);
+  out.attrs_ = std::move(attrs);
+  return out;
+}
+
+std::vector<std::string> SpangleArray::attribute_names() const {
+  std::vector<std::string> names;
+  names.reserve(attrs_.size());
+  for (const auto& [name, rdd] : attrs_) names.push_back(name);
+  return names;
+}
+
+bool SpangleArray::HasAttribute(const std::string& name) const {
+  for (const auto& [n, rdd] : attrs_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+Result<ArrayRdd> SpangleArray::RawAttribute(const std::string& name) const {
+  for (const auto& [n, rdd] : attrs_) {
+    if (n == name) return rdd;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+Result<ArrayRdd> SpangleArray::Attribute(const std::string& name) const {
+  SPANGLE_ASSIGN_OR_RETURN(ArrayRdd raw, RawAttribute(name));
+  if (!use_mask_rdd_) return raw;
+  return mask_.ApplyTo(raw);
+}
+
+SpangleArray SpangleArray::WithMask(MaskRdd mask) const {
+  SpangleArray out = *this;
+  out.mask_ = std::move(mask);
+  return out;
+}
+
+SpangleArray SpangleArray::WithAttributes(
+    std::vector<std::pair<std::string, ArrayRdd>> attrs) const {
+  SpangleArray out = *this;
+  out.attrs_ = std::move(attrs);
+  return out;
+}
+
+SpangleArray SpangleArray::Evaluate() const {
+  SpangleArray out = *this;
+  for (auto& [name, rdd] : out.attrs_) {
+    rdd = mask_.ApplyTo(rdd);
+  }
+  return out;
+}
+
+Result<SpangleArray> SpangleArray::DropAttribute(
+    const std::string& name) const {
+  if (!HasAttribute(name)) {
+    return Status::NotFound("no attribute named '" + name + "'");
+  }
+  if (attrs_.size() == 1) {
+    return Status::FailedPrecondition("cannot drop the last attribute");
+  }
+  SpangleArray out = *this;
+  out.attrs_.clear();
+  for (const auto& [n, rdd] : attrs_) {
+    if (n != name) out.attrs_.emplace_back(n, rdd);
+  }
+  return out;
+}
+
+Result<SpangleArray> SpangleArray::RenameAttribute(
+    const std::string& from, const std::string& to) const {
+  if (!HasAttribute(from)) {
+    return Status::NotFound("no attribute named '" + from + "'");
+  }
+  if (from != to && HasAttribute(to)) {
+    return Status::AlreadyExists("attribute '" + to + "' already exists");
+  }
+  SpangleArray out = *this;
+  for (auto& [n, rdd] : out.attrs_) {
+    if (n == from) n = to;
+  }
+  return out;
+}
+
+SpangleArray& SpangleArray::Cache() {
+  mask_.Cache();
+  for (auto& [name, rdd] : attrs_) rdd.Cache();
+  return *this;
+}
+
+}  // namespace spangle

@@ -1,0 +1,87 @@
+#ifndef SPANGLE_ARRAY_SPANGLE_ARRAY_H_
+#define SPANGLE_ARRAY_SPANGLE_ARRAY_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "array/array_rdd.h"
+#include "array/mask_rdd.h"
+#include "common/result.h"
+
+namespace spangle {
+
+/// A multi-attribute array in the column-store manner (paper Sec. III-A):
+/// each attribute maps to its own ArrayRdd, and a hidden MaskRdd holds the
+/// global validity view. Operators transform the MaskRdd lazily; visible
+/// attributes are reconciled on demand (Evaluate / attribute()).
+///
+/// Constructing with use_mask_rdd=false reproduces the paper's "without
+/// MaskRDD" baseline (Fig. 9b): every operator must then eagerly rewrite
+/// all attributes instead of the one shared mask.
+class SpangleArray {
+ public:
+  SpangleArray() = default;
+
+  /// Builds from named attributes sharing one metadata. The initial global
+  /// view is the OR of all attribute validity masks.
+  static Result<SpangleArray> FromAttributes(
+      std::vector<std::pair<std::string, ArrayRdd>> attrs,
+      bool use_mask_rdd = true);
+
+  const ArrayMetadata& metadata() const {
+    return attrs_.front().second.metadata();
+  }
+  Context* ctx() const { return attrs_.front().second.ctx(); }
+  bool uses_mask_rdd() const { return use_mask_rdd_; }
+
+  size_t num_attributes() const { return attrs_.size(); }
+  std::vector<std::string> attribute_names() const;
+  bool HasAttribute(const std::string& name) const;
+
+  /// The attribute's *raw* chunks, ignoring any pending mask updates.
+  Result<ArrayRdd> RawAttribute(const std::string& name) const;
+
+  /// The attribute reconciled against the global view: with MaskRdd this
+  /// applies the (lazily accumulated) mask now; without, raw == current.
+  Result<ArrayRdd> Attribute(const std::string& name) const;
+
+  /// Global validity view.
+  const MaskRdd& mask() const { return mask_; }
+
+  /// Same attributes under a new global view (operators use this in
+  /// MaskRdd mode: one mask update, zero attribute updates).
+  SpangleArray WithMask(MaskRdd mask) const;
+
+  /// Same metadata/mask with every attribute replaced (operators use this
+  /// in eager mode).
+  SpangleArray WithAttributes(
+      std::vector<std::pair<std::string, ArrayRdd>> attrs) const;
+
+  /// Applies the global view to every attribute, returning a fully
+  /// reconciled array (the "on-demand evaluation" of Sec. III-B1).
+  SpangleArray Evaluate() const;
+
+  /// Same array without attribute `name` (the global view is unchanged —
+  /// dropped columns do not invalidate cells).
+  Result<SpangleArray> DropAttribute(const std::string& name) const;
+
+  /// Same array with attribute `from` renamed to `to`.
+  Result<SpangleArray> RenameAttribute(const std::string& from,
+                                       const std::string& to) const;
+
+  /// Valid cells in the global view.
+  uint64_t CountValid() const { return mask_.CountValid(); }
+
+  /// Caches the mask and all attribute chunk RDDs.
+  SpangleArray& Cache();
+
+ private:
+  std::vector<std::pair<std::string, ArrayRdd>> attrs_;
+  MaskRdd mask_;
+  bool use_mask_rdd_ = true;
+};
+
+}  // namespace spangle
+
+#endif  // SPANGLE_ARRAY_SPANGLE_ARRAY_H_

@@ -1,0 +1,55 @@
+#ifndef SPANGLE_BASELINES_DENSE_ENGINE_H_
+#define SPANGLE_BASELINES_DENSE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/memory_budget.h"
+#include "workload/queries.h"
+#include "workload/raster_gen.h"
+
+namespace spangle {
+
+/// SciSpark-like baseline (paper Sec. VII-B): every image is held as a
+/// fully *dense* per-band plane — invalid cells are stored as NaN rather
+/// than dropped — so memory scales with the raster extent, not the data,
+/// and every query scans every pixel. This is exactly why SciSpark
+/// "requires more memory than Spangle" and fails to load large arrays.
+class SciSparkEngine : public RasterEngine {
+ public:
+  /// One record per image: all bands, dense row-major (x * height + y).
+  struct Frame {
+    int64_t img = 0;
+    std::vector<std::vector<double>> bands;  // bands[b][x*height+y], NaN=null
+
+    size_t SerializedBytes() const {
+      size_t n = sizeof(Frame);
+      for (const auto& b : bands) n += b.size() * sizeof(double);
+      return n;
+    }
+  };
+
+  /// Loads the raster densely; fails with OutOfMemory when the dense
+  /// planes exceed `budget`.
+  static Result<SciSparkEngine> Load(Context* ctx, const RasterData& data,
+                                     const MemoryBudget& budget = MemoryBudget());
+
+  std::string name() const override { return "SciSpark"; }
+  Result<double> Q1Average(const QueryParams& q) override;
+  Result<uint64_t> Q2Regrid(const QueryParams& q) override;
+  Result<double> Q3FilteredAverage(const QueryParams& q) override;
+  Result<uint64_t> Q4Polygons(const QueryParams& q) override;
+  Result<uint64_t> Q5Density(const QueryParams& q) override;
+
+ private:
+  Result<size_t> BandIndex(const std::string& attr) const;
+
+  std::vector<std::string> attr_names_;
+  uint64_t width_ = 0;
+  uint64_t height_ = 0;
+  Rdd<Frame> frames_;
+};
+
+}  // namespace spangle
+
+#endif  // SPANGLE_BASELINES_DENSE_ENGINE_H_

@@ -1,0 +1,62 @@
+#ifndef SPANGLE_BASELINES_DISKDB_H_
+#define SPANGLE_BASELINES_DISKDB_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/queries.h"
+#include "workload/raster_gen.h"
+
+namespace spangle {
+
+/// SciDB-like baseline: a C++ disk-based array store. Cells live in
+/// per-attribute files sorted by coordinates; queries push the range
+/// predicate into the scan (so pure selections are fast), but any
+/// compute-heavy operator (regrid/grouping) materializes its intermediate
+/// result to a temporary file before the next operator consumes it —
+/// real disk I/O, which is exactly what makes Q2/Q5 "relatively slow"
+/// for SciDB in Fig. 7a.
+class SciDbEngine : public RasterEngine {
+ public:
+  /// Writes the attribute files under `dir` (created by the caller).
+  static Result<SciDbEngine> Load(const RasterData& data,
+                                  const std::string& dir);
+
+  ~SciDbEngine();
+  SciDbEngine(SciDbEngine&&) = default;
+  SciDbEngine& operator=(SciDbEngine&&) = default;
+
+  std::string name() const override { return "SciDB"; }
+  Result<double> Q1Average(const QueryParams& q) override;
+  Result<uint64_t> Q2Regrid(const QueryParams& q) override;
+  Result<double> Q3FilteredAverage(const QueryParams& q) override;
+  Result<uint64_t> Q4Polygons(const QueryParams& q) override;
+  Result<uint64_t> Q5Density(const QueryParams& q) override;
+
+ private:
+  SciDbEngine() = default;
+
+  struct DiskCell {
+    int64_t pos[3];
+    double value;
+  };
+
+  Result<size_t> AttrIndex(const std::string& attr) const;
+  /// Streams an attribute file, pushing the box predicate into the scan.
+  Status ScanAttr(size_t attr, const QueryParams& q,
+                  const std::function<void(const DiskCell&)>& fn) const;
+  /// Materializes grouped partial states to a temp file and streams them
+  /// back (the operator-boundary disk round trip).
+  Result<uint64_t> GroupToDiskAndCount(
+      size_t attr, const QueryParams& q,
+      const std::function<bool(double sum, uint64_t n)>& keep) const;
+
+  std::string dir_;
+  std::vector<std::string> attr_names_;
+  std::vector<std::string> files_;
+  bool owns_files_ = false;
+};
+
+}  // namespace spangle
+
+#endif  // SPANGLE_BASELINES_DISKDB_H_

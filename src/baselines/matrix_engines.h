@@ -1,0 +1,144 @@
+#ifndef SPANGLE_BASELINES_MATRIX_ENGINES_H_
+#define SPANGLE_BASELINES_MATRIX_ENGINES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/memory_budget.h"
+#include "matrix/block_matrix.h"
+#include "workload/matrix_gen.h"
+
+namespace spangle {
+
+/// The Fig. 10 machine-learning core operations on a common interface:
+/// matrix-vector (M x v), vector-matrix (vT x M) and transpose-self
+/// multiply (MT x M). MtM returns the non-zero count of the result (the
+/// result itself can be larger than the input). Engines return
+/// OutOfMemory / Unimplemented for the paper's "X" cells.
+class MatrixEngine {
+ public:
+  virtual ~MatrixEngine() = default;
+  virtual std::string name() const = 0;
+  virtual Result<std::vector<double>> MxV(const std::vector<double>& v) = 0;
+  virtual Result<std::vector<double>> VtM(const std::vector<double>& v) = 0;
+  virtual Result<uint64_t> MtM() = 0;
+};
+
+/// Spangle: BlockMatrix with bitmask tiles, vector metadata transpose.
+class SpangleMatrixEngine : public MatrixEngine {
+ public:
+  static Result<std::unique_ptr<SpangleMatrixEngine>> Load(
+      Context* ctx, const SyntheticMatrix& m, uint64_t block,
+      const MemoryBudget& budget = MemoryBudget());
+  std::string name() const override { return "Spangle"; }
+  Result<std::vector<double>> MxV(const std::vector<double>& v) override;
+  Result<std::vector<double>> VtM(const std::vector<double>& v) override;
+  Result<uint64_t> MtM() override;
+
+ private:
+  BlockMatrix matrix_;
+  uint64_t block_ = 0;
+};
+
+/// Spark COO style: a plain RDD of (row, col, value) triples. MtM
+/// cogroup-explodes with sum_r nnz_r^2 intermediates — the reason COO
+/// handles the ultra-sparse Hardesty but dies on the denser Mouse.
+class CooMatrixEngine : public MatrixEngine {
+ public:
+  static Result<std::unique_ptr<CooMatrixEngine>> Load(
+      Context* ctx, const SyntheticMatrix& m,
+      const MemoryBudget& budget = MemoryBudget());
+  std::string name() const override { return "Spark(COO)"; }
+  Result<std::vector<double>> MxV(const std::vector<double>& v) override;
+  Result<std::vector<double>> VtM(const std::vector<double>& v) override;
+  Result<uint64_t> MtM() override;
+
+ private:
+  Context* ctx_ = nullptr;
+  uint64_t rows_ = 0, cols_ = 0;
+  MemoryBudget budget_;
+  Rdd<MatrixEntry> entries_;
+};
+
+/// MLlib style: row-partitioned sparse rows with *dense* driver-side
+/// accumulators; the Gramian (MtM) allocates a dense cols x cols buffer,
+/// which is what fails for wide matrices.
+class MllibMatrixEngine : public MatrixEngine {
+ public:
+  static Result<std::unique_ptr<MllibMatrixEngine>> Load(
+      Context* ctx, const SyntheticMatrix& m,
+      const MemoryBudget& budget = MemoryBudget());
+  std::string name() const override { return "MLlib(CSC)"; }
+  Result<std::vector<double>> MxV(const std::vector<double>& v) override;
+  Result<std::vector<double>> VtM(const std::vector<double>& v) override;
+  Result<uint64_t> MtM() override;
+
+ private:
+  struct SparseRow {
+    uint64_t row = 0;
+    std::vector<uint32_t> cols;
+    std::vector<double> values;
+    size_t SerializedBytes() const {
+      return sizeof(SparseRow) + cols.size() * 12;
+    }
+  };
+  Context* ctx_ = nullptr;
+  uint64_t rows_ = 0, cols_ = 0;
+  MemoryBudget budget_;
+  Rdd<SparseRow> rows_rdd_;
+};
+
+/// SciSpark style: dense row bands; no distributed matrix multiply at all
+/// (the paper: "SciSpark does not provide the matrix multiplication in a
+/// distributed environment"), and dense storage OOMs on anything large.
+class SciSparkMatrixEngine : public MatrixEngine {
+ public:
+  static Result<std::unique_ptr<SciSparkMatrixEngine>> Load(
+      Context* ctx, const SyntheticMatrix& m,
+      const MemoryBudget& budget = MemoryBudget());
+  std::string name() const override { return "SciSpark"; }
+  Result<std::vector<double>> MxV(const std::vector<double>& v) override;
+  Result<std::vector<double>> VtM(const std::vector<double>& v) override;
+  Result<uint64_t> MtM() override;
+
+ private:
+  struct DenseBand {
+    uint64_t row_begin = 0;
+    uint64_t rows = 0;
+    std::vector<double> values;  // rows x cols row-major
+    size_t SerializedBytes() const {
+      return sizeof(DenseBand) + values.size() * sizeof(double);
+    }
+  };
+  Context* ctx_ = nullptr;
+  uint64_t rows_ = 0, cols_ = 0;
+  Rdd<DenseBand> bands_;
+};
+
+/// SciDB style: disk-resident cells streamed per operation; temporary
+/// results spill to disk. Functionally complete but I/O-bound.
+class SciDbMatrixEngine : public MatrixEngine {
+ public:
+  static Result<std::unique_ptr<SciDbMatrixEngine>> Load(
+      const SyntheticMatrix& m, const std::string& dir);
+  ~SciDbMatrixEngine() override;
+  std::string name() const override { return "SciDB"; }
+  Result<std::vector<double>> MxV(const std::vector<double>& v) override;
+  Result<std::vector<double>> VtM(const std::vector<double>& v) override;
+  Result<uint64_t> MtM() override;
+
+ private:
+  struct DiskEntry {
+    uint64_t row, col;
+    double value;
+  };
+  Status Scan(const std::function<void(const DiskEntry&)>& fn) const;
+
+  uint64_t rows_ = 0, cols_ = 0;
+  std::string file_;
+};
+
+}  // namespace spangle
+
+#endif  // SPANGLE_BASELINES_MATRIX_ENGINES_H_

@@ -1,0 +1,38 @@
+#ifndef SPANGLE_BASELINES_MEMORY_BUDGET_H_
+#define SPANGLE_BASELINES_MEMORY_BUDGET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace spangle {
+
+/// Models the paper's executor heap limits: baseline systems that
+/// materialize dense or quadratic intermediates exceed their budget and
+/// fail with OutOfMemory — the "X" marks in Fig. 10 and the MLlib
+/// failures in Table III. Spangle runs under the same budget; it simply
+/// never allocates those intermediates.
+class MemoryBudget {
+ public:
+  /// `bytes` == 0 means unlimited.
+  explicit MemoryBudget(uint64_t bytes = 0) : bytes_(bytes) {}
+
+  uint64_t bytes() const { return bytes_; }
+
+  Status Reserve(uint64_t need, const std::string& what) const {
+    if (bytes_ != 0 && need > bytes_) {
+      return Status::OutOfMemory(what + " needs " + HumanBytes(need) +
+                                 " > budget " + HumanBytes(bytes_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  uint64_t bytes_;
+};
+
+}  // namespace spangle
+
+#endif  // SPANGLE_BASELINES_MEMORY_BUDGET_H_

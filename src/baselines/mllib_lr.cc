@@ -1,0 +1,103 @@
+#include "baselines/mllib_lr.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+
+namespace spangle {
+
+namespace {
+
+struct LabeledRow {
+  std::vector<uint32_t> cols;
+  std::vector<double> values;
+  double label = 0;
+
+  size_t SerializedBytes() const {
+    return sizeof(LabeledRow) + cols.size() * 12;
+  }
+};
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+Result<TrainResult> MllibTrainLogReg(Context* ctx, const SparseDataset& data,
+                                     const MllibLrOptions& options,
+                                     const MemoryBudget& budget) {
+  if (data.labels.size() != data.rows) {
+    return Status::InvalidArgument("label count != row count");
+  }
+  // Ingest: LabeledPoint objects with JVM overhead.
+  const uint64_t raw_bytes = data.entries.size() * 12 + data.rows * 16;
+  const uint64_t ingest_bytes = static_cast<uint64_t>(
+      options.ingest_overhead * static_cast<double>(raw_bytes));
+  SPANGLE_RETURN_NOT_OK(budget.Reserve(ingest_bytes, "LabeledPoint ingest"));
+  // Dense gradient accumulators, one per executor.
+  SPANGLE_RETURN_NOT_OK(budget.Reserve(
+      data.features * sizeof(double) *
+          static_cast<uint64_t>(ctx->default_parallelism()),
+      "dense gradient accumulators"));
+
+  std::unordered_map<uint64_t, LabeledRow> rows;
+  for (const auto& e : data.entries) {
+    auto& row = rows[e.row];
+    row.cols.push_back(static_cast<uint32_t>(e.col));
+    row.values.push_back(e.value);
+  }
+  std::vector<LabeledRow> flat(data.rows);
+  for (auto& [r, row] : rows) {
+    row.label = data.labels[r];
+    flat[r] = std::move(row);
+  }
+  for (uint64_t r = 0; r < data.rows; ++r) flat[r].label = data.labels[r];
+  auto rdd = ctx->Parallelize(std::move(flat));
+  rdd.Cache();
+
+  auto weights = std::make_shared<std::vector<double>>(data.features, 0.0);
+  TrainResult result;
+  Stopwatch total;
+  const uint64_t n_rows = data.rows;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    Stopwatch iter;
+    // Full-batch gradient: every row, every iteration.
+    auto grad = rdd.Aggregate<std::vector<double>>(
+        std::vector<double>(data.features, 0.0),
+        [weights](std::vector<double> g, const LabeledRow& row) {
+          double z = 0;
+          for (size_t i = 0; i < row.cols.size(); ++i) {
+            z += row.values[i] * (*weights)[row.cols[i]];
+          }
+          const double diff = Sigmoid(z) - row.label;
+          for (size_t i = 0; i < row.cols.size(); ++i) {
+            g[row.cols[i]] += diff * row.values[i];
+          }
+          return g;
+        },
+        [](std::vector<double> a, const std::vector<double>& b) {
+          for (size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+          return a;
+        });
+    double step_norm_sq = 0;
+    auto next = std::make_shared<std::vector<double>>(*weights);
+    for (uint64_t f = 0; f < data.features; ++f) {
+      const double delta =
+          -options.step_size * grad[f] / static_cast<double>(n_rows);
+      (*next)[f] += delta;
+      step_norm_sq += delta * delta;
+    }
+    weights = next;
+    result.iteration_seconds.push_back(iter.ElapsedSeconds());
+    result.iterations = it + 1;
+    if (std::sqrt(step_norm_sq) < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.total_seconds = total.ElapsedSeconds();
+  result.weights = *weights;
+  return result;
+}
+
+}  // namespace spangle

@@ -1,0 +1,29 @@
+#ifndef SPANGLE_BASELINES_MLLIB_LR_H_
+#define SPANGLE_BASELINES_MLLIB_LR_H_
+
+#include "baselines/memory_budget.h"
+#include "ml/logreg.h"
+
+namespace spangle {
+
+/// MLlib-like logistic regression: full-batch gradient descent over
+/// row-partitioned sparse rows with JVM-style per-record overhead at
+/// ingest and a dense per-partition gradient accumulator. The ingest
+/// overhead is why the real MLlib runs out of heap on the two larger
+/// Table III datasets while Spangle's chunked columns fit.
+struct MllibLrOptions {
+  double step_size = 0.6;
+  double tolerance = 1e-4;
+  int max_iterations = 200;
+  /// JVM boxing/object-header multiplier applied to the raw data size
+  /// when checking the ingest against the budget.
+  double ingest_overhead = 4.0;
+};
+
+Result<TrainResult> MllibTrainLogReg(Context* ctx, const SparseDataset& data,
+                                     const MllibLrOptions& options,
+                                     const MemoryBudget& budget);
+
+}  // namespace spangle
+
+#endif  // SPANGLE_BASELINES_MLLIB_LR_H_

@@ -1,0 +1,38 @@
+#ifndef SPANGLE_BASELINES_PAGERANK_BASELINES_H_
+#define SPANGLE_BASELINES_PAGERANK_BASELINES_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/engine.h"
+
+namespace spangle {
+
+struct PageRankRun {
+  std::vector<double> ranks;
+  std::vector<double> iteration_seconds;
+  size_t graph_bytes = 0;  // cached edge representation size
+};
+
+/// The "plain Spark" PageRank of Learning Spark [39]: links grouped as
+/// (src -> out-neighbor list), ranks joined with links every iteration,
+/// contributions reduced by destination.
+Result<PageRankRun> SparkPageRank(
+    Context* ctx, uint64_t n,
+    const std::vector<std::pair<uint64_t, uint64_t>>& edges, double damping,
+    int iterations);
+
+/// GraphX-like PageRank: a vertex RDD and an edge RDD; each iteration
+/// joins vertex ranks to edges (the triplet view), sends messages along
+/// edges and aggregates them at the destination. Per the paper's
+/// observation, the triplet join re-creates and re-caches an
+/// edge-with-rank RDD every iteration.
+Result<PageRankRun> GraphXPageRank(
+    Context* ctx, uint64_t n,
+    const std::vector<std::pair<uint64_t, uint64_t>>& edges, double damping,
+    int iterations);
+
+}  // namespace spangle
+
+#endif  // SPANGLE_BASELINES_PAGERANK_BASELINES_H_

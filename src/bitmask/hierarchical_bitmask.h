@@ -1,0 +1,71 @@
+#ifndef SPANGLE_BITMASK_HIERARCHICAL_BITMASK_H_
+#define SPANGLE_BITMASK_HIERARCHICAL_BITMASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitmask/bitmask.h"
+
+namespace spangle {
+
+/// Two-level bitmask for the *Super-Sparse* chunk mode (paper Sec. IV-A).
+/// When a chunk holds only a handful of valid cells the flat bitmask itself
+/// dominates the chunk size, so the mask is compressed: the upper level has
+/// one bit per 64-bit lower word, and all-zero lower words are physically
+/// removed. An unset upper bit implies a lower word of all zeros.
+class HierarchicalBitmask {
+ public:
+  HierarchicalBitmask() = default;
+
+  /// Builds the two-level representation from a flat mask.
+  static HierarchicalBitmask FromBitmask(const Bitmask& flat);
+
+  /// Expands back into a flat mask.
+  Bitmask ToBitmask() const;
+
+  size_t num_bits() const { return num_bits_; }
+
+  bool Test(size_t i) const;
+
+  /// Number of set bits in [0, i) — the payload index of cell i.
+  uint64_t Rank(size_t i) const;
+
+  /// Total set bits.
+  uint64_t CountAll() const;
+
+  /// Position of the k-th (0-based) set bit, or num_bits() if out of range.
+  size_t SelectSetBit(uint64_t k) const;
+
+  /// Calls fn(bit_index) for every set bit, in increasing order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    size_t stored = 0;
+    upper_.ForEachSetBit([&](size_t upper_idx) {
+      const uint64_t base = upper_idx * Bitmask::kBitsPerWord;
+      uint64_t bits = lower_[stored++];
+      while (bits != 0) {
+        const int tz = __builtin_ctzll(bits);
+        fn(base + static_cast<size_t>(tz));
+        bits &= bits - 1;
+      }
+    });
+  }
+
+  /// In-memory footprint: upper mask + surviving lower words + prefix ranks.
+  size_t SizeBytes() const {
+    return upper_.SizeBytes() + lower_.size() * sizeof(uint64_t) +
+           lower_prefix_.size() * sizeof(uint32_t);
+  }
+
+  size_t num_lower_words() const { return lower_.size(); }
+
+ private:
+  size_t num_bits_ = 0;
+  Bitmask upper_;                       // one bit per lower word
+  std::vector<uint64_t> lower_;         // only non-zero words, in order
+  std::vector<uint32_t> lower_prefix_;  // prefix popcounts of lower_
+};
+
+}  // namespace spangle
+
+#endif  // SPANGLE_BITMASK_HIERARCHICAL_BITMASK_H_

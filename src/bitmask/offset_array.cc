@@ -1,0 +1,34 @@
+#include "bitmask/offset_array.h"
+
+#include <algorithm>
+
+namespace spangle {
+
+OffsetArray OffsetArray::FromBitmask(const Bitmask& mask) {
+  OffsetArray out;
+  out.num_bits_ = mask.num_bits();
+  out.offsets_.reserve(mask.CountAll());
+  mask.ForEachSetBit(
+      [&](size_t i) { out.offsets_.push_back(static_cast<uint32_t>(i)); });
+  return out;
+}
+
+Bitmask OffsetArray::ToBitmask() const {
+  Bitmask mask(num_bits_);
+  for (uint32_t off : offsets_) mask.Set(off);
+  return mask;
+}
+
+bool OffsetArray::Test(size_t i) const {
+  return std::binary_search(offsets_.begin(), offsets_.end(),
+                            static_cast<uint32_t>(i));
+}
+
+uint64_t OffsetArray::Rank(size_t i) const {
+  return static_cast<uint64_t>(
+      std::lower_bound(offsets_.begin(), offsets_.end(),
+                       static_cast<uint32_t>(i)) -
+      offsets_.begin());
+}
+
+}  // namespace spangle

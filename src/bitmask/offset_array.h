@@ -1,0 +1,58 @@
+#ifndef SPANGLE_BITMASK_OFFSET_ARRAY_H_
+#define SPANGLE_BITMASK_OFFSET_ARRAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitmask/bitmask.h"
+
+namespace spangle {
+
+/// Alternative validity structure for matrix computation (paper Sec. V-A4):
+/// a sorted list of one-dimensional offsets of valid cells — the COO format
+/// with multi-dimensional coordinates flattened to a single offset. Spangle
+/// converts a chunk's bitmask to an offset array only when the offsets are
+/// smaller than the mask, and only for *static* matrices (e.g. training
+/// data) that are rarely updated.
+class OffsetArray {
+ public:
+  OffsetArray() = default;
+
+  static OffsetArray FromBitmask(const Bitmask& mask);
+
+  /// Expands back into a flat bitmask over `num_bits` cells.
+  Bitmask ToBitmask() const;
+
+  size_t num_bits() const { return num_bits_; }
+  size_t num_valid() const { return offsets_.size(); }
+  const std::vector<uint32_t>& offsets() const { return offsets_; }
+
+  bool Test(size_t i) const;
+
+  /// Number of valid cells with offset < i (payload index of cell i).
+  uint64_t Rank(size_t i) const;
+
+  /// In-memory footprint.
+  size_t SizeBytes() const { return offsets_.size() * sizeof(uint32_t); }
+
+  /// Calls fn(bit_index) for every valid cell, in increasing order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (uint32_t off : offsets_) fn(static_cast<size_t>(off));
+  }
+
+  /// Decision rule from the paper: convert when the offset representation
+  /// is smaller than the bitmask words.
+  static bool PrefersOffsets(const Bitmask& mask) {
+    return mask.CountAll() * sizeof(uint32_t) <
+           mask.num_words() * sizeof(uint64_t);
+  }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint32_t> offsets_;
+};
+
+}  // namespace spangle
+
+#endif  // SPANGLE_BITMASK_OFFSET_ARRAY_H_

@@ -1,0 +1,76 @@
+#include "bitmask/popcount.h"
+
+namespace spangle {
+
+uint64_t CountWordsScalar(const uint64_t* words, size_t n) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += CountWord(words[i]);
+  return total;
+}
+
+namespace {
+
+// Carry-save adder: (h, l) = bit-parallel full add of a + b + c.
+inline void Csa(uint64_t* h, uint64_t* l, uint64_t a, uint64_t b, uint64_t c) {
+  const uint64_t u = a ^ b;
+  *h = (a & b) | (u & c);
+  *l = u ^ c;
+}
+
+}  // namespace
+
+uint64_t CountWordsHarleySeal(const uint64_t* words, size_t n) {
+  uint64_t total = 0;
+  uint64_t ones = 0, twos = 0, fours = 0, eights = 0, sixteens = 0;
+  uint64_t twos_a, twos_b, fours_a, fours_b, eights_a, eights_b;
+
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    Csa(&twos_a, &ones, ones, words[i + 0], words[i + 1]);
+    Csa(&twos_b, &ones, ones, words[i + 2], words[i + 3]);
+    Csa(&fours_a, &twos, twos, twos_a, twos_b);
+    Csa(&twos_a, &ones, ones, words[i + 4], words[i + 5]);
+    Csa(&twos_b, &ones, ones, words[i + 6], words[i + 7]);
+    Csa(&fours_b, &twos, twos, twos_a, twos_b);
+    Csa(&eights_a, &fours, fours, fours_a, fours_b);
+    Csa(&twos_a, &ones, ones, words[i + 8], words[i + 9]);
+    Csa(&twos_b, &ones, ones, words[i + 10], words[i + 11]);
+    Csa(&fours_a, &twos, twos, twos_a, twos_b);
+    Csa(&twos_a, &ones, ones, words[i + 12], words[i + 13]);
+    Csa(&twos_b, &ones, ones, words[i + 14], words[i + 15]);
+    Csa(&fours_b, &twos, twos, twos_a, twos_b);
+    Csa(&eights_b, &fours, fours, fours_a, fours_b);
+    Csa(&sixteens, &eights, eights, eights_a, eights_b);
+    total += CountWord(sixteens);
+  }
+  total = 16 * total + 8 * CountWord(eights) + 4 * CountWord(fours) +
+          2 * CountWord(twos) + CountWord(ones);
+  for (; i < n; ++i) total += CountWord(words[i]);
+  return total;
+}
+
+bool Avx2Available() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+uint64_t CountWords(const uint64_t* words, size_t n, PopcountKernel kernel) {
+  switch (kernel) {
+    case PopcountKernel::kScalar:
+      return CountWordsScalar(words, n);
+    case PopcountKernel::kHarleySeal:
+      return CountWordsHarleySeal(words, n);
+    case PopcountKernel::kAvx2:
+      return CountWordsAvx2(words, n);
+    case PopcountKernel::kAuto:
+      if (n >= 64 && Avx2Available()) return CountWordsAvx2(words, n);
+      if (n >= 16) return CountWordsHarleySeal(words, n);
+      return CountWordsScalar(words, n);
+  }
+  return CountWordsScalar(words, n);
+}
+
+}  // namespace spangle

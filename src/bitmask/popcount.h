@@ -1,0 +1,44 @@
+#ifndef SPANGLE_BITMASK_POPCOUNT_H_
+#define SPANGLE_BITMASK_POPCOUNT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spangle {
+
+/// Population-count kernels (paper Sec. IV-B). The paper contrasts the JVM
+/// intrinsic (one machine instruction per word), the Harley–Seal carry-save
+/// adder network, and the AVX2 algorithm of Mula, Kurz & Lemire [21] called
+/// through JNI. Here all three are native; the Avx2 kernel is compiled with
+/// -mavx2 in its own translation unit and dispatched at runtime.
+enum class PopcountKernel {
+  kScalar,      // one POPCNT per word
+  kHarleySeal,  // carry-save adder over 16-word blocks
+  kAvx2,        // vectorized nibble-lookup (Mula–Kurz–Lemire)
+  kAuto,        // best available on this CPU
+};
+
+/// Number of set bits in one word.
+inline int CountWord(uint64_t w) { return __builtin_popcountll(w); }
+
+/// Set bits in words[0..n) using one POPCNT per word.
+uint64_t CountWordsScalar(const uint64_t* words, size_t n);
+
+/// Set bits in words[0..n) using the Harley–Seal CSA network, which counts
+/// 16 words per reduction round in a constant number of logical ops.
+uint64_t CountWordsHarleySeal(const uint64_t* words, size_t n);
+
+/// True when the running CPU supports AVX2.
+bool Avx2Available();
+
+/// Set bits in words[0..n) with the AVX2 nibble-lookup algorithm. Falls
+/// back to Harley–Seal when AVX2 is unavailable.
+uint64_t CountWordsAvx2(const uint64_t* words, size_t n);
+
+/// Set bits in words[0..n) with the chosen kernel.
+uint64_t CountWords(const uint64_t* words, size_t n,
+                    PopcountKernel kernel = PopcountKernel::kAuto);
+
+}  // namespace spangle
+
+#endif  // SPANGLE_BITMASK_POPCOUNT_H_

@@ -1,0 +1,14 @@
+#ifndef SPANGLE_COMMON_BYTES_H_
+#define SPANGLE_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace spangle {
+
+/// "1.5 MiB"-style formatting for benchmark/report output.
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace spangle
+
+#endif  // SPANGLE_COMMON_BYTES_H_

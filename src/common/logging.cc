@@ -1,0 +1,67 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace spangle {
+
+namespace {
+
+LogLevel ParseEnvLevel() {
+  const char* env = std::getenv("SPANGLE_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarning;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warning") == 0) return LogLevel::kWarning;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kWarning;
+}
+
+std::atomic<int>& LevelVar() {
+  static std::atomic<int> level{static_cast<int>(ParseEnvLevel())};
+  return level;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(LevelVar().load()); }
+
+void SetLogLevel(LogLevel level) { LevelVar().store(static_cast<int>(level)); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), enabled_(level >= GetLogLevel()) {
+  if (enabled_) {
+    const char* base = std::strrchr(file, '/');
+    stream_ << "[" << LevelName(level) << " " << (base ? base + 1 : file)
+            << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    stream_ << "\n";
+    std::cerr << stream_.str() << std::flush;
+  }
+  if (level_ == LogLevel::kFatal) std::abort();
+}
+
+}  // namespace internal
+}  // namespace spangle

@@ -1,0 +1,81 @@
+#ifndef SPANGLE_COMMON_LOGGING_H_
+#define SPANGLE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace spangle {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Minimum level actually emitted; default kWarning so tests/benches stay
+/// quiet. Set SPANGLE_LOG_LEVEL=debug|info|warning|error in the environment
+/// or call SetLogLevel.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink; flushes on destruction, aborts for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is disabled.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace spangle
+
+#define SPANGLE_LOG(level)                                            \
+  ::spangle::internal::LogMessage(::spangle::LogLevel::k##level,      \
+                                  __FILE__, __LINE__)
+
+/// CHECK-style assertion: active in all build types; on failure streams the
+/// message and aborts (the kFatal LogMessage destructor calls abort(), so
+/// the loop body runs at most once).
+#define SPANGLE_CHECK(cond)                                                  \
+  for (bool _spangle_ok = static_cast<bool>(cond); !_spangle_ok;             \
+       _spangle_ok = true)                                                   \
+  ::spangle::internal::LogMessage(::spangle::LogLevel::kFatal, __FILE__,     \
+                                  __LINE__)                                  \
+      << "Check failed: " #cond " "
+
+#define SPANGLE_CHECK_EQ(a, b) SPANGLE_CHECK((a) == (b))
+#define SPANGLE_CHECK_NE(a, b) SPANGLE_CHECK((a) != (b))
+#define SPANGLE_CHECK_LT(a, b) SPANGLE_CHECK((a) < (b))
+#define SPANGLE_CHECK_LE(a, b) SPANGLE_CHECK((a) <= (b))
+#define SPANGLE_CHECK_GT(a, b) SPANGLE_CHECK((a) > (b))
+#define SPANGLE_CHECK_GE(a, b) SPANGLE_CHECK((a) >= (b))
+
+/// Debug-only assertion.
+#ifdef NDEBUG
+#define SPANGLE_DCHECK(cond) SPANGLE_CHECK(true)
+#else
+#define SPANGLE_DCHECK(cond) SPANGLE_CHECK(cond)
+#endif
+
+#endif  // SPANGLE_COMMON_LOGGING_H_

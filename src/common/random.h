@@ -1,0 +1,46 @@
+#ifndef SPANGLE_COMMON_RANDOM_H_
+#define SPANGLE_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace spangle {
+
+/// SplitMix64: used to seed Xoshiro and for cheap stateless hashing.
+uint64_t SplitMix64(uint64_t* state);
+
+/// Deterministic, fast PRNG (xoshiro256**). All workload generators use
+/// this so every experiment is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound) with rejection to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Standard normal via Box–Muller.
+  double NextGaussian();
+
+  /// Bernoulli(p).
+  bool NextBool(double p = 0.5);
+
+  /// Zipf-distributed rank in [0, n) with exponent s (rejection-inversion).
+  uint64_t NextZipf(uint64_t n, double s);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace spangle
+
+#endif  // SPANGLE_COMMON_RANDOM_H_

@@ -1,0 +1,66 @@
+#ifndef SPANGLE_COMMON_RESULT_H_
+#define SPANGLE_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace spangle {
+
+/// Either a value of type T or a non-OK Status. The library's analogue of
+/// arrow::Result. Accessing the value of an error Result aborts (library
+/// code is exception-free), so callers must check ok() first or use
+/// SPANGLE_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversions from values and error statuses keep call sites
+  /// terse: `return 42;` or `return Status::IOError(...)`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    SPANGLE_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; Status::OK() when this Result holds a value.
+  Status status() const& {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    SPANGLE_CHECK(ok()) << "ValueOrDie on error Result: "
+                        << std::get<Status>(repr_).ToString();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    SPANGLE_CHECK(ok()) << "ValueOrDie on error Result: "
+                        << std::get<Status>(repr_).ToString();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    SPANGLE_CHECK(ok()) << "ValueOrDie on error Result: "
+                        << std::get<Status>(repr_).ToString();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Like ValueOrDie, used by SPANGLE_ASSIGN_OR_RETURN after an ok() check.
+  T&& ValueUnsafe() && { return std::move(std::get<T>(repr_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace spangle
+
+#endif  // SPANGLE_COMMON_RESULT_H_

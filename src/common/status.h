@@ -1,0 +1,120 @@
+#ifndef SPANGLE_COMMON_STATUS_H_
+#define SPANGLE_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace spangle {
+
+/// Error categories used across the library. Modeled after the
+/// RocksDB/Arrow convention: library code never throws; every fallible
+/// operation returns a Status (or a Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kOutOfMemory,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("OK", "IOError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. `Status::OK()` carries no allocation; error
+/// statuses carry a code and a message.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // nullptr means OK; keeps the success path allocation-free.
+  std::unique_ptr<State> state_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code();
+}
+
+}  // namespace spangle
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define SPANGLE_RETURN_NOT_OK(expr)                 \
+  do {                                              \
+    ::spangle::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+/// Evaluates a Result<T> expression, propagating error or binding `lhs`.
+#define SPANGLE_ASSIGN_OR_RETURN(lhs, expr)              \
+  SPANGLE_ASSIGN_OR_RETURN_IMPL(                         \
+      SPANGLE_CONCAT_NAME(_result_, __LINE__), lhs, expr)
+
+#define SPANGLE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueUnsafe();
+
+#define SPANGLE_CONCAT_NAME_INNER(x, y) x##y
+#define SPANGLE_CONCAT_NAME(x, y) SPANGLE_CONCAT_NAME_INNER(x, y)
+
+#endif  // SPANGLE_COMMON_STATUS_H_

@@ -1,0 +1,47 @@
+#include "engine/engine.h"
+
+#include <chrono>
+#include <thread>
+
+namespace spangle {
+
+Context::Context(int num_workers, int default_parallelism,
+                 int task_overhead_us)
+    : pool_(num_workers),
+      default_parallelism_(default_parallelism > 0 ? default_parallelism
+                                                   : 2 * num_workers),
+      task_overhead_us_(task_overhead_us) {}
+
+void Context::RunStage(int n, const std::function<void(int)>& fn) {
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(n);
+  const int overhead = task_overhead_us_;
+  for (int i = 0; i < n; ++i) {
+    tasks.emplace_back([&fn, i, overhead] {
+      if (overhead > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(overhead));
+      }
+      fn(i);
+    });
+  }
+  pool_.RunAll(std::move(tasks));
+  metrics_.tasks_run.fetch_add(static_cast<uint64_t>(n));
+  metrics_.stages_run.fetch_add(1);
+}
+
+void Context::EnsureShuffleDependencies(internal::NodeBase* node) {
+  // Post-order DFS: materialize ancestor shuffles before descendants.
+  // Materialized shuffle nodes cut the walk — their output is available,
+  // so nothing above them needs to run (Spark skips completed stages).
+  std::unordered_set<uint64_t> visited;
+  std::function<void(internal::NodeBase*)> visit =
+      [&](internal::NodeBase* n) {
+        if (n == nullptr || !visited.insert(n->id()).second) return;
+        if (n->IsShuffle() && n->IsMaterialized()) return;
+        for (internal::NodeBase* parent : n->Parents()) visit(parent);
+        if (n->IsShuffle()) n->Materialize();
+      };
+  visit(node);
+}
+
+}  // namespace spangle

@@ -1,0 +1,93 @@
+#ifndef SPANGLE_ENGINE_DISK_PERSIST_H_
+#define SPANGLE_ENGINE_DISK_PERSIST_H_
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/result.h"
+#include "engine/engine.h"
+
+namespace spangle {
+
+namespace internal {
+
+/// Source node that streams one partition per file written by
+/// PersistToDisk. Records are length-prefixed blobs handed to `decode`.
+template <typename T>
+class DiskSourceNode final : public Node<T> {
+ public:
+  using Decode = std::function<T(const char*, size_t)>;
+
+  DiskSourceNode(Context* ctx, std::vector<std::string> files, Decode decode)
+      : Node<T>(ctx, "diskSource"),
+        files_(std::move(files)),
+        decode_(std::move(decode)) {}
+
+  int num_partitions() const override {
+    return static_cast<int>(files_.size());
+  }
+  std::vector<NodeBase*> Parents() const override { return {}; }
+
+ protected:
+  std::vector<T> ComputePartition(int i) override {
+    std::vector<T> out;
+    std::ifstream in(files_[i], std::ios::binary);
+    SPANGLE_CHECK(static_cast<bool>(in))
+        << "cannot open spilled partition " << files_[i];
+    uint32_t len = 0;
+    std::string buf;
+    while (in.read(reinterpret_cast<char*>(&len), sizeof(len))) {
+      buf.resize(len);
+      in.read(buf.data(), len);
+      SPANGLE_CHECK(static_cast<bool>(in))
+          << "truncated spilled partition " << files_[i];
+      out.push_back(decode_(buf.data(), buf.size()));
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::string> files_;
+  Decode decode_;
+};
+
+}  // namespace internal
+
+/// Spark's persist-to-disk storage level: evaluates `rdd` once, spills
+/// every partition to a file under `dir` (one file per partition,
+/// length-prefixed records), and returns an RDD that streams the spilled
+/// data back on demand. Unlike Cache(), the data survives without
+/// holding memory; unlike recomputation, reading back skips the lineage
+/// entirely. Files are named `<prefix>_p<idx>.part` and are the caller's
+/// to clean up.
+template <typename T>
+Rdd<T> PersistToDisk(const Rdd<T>& rdd, const std::string& dir,
+                     const std::string& prefix,
+                     std::function<void(const T&, std::string*)> encode,
+                     std::function<T(const char*, size_t)> decode) {
+  const int n = rdd.num_partitions();
+  std::vector<std::string> files(n);
+  for (int i = 0; i < n; ++i) {
+    files[i] = dir + "/" + prefix + "_p" + std::to_string(i) + ".part";
+  }
+  rdd.ForEachPartition([&](int i, const std::vector<T>& records) {
+    std::ofstream out(files[i], std::ios::binary);
+    SPANGLE_CHECK(static_cast<bool>(out)) << "cannot create " << files[i];
+    std::string buf;
+    for (const T& rec : records) {
+      buf.clear();
+      encode(rec, &buf);
+      const uint32_t len = static_cast<uint32_t>(buf.size());
+      out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+      out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    }
+    SPANGLE_CHECK(static_cast<bool>(out)) << "write failed: " << files[i];
+  });
+  return Rdd<T>(std::make_shared<internal::DiskSourceNode<T>>(
+      rdd.ctx(), std::move(files), std::move(decode)));
+}
+
+}  // namespace spangle
+
+#endif  // SPANGLE_ENGINE_DISK_PERSIST_H_

@@ -1,0 +1,894 @@
+#ifndef SPANGLE_ENGINE_ENGINE_H_
+#define SPANGLE_ENGINE_ENGINE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <tuple>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "engine/executor_pool.h"
+#include "engine/metrics.h"
+#include "engine/partitioner.h"
+#include "engine/size_estimator.h"
+
+namespace spangle {
+
+template <typename T>
+class Rdd;
+template <typename K, typename V>
+class PairRdd;
+
+namespace internal {
+class NodeBase;
+}  // namespace internal
+
+/// The driver-side entry point, standing in for SparkContext: owns the
+/// executor pool (simulated cluster workers), runs stages, tracks metrics,
+/// and materializes shuffle dependencies in DAG order before each action.
+class Context {
+ public:
+  /// `num_workers` simulated executors (threads); `default_parallelism`
+  /// partitions per RDD unless overridden (defaults to 2x workers).
+  /// `task_overhead_us` adds a fixed cost to every task, modeling the
+  /// real cluster's per-task scheduling latency (Spark pays ~ms per
+  /// task, which is why tiny chunks lose in the paper's Fig. 8).
+  explicit Context(int num_workers = 4, int default_parallelism = 0,
+                   int task_overhead_us = 0);
+
+  int num_workers() const { return pool_.num_workers(); }
+  int default_parallelism() const { return default_parallelism_; }
+  EngineMetrics& metrics() { return metrics_; }
+
+  /// Distributes `data` over `num_partitions` partitions (round-robin
+  /// blocks, preserving order). The RDD analogue of sc.parallelize.
+  template <typename T>
+  Rdd<T> Parallelize(std::vector<T> data, int num_partitions = 0);
+
+  /// Creates a pair RDD whose records are already placed by `partitioner`,
+  /// i.e. born co-partitioned (no shuffle).
+  template <typename K, typename V>
+  PairRdd<K, V> ParallelizePairs(
+      std::vector<std::pair<K, V>> data,
+      std::shared_ptr<Partitioner<K>> partitioner);
+
+  /// Runs fn(0..n-1) as one stage across the pool. One task per index.
+  void RunStage(int n, const std::function<void(int)>& fn);
+
+  /// Walks the lineage DAG upward from `node` and materializes every
+  /// un-materialized shuffle dependency, parents first (Spark's stage DAG).
+  void EnsureShuffleDependencies(internal::NodeBase* node);
+
+  uint64_t NextNodeId() { return next_node_id_.fetch_add(1); }
+
+ private:
+  ExecutorPool pool_;
+  EngineMetrics metrics_;
+  int default_parallelism_;
+  int task_overhead_us_;
+  std::atomic<uint64_t> next_node_id_{0};
+};
+
+namespace internal {
+
+/// Untyped lineage-DAG vertex: partition count + parents + shuffle hooks.
+class NodeBase {
+ public:
+  NodeBase(Context* ctx, std::string name)
+      : ctx_(ctx), id_(ctx->NextNodeId()), name_(std::move(name)) {}
+  virtual ~NodeBase() = default;
+
+  NodeBase(const NodeBase&) = delete;
+  NodeBase& operator=(const NodeBase&) = delete;
+
+  virtual int num_partitions() const = 0;
+  virtual std::vector<NodeBase*> Parents() const = 0;
+  virtual bool IsShuffle() const { return false; }
+  virtual bool IsMaterialized() const { return true; }
+  /// Computes + stores shuffle output; only meaningful for shuffle nodes.
+  virtual void Materialize() {}
+
+  Context* ctx() const { return ctx_; }
+  uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Context* ctx_;
+  uint64_t id_;
+  std::string name_;
+};
+
+/// Typed node: computes one partition at a time, with optional caching and
+/// lineage-based recomputation when a cached partition is lost.
+template <typename T>
+class Node : public NodeBase {
+ public:
+  using PartitionPtr = std::shared_ptr<const std::vector<T>>;
+
+  using NodeBase::NodeBase;
+
+  /// Partition contents; serves from cache when enabled, otherwise
+  /// recomputes from parents (lineage).
+  PartitionPtr GetPartition(int i) {
+    bool was_dropped = false;
+    if (cache_enabled_) {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      if (static_cast<int>(cache_.size()) < num_partitions()) {
+        cache_.resize(num_partitions());
+        dropped_.assign(num_partitions(), false);
+      }
+      if (cache_[i] != nullptr) {
+        ctx()->metrics().cache_hits.fetch_add(1);
+        return cache_[i];
+      }
+      ctx()->metrics().cache_misses.fetch_add(1);
+      was_dropped = dropped_[i];
+    }
+    auto computed =
+        std::make_shared<const std::vector<T>>(ComputePartition(i));
+    if (cache_enabled_) {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      if (was_dropped) {
+        ctx()->metrics().recomputed_partitions.fetch_add(1);
+        dropped_[i] = false;
+      }
+      cache_[i] = computed;
+    }
+    return computed;
+  }
+
+  void EnableCache() {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    cache_enabled_ = true;
+  }
+
+  bool cache_enabled() const { return cache_enabled_; }
+
+  /// Fault injection: discards a cached partition as if its executor died.
+  /// The next access recomputes it from lineage.
+  void DropCachedPartition(int i) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (i < static_cast<int>(cache_.size()) && cache_[i] != nullptr) {
+      cache_[i] = nullptr;
+      dropped_[i] = true;
+    }
+  }
+
+ protected:
+  virtual std::vector<T> ComputePartition(int i) = 0;
+
+ private:
+  mutable std::mutex cache_mu_;
+  bool cache_enabled_ = false;
+  std::vector<PartitionPtr> cache_;
+  std::vector<bool> dropped_;
+};
+
+/// Source node: data distributed at construction time.
+template <typename T>
+class SourceNode final : public Node<T> {
+ public:
+  SourceNode(Context* ctx, std::vector<std::vector<T>> partitions)
+      : Node<T>(ctx, "source"), partitions_(std::move(partitions)) {}
+
+  int num_partitions() const override {
+    return static_cast<int>(partitions_.size());
+  }
+  std::vector<NodeBase*> Parents() const override { return {}; }
+
+ protected:
+  std::vector<T> ComputePartition(int i) override { return partitions_[i]; }
+
+ private:
+  std::vector<std::vector<T>> partitions_;
+};
+
+/// Narrow one-to-one transformation over whole partitions; map/filter/
+/// flatMap are thin wrappers around this.
+template <typename Out, typename In>
+class MapPartitionsNode final : public Node<Out> {
+ public:
+  using Fn = std::function<std::vector<Out>(int, const std::vector<In>&)>;
+
+  MapPartitionsNode(Context* ctx, std::shared_ptr<Node<In>> parent, Fn fn,
+                    std::string name)
+      : Node<Out>(ctx, std::move(name)),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  int num_partitions() const override { return parent_->num_partitions(); }
+  std::vector<NodeBase*> Parents() const override { return {parent_.get()}; }
+
+ protected:
+  std::vector<Out> ComputePartition(int i) override {
+    auto in = parent_->GetPartition(i);
+    return fn_(i, *in);
+  }
+
+ private:
+  std::shared_ptr<Node<In>> parent_;
+  Fn fn_;
+};
+
+/// Narrow two-parent transformation over aligned partitions (both parents
+/// must have equal partition counts). Powers the shuffle-free local join.
+template <typename Out, typename A, typename B>
+class ZipPartitionsNode final : public Node<Out> {
+ public:
+  using Fn = std::function<std::vector<Out>(int, const std::vector<A>&,
+                                            const std::vector<B>&)>;
+
+  ZipPartitionsNode(Context* ctx, std::shared_ptr<Node<A>> left,
+                    std::shared_ptr<Node<B>> right, Fn fn, std::string name)
+      : Node<Out>(ctx, std::move(name)),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        fn_(std::move(fn)) {
+    SPANGLE_CHECK_EQ(left_->num_partitions(), right_->num_partitions());
+  }
+
+  int num_partitions() const override { return left_->num_partitions(); }
+  std::vector<NodeBase*> Parents() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  std::vector<Out> ComputePartition(int i) override {
+    auto a = left_->GetPartition(i);
+    auto b = right_->GetPartition(i);
+    return fn_(i, *a, *b);
+  }
+
+ private:
+  std::shared_ptr<Node<A>> left_;
+  std::shared_ptr<Node<B>> right_;
+  Fn fn_;
+};
+
+/// Narrow partition-count reduction: output partition i concatenates a
+/// contiguous range of parent partitions (Spark's coalesce without
+/// shuffle).
+template <typename T>
+class CoalesceNode final : public Node<T> {
+ public:
+  CoalesceNode(Context* ctx, std::shared_ptr<Node<T>> parent, int target)
+      : Node<T>(ctx, "coalesce"),
+        parent_(std::move(parent)),
+        target_(std::min(target, parent_->num_partitions())) {
+    SPANGLE_CHECK_GE(target, 1);
+  }
+
+  int num_partitions() const override { return target_; }
+  std::vector<NodeBase*> Parents() const override { return {parent_.get()}; }
+
+ protected:
+  std::vector<T> ComputePartition(int i) override {
+    const int n = parent_->num_partitions();
+    const int begin = n * i / target_;
+    const int end = n * (i + 1) / target_;
+    std::vector<T> out;
+    for (int p = begin; p < end; ++p) {
+      auto part = parent_->GetPartition(p);
+      out.insert(out.end(), part->begin(), part->end());
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Node<T>> parent_;
+  int target_;
+};
+
+/// Concatenation of two RDDs' partition lists (narrow).
+template <typename T>
+class UnionNode final : public Node<T> {
+ public:
+  UnionNode(Context* ctx, std::shared_ptr<Node<T>> left,
+            std::shared_ptr<Node<T>> right)
+      : Node<T>(ctx, "union"), left_(std::move(left)), right_(std::move(right)) {}
+
+  int num_partitions() const override {
+    return left_->num_partitions() + right_->num_partitions();
+  }
+  std::vector<NodeBase*> Parents() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  std::vector<T> ComputePartition(int i) override {
+    const int nl = left_->num_partitions();
+    auto p = (i < nl) ? left_->GetPartition(i)
+                      : right_->GetPartition(i - nl);
+    return *p;
+  }
+
+ private:
+  std::shared_ptr<Node<T>> left_;
+  std::shared_ptr<Node<T>> right_;
+};
+
+/// Wide dependency: repartitions key-value records by `partitioner`, with
+/// optional map-side + reduce-side combining (reduceByKey). Materialize()
+/// runs the map side as one parallel stage, buckets records, and accounts
+/// every moved byte in EngineMetrics — the quantity the paper's
+/// optimizations (local join, metadata transpose, MaskRDD) all attack.
+template <typename K, typename V>
+class ShuffleNode final : public Node<std::pair<K, V>> {
+ public:
+  using Record = std::pair<K, V>;
+  using Combiner = std::function<V(const V&, const V&)>;
+
+  ShuffleNode(Context* ctx, std::shared_ptr<Node<Record>> parent,
+              std::shared_ptr<Partitioner<K>> partitioner, Combiner combiner,
+              std::string name)
+      : Node<Record>(ctx, std::move(name)),
+        parent_(std::move(parent)),
+        partitioner_(std::move(partitioner)),
+        combiner_(std::move(combiner)) {}
+
+  int num_partitions() const override {
+    return partitioner_->num_partitions();
+  }
+  std::vector<NodeBase*> Parents() const override { return {parent_.get()}; }
+  bool IsShuffle() const override { return true; }
+  bool IsMaterialized() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return materialized_;
+  }
+
+  void Materialize() override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (materialized_) return;
+    }
+    Context* ctx = this->ctx();
+    const int n_map = parent_->num_partitions();
+    const int n_out = partitioner_->num_partitions();
+    // Map side: one task per input partition produces n_out buckets.
+    std::vector<std::vector<std::vector<Record>>> map_outputs(n_map);
+    ctx->RunStage(n_map, [&](int m) {
+      auto in = parent_->GetPartition(m);
+      std::vector<Record> records;
+      if (combiner_) {
+        // Map-side combine, as Spark does for reduceByKey.
+        std::unordered_map<K, V> acc;
+        for (const auto& [k, v] : *in) {
+          auto it = acc.find(k);
+          if (it == acc.end()) {
+            acc.emplace(k, v);
+          } else {
+            it->second = combiner_(it->second, v);
+          }
+        }
+        records.reserve(acc.size());
+        for (auto& [k, v] : acc) records.emplace_back(k, std::move(v));
+      } else {
+        records = *in;
+      }
+      auto& buckets = map_outputs[m];
+      buckets.resize(n_out);
+      uint64_t bytes = 0;
+      for (auto& rec : records) {
+        bytes += EstimateSize(rec);
+        buckets[partitioner_->PartitionFor(rec.first)].push_back(
+            std::move(rec));
+      }
+      ctx->metrics().shuffle_records.fetch_add(records.size());
+      ctx->metrics().shuffle_bytes.fetch_add(bytes);
+    });
+    // Reduce side: merge buckets (and combine when requested).
+    std::vector<std::vector<Record>> output(n_out);
+    ctx->RunStage(n_out, [&](int r) {
+      if (combiner_) {
+        std::unordered_map<K, V> acc;
+        for (int m = 0; m < n_map; ++m) {
+          for (auto& [k, v] : map_outputs[m][r]) {
+            auto it = acc.find(k);
+            if (it == acc.end()) {
+              acc.emplace(k, std::move(v));
+            } else {
+              it->second = combiner_(it->second, v);
+            }
+          }
+        }
+        auto& out = output[r];
+        out.reserve(acc.size());
+        for (auto& [k, v] : acc) out.emplace_back(k, std::move(v));
+      } else {
+        auto& out = output[r];
+        for (int m = 0; m < n_map; ++m) {
+          for (auto& rec : map_outputs[m][r]) out.push_back(std::move(rec));
+        }
+      }
+    });
+    ctx->metrics().shuffles.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu_);
+    output_ = std::move(output);
+    materialized_ = true;
+  }
+
+  /// Fault injection: discards the shuffle output; the next action
+  /// re-materializes it from lineage.
+  void Invalidate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    materialized_ = false;
+    output_.clear();
+  }
+
+ protected:
+  std::vector<Record> ComputePartition(int i) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    SPANGLE_CHECK(materialized_)
+        << "shuffle output accessed before materialization";
+    return output_[i];
+  }
+
+ private:
+  std::shared_ptr<Node<Record>> parent_;
+  std::shared_ptr<Partitioner<K>> partitioner_;
+  Combiner combiner_;
+
+  mutable std::mutex mu_;
+  bool materialized_ = false;
+  std::vector<std::vector<Record>> output_;
+};
+
+}  // namespace internal
+
+/// Handle to a distributed collection of T (the RDD abstraction).
+/// Transformations are lazy: they extend the lineage DAG; only actions
+/// (Collect/Count/Fold/...) trigger execution.
+template <typename T>
+class Rdd {
+ public:
+  Rdd() = default;
+  explicit Rdd(std::shared_ptr<internal::Node<T>> node)
+      : node_(std::move(node)) {}
+
+  internal::Node<T>* node() const { return node_.get(); }
+  std::shared_ptr<internal::Node<T>> node_ptr() const { return node_; }
+  Context* ctx() const { return node_->ctx(); }
+  int num_partitions() const { return node_->num_partitions(); }
+
+  /// Element-wise transformation.
+  template <typename Fn, typename Out = std::invoke_result_t<Fn, const T&>>
+  Rdd<Out> Map(Fn fn) const {
+    return MapPartitionsWithIndex<Out>(
+        [fn = std::move(fn)](int, const std::vector<T>& in) {
+          std::vector<Out> out;
+          out.reserve(in.size());
+          for (const auto& v : in) out.push_back(fn(v));
+          return out;
+        },
+        "map");
+  }
+
+  /// Keeps elements satisfying `pred`.
+  template <typename Pred>
+  Rdd<T> Filter(Pred pred) const {
+    return MapPartitionsWithIndex<T>(
+        [pred = std::move(pred)](int, const std::vector<T>& in) {
+          std::vector<T> out;
+          for (const auto& v : in) {
+            if (pred(v)) out.push_back(v);
+          }
+          return out;
+        },
+        "filter");
+  }
+
+  /// Element-to-many transformation.
+  template <typename Fn,
+            typename OutVec = std::invoke_result_t<Fn, const T&>,
+            typename Out = typename OutVec::value_type>
+  Rdd<Out> FlatMap(Fn fn) const {
+    return MapPartitionsWithIndex<Out>(
+        [fn = std::move(fn)](int, const std::vector<T>& in) {
+          std::vector<Out> out;
+          for (const auto& v : in) {
+            for (auto& o : fn(v)) out.push_back(std::move(o));
+          }
+          return out;
+        },
+        "flatMap");
+  }
+
+  /// Whole-partition transformation; fn(partition_index, records).
+  template <typename Out>
+  Rdd<Out> MapPartitionsWithIndex(
+      std::function<std::vector<Out>(int, const std::vector<T>&)> fn,
+      std::string name = "mapPartitions") const {
+    return Rdd<Out>(std::make_shared<internal::MapPartitionsNode<Out, T>>(
+        ctx(), node_, std::move(fn), std::move(name)));
+  }
+
+  /// Aligned two-RDD partition-wise transformation (narrow; both sides
+  /// must have equal partition counts).
+  template <typename Out, typename B>
+  Rdd<Out> ZipPartitions(
+      const Rdd<B>& other,
+      std::function<std::vector<Out>(int, const std::vector<T>&,
+                                     const std::vector<B>&)>
+          fn,
+      std::string name = "zipPartitions") const {
+    return Rdd<Out>(std::make_shared<internal::ZipPartitionsNode<Out, T, B>>(
+        ctx(), node_, other.node_ptr(), std::move(fn), std::move(name)));
+  }
+
+  /// Concatenates two RDDs (narrow).
+  Rdd<T> Union(const Rdd<T>& other) const {
+    return Rdd<T>(std::make_shared<internal::UnionNode<T>>(ctx(), node_,
+                                                           other.node_ptr()));
+  }
+
+  /// Reduces the partition count without a shuffle: each output
+  /// partition concatenates a contiguous range of inputs.
+  Rdd<T> Coalesce(int num_partitions) const {
+    return Rdd<T>(std::make_shared<internal::CoalesceNode<T>>(
+        ctx(), node_, num_partitions));
+  }
+
+  /// Bernoulli sample: keeps each record with probability `fraction`.
+  /// Deterministic for a given (seed, partitioning).
+  Rdd<T> Sample(double fraction, uint64_t seed) const {
+    return MapPartitionsWithIndex<T>(
+        [fraction, seed](int idx, const std::vector<T>& in) {
+          Rng rng(seed * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(idx));
+          std::vector<T> out;
+          for (const auto& v : in) {
+            if (rng.NextBool(fraction)) out.push_back(v);
+          }
+          return out;
+        },
+        "sample");
+  }
+
+  /// Unique records (one shuffle). Requires std::hash<T> and ==.
+  Rdd<T> Distinct() const {
+    auto keyed = Map([](const T& v) { return std::pair<T, char>(v, 0); });
+    auto p = std::make_shared<HashPartitioner<T>>(num_partitions());
+    auto deduped = std::make_shared<internal::ShuffleNode<T, char>>(
+        ctx(), keyed.node_ptr(), p,
+        [](const char& a, const char&) { return a; }, "distinct");
+    return Rdd<std::pair<T, char>>(deduped).template Map(
+        [](const std::pair<T, char>& kv) { return kv.first; });
+  }
+
+  /// Marks this RDD's partitions for in-memory persistence (rdd.cache()).
+  Rdd<T>& Cache() {
+    node_->EnableCache();
+    return *this;
+  }
+
+  // ---- Actions (trigger execution) ----
+
+  /// All records, concatenated in partition order.
+  std::vector<T> Collect() const {
+    auto parts = CollectPartitions();
+    std::vector<T> out;
+    for (auto& p : parts) {
+      for (auto& v : p) out.push_back(std::move(v));
+    }
+    return out;
+  }
+
+  /// Per-partition record vectors.
+  std::vector<std::vector<T>> CollectPartitions() const {
+    ctx()->EnsureShuffleDependencies(node_.get());
+    const int n = num_partitions();
+    std::vector<std::vector<T>> parts(n);
+    ctx()->RunStage(n, [&](int i) { parts[i] = *node_->GetPartition(i); });
+    return parts;
+  }
+
+  /// Number of records.
+  size_t Count() const {
+    ctx()->EnsureShuffleDependencies(node_.get());
+    const int n = num_partitions();
+    std::vector<size_t> counts(n, 0);
+    ctx()->RunStage(n,
+                    [&](int i) { counts[i] = node_->GetPartition(i)->size(); });
+    size_t total = 0;
+    for (size_t c : counts) total += c;
+    return total;
+  }
+
+  /// Parallel reduce with an associative, commutative `fn`; `identity`
+  /// must be fn's neutral element. Returns `identity` on an empty RDD.
+  template <typename Fn>
+  T Reduce(T identity, Fn fn) const {
+    return Aggregate<T>(std::move(identity), fn, fn);
+  }
+
+  /// Parallel fold with distinct element-combine and accumulator-merge.
+  template <typename Acc, typename SeqFn, typename MergeFn>
+  Acc Aggregate(Acc init, SeqFn seq, MergeFn merge) const {
+    ctx()->EnsureShuffleDependencies(node_.get());
+    const int n = num_partitions();
+    std::vector<Acc> accs(n, init);
+    ctx()->RunStage(n, [&](int i) {
+      auto part = node_->GetPartition(i);
+      Acc acc = init;
+      for (const auto& v : *part) acc = seq(std::move(acc), v);
+      accs[i] = std::move(acc);
+    });
+    Acc total = init;
+    for (auto& a : accs) total = merge(std::move(total), std::move(a));
+    return total;
+  }
+
+  /// Runs `fn(partition_index, records)` once per partition, in parallel.
+  void ForEachPartition(
+      const std::function<void(int, const std::vector<T>&)>& fn) const {
+    ctx()->EnsureShuffleDependencies(node_.get());
+    ctx()->RunStage(num_partitions(),
+                    [&](int i) { fn(i, *node_->GetPartition(i)); });
+  }
+
+ private:
+  std::shared_ptr<internal::Node<T>> node_;
+};
+
+/// Key-value RDD handle. Carries an optional partitioner: when set, the
+/// records are guaranteed to be placed by it, enabling shuffle-free local
+/// joins between co-partitioned RDDs (paper Sec. VI-A).
+template <typename K, typename V>
+class PairRdd {
+ public:
+  using Record = std::pair<K, V>;
+
+  PairRdd() = default;
+  explicit PairRdd(Rdd<Record> rdd,
+                   std::shared_ptr<Partitioner<K>> partitioner = nullptr)
+      : rdd_(std::move(rdd)), partitioner_(std::move(partitioner)) {}
+
+  const Rdd<Record>& AsRdd() const { return rdd_; }
+  Context* ctx() const { return rdd_.ctx(); }
+  int num_partitions() const { return rdd_.num_partitions(); }
+  const std::shared_ptr<Partitioner<K>>& partitioner() const {
+    return partitioner_;
+  }
+
+  PairRdd<K, V>& Cache() {
+    rdd_.Cache();
+    return *this;
+  }
+
+  /// Value-only transformation; preserves partitioning.
+  template <typename Fn, typename W = std::invoke_result_t<Fn, const V&>>
+  PairRdd<K, W> MapValues(Fn fn) const {
+    auto out = rdd_.template Map(
+        [fn = std::move(fn)](const Record& r) {
+          return std::pair<K, W>(r.first, fn(r.second));
+        });
+    return PairRdd<K, W>(std::move(out), partitioner_);
+  }
+
+  /// Record-level filter; preserves partitioning.
+  template <typename Pred>
+  PairRdd<K, V> Filter(Pred pred) const {
+    return PairRdd<K, V>(rdd_.Filter(std::move(pred)), partitioner_);
+  }
+
+  /// Re-places records by `p` (one shuffle), after which the result is
+  /// co-partitioned with anything else partitioned by an equal `p`.
+  PairRdd<K, V> PartitionBy(std::shared_ptr<Partitioner<K>> p) const {
+    auto node = std::make_shared<internal::ShuffleNode<K, V>>(
+        ctx(), rdd_.node_ptr(), p, nullptr, "partitionBy");
+    return PairRdd<K, V>(Rdd<Record>(node), p);
+  }
+
+  /// Shuffle + combine values per key (map-side combine included).
+  PairRdd<K, V> ReduceByKey(std::function<V(const V&, const V&)> fn,
+                            std::shared_ptr<Partitioner<K>> p = nullptr) const {
+    if (p == nullptr) p = DefaultPartitioner();
+    auto node = std::make_shared<internal::ShuffleNode<K, V>>(
+        ctx(), rdd_.node_ptr(), p, std::move(fn), "reduceByKey");
+    return PairRdd<K, V>(Rdd<Record>(node), p);
+  }
+
+  /// Shuffle + gather all values per key.
+  PairRdd<K, std::vector<V>> GroupByKey(
+      std::shared_ptr<Partitioner<K>> p = nullptr) const {
+    if (p == nullptr) p = DefaultPartitioner();
+    PairRdd<K, V> placed = PlacedBy(p);
+    auto grouped = placed.AsRdd().template MapPartitionsWithIndex<
+        std::pair<K, std::vector<V>>>(
+        [](int, const std::vector<Record>& in) {
+          std::unordered_map<K, std::vector<V>> groups;
+          for (const auto& [k, v] : in) groups[k].push_back(v);
+          std::vector<std::pair<K, std::vector<V>>> out;
+          out.reserve(groups.size());
+          for (auto& [k, vs] : groups) out.emplace_back(k, std::move(vs));
+          return out;
+        },
+        "groupByKey");
+    return PairRdd<K, std::vector<V>>(std::move(grouped), p);
+  }
+
+  /// Inner join. When both sides are co-partitioned by an equal
+  /// partitioner this is the *local join*: a narrow per-partition hash
+  /// join with zero shuffle (paper Sec. VI-A). Otherwise both sides are
+  /// shuffled to a common partitioner first.
+  template <typename W>
+  PairRdd<K, std::pair<V, W>> Join(const PairRdd<K, W>& other) const {
+    auto [left, right, p] = AlignWith(other);
+    auto joined = left.AsRdd().template ZipPartitions<
+        std::pair<K, std::pair<V, W>>, std::pair<K, W>>(
+        right.AsRdd(),
+        [](int, const std::vector<Record>& a,
+           const std::vector<std::pair<K, W>>& b) {
+          std::unordered_multimap<K, const V*> index;
+          index.reserve(a.size());
+          for (const auto& [k, v] : a) index.emplace(k, &v);
+          std::vector<std::pair<K, std::pair<V, W>>> out;
+          for (const auto& [k, w] : b) {
+            auto range = index.equal_range(k);
+            for (auto it = range.first; it != range.second; ++it) {
+              out.emplace_back(k, std::pair<V, W>(*it->second, w));
+            }
+          }
+          return out;
+        },
+        "join");
+    return PairRdd<K, std::pair<V, W>>(std::move(joined), p);
+  }
+
+  /// Full cogroup: for every key present on either side, the vectors of
+  /// values from both sides.
+  template <typename W>
+  PairRdd<K, std::pair<std::vector<V>, std::vector<W>>> CoGroup(
+      const PairRdd<K, W>& other) const {
+    auto [left, right, p] = AlignWith(other);
+    using Out = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
+    auto grouped = left.AsRdd().template ZipPartitions<Out, std::pair<K, W>>(
+        right.AsRdd(),
+        [](int, const std::vector<Record>& a,
+           const std::vector<std::pair<K, W>>& b) {
+          std::unordered_map<K, std::pair<std::vector<V>, std::vector<W>>> m;
+          for (const auto& [k, v] : a) m[k].first.push_back(v);
+          for (const auto& [k, w] : b) m[k].second.push_back(w);
+          std::vector<Out> out;
+          out.reserve(m.size());
+          for (auto& [k, vw] : m) out.emplace_back(k, std::move(vw));
+          return out;
+        },
+        "cogroup");
+    return PairRdd<K, std::pair<std::vector<V>, std::vector<W>>>(
+        std::move(grouped), p);
+  }
+
+  /// Values for `key`. With a partitioner set, computes only the one
+  /// partition that can hold the key — the trick the SGD sampler uses with
+  /// Eq. 2's reversible ids (no shuffle, no full scan).
+  std::vector<V> Lookup(const K& key) const {
+    ctx()->EnsureShuffleDependencies(rdd_.node());
+    std::vector<V> out;
+    if (partitioner_ != nullptr) {
+      const int p = partitioner_->PartitionFor(key);
+      auto part = rdd_.node()->GetPartition(p);
+      for (const auto& [k, v] : *part) {
+        if (k == key) out.push_back(v);
+      }
+      ctx()->metrics().tasks_run.fetch_add(1);
+      return out;
+    }
+    for (const auto& [k, v] : rdd_.Collect()) {
+      if (k == key) out.push_back(v);
+    }
+    return out;
+  }
+
+  std::vector<Record> Collect() const { return rdd_.Collect(); }
+  size_t Count() const { return rdd_.Count(); }
+
+  std::unordered_map<K, V> CollectAsMap() const {
+    std::unordered_map<K, V> out;
+    for (auto& [k, v] : rdd_.Collect()) out.emplace(std::move(k), std::move(v));
+    return out;
+  }
+
+  Rdd<K> Keys() const {
+    return rdd_.template Map([](const Record& r) { return r.first; });
+  }
+  Rdd<V> Values() const {
+    return rdd_.template Map([](const Record& r) { return r.second; });
+  }
+
+ private:
+  std::shared_ptr<Partitioner<K>> DefaultPartitioner() const {
+    if (partitioner_ != nullptr) return partitioner_;
+    return std::make_shared<HashPartitioner<K>>(
+        std::max(num_partitions(), 1));
+  }
+
+  /// This RDD placed by `p`: a no-op when already co-partitioned.
+  PairRdd<K, V> PlacedBy(const std::shared_ptr<Partitioner<K>>& p) const {
+    if (partitioner_ != nullptr && partitioner_->Equals(*p)) return *this;
+    return PartitionBy(p);
+  }
+
+  /// Aligns two pair RDDs onto one partitioner, shuffling only the sides
+  /// that are not already co-partitioned.
+  template <typename W>
+  std::tuple<PairRdd<K, V>, PairRdd<K, W>, std::shared_ptr<Partitioner<K>>>
+  AlignWith(const PairRdd<K, W>& other) const {
+    std::shared_ptr<Partitioner<K>> p;
+    if (partitioner_ != nullptr && other.partitioner() != nullptr &&
+        partitioner_->Equals(*other.partitioner())) {
+      p = partitioner_;
+    } else if (partitioner_ != nullptr) {
+      p = partitioner_;
+    } else if (other.partitioner() != nullptr) {
+      p = other.partitioner();
+    } else {
+      p = std::make_shared<HashPartitioner<K>>(
+          std::max(num_partitions(), other.num_partitions()));
+    }
+    PairRdd<K, V> left = PlacedBy(p);
+    PairRdd<K, W> right = other.PlacedBy2(p);
+    return {std::move(left), std::move(right), p};
+  }
+
+ public:
+  /// Public alias of PlacedBy for use from AlignWith across types.
+  PairRdd<K, V> PlacedBy2(const std::shared_ptr<Partitioner<K>>& p) const {
+    return PlacedBy(p);
+  }
+
+ private:
+  Rdd<Record> rdd_;
+  std::shared_ptr<Partitioner<K>> partitioner_;
+};
+
+/// Wraps an Rdd of pairs into a PairRdd handle (no data movement).
+template <typename K, typename V>
+PairRdd<K, V> ToPair(Rdd<std::pair<K, V>> rdd,
+                     std::shared_ptr<Partitioner<K>> partitioner = nullptr) {
+  return PairRdd<K, V>(std::move(rdd), std::move(partitioner));
+}
+
+// ---- Context template definitions ----
+
+template <typename T>
+Rdd<T> Context::Parallelize(std::vector<T> data, int num_partitions) {
+  if (num_partitions <= 0) num_partitions = default_parallelism_;
+  const size_t n = data.size();
+  std::vector<std::vector<T>> parts(num_partitions);
+  for (int p = 0; p < num_partitions; ++p) {
+    const size_t begin = n * p / num_partitions;
+    const size_t end = n * (p + 1) / num_partitions;
+    parts[p].reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) parts[p].push_back(std::move(data[i]));
+  }
+  return Rdd<T>(
+      std::make_shared<internal::SourceNode<T>>(this, std::move(parts)));
+}
+
+template <typename K, typename V>
+PairRdd<K, V> Context::ParallelizePairs(
+    std::vector<std::pair<K, V>> data,
+    std::shared_ptr<Partitioner<K>> partitioner) {
+  const int np = partitioner->num_partitions();
+  std::vector<std::vector<std::pair<K, V>>> parts(np);
+  for (auto& rec : data) {
+    parts[partitioner->PartitionFor(rec.first)].push_back(std::move(rec));
+  }
+  auto node = std::make_shared<internal::SourceNode<std::pair<K, V>>>(
+      this, std::move(parts));
+  return PairRdd<K, V>(Rdd<std::pair<K, V>>(node), std::move(partitioner));
+}
+
+}  // namespace spangle
+
+#endif  // SPANGLE_ENGINE_ENGINE_H_

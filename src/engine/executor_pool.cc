@@ -1,0 +1,76 @@
+#include "engine/executor_pool.h"
+
+#include "common/logging.h"
+
+namespace spangle {
+
+ExecutorPool::ExecutorPool(int num_workers) : num_workers_(num_workers) {
+  SPANGLE_CHECK_GE(num_workers, 1);
+  // The driver thread participates in RunAll, so spawn one fewer thread.
+  const int extra = num_workers - 1;
+  workers_.reserve(extra);
+  for (int i = 0; i < extra; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ExecutorPool::~ExecutorPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ExecutorPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = std::move(tasks);
+    next_task_ = 0;
+    pending_ = batch_.size();
+    ++batch_id_;
+  }
+  work_ready_.notify_all();
+  DrainCurrentBatch();
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_done_.wait(lock, [this] { return pending_ == 0; });
+  batch_.clear();
+}
+
+void ExecutorPool::DrainCurrentBatch() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_task_ >= batch_.size()) return;
+      task = std::move(batch_[next_task_]);
+      ++next_task_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+      if (pending_ == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+void ExecutorPool::WorkerLoop() {
+  uint64_t seen_batch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this, seen_batch] {
+        return shutdown_ ||
+               (batch_id_ != seen_batch && next_task_ < batch_.size());
+      });
+      if (shutdown_) return;
+      seen_batch = batch_id_;
+    }
+    DrainCurrentBatch();
+  }
+}
+
+}  // namespace spangle

@@ -1,0 +1,51 @@
+#ifndef SPANGLE_ENGINE_EXECUTOR_POOL_H_
+#define SPANGLE_ENGINE_EXECUTOR_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spangle {
+
+/// Fixed pool of worker threads standing in for the cluster's executors.
+/// The driver submits one batch of tasks per stage with RunAll(), which
+/// blocks until every task has finished — mirroring Spark's stage barrier.
+/// RunAll must only be called from the driver thread (never from inside a
+/// task); stages are strictly sequential, tasks within a stage parallel.
+class ExecutorPool {
+ public:
+  explicit ExecutorPool(int num_workers);
+  ~ExecutorPool();
+
+  ExecutorPool(const ExecutorPool&) = delete;
+  ExecutorPool& operator=(const ExecutorPool&) = delete;
+
+  int num_workers() const { return num_workers_; }
+
+  /// Runs all tasks across the pool; the calling thread participates, so a
+  /// pool of size 1 degenerates to serial in-line execution.
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+ private:
+  void WorkerLoop();
+  // Pops and runs tasks from the current batch until it is drained.
+  void DrainCurrentBatch();
+
+  const int num_workers_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  std::vector<std::function<void()>> batch_;
+  size_t next_task_ = 0;
+  size_t pending_ = 0;  // tasks taken but not finished + tasks not taken
+  uint64_t batch_id_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace spangle
+
+#endif  // SPANGLE_ENGINE_EXECUTOR_POOL_H_

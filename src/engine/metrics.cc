@@ -1,0 +1,32 @@
+#include "engine/metrics.h"
+
+#include <sstream>
+
+#include "common/bytes.h"
+
+namespace spangle {
+
+void EngineMetrics::Reset() {
+  tasks_run = 0;
+  stages_run = 0;
+  shuffles = 0;
+  shuffle_records = 0;
+  shuffle_bytes = 0;
+  recomputed_partitions = 0;
+  cache_hits = 0;
+  cache_misses = 0;
+}
+
+std::string EngineMetrics::ToString() const {
+  std::ostringstream os;
+  os << "tasks=" << tasks_run.load() << " stages=" << stages_run.load()
+     << " shuffles=" << shuffles.load()
+     << " shuffle_records=" << shuffle_records.load()
+     << " shuffle_bytes=" << HumanBytes(shuffle_bytes.load())
+     << " recomputed=" << recomputed_partitions.load()
+     << " cache_hits=" << cache_hits.load()
+     << " cache_misses=" << cache_misses.load();
+  return os.str();
+}
+
+}  // namespace spangle

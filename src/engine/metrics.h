@@ -1,0 +1,32 @@
+#ifndef SPANGLE_ENGINE_METRICS_H_
+#define SPANGLE_ENGINE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace spangle {
+
+/// Per-context execution counters. The paper's performance arguments are
+/// about *what moves*: shuffle volume, stage counts, recomputation. These
+/// counters let tests assert structural claims (e.g. "co-partitioned join
+/// shuffles zero bytes") and let benches report simulated network cost.
+class EngineMetrics {
+ public:
+  void Reset();
+
+  std::atomic<uint64_t> tasks_run{0};
+  std::atomic<uint64_t> stages_run{0};
+  std::atomic<uint64_t> shuffles{0};
+  std::atomic<uint64_t> shuffle_records{0};
+  std::atomic<uint64_t> shuffle_bytes{0};
+  std::atomic<uint64_t> recomputed_partitions{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+
+  std::string ToString() const;
+};
+
+}  // namespace spangle
+
+#endif  // SPANGLE_ENGINE_METRICS_H_

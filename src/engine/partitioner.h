@@ -1,0 +1,106 @@
+#ifndef SPANGLE_ENGINE_PARTITIONER_H_
+#define SPANGLE_ENGINE_PARTITIONER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace spangle {
+
+/// Maps a key to a partition index. Two PairRdds whose partitioners are
+/// Equal() and that have been PartitionBy()'d are *co-partitioned*:
+/// key-equal records live in equal-numbered partitions, so joins between
+/// them need no shuffle (the paper's local-join optimization, Sec. VI-A).
+template <typename K>
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual int num_partitions() const = 0;
+  virtual int PartitionFor(const K& key) const = 0;
+  /// Structural equality (same scheme + same partition count).
+  virtual bool Equals(const Partitioner<K>& other) const = 0;
+};
+
+/// hash(key) mod P, Spark's default.
+template <typename K>
+class HashPartitioner : public Partitioner<K> {
+ public:
+  explicit HashPartitioner(int num_partitions)
+      : num_partitions_(num_partitions) {}
+
+  int num_partitions() const override { return num_partitions_; }
+
+  int PartitionFor(const K& key) const override {
+    // Finalize std::hash output so consecutive integer keys spread out.
+    uint64_t h = static_cast<uint64_t>(std::hash<K>{}(key));
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    return static_cast<int>(h % static_cast<uint64_t>(num_partitions_));
+  }
+
+  bool Equals(const Partitioner<K>& other) const override {
+    auto* o = dynamic_cast<const HashPartitioner<K>*>(&other);
+    return o != nullptr && o->num_partitions_ == num_partitions_;
+  }
+
+ private:
+  int num_partitions_;
+};
+
+/// Contiguous key ranges over [0, max_key]; keys must be integral.
+/// Preserves ordering across partitions, used for chunk-locality layouts.
+template <typename K>
+class RangePartitioner : public Partitioner<K> {
+ public:
+  RangePartitioner(int num_partitions, K max_key)
+      : num_partitions_(num_partitions),
+        span_((static_cast<uint64_t>(max_key) + num_partitions) /
+              num_partitions) {}
+
+  int num_partitions() const override { return num_partitions_; }
+
+  int PartitionFor(const K& key) const override {
+    const int p = static_cast<int>(static_cast<uint64_t>(key) / span_);
+    return p < num_partitions_ ? p : num_partitions_ - 1;
+  }
+
+  bool Equals(const Partitioner<K>& other) const override {
+    auto* o = dynamic_cast<const RangePartitioner<K>*>(&other);
+    return o != nullptr && o->num_partitions_ == num_partitions_ &&
+           o->span_ == span_;
+  }
+
+ private:
+  int num_partitions_;
+  uint64_t span_;
+};
+
+/// partition = key mod P. Used by the SGD ChunkId scheme (Eq. 2): ids are
+/// generated as C = nP * rID + pID, so `C mod nP` recovers the partition
+/// that generated the chunk — lookups never shuffle.
+template <typename K>
+class ModuloPartitioner : public Partitioner<K> {
+ public:
+  explicit ModuloPartitioner(int num_partitions)
+      : num_partitions_(num_partitions) {}
+
+  int num_partitions() const override { return num_partitions_; }
+
+  int PartitionFor(const K& key) const override {
+    return static_cast<int>(static_cast<uint64_t>(key) %
+                            static_cast<uint64_t>(num_partitions_));
+  }
+
+  bool Equals(const Partitioner<K>& other) const override {
+    auto* o = dynamic_cast<const ModuloPartitioner<K>*>(&other);
+    return o != nullptr && o->num_partitions_ == num_partitions_;
+  }
+
+ private:
+  int num_partitions_;
+};
+
+}  // namespace spangle
+
+#endif  // SPANGLE_ENGINE_PARTITIONER_H_

@@ -1,0 +1,56 @@
+#ifndef SPANGLE_ENGINE_SIZE_ESTIMATOR_H_
+#define SPANGLE_ENGINE_SIZE_ESTIMATOR_H_
+
+#include <cstddef>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace spangle {
+
+/// Estimated wire size of a record, used to account shuffle volume.
+/// Types with a `size_t SerializedBytes() const` member (e.g. Chunk)
+/// report their payload+mask footprint; everything else falls back to
+/// sizeof, with overloads for the common composites.
+template <typename T>
+concept HasSerializedBytes = requires(const T& t) {
+  { t.SerializedBytes() } -> std::convertible_to<size_t>;
+};
+
+// Forward declarations so the composite overloads can see each other
+// (ADL cannot find them for std:: types).
+inline size_t EstimateSize(const std::string& v);
+template <typename A, typename B>
+size_t EstimateSize(const std::pair<A, B>& v);
+template <typename E>
+size_t EstimateSize(const std::vector<E>& v);
+
+template <typename T>
+size_t EstimateSize(const T& v) {
+  if constexpr (HasSerializedBytes<T>) {
+    return v.SerializedBytes();
+  } else {
+    return sizeof(T);
+  }
+}
+
+inline size_t EstimateSize(const std::string& v) {
+  return sizeof(std::string) + v.size();
+}
+
+template <typename A, typename B>
+size_t EstimateSize(const std::pair<A, B>& v) {
+  return EstimateSize(v.first) + EstimateSize(v.second);
+}
+
+template <typename E>
+size_t EstimateSize(const std::vector<E>& v) {
+  size_t total = sizeof(std::vector<E>);
+  for (const auto& e : v) total += EstimateSize(e);
+  return total;
+}
+
+}  // namespace spangle
+
+#endif  // SPANGLE_ENGINE_SIZE_ESTIMATOR_H_

@@ -1,0 +1,552 @@
+#include "matrix/block_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace spangle {
+
+namespace {
+
+/// Partial product of one tile pair, addressed by output tile id.
+/// Cells are offset-sorted; merging is a sorted merge-add.
+struct TilePartial {
+  std::vector<std::pair<uint32_t, double>> cells;
+
+  size_t SerializedBytes() const {
+    return cells.size() * (sizeof(uint32_t) + sizeof(double));
+  }
+};
+
+TilePartial MergePartials(const TilePartial& a, const TilePartial& b) {
+  TilePartial out;
+  out.cells.reserve(a.cells.size() + b.cells.size());
+  size_t i = 0, j = 0;
+  while (i < a.cells.size() && j < b.cells.size()) {
+    if (a.cells[i].first < b.cells[j].first) {
+      out.cells.push_back(a.cells[i++]);
+    } else if (b.cells[j].first < a.cells[i].first) {
+      out.cells.push_back(b.cells[j++]);
+    } else {
+      out.cells.emplace_back(a.cells[i].first,
+                             a.cells[i].second + b.cells[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  while (i < a.cells.size()) out.cells.push_back(a.cells[i++]);
+  while (j < b.cells.size()) out.cells.push_back(b.cells[j++]);
+  return out;
+}
+
+Chunk TileFromSortedCells(uint32_t cells_per_tile,
+                          std::vector<std::pair<uint32_t, double>> cells) {
+  const ChunkMode mode = Chunk::ChooseMode(cells_per_tile, cells.size());
+  return Chunk::FromCells(cells_per_tile, std::move(cells), mode);
+}
+
+}  // namespace
+
+std::vector<std::pair<uint32_t, double>> MultiplyTiles(const Chunk& a,
+                                                       const Chunk& b,
+                                                       uint32_t bs) {
+  // Index the right tile by row so each left cell (r, j) streams through
+  // row j of b. Invalid (zero) cells never appear: the bitmask iteration
+  // is the "skip the pair when either operand is zero" rule of Fig. 5.
+  std::vector<std::vector<std::pair<uint32_t, double>>> b_rows(bs);
+  b.ForEachValid([&](uint32_t off, double v) {
+    b_rows[off / bs].emplace_back(off % bs, v);
+  });
+  // Very sparse tile pairs accumulate into a hash map; denser ones into a
+  // dense buffer with a touched-bitmask (avoids allocating bs*bs doubles
+  // for a handful of products).
+  const uint64_t product_bound = a.num_valid() * b.num_valid();
+  if (product_bound * 8 < static_cast<uint64_t>(bs) * bs) {
+    std::unordered_map<uint32_t, double> acc;
+    a.ForEachValid([&](uint32_t off, double av) {
+      const uint32_t base = (off / bs) * bs;
+      for (const auto& [c, bv] : b_rows[off % bs]) {
+        acc[base + c] += av * bv;
+      }
+    });
+    std::vector<std::pair<uint32_t, double>> out(acc.begin(), acc.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  std::vector<double> acc(static_cast<size_t>(bs) * bs, 0.0);
+  Bitmask touched(static_cast<size_t>(bs) * bs);
+  a.ForEachValid([&](uint32_t off, double av) {
+    const uint32_t r = off / bs;
+    const uint32_t j = off % bs;
+    const uint32_t base = r * bs;
+    for (const auto& [c, bv] : b_rows[j]) {
+      acc[base + c] += av * bv;
+      touched.Set(base + c);
+    }
+  });
+  std::vector<std::pair<uint32_t, double>> out;
+  out.reserve(touched.CountAll());
+  touched.ForEachSetBit([&](size_t off) {
+    out.emplace_back(static_cast<uint32_t>(off), acc[off]);
+  });
+  return out;
+}
+
+ArrayMetadata BlockMatrix::MakeMeta(uint64_t rows, uint64_t cols,
+                                    uint64_t block) {
+  return ArrayMetadata({{"row", 0, rows, block, 0},
+                        {"col", 0, cols, block, 0}});
+}
+
+Result<BlockMatrix> BlockMatrix::FromEntries(
+    Context* ctx, uint64_t rows, uint64_t cols, uint64_t block,
+    const std::vector<MatrixEntry>& entries, ModePolicy policy,
+    PartitionScheme scheme, int num_partitions) {
+  if (rows == 0 || cols == 0 || block == 0) {
+    return Status::InvalidArgument("matrix dimensions must be positive");
+  }
+  if (block * block > (uint64_t{1} << 32)) {
+    return Status::InvalidArgument("tile exceeds 2^32 cells");
+  }
+  BlockMatrix out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.block_ = block;
+  out.scheme_ = scheme;
+  const ArrayMetadata meta = MakeMeta(rows, cols, block);
+  Mapper mapper(meta);
+  std::unordered_map<ChunkId, std::vector<std::pair<uint32_t, double>>>
+      grouped;
+  for (const auto& e : entries) {
+    if (e.row >= rows || e.col >= cols) {
+      return Status::OutOfRange("matrix entry outside bounds");
+    }
+    if (e.value == 0.0) continue;  // zero entries are not stored
+    const Coords pos{static_cast<int64_t>(e.row),
+                     static_cast<int64_t>(e.col)};
+    grouped[mapper.ChunkIdFromCoords(pos)].emplace_back(
+        mapper.LocalOffset(pos), e.value);
+  }
+  const uint32_t cpt = mapper.cells_per_chunk();
+  std::vector<std::pair<ChunkId, Chunk>> records;
+  records.reserve(grouped.size());
+  for (auto& [id, cells] : grouped) {
+    const ChunkMode mode = policy.fixed.has_value()
+                               ? *policy.fixed
+                               : Chunk::ChooseMode(cpt, cells.size());
+    records.emplace_back(id, Chunk::FromCells(cpt, std::move(cells), mode));
+  }
+  if (num_partitions <= 0) num_partitions = ctx->default_parallelism();
+  auto partitioner = std::make_shared<BlockPartitioner>(
+      scheme, meta.chunks_along(0), num_partitions);
+  auto pairs = ctx->ParallelizePairs<ChunkId, Chunk>(std::move(records),
+                                                     std::move(partitioner));
+  out.array_ = ArrayRdd(meta, std::move(pairs));
+  return out;
+}
+
+double BlockMatrix::Get(uint64_t r, uint64_t c) const {
+  auto result = array_.GetCell(
+      {static_cast<int64_t>(r), static_cast<int64_t>(c)});
+  return result.ok() ? *result : 0.0;
+}
+
+BlockMatrix BlockMatrix::Scale(double factor) const {
+  BlockMatrix out = *this;
+  out.array_ = array_.MapValues([factor](double v) { return v * factor; });
+  return out;
+}
+
+double BlockMatrix::FrobeniusNorm() const {
+  const double total = array_.chunks().AsRdd().Aggregate<double>(
+      0.0,
+      [](double acc, const std::pair<ChunkId, Chunk>& rec) {
+        rec.second.ForEachValid([&](uint32_t, double v) { acc += v * v; });
+        return acc;
+      },
+      [](double a, double b) { return a + b; });
+  return std::sqrt(total);
+}
+
+Result<double> BlockMatrix::Trace() const {
+  if (rows_ != cols_) {
+    return Status::InvalidArgument("trace of a non-square matrix");
+  }
+  const uint64_t nrb = num_row_blocks();
+  const uint32_t bs = static_cast<uint32_t>(block_);
+  // Only diagonal tiles contribute.
+  return array_.chunks().AsRdd().Aggregate<double>(
+      0.0,
+      [nrb, bs](double acc, const std::pair<ChunkId, Chunk>& rec) {
+        if (rec.first % nrb != rec.first / nrb) return acc;
+        rec.second.ForEachValid([&](uint32_t off, double v) {
+          if (off / bs == off % bs) acc += v;
+        });
+        return acc;
+      },
+      [](double a, double b) { return a + b; });
+}
+
+std::vector<double> BlockMatrix::ToDense() const {
+  std::vector<double> out(rows_ * cols_, 0.0);
+  for (const auto& cell : array_.CollectCells()) {
+    out[static_cast<uint64_t>(cell.pos[0]) * cols_ +
+        static_cast<uint64_t>(cell.pos[1])] = cell.value;
+  }
+  return out;
+}
+
+namespace {
+
+/// Element-wise combine of two co-keyed tile RDDs with pass-through for
+/// one-sided tiles. scale_b = -1 gives subtraction.
+Result<ArrayRdd> CombineTiles(const BlockMatrix& a, const BlockMatrix& b,
+                              double scale_b) {
+  auto grouped = a.array().chunks().CoGroup(b.array().chunks());
+  const uint32_t cpt =
+      static_cast<uint32_t>(a.array().metadata().cells_per_chunk());
+  auto combined = grouped.MapValues(
+      [cpt, scale_b](
+          const std::pair<std::vector<Chunk>, std::vector<Chunk>>& sides) {
+        std::unordered_map<uint32_t, double> acc;
+        for (const Chunk& t : sides.first) {
+          t.ForEachValid([&](uint32_t off, double v) { acc[off] += v; });
+        }
+        for (const Chunk& t : sides.second) {
+          t.ForEachValid(
+              [&](uint32_t off, double v) { acc[off] += scale_b * v; });
+        }
+        std::vector<std::pair<uint32_t, double>> cells;
+        cells.reserve(acc.size());
+        for (const auto& [off, v] : acc) {
+          if (v != 0.0) cells.emplace_back(off, v);
+        }
+        std::sort(cells.begin(), cells.end());
+        return TileFromSortedCells(cpt, std::move(cells));
+      });
+  auto nonempty = combined.Filter([](const std::pair<ChunkId, Chunk>& rec) {
+    return rec.second.num_valid() > 0;
+  });
+  return ArrayRdd(a.array().metadata(),
+                  PairRdd<ChunkId, Chunk>(nonempty.AsRdd(),
+                                          nonempty.partitioner()));
+}
+
+}  // namespace
+
+Result<BlockMatrix> BlockMatrix::Add(const BlockMatrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_ || block_ != other.block_) {
+    return Status::InvalidArgument("matrix shape mismatch in Add");
+  }
+  BlockMatrix out = *this;
+  SPANGLE_ASSIGN_OR_RETURN(out.array_, CombineTiles(*this, other, 1.0));
+  return out;
+}
+
+Result<BlockMatrix> BlockMatrix::Subtract(const BlockMatrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_ || block_ != other.block_) {
+    return Status::InvalidArgument("matrix shape mismatch in Subtract");
+  }
+  BlockMatrix out = *this;
+  SPANGLE_ASSIGN_OR_RETURN(out.array_, CombineTiles(*this, other, -1.0));
+  return out;
+}
+
+Result<BlockMatrix> BlockMatrix::Hadamard(const BlockMatrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_ || block_ != other.block_) {
+    return Status::InvalidArgument("matrix shape mismatch in Hadamard");
+  }
+  const uint32_t cpt =
+      static_cast<uint32_t>(array_.metadata().cells_per_chunk());
+  // Inner join: a tile missing on either side contributes nothing.
+  auto joined = array_.chunks().Join(other.array().chunks());
+  auto combined = joined.MapValues(
+      [cpt](const std::pair<Chunk, Chunk>& tiles) {
+        // Bitwise AND of the two bitmasks selects exactly the cell pairs
+        // where both operands are non-zero (Sec. IV-A).
+        Bitmask both = tiles.first.FlatMask();
+        both.AndWith(tiles.second.FlatMask());
+        std::vector<std::pair<uint32_t, double>> cells;
+        cells.reserve(both.CountAll());
+        both.ForEachSetBit([&](size_t off) {
+          const uint32_t o = static_cast<uint32_t>(off);
+          cells.emplace_back(o, tiles.first.Value(o) * tiles.second.Value(o));
+        });
+        return TileFromSortedCells(cpt, std::move(cells));
+      });
+  auto nonempty = combined.Filter([](const std::pair<ChunkId, Chunk>& rec) {
+    return rec.second.num_valid() > 0;
+  });
+  BlockMatrix out = *this;
+  out.array_ = ArrayRdd(array_.metadata(),
+                        PairRdd<ChunkId, Chunk>(nonempty.AsRdd(),
+                                                nonempty.partitioner()));
+  return out;
+}
+
+Result<BlockMatrix> BlockMatrix::Multiply(const BlockMatrix& other,
+                                          const MatMulOptions& options) const {
+  if (cols_ != other.rows_) {
+    return Status::InvalidArgument("inner dimensions differ in Multiply");
+  }
+  if (block_ != other.block_) {
+    return Status::InvalidArgument("operands must share a block size");
+  }
+  Context* ctx = this->ctx();
+  const uint64_t nrb_a = num_row_blocks();
+  const uint64_t nrb_b = other.num_row_blocks();
+  const uint32_t bs = static_cast<uint32_t>(block_);
+
+  // Scatter: key the left matrix by its column block (the contraction
+  // index j) and the right by its row block.
+  using Keyed = std::pair<uint64_t, std::pair<uint64_t, Chunk>>;
+  auto a_by_j = ToPair<uint64_t, std::pair<uint64_t, Chunk>>(
+      array_.chunks().AsRdd().Map(
+          [nrb_a](const std::pair<ChunkId, Chunk>& rec) {
+            return Keyed{rec.first / nrb_a, {rec.first % nrb_a, rec.second}};
+          }));
+  auto b_by_j = ToPair<uint64_t, std::pair<uint64_t, Chunk>>(
+      other.array().chunks().AsRdd().Map(
+          [nrb_b](const std::pair<ChunkId, Chunk>& rec) {
+            return Keyed{rec.first % nrb_b, {rec.first / nrb_b, rec.second}};
+          }));
+
+  // Local join (Sec. VI-A): when the left matrix is placed by column
+  // block and the right by row block with equal partition counts, record
+  // placement is already a function of j, so the join needs no shuffle.
+  const bool local_ok =
+      !options.force_shuffle_join &&
+      scheme_ == PartitionScheme::kByColBlock &&
+      other.scheme() == PartitionScheme::kByRowBlock &&
+      array_.chunks().num_partitions() ==
+          other.array().chunks().num_partitions();
+  if (local_ok) {
+    auto p = std::make_shared<HashPartitioner<uint64_t>>(
+        array_.chunks().num_partitions());
+    a_by_j = ToPair<uint64_t, std::pair<uint64_t, Chunk>>(a_by_j.AsRdd(), p);
+    b_by_j = ToPair<uint64_t, std::pair<uint64_t, Chunk>>(b_by_j.AsRdd(), p);
+  }
+
+  auto joined = a_by_j.Join(b_by_j);
+  const uint64_t out_nrb = nrb_a;
+  // Gather: tile partial products reduce onto the output tile id.
+  auto partials = ToPair<ChunkId, TilePartial>(joined.AsRdd().Map(
+      [bs, out_nrb](
+          const std::pair<uint64_t,
+                          std::pair<std::pair<uint64_t, Chunk>,
+                                    std::pair<uint64_t, Chunk>>>& rec) {
+        const auto& [rb, a_tile] = rec.second.first;
+        const auto& [cb, b_tile] = rec.second.second;
+        TilePartial partial;
+        partial.cells = MultiplyTiles(a_tile, b_tile, bs);
+        return std::pair<ChunkId, TilePartial>(rb + cb * out_nrb,
+                                               std::move(partial));
+      }));
+  auto reduced = partials.ReduceByKey(MergePartials);
+  const uint32_t cpt = bs * bs;
+  auto tiles = reduced
+                   .MapValues([cpt](const TilePartial& p) {
+                     auto cells = p.cells;
+                     // Cancellation can produce explicit zeros; drop them.
+                     cells.erase(std::remove_if(cells.begin(), cells.end(),
+                                                [](const auto& c) {
+                                                  return c.second == 0.0;
+                                                }),
+                                 cells.end());
+                     return TileFromSortedCells(cpt, std::move(cells));
+                   })
+                   .Filter([](const std::pair<ChunkId, Chunk>& rec) {
+                     return rec.second.num_valid() > 0;
+                   });
+  BlockMatrix out;
+  out.rows_ = rows_;
+  out.cols_ = other.cols_;
+  out.block_ = block_;
+  out.scheme_ = PartitionScheme::kHashChunk;
+  out.array_ = ArrayRdd(MakeMeta(rows_, other.cols_, block_),
+                        PairRdd<ChunkId, Chunk>(tiles.AsRdd(),
+                                                tiles.partitioner()));
+  (void)ctx;
+  return out;
+}
+
+Result<BlockVector> BlockMatrix::MultiplyVector(const BlockVector& v) const {
+  if (v.size() != cols_) {
+    return Status::InvalidArgument("M x v dimension mismatch");
+  }
+  if (v.block() != block_) {
+    return Status::InvalidArgument("vector block size mismatch");
+  }
+  const uint64_t nrb = num_row_blocks();
+  const uint32_t bs = static_cast<uint32_t>(block_);
+  using Keyed = std::pair<uint64_t, std::pair<uint64_t, Chunk>>;
+  auto a_by_j = ToPair<uint64_t, std::pair<uint64_t, Chunk>>(
+      array_.chunks().AsRdd().Map(
+          [nrb](const std::pair<ChunkId, Chunk>& rec) {
+            return Keyed{rec.first / nrb, {rec.first % nrb, rec.second}};
+          }));
+  const uint64_t rows = rows_;
+  const uint64_t block = block_;
+  auto partials = ToPair<uint64_t, VecBlock>(
+      a_by_j.Join(v.blocks())
+          .AsRdd()
+          .Map([bs, rows, block](
+                   const std::pair<uint64_t,
+                                   std::pair<std::pair<uint64_t, Chunk>,
+                                             VecBlock>>& rec) {
+            const auto& [rb, tile] = rec.second.first;
+            const VecBlock& vb = rec.second.second;
+            VecBlock out;
+            out.values.assign(
+                std::min<uint64_t>(block, rows - rb * block), 0.0);
+            tile.ForEachValid([&](uint32_t off, double av) {
+              const uint32_t r = off / bs;
+              const uint32_t j = off % bs;
+              if (j < vb.values.size()) {
+                out.values[r] += av * vb.values[j];
+              }
+            });
+            return std::pair<uint64_t, VecBlock>(rb, std::move(out));
+          }));
+  auto reduced = partials.ReduceByKey([](const VecBlock& a,
+                                         const VecBlock& b) {
+    VecBlock out = a;
+    for (size_t i = 0; i < out.values.size(); ++i) {
+      out.values[i] += b.values[i];
+    }
+    return out;
+  });
+  // Missing row blocks (all-zero bands) still need zero blocks so the
+  // result is a complete dense vector.
+  std::vector<double> zeros(rows_, 0.0);
+  BlockVector out = BlockVector::FromDense(ctx(), zeros, block_,
+                                           v.blocks().num_partitions());
+  auto merged = out.blocks().CoGroup(reduced).MapValues(
+      [](const std::pair<std::vector<VecBlock>, std::vector<VecBlock>>&
+             sides) {
+        VecBlock blk = sides.first.front();
+        for (const VecBlock& add : sides.second) {
+          for (size_t i = 0; i < blk.values.size(); ++i) {
+            blk.values[i] += add.values[i];
+          }
+        }
+        return blk;
+      });
+  return BlockVector::FromBlocks(rows_, block_, /*is_column=*/true,
+                                 std::move(merged));
+}
+
+BlockMatrix BlockMatrix::FilterRowBlocks(
+    const std::shared_ptr<const std::unordered_set<uint64_t>>& keep) const {
+  const uint64_t nrb = num_row_blocks();
+  auto filtered = array_.chunks().Filter(
+      [keep, nrb](const std::pair<ChunkId, Chunk>& rec) {
+        return keep->count(rec.first % nrb) > 0;
+      });
+  BlockMatrix out = *this;
+  out.array_ = ArrayRdd(array_.metadata(), std::move(filtered));
+  return out;
+}
+
+BlockMatrix BlockMatrix::Transpose() const {
+  const uint64_t nrb = num_row_blocks();
+  const uint64_t t_nrb = num_col_blocks();
+  const uint32_t bs = static_cast<uint32_t>(block_);
+  auto transposed = array_.chunks().AsRdd().Map(
+      [nrb, t_nrb, bs](const std::pair<ChunkId, Chunk>& rec) {
+        const uint64_t rb = rec.first % nrb;
+        const uint64_t cb = rec.first / nrb;
+        const ChunkId t_id = cb + rb * t_nrb;
+        std::vector<std::pair<uint32_t, double>> cells;
+        cells.reserve(rec.second.num_valid());
+        rec.second.ForEachValid([&](uint32_t off, double v) {
+          cells.emplace_back((off % bs) * bs + off / bs, v);
+        });
+        std::sort(cells.begin(), cells.end());
+        return std::pair<ChunkId, Chunk>(
+            t_id, TileFromSortedCells(bs * bs, std::move(cells)));
+      });
+  // Tile ids changed: re-place them (one shuffle).
+  auto placed = ToPair<ChunkId, Chunk>(std::move(transposed))
+                    .PartitionBy(std::make_shared<HashPartitioner<ChunkId>>(
+                        array_.chunks().num_partitions()));
+  BlockMatrix out;
+  out.rows_ = cols_;
+  out.cols_ = rows_;
+  out.block_ = block_;
+  out.scheme_ = PartitionScheme::kHashChunk;
+  out.array_ = ArrayRdd(MakeMeta(cols_, rows_, block_), std::move(placed));
+  return out;
+}
+
+Result<BlockMatrix> BlockMatrix::TransposeSelfMultiply(
+    const MatMulOptions& options) const {
+  return Transpose().Multiply(*this, options);
+}
+
+Result<BlockVector> BlockMatrix::LeftMultiplyVector(
+    const BlockVector& v) const {
+  if (v.size() != rows_) {
+    return Status::InvalidArgument("vT x M dimension mismatch");
+  }
+  if (v.block() != block_) {
+    return Status::InvalidArgument("vector block size mismatch");
+  }
+  const uint64_t nrb = num_row_blocks();
+  const uint32_t bs = static_cast<uint32_t>(block_);
+  using Keyed = std::pair<uint64_t, std::pair<uint64_t, Chunk>>;
+  auto a_by_rb = ToPair<uint64_t, std::pair<uint64_t, Chunk>>(
+      array_.chunks().AsRdd().Map(
+          [nrb](const std::pair<ChunkId, Chunk>& rec) {
+            return Keyed{rec.first % nrb, {rec.first / nrb, rec.second}};
+          }));
+  const uint64_t cols = cols_;
+  const uint64_t block = block_;
+  auto partials = ToPair<uint64_t, VecBlock>(
+      a_by_rb.Join(v.blocks())
+          .AsRdd()
+          .Map([bs, cols, block](
+                   const std::pair<uint64_t,
+                                   std::pair<std::pair<uint64_t, Chunk>,
+                                             VecBlock>>& rec) {
+            const auto& [cb, tile] = rec.second.first;
+            const VecBlock& vb = rec.second.second;
+            VecBlock out;
+            out.values.assign(
+                std::min<uint64_t>(block, cols - cb * block), 0.0);
+            tile.ForEachValid([&](uint32_t off, double av) {
+              const uint32_t r = off / bs;
+              const uint32_t c = off % bs;
+              if (r < vb.values.size() && c < out.values.size()) {
+                out.values[c] += av * vb.values[r];
+              }
+            });
+            return std::pair<uint64_t, VecBlock>(cb, std::move(out));
+          }));
+  auto reduced =
+      partials.ReduceByKey([](const VecBlock& a, const VecBlock& b) {
+        VecBlock out = a;
+        for (size_t i = 0; i < out.values.size(); ++i) {
+          out.values[i] += b.values[i];
+        }
+        return out;
+      });
+  std::vector<double> zeros(cols_, 0.0);
+  BlockVector base = BlockVector::FromDense(ctx(), zeros, block_,
+                                            v.blocks().num_partitions());
+  auto merged = base.blocks().CoGroup(reduced).MapValues(
+      [](const std::pair<std::vector<VecBlock>, std::vector<VecBlock>>&
+             sides) {
+        VecBlock blk = sides.first.front();
+        for (const VecBlock& add : sides.second) {
+          for (size_t i = 0; i < blk.values.size(); ++i) {
+            blk.values[i] += add.values[i];
+          }
+        }
+        return blk;
+      });
+  return BlockVector::FromBlocks(cols_, block_, /*is_column=*/false,
+                                 std::move(merged));
+}
+
+}  // namespace spangle

@@ -1,0 +1,178 @@
+#include "matrix/block_vector.h"
+
+#include <algorithm>
+
+namespace spangle {
+
+BlockVector BlockVector::FromDense(Context* ctx,
+                                   const std::vector<double>& values,
+                                   uint64_t block, int num_partitions) {
+  SPANGLE_CHECK_GT(block, 0u);
+  BlockVector out;
+  out.size_ = values.size();
+  out.block_ = block;
+  const uint64_t n_blocks = out.num_blocks();
+  std::vector<std::pair<uint64_t, VecBlock>> records;
+  records.reserve(n_blocks);
+  for (uint64_t b = 0; b < n_blocks; ++b) {
+    const uint64_t begin = b * block;
+    const uint64_t end = std::min<uint64_t>(begin + block, values.size());
+    VecBlock vb;
+    vb.values.assign(values.begin() + begin, values.begin() + end);
+    records.emplace_back(b, std::move(vb));
+  }
+  if (num_partitions <= 0) num_partitions = ctx->default_parallelism();
+  auto partitioner =
+      std::make_shared<HashPartitioner<uint64_t>>(num_partitions);
+  out.blocks_ = ctx->ParallelizePairs<uint64_t, VecBlock>(
+      std::move(records), std::move(partitioner));
+  return out;
+}
+
+BlockVector BlockVector::FromBlocks(uint64_t size, uint64_t block,
+                                    bool is_column,
+                                    PairRdd<uint64_t, VecBlock> blocks) {
+  BlockVector out;
+  out.size_ = size;
+  out.block_ = block;
+  out.is_column_ = is_column;
+  out.blocks_ = std::move(blocks);
+  return out;
+}
+
+BlockVector BlockVector::TransposeMetadata() const {
+  BlockVector out = *this;
+  out.is_column_ = !is_column_;
+  return out;
+}
+
+BlockVector BlockVector::TransposePhysical() const {
+  // Rewrites every block and forces a repartition — the cost opt2 avoids.
+  auto rewritten = blocks_.MapValues([](const VecBlock& b) {
+    // A 1xN -> Nx1 layout change copies every slot into a fresh block.
+    VecBlock out;
+    out.values.resize(b.values.size());
+    std::copy(b.values.begin(), b.values.end(), out.values.begin());
+    return out;
+  });
+  auto repartitioned = rewritten.PartitionBy(
+      std::make_shared<HashPartitioner<uint64_t>>(blocks_.num_partitions()));
+  BlockVector out = *this;
+  out.is_column_ = !is_column_;
+  out.blocks_ = std::move(repartitioned);
+  return out;
+}
+
+std::vector<double> BlockVector::ToDense() const {
+  std::vector<double> out(size_, 0.0);
+  for (const auto& [b, vb] : blocks_.Collect()) {
+    const uint64_t begin = b * block_;
+    for (size_t i = 0; i < vb.values.size(); ++i) {
+      out[begin + i] = vb.values[i];
+    }
+  }
+  return out;
+}
+
+Result<BlockVector> BlockVector::AddScaled(const BlockVector& other,
+                                           double alpha) const {
+  if (size_ != other.size_ || block_ != other.block_) {
+    return Status::InvalidArgument("vector shape mismatch in AddScaled");
+  }
+  auto combined = blocks_.Join(other.blocks_)
+                      .MapValues([alpha](const std::pair<VecBlock, VecBlock>&
+                                             pair) {
+                        VecBlock out = pair.first;
+                        for (size_t i = 0; i < out.values.size(); ++i) {
+                          out.values[i] += alpha * pair.second.values[i];
+                        }
+                        return out;
+                      });
+  BlockVector out = *this;
+  out.blocks_ = std::move(combined);
+  return out;
+}
+
+Result<BlockVector> BlockVector::Hadamard(const BlockVector& other) const {
+  if (size_ != other.size_ || block_ != other.block_) {
+    return Status::InvalidArgument("vector shape mismatch in Hadamard");
+  }
+  auto combined =
+      blocks_.Join(other.blocks_)
+          .MapValues([](const std::pair<VecBlock, VecBlock>& pair) {
+            VecBlock out = pair.first;
+            for (size_t i = 0; i < out.values.size(); ++i) {
+              out.values[i] *= pair.second.values[i];
+            }
+            return out;
+          });
+  BlockVector out = *this;
+  out.blocks_ = std::move(combined);
+  return out;
+}
+
+Result<BlockVector> BlockVector::Combine(
+    const BlockVector& other, std::function<double(double, double)> fn) const {
+  if (size_ != other.size_ || block_ != other.block_) {
+    return Status::InvalidArgument("vector shape mismatch in Combine");
+  }
+  auto combined =
+      blocks_.Join(other.blocks_)
+          .MapValues([fn = std::move(fn)](
+                         const std::pair<VecBlock, VecBlock>& pair) {
+            VecBlock out = pair.first;
+            for (size_t i = 0; i < out.values.size(); ++i) {
+              out.values[i] = fn(out.values[i], pair.second.values[i]);
+            }
+            return out;
+          });
+  BlockVector out = *this;
+  out.blocks_ = std::move(combined);
+  return out;
+}
+
+BlockVector BlockVector::Map(std::function<double(double)> fn) const {
+  auto mapped = blocks_.MapValues([fn = std::move(fn)](const VecBlock& b) {
+    VecBlock out = b;
+    for (auto& v : out.values) v = fn(v);
+    return out;
+  });
+  BlockVector out = *this;
+  out.blocks_ = std::move(mapped);
+  return out;
+}
+
+BlockVector BlockVector::MapBlocks(
+    std::function<VecBlock(uint64_t, const VecBlock&)> fn) const {
+  auto mapped = blocks_.AsRdd().Map(
+      [fn = std::move(fn)](const std::pair<uint64_t, VecBlock>& rec) {
+        return std::pair<uint64_t, VecBlock>(rec.first,
+                                             fn(rec.first, rec.second));
+      });
+  BlockVector out = *this;
+  out.blocks_ =
+      PairRdd<uint64_t, VecBlock>(std::move(mapped), blocks_.partitioner());
+  return out;
+}
+
+double BlockVector::Sum() const {
+  return blocks_.AsRdd().Aggregate<double>(
+      0.0,
+      [](double acc, const std::pair<uint64_t, VecBlock>& rec) {
+        for (double v : rec.second.values) acc += v;
+        return acc;
+      },
+      [](double a, double b) { return a + b; });
+}
+
+double BlockVector::SquaredNorm() const {
+  return blocks_.AsRdd().Aggregate<double>(
+      0.0,
+      [](double acc, const std::pair<uint64_t, VecBlock>& rec) {
+        for (double v : rec.second.values) acc += v * v;
+        return acc;
+      },
+      [](double a, double b) { return a + b; });
+}
+
+}  // namespace spangle

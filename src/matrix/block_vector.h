@@ -1,0 +1,101 @@
+#ifndef SPANGLE_MATRIX_BLOCK_VECTOR_H_
+#define SPANGLE_MATRIX_BLOCK_VECTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/engine.h"
+
+namespace spangle {
+
+/// One dense block of a distributed vector.
+struct VecBlock {
+  std::vector<double> values;
+
+  size_t SerializedBytes() const {
+    return values.size() * sizeof(double) + sizeof(uint32_t);
+  }
+};
+
+/// A distributed dense vector, blocked to align with BlockMatrix /
+/// MaskMatrix block boundaries (block index = key). Vectors in the ML
+/// algorithms (rank vector, model weights) are dense and small relative
+/// to the matrices, so blocks store every slot.
+///
+/// Orientation (row vs column) is *metadata only*: TransposeMetadata()
+/// flips a flag without touching any payload — the opt2 optimization of
+/// paper Sec. VI-C. TransposePhysical() rebuilds the blocks through a
+/// shuffle and exists to quantify what opt2 saves (Fig. 12b).
+class BlockVector {
+ public:
+  BlockVector() = default;
+
+  /// Distributes `values` in blocks of `block` slots over `num_partitions`.
+  static BlockVector FromDense(Context* ctx, const std::vector<double>& values,
+                               uint64_t block, int num_partitions = 0);
+
+  /// Wraps an existing distributed block collection (keys = block index).
+  static BlockVector FromBlocks(uint64_t size, uint64_t block, bool is_column,
+                                PairRdd<uint64_t, VecBlock> blocks);
+
+  uint64_t size() const { return size_; }
+  uint64_t block() const { return block_; }
+  uint64_t num_blocks() const { return (size_ + block_ - 1) / block_; }
+  bool is_column() const { return is_column_; }
+  Context* ctx() const { return blocks_.ctx(); }
+
+  const PairRdd<uint64_t, VecBlock>& blocks() const { return blocks_; }
+  PairRdd<uint64_t, VecBlock>& blocks() { return blocks_; }
+
+  BlockVector& Cache() {
+    blocks_.Cache();
+    return *this;
+  }
+
+  /// O(1) transpose: replaces the description, not the physical layout.
+  BlockVector TransposeMetadata() const;
+
+  /// Full physical transpose: every block is rewritten and re-shuffled.
+  /// Numerically identical to TransposeMetadata; exists as the unoptimized
+  /// baseline for the Fig. 12b ablation.
+  BlockVector TransposePhysical() const;
+
+  /// Gathers the vector to the driver.
+  std::vector<double> ToDense() const;
+
+  /// this + alpha * other (element-wise); blocks join locally when both
+  /// vectors share a partitioner.
+  Result<BlockVector> AddScaled(const BlockVector& other, double alpha) const;
+
+  /// Element-wise (Hadamard) product.
+  Result<BlockVector> Hadamard(const BlockVector& other) const;
+
+  /// General element-wise combination: out[i] = fn(this[i], other[i]).
+  Result<BlockVector> Combine(const BlockVector& other,
+                              std::function<double(double, double)> fn) const;
+
+  /// Applies fn to every slot.
+  BlockVector Map(std::function<double(double)> fn) const;
+
+  /// Applies fn(block_index, block) to every block; fn may rewrite the
+  /// block wholesale (e.g. zero out unsampled row blocks in SGD).
+  BlockVector MapBlocks(
+      std::function<VecBlock(uint64_t, const VecBlock&)> fn) const;
+
+  /// Sum of all slots.
+  double Sum() const;
+
+  /// Squared L2 norm.
+  double SquaredNorm() const;
+
+ private:
+  uint64_t size_ = 0;
+  uint64_t block_ = 0;
+  bool is_column_ = true;
+  PairRdd<uint64_t, VecBlock> blocks_;
+};
+
+}  // namespace spangle
+
+#endif  // SPANGLE_MATRIX_BLOCK_VECTOR_H_

@@ -1,0 +1,158 @@
+#include "matrix/mask_matrix.h"
+
+#include <unordered_map>
+
+namespace spangle {
+
+Result<MaskMatrix> MaskMatrix::FromEdges(
+    Context* ctx, uint64_t n, uint64_t block,
+    const std::vector<std::pair<uint64_t, uint64_t>>& edges,
+    bool force_hierarchical, PartitionScheme scheme, int num_partitions) {
+  if (n == 0 || block == 0) {
+    return Status::InvalidArgument("matrix dimensions must be positive");
+  }
+  if (block * block > (uint64_t{1} << 32)) {
+    return Status::InvalidArgument("tile exceeds 2^32 cells");
+  }
+  MaskMatrix out;
+  out.n_ = n;
+  out.block_ = block;
+  const uint64_t nb = out.num_blocks_1d();
+  const uint32_t cells = static_cast<uint32_t>(block * block);
+  std::unordered_map<ChunkId, Bitmask> grouped;
+  for (const auto& [dst, src] : edges) {
+    if (dst >= n || src >= n) return Status::OutOfRange("edge out of range");
+    const uint64_t rb = dst / block;
+    const uint64_t cb = src / block;
+    const ChunkId id = rb + cb * nb;
+    auto [it, inserted] = grouped.try_emplace(id, cells);
+    it->second.Set(static_cast<uint32_t>((dst % block) * block +
+                                         (src % block)));
+  }
+  std::vector<std::pair<ChunkId, MaskTile>> records;
+  records.reserve(grouped.size());
+  for (auto& [id, mask] : grouped) {
+    MaskTile tile;
+    // Hierarchical when the tile is so empty that dropping all-zero mask
+    // words pays (same rule as Chunk::ChooseMode's super-sparse bound).
+    tile.hierarchical =
+        force_hierarchical || mask.CountAll() * 64 < cells;
+    if (tile.hierarchical) {
+      tile.h = HierarchicalBitmask::FromBitmask(mask);
+    } else {
+      mask.BuildMilestones();
+      tile.flat = std::move(mask);
+    }
+    records.emplace_back(id, std::move(tile));
+  }
+  if (num_partitions <= 0) num_partitions = ctx->default_parallelism();
+  auto partitioner =
+      std::make_shared<BlockPartitioner>(scheme, nb, num_partitions);
+  out.tiles_ = ctx->ParallelizePairs<ChunkId, MaskTile>(std::move(records),
+                                                        std::move(partitioner));
+  return out;
+}
+
+uint64_t MaskMatrix::NumEdges() const {
+  return tiles_.AsRdd().Aggregate<uint64_t>(
+      0,
+      [](uint64_t acc, const std::pair<ChunkId, MaskTile>& rec) {
+        return acc + rec.second.CountAll();
+      },
+      [](uint64_t a, uint64_t b) { return a + b; });
+}
+
+size_t MaskMatrix::MemoryBytes() const {
+  return tiles_.AsRdd().Aggregate<size_t>(
+      0,
+      [](size_t acc, const std::pair<ChunkId, MaskTile>& rec) {
+        return acc + rec.second.MemoryBytes();
+      },
+      [](size_t a, size_t b) { return a + b; });
+}
+
+Result<BlockVector> MaskMatrix::MultiplyVector(const BlockVector& v) const {
+  if (v.size() != n_) {
+    return Status::InvalidArgument("A' x v dimension mismatch");
+  }
+  if (v.block() != block_) {
+    return Status::InvalidArgument("vector block size mismatch");
+  }
+  const uint64_t nb = num_blocks_1d();
+  const uint32_t bs = static_cast<uint32_t>(block_);
+  using Keyed = std::pair<uint64_t, std::pair<uint64_t, MaskTile>>;
+  auto by_j = ToPair<uint64_t, std::pair<uint64_t, MaskTile>>(
+      tiles_.AsRdd().Map([nb](const std::pair<ChunkId, MaskTile>& rec) {
+        return Keyed{rec.first / nb, {rec.first % nb, rec.second}};
+      }));
+  const uint64_t n = n_;
+  const uint64_t block = block_;
+  auto partials = ToPair<uint64_t, VecBlock>(
+      by_j.Join(v.blocks())
+          .AsRdd()
+          .Map([bs, n, block](
+                   const std::pair<uint64_t,
+                                   std::pair<std::pair<uint64_t, MaskTile>,
+                                             VecBlock>>& rec) {
+            const auto& [rb, tile] = rec.second.first;
+            const VecBlock& vb = rec.second.second;
+            VecBlock out;
+            out.values.assign(std::min<uint64_t>(block, n - rb * block),
+                              0.0);
+            tile.ForEachSetBit([&](size_t off) {
+              const uint32_t r = static_cast<uint32_t>(off) / bs;
+              const uint32_t c = static_cast<uint32_t>(off) % bs;
+              if (c < vb.values.size() && r < out.values.size()) {
+                out.values[r] += vb.values[c];
+              }
+            });
+            return std::pair<uint64_t, VecBlock>(rb, std::move(out));
+          }));
+  auto reduced =
+      partials.ReduceByKey([](const VecBlock& a, const VecBlock& b) {
+        VecBlock out = a;
+        for (size_t i = 0; i < out.values.size(); ++i) {
+          out.values[i] += b.values[i];
+        }
+        return out;
+      });
+  std::vector<double> zeros(n_, 0.0);
+  BlockVector base = BlockVector::FromDense(ctx(), zeros, block_,
+                                            v.blocks().num_partitions());
+  auto merged = base.blocks().CoGroup(reduced).MapValues(
+      [](const std::pair<std::vector<VecBlock>, std::vector<VecBlock>>&
+             sides) {
+        VecBlock blk = sides.first.front();
+        for (const VecBlock& add : sides.second) {
+          for (size_t i = 0; i < blk.values.size(); ++i) {
+            blk.values[i] += add.values[i];
+          }
+        }
+        return blk;
+      });
+  return BlockVector::FromBlocks(n_, block_, /*is_column=*/true,
+                                 std::move(merged));
+}
+
+std::vector<uint64_t> MaskMatrix::ColumnDegrees() const {
+  const uint64_t nb = num_blocks_1d();
+  const uint32_t bs = static_cast<uint32_t>(block_);
+  auto per_tile = tiles_.AsRdd().Map(
+      [nb, bs](const std::pair<ChunkId, MaskTile>& rec) {
+        const uint64_t cb = rec.first / nb;
+        std::vector<uint64_t> counts(bs, 0);
+        rec.second.ForEachSetBit(
+            [&](size_t off) { ++counts[static_cast<uint32_t>(off) % bs]; });
+        return std::make_pair(cb, std::move(counts));
+      });
+  std::vector<uint64_t> degrees(n_, 0);
+  for (const auto& [cb, counts] : per_tile.Collect()) {
+    const uint64_t base = cb * block_;
+    for (uint32_t c = 0; c < bs && base + c < n_; ++c) {
+      degrees[base + c] += counts[c];
+    }
+  }
+  return degrees;
+}
+
+}  // namespace spangle

@@ -1,0 +1,59 @@
+#ifndef SPANGLE_MATRIX_PARTITION_H_
+#define SPANGLE_MATRIX_PARTITION_H_
+
+#include <memory>
+
+#include "array/mapper.h"
+#include "engine/partitioner.h"
+
+namespace spangle {
+
+/// How a block matrix's chunks are placed across partitions.
+///
+/// * kHashChunk — hash of the whole ChunkId (default, balanced).
+/// * kByRowBlock / kByColBlock — hash of the chunk's row / column block
+///   index. When the left operand of a multiply is placed by column block
+///   and the right by row block (with equal partition counts), the join on
+///   the contraction index is *local* and the multiply runs without
+///   shuffling either matrix (paper Sec. VI-A).
+enum class PartitionScheme { kHashChunk, kByRowBlock, kByColBlock };
+
+/// ChunkId partitioner implementing the block-aware schemes. `nrb` is the
+/// number of row blocks (chunks_along(0)); with the Algorithm-1 id layout,
+/// row block = id % nrb and column block = id / nrb.
+class BlockPartitioner : public Partitioner<ChunkId> {
+ public:
+  BlockPartitioner(PartitionScheme scheme, uint64_t nrb, int num_partitions)
+      : scheme_(scheme), nrb_(nrb), inner_(num_partitions) {}
+
+  int num_partitions() const override { return inner_.num_partitions(); }
+
+  int PartitionFor(const ChunkId& id) const override {
+    switch (scheme_) {
+      case PartitionScheme::kHashChunk:
+        return inner_.PartitionFor(id);
+      case PartitionScheme::kByRowBlock:
+        return inner_.PartitionFor(id % nrb_);
+      case PartitionScheme::kByColBlock:
+        return inner_.PartitionFor(id / nrb_);
+    }
+    return 0;
+  }
+
+  bool Equals(const Partitioner<ChunkId>& other) const override {
+    auto* o = dynamic_cast<const BlockPartitioner*>(&other);
+    return o != nullptr && o->scheme_ == scheme_ && o->nrb_ == nrb_ &&
+           o->num_partitions() == num_partitions();
+  }
+
+  PartitionScheme scheme() const { return scheme_; }
+
+ private:
+  PartitionScheme scheme_;
+  uint64_t nrb_;
+  HashPartitioner<uint64_t> inner_;
+};
+
+}  // namespace spangle
+
+#endif  // SPANGLE_MATRIX_PARTITION_H_

@@ -1,0 +1,162 @@
+#include "ml/logreg.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+
+namespace spangle {
+
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+Result<TrainResult> TrainLogReg(Context* ctx, const SparseDataset& data,
+                                const LogRegOptions& options) {
+  if (data.labels.size() != data.rows) {
+    return Status::InvalidArgument("label count != row count");
+  }
+  if (data.rows == 0 || data.features == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  const uint64_t block = options.block;
+  const int np = options.num_partitions > 0 ? options.num_partitions
+                                            : ctx->default_parallelism();
+  // Row-band placement: partition <- row block (Eq. 2), so mini-batch
+  // sampling never crosses partitions.
+  SPANGLE_ASSIGN_OR_RETURN(
+      BlockMatrix m,
+      BlockMatrix::FromEntries(ctx, data.rows, data.features, block,
+                               data.entries, ModePolicy::Auto(),
+                               PartitionScheme::kByRowBlock, np));
+  m.Cache();
+  BlockVector y = BlockVector::FromDense(ctx, data.labels, block, np);
+  y.Cache();
+
+  const uint64_t n_row_blocks = m.num_row_blocks();
+  const uint64_t n_sampled = std::max<uint64_t>(
+      1, static_cast<uint64_t>(options.batch_fraction *
+                               static_cast<double>(n_row_blocks)));
+  Rng rng(options.seed);
+
+  BlockVector x = BlockVector::FromDense(
+      ctx, std::vector<double>(data.features, 0.0), block, np);
+  x.Cache();
+  // Adagrad state: per-feature accumulated squared gradients.
+  BlockVector g_hist = BlockVector::FromDense(
+      ctx, std::vector<double>(data.features, 0.0), block, np);
+
+  TrainResult result;
+  Stopwatch total_timer;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    Stopwatch iter_timer;
+    // Mini-batch: sample row blocks (reverse Eq. 2 — local per partition).
+    auto sampled = std::make_shared<std::unordered_set<uint64_t>>();
+    while (sampled->size() < n_sampled) {
+      sampled->insert(rng.NextBounded(n_row_blocks));
+    }
+    uint64_t batch_rows = 0;
+    for (uint64_t rb : *sampled) {
+      batch_rows += std::min<uint64_t>(block, data.rows - rb * block);
+    }
+    BlockMatrix mt = m.FilterRowBlocks(sampled);
+
+    // diff = h(M_t x) - y on sampled rows, 0 elsewhere.
+    SPANGLE_ASSIGN_OR_RETURN(BlockVector z, mt.MultiplyVector(x));
+    SPANGLE_ASSIGN_OR_RETURN(
+        BlockVector hz_minus_y,
+        z.Map(Sigmoid).AddScaled(y, -1.0));
+    BlockVector diff = hz_minus_y.MapBlocks(
+        [sampled](uint64_t b, const VecBlock& blk) {
+          if (sampled->count(b) > 0) return blk;
+          VecBlock zero;
+          zero.values.assign(blk.values.size(), 0.0);
+          return zero;
+        });
+
+    // Gradient: opt1 computes ((diff)^T M_t)^T (Eq. 3, no matrix
+    // transpose); the baseline transposes M_t physically every step.
+    BlockVector grad;
+    if (options.opt1) {
+      SPANGLE_ASSIGN_OR_RETURN(grad, mt.LeftMultiplyVector(diff));
+      // grad is a row vector; opt2 re-describes it as a column in O(1),
+      // the baseline rewrites the layout.
+      grad = options.opt2 ? grad.TransposeMetadata()
+                          : grad.TransposePhysical();
+    } else {
+      SPANGLE_ASSIGN_OR_RETURN(grad,
+                               mt.Transpose().MultiplyVector(diff));
+    }
+
+    const double scale =
+        -options.step_size / static_cast<double>(batch_rows);
+    BlockVector x_next;
+    if (options.adagrad) {
+      // Normalize the gradient first so the accumulated history matches
+      // the applied step direction.
+      const double inv_batch = 1.0 / static_cast<double>(batch_rows);
+      BlockVector g = grad.Map([inv_batch](double v) {
+        return v * inv_batch;
+      });
+      SPANGLE_ASSIGN_OR_RETURN(
+          g_hist, g_hist.Combine(g, [](double h, double gi) {
+            return h + gi * gi;
+          }));
+      g_hist.Cache();
+      SPANGLE_ASSIGN_OR_RETURN(
+          BlockVector adapted,
+          g.Combine(g_hist, [eps = options.adagrad_epsilon](double gi,
+                                                            double h) {
+            return gi / (std::sqrt(h) + eps);
+          }));
+      SPANGLE_ASSIGN_OR_RETURN(x_next,
+                               x.AddScaled(adapted, -options.step_size));
+    } else {
+      SPANGLE_ASSIGN_OR_RETURN(x_next, x.AddScaled(grad, scale));
+    }
+    x_next.Cache();
+
+    SPANGLE_ASSIGN_OR_RETURN(BlockVector delta, x_next.AddScaled(x, -1.0));
+    const double step_norm = std::sqrt(delta.SquaredNorm());
+    x = x_next;
+    result.iteration_seconds.push_back(iter_timer.ElapsedSeconds());
+    result.iterations = it + 1;
+    if (step_norm < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.total_seconds = total_timer.ElapsedSeconds();
+  result.weights = x.ToDense();
+  return result;
+}
+
+Result<double> EvaluateAccuracy(Context* ctx, const SparseDataset& data,
+                                const std::vector<double>& weights,
+                                uint64_t block, int num_partitions) {
+  if (weights.size() != data.features) {
+    return Status::InvalidArgument("weight vector size != feature count");
+  }
+  SPANGLE_ASSIGN_OR_RETURN(
+      BlockMatrix m,
+      BlockMatrix::FromEntries(ctx, data.rows, data.features, block,
+                               data.entries, ModePolicy::Auto(),
+                               PartitionScheme::kByRowBlock,
+                               num_partitions));
+  BlockVector w = BlockVector::FromDense(ctx, weights, block,
+                                         num_partitions);
+  SPANGLE_ASSIGN_OR_RETURN(BlockVector z, m.MultiplyVector(w));
+  auto scores = z.ToDense();
+  uint64_t correct = 0;
+  for (uint64_t r = 0; r < data.rows; ++r) {
+    const double predicted = Sigmoid(scores[r]) >= 0.5 ? 1.0 : 0.0;
+    if (predicted == data.labels[r]) ++correct;
+  }
+  return 100.0 * static_cast<double>(correct) /
+         static_cast<double>(data.rows);
+}
+
+}  // namespace spangle

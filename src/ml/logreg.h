@@ -1,0 +1,67 @@
+#ifndef SPANGLE_ML_LOGREG_H_
+#define SPANGLE_ML_LOGREG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "matrix/block_matrix.h"
+
+namespace spangle {
+
+/// A sparse binary-classification dataset: a rows x features design
+/// matrix in COO form plus 0/1 labels.
+struct SparseDataset {
+  uint64_t rows = 0;
+  uint64_t features = 0;
+  std::vector<MatrixEntry> entries;
+  std::vector<double> labels;  // size == rows, values in {0, 1}
+};
+
+/// Options for the customized parallel mini-batch SGD (paper Sec. VI-C).
+struct LogRegOptions {
+  double step_size = 0.6;       // theta (the paper's setting)
+  double tolerance = 1e-4;      // stop when ||x_{t+1} - x_t|| < tolerance
+  int max_iterations = 200;
+  double batch_fraction = 0.25; // the paper's alpha: samples per step
+  uint64_t block = 64;          // tile edge (rows and features)
+  int num_partitions = 0;       // 0 = context default
+  uint64_t seed = 42;           // mini-batch sampling seed
+
+  /// opt1 (Eq. 3): compute ((h(Mx) - y)^T M)^T instead of M^T (h(Mx) - y),
+  /// avoiding the per-step physical transpose of the training matrix.
+  bool opt1 = true;
+  /// opt2: the gradient row vector becomes a column vector by replacing
+  /// metadata only, never copying the layout.
+  bool opt2 = true;
+  /// Adagrad per-feature step adaptation — the "highly optimized
+  /// algorithm" the paper leaves as future work (Sec. VII-C):
+  /// x -= step * g / (sqrt(sum of squared historical g) + eps).
+  bool adagrad = false;
+  double adagrad_epsilon = 1e-8;
+};
+
+struct TrainResult {
+  std::vector<double> weights;
+  int iterations = 0;
+  bool converged = false;
+  std::vector<double> iteration_seconds;
+  double total_seconds = 0;
+};
+
+/// Trains logistic regression with the Spangle-customized SGD: the
+/// training matrix is placed kByRowBlock so each partition owns whole row
+/// bands (the Eq. 2 chunk-id scheme), mini-batches are drawn by filtering
+/// row blocks locally (no shuffle), and the two transpose optimizations
+/// are applied per `options`.
+Result<TrainResult> TrainLogReg(Context* ctx, const SparseDataset& data,
+                                const LogRegOptions& options = {});
+
+/// Classification accuracy (%) of `weights` on `data`.
+Result<double> EvaluateAccuracy(Context* ctx, const SparseDataset& data,
+                                const std::vector<double>& weights,
+                                uint64_t block = 64, int num_partitions = 0);
+
+}  // namespace spangle
+
+#endif  // SPANGLE_ML_LOGREG_H_

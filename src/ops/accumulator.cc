@@ -1,0 +1,231 @@
+#include "ops/accumulator.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+namespace spangle {
+
+namespace {
+
+/// Flattened identifier of an accumulation line: the cell's coordinates
+/// with the accumulation axis removed, keyed through a reduced mapper.
+uint64_t LineKey(const Mapper& reduced, const Coords& pos, size_t axis) {
+  Coords line_pos;
+  line_pos.reserve(pos.size() - 1);
+  for (size_t d = 0; d < pos.size(); ++d) {
+    if (d != axis) line_pos.push_back(pos[d]);
+  }
+  return reduced.ChunkIdFromCoords(line_pos) * reduced.cells_per_chunk() +
+         reduced.LocalOffset(line_pos);
+}
+
+/// 1-D arrays have no "other" dims; all cells share line 0.
+struct LineKeyer {
+  std::shared_ptr<const Mapper> reduced;  // nullptr for 1-D arrays
+  size_t axis;
+  uint64_t operator()(const Coords& pos) const {
+    return reduced == nullptr ? 0 : LineKey(*reduced, pos, axis);
+  }
+};
+
+LineKeyer MakeLineKeyer(const ArrayMetadata& meta, size_t axis) {
+  if (meta.num_dims() == 1) return LineKeyer{nullptr, axis};
+  std::vector<Dimension> rest;
+  for (size_t d = 0; d < meta.num_dims(); ++d) {
+    if (d != axis) rest.push_back(meta.dim(d));
+  }
+  return LineKeyer{std::make_shared<Mapper>(ArrayMetadata(std::move(rest))),
+                   axis};
+}
+
+struct LineCell {
+  int64_t axis_pos;
+  uint32_t offset;
+  double value;
+};
+
+/// Groups a chunk's valid cells into per-line vectors ordered along the
+/// accumulation axis.
+std::unordered_map<uint64_t, std::vector<LineCell>> ChunkLines(
+    const Mapper& mapper, const LineKeyer& keyer, size_t axis, ChunkId cid,
+    const Chunk& chunk) {
+  std::unordered_map<uint64_t, std::vector<LineCell>> lines;
+  chunk.ForEachValid([&](uint32_t off, double v) {
+    const Coords pos = mapper.CoordsFromChunkOffset(cid, off);
+    lines[keyer(pos)].push_back(LineCell{pos[axis], off, v});
+  });
+  for (auto& [key, cells] : lines) {
+    std::sort(cells.begin(), cells.end(),
+              [](const LineCell& a, const LineCell& b) {
+                return a.axis_pos < b.axis_pos;
+              });
+  }
+  return lines;
+}
+
+using CarryMap = std::unordered_map<uint64_t, double>;  // line -> carry-in
+using BinOp = std::function<double(double, double)>;
+
+/// Local prefix pass: returns the prefixed chunk and per-line totals.
+std::pair<Chunk, std::vector<std::pair<uint64_t, double>>> PrefixChunk(
+    const Mapper& mapper, const LineKeyer& keyer, size_t axis, ChunkId cid,
+    const Chunk& chunk, const CarryMap* carries, const BinOp& op,
+    double identity) {
+  auto lines = ChunkLines(mapper, keyer, axis, cid, chunk);
+  std::vector<std::pair<uint32_t, double>> out_cells;
+  out_cells.reserve(chunk.num_valid());
+  std::vector<std::pair<uint64_t, double>> totals;
+  totals.reserve(lines.size());
+  for (auto& [key, cells] : lines) {
+    double running = identity;
+    if (carries != nullptr) {
+      auto it = carries->find(key);
+      if (it != carries->end()) running = it->second;
+    }
+    double total = identity;
+    for (const LineCell& c : cells) {
+      running = op(running, c.value);
+      total = op(total, c.value);
+      out_cells.emplace_back(c.offset, running);
+    }
+    totals.emplace_back(key, total);
+  }
+  Chunk out = Chunk::FromCells(chunk.num_cells(), std::move(out_cells),
+                               chunk.mode());
+  return {std::move(out), std::move(totals)};
+}
+
+}  // namespace
+
+Result<ArrayRdd> AccumulateOp(const ArrayRdd& in, const std::string& dim_name,
+                              AccumulateMode mode,
+                              std::function<double(double, double)> op_in,
+                              double identity) {
+  auto op = std::make_shared<BinOp>(std::move(op_in));
+  const ArrayMetadata& meta = in.metadata();
+  SPANGLE_ASSIGN_OR_RETURN(size_t axis, meta.DimIndex(dim_name));
+  auto mapper = in.mapper_ptr();
+  auto keyer = std::make_shared<LineKeyer>(MakeLineKeyer(meta, axis));
+  const uint64_t layers = meta.chunks_along(axis);
+
+  if (mode == AccumulateMode::kAsynchronous) {
+    // Pass 1 (parallel): local prefixes + per-(chunk, line) totals.
+    struct LayerTotal {
+      uint64_t line;
+      uint64_t layer;
+      double total;
+    };
+    auto totals = in.chunks().AsRdd().FlatMap(
+        [mapper, keyer, axis, op, identity](
+            const std::pair<ChunkId, Chunk>& rec) {
+          auto lines = ChunkLines(*mapper, *keyer, axis, rec.first,
+                                  rec.second);
+          const uint64_t layer =
+              mapper->ChunkGridCoords(rec.first)[axis];
+          std::vector<LayerTotal> out;
+          for (auto& [key, cells] : lines) {
+            double t = identity;
+            for (const LineCell& c : cells) t = (*op)(t, c.value);
+            out.push_back(LayerTotal{key, layer, t});
+          }
+          return out;
+        });
+    // Driver: exclusive prefix of layer totals along each line.
+    std::map<std::pair<uint64_t, uint64_t>, double> layer_totals;
+    for (const auto& t : totals.Collect()) {
+      auto [it, inserted] = layer_totals.try_emplace({t.line, t.layer},
+                                                     t.total);
+      if (!inserted) it->second = (*op)(it->second, t.total);
+    }
+    auto carries = std::make_shared<CarryMap>();  // (line*layers+layer)
+    std::unordered_map<uint64_t, double> running;
+    for (const auto& [key, total] : layer_totals) {
+      const auto [line, layer] = key;
+      auto [it, inserted] = running.try_emplace(line, identity);
+      (*carries)[line * layers + layer] = it->second;
+      it->second = (*op)(it->second, total);
+    }
+    // Pass 2 (parallel): re-prefix with carry-in.
+    const uint64_t n_layers = layers;
+    auto result = in.chunks().AsRdd().Map(
+        [mapper, keyer, axis, carries, n_layers, op, identity](
+            const std::pair<ChunkId, Chunk>& rec) {
+          const uint64_t layer = mapper->ChunkGridCoords(rec.first)[axis];
+          CarryMap local;
+          auto chunk_lines =
+              ChunkLines(*mapper, *keyer, axis, rec.first, rec.second);
+          for (const auto& [line, cells] : chunk_lines) {
+            auto it = carries->find(line * n_layers + layer);
+            if (it != carries->end()) local[line] = it->second;
+          }
+          auto [out, totals2] = PrefixChunk(*mapper, *keyer, axis, rec.first,
+                                            rec.second, &local, *op,
+                                            identity);
+          return std::pair<ChunkId, Chunk>(rec.first, std::move(out));
+        });
+    return ArrayRdd(meta, ToPair<ChunkId, Chunk>(std::move(result),
+                                                 in.chunks().partitioner()));
+  }
+
+  // Synchronous: one stage per chunk layer along the axis; each layer
+  // consumes the carries produced by the previous one.
+  CarryMap carry;
+  std::optional<Rdd<std::pair<ChunkId, Chunk>>> acc_out;
+  for (uint64_t k = 0; k < layers; ++k) {
+    auto layer_chunks = in.chunks().AsRdd().Filter(
+        [mapper, axis, k](const std::pair<ChunkId, Chunk>& rec) {
+          return mapper->ChunkGridCoords(rec.first)[axis] == k;
+        });
+    auto carry_ptr = std::make_shared<CarryMap>(carry);
+    auto processed = layer_chunks.Map(
+        [mapper, keyer, axis, carry_ptr, op, identity](
+            const std::pair<ChunkId, Chunk>& rec) {
+          auto [out, totals] = PrefixChunk(*mapper, *keyer, axis, rec.first,
+                                           rec.second, carry_ptr.get(), *op,
+                                           identity);
+          return std::make_pair(
+              std::pair<ChunkId, Chunk>(rec.first, std::move(out)), totals);
+        });
+    // Barrier: materialize this layer, harvest carries for the next.
+    auto collected = processed.Collect();
+    std::vector<std::pair<ChunkId, Chunk>> layer_out;
+    for (auto& [rec, totals] : collected) {
+      for (const auto& [line, total] : totals) {
+        auto [it, inserted] = carry.try_emplace(line, identity);
+        it->second = (*op)(it->second, total);
+      }
+      layer_out.push_back(std::move(rec));
+    }
+    auto layer_rdd = in.ctx()->Parallelize(std::move(layer_out),
+                                           in.chunks().num_partitions());
+    acc_out = acc_out.has_value() ? acc_out->Union(layer_rdd) : layer_rdd;
+  }
+  if (!acc_out.has_value()) {
+    return ArrayRdd(meta, in.chunks());  // no chunks at all
+  }
+  return ArrayRdd(meta, ToPair<ChunkId, Chunk>(std::move(*acc_out)));
+}
+
+Result<ArrayRdd> AccumulateSum(const ArrayRdd& in, const std::string& dim_name,
+                               AccumulateMode mode) {
+  return AccumulateOp(in, dim_name, mode,
+                      [](double a, double b) { return a + b; }, 0.0);
+}
+
+Result<ArrayRdd> AccumulateProduct(const ArrayRdd& in,
+                                   const std::string& dim_name,
+                                   AccumulateMode mode) {
+  return AccumulateOp(in, dim_name, mode,
+                      [](double a, double b) { return a * b; }, 1.0);
+}
+
+Result<ArrayRdd> AccumulateMax(const ArrayRdd& in, const std::string& dim_name,
+                               AccumulateMode mode) {
+  return AccumulateOp(in, dim_name, mode,
+                      [](double a, double b) { return a > b ? a : b; },
+                      -std::numeric_limits<double>::infinity());
+}
+
+}  // namespace spangle

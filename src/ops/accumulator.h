@@ -1,0 +1,49 @@
+#ifndef SPANGLE_OPS_ACCUMULATOR_H_
+#define SPANGLE_OPS_ACCUMULATOR_H_
+
+#include <string>
+
+#include "array/array_rdd.h"
+#include "common/result.h"
+
+namespace spangle {
+
+/// Execution discipline for Accumulate (paper Sec. V-B).
+///
+/// * kSynchronous — chunks advance along the axis one chunk layer at a
+///   time; every layer waits for the previous layer's boundary values.
+///   One stage per chunk layer: correct for any accumulation, slow.
+/// * kAsynchronous — every chunk first accumulates internally in one
+///   parallel stage, then a single reconciliation adds the carry-in from
+///   upstream chunks. Two stages total. For associative operations (sum,
+///   the one implemented here) the result is exact; the paper notes the
+///   general form is only safe when the application tolerates it.
+enum class AccumulateMode { kSynchronous, kAsynchronous };
+
+/// Generic directional accumulation: each valid output cell holds
+/// op-fold of the valid cells at positions <= its own along `dim_name`
+/// (other coordinates fixed). `op` must be associative with neutral
+/// element `identity` — the same contract as the Aggregator hooks the
+/// paper says Accumulator reuses. Output cells exist exactly where
+/// input cells are valid.
+Result<ArrayRdd> AccumulateOp(const ArrayRdd& in, const std::string& dim_name,
+                              AccumulateMode mode,
+                              std::function<double(double, double)> op,
+                              double identity);
+
+/// Running sum along an axis.
+Result<ArrayRdd> AccumulateSum(const ArrayRdd& in, const std::string& dim_name,
+                               AccumulateMode mode);
+
+/// Running product along an axis.
+Result<ArrayRdd> AccumulateProduct(const ArrayRdd& in,
+                                   const std::string& dim_name,
+                                   AccumulateMode mode);
+
+/// Running maximum along an axis.
+Result<ArrayRdd> AccumulateMax(const ArrayRdd& in, const std::string& dim_name,
+                               AccumulateMode mode);
+
+}  // namespace spangle
+
+#endif  // SPANGLE_OPS_ACCUMULATOR_H_

@@ -1,0 +1,130 @@
+#ifndef SPANGLE_OPS_AGGREGATOR_H_
+#define SPANGLE_OPS_AGGREGATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/spangle_array.h"
+#include "common/result.h"
+
+namespace spangle {
+
+/// Fixed-size aggregation state shared by all aggregate functions. Two
+/// doubles cover the built-ins (sum/count/min/max and avg's sum+count);
+/// user-defined functions interpret the fields as they wish.
+struct AggState {
+  double v0 = 0;
+  double v1 = 0;
+};
+
+/// The Aggregator abstraction (paper Sec. V-B): users implement four
+/// hooks — Initialize (default state per chunk), Accumulate (gather a
+/// cell into a state), Merge (combine chunk states), Evaluate (finalize).
+/// Implementations must be stateless/thread-safe; one instance is shared
+/// across all worker tasks.
+class AggregateFunction {
+ public:
+  virtual ~AggregateFunction() = default;
+  virtual AggState Initialize() const = 0;
+  virtual void Accumulate(AggState* state, double value) const = 0;
+  virtual void Merge(AggState* into, const AggState& from) const = 0;
+  virtual double Evaluate(const AggState& state) const = 0;
+  virtual std::string name() const = 0;
+  /// Deep copy. Lazy operators capture the clone, so the caller's instance
+  /// (often a temporary) need not outlive the returned RDD's evaluation.
+  virtual std::shared_ptr<const AggregateFunction> Clone() const = 0;
+};
+
+/// Built-in aggregate functions.
+class SumAgg : public AggregateFunction {
+ public:
+  AggState Initialize() const override { return {}; }
+  void Accumulate(AggState* s, double v) const override { s->v0 += v; }
+  void Merge(AggState* a, const AggState& b) const override { a->v0 += b.v0; }
+  double Evaluate(const AggState& s) const override { return s.v0; }
+  std::string name() const override { return "sum"; }
+  std::shared_ptr<const AggregateFunction> Clone() const override {
+    return std::make_shared<SumAgg>();
+  }
+};
+
+class CountAgg : public AggregateFunction {
+ public:
+  AggState Initialize() const override { return {}; }
+  void Accumulate(AggState* s, double) const override { s->v0 += 1; }
+  void Merge(AggState* a, const AggState& b) const override { a->v0 += b.v0; }
+  double Evaluate(const AggState& s) const override { return s.v0; }
+  std::string name() const override { return "count"; }
+  std::shared_ptr<const AggregateFunction> Clone() const override {
+    return std::make_shared<CountAgg>();
+  }
+};
+
+class MinAgg : public AggregateFunction {
+ public:
+  AggState Initialize() const override;
+  void Accumulate(AggState* s, double v) const override;
+  void Merge(AggState* a, const AggState& b) const override;
+  double Evaluate(const AggState& s) const override { return s.v0; }
+  std::string name() const override { return "min"; }
+  std::shared_ptr<const AggregateFunction> Clone() const override {
+    return std::make_shared<MinAgg>();
+  }
+};
+
+class MaxAgg : public AggregateFunction {
+ public:
+  AggState Initialize() const override;
+  void Accumulate(AggState* s, double v) const override;
+  void Merge(AggState* a, const AggState& b) const override;
+  double Evaluate(const AggState& s) const override { return s.v0; }
+  std::string name() const override { return "max"; }
+  std::shared_ptr<const AggregateFunction> Clone() const override {
+    return std::make_shared<MaxAgg>();
+  }
+};
+
+class AvgAgg : public AggregateFunction {
+ public:
+  AggState Initialize() const override { return {}; }
+  void Accumulate(AggState* s, double v) const override {
+    s->v0 += v;
+    s->v1 += 1;
+  }
+  void Merge(AggState* a, const AggState& b) const override {
+    a->v0 += b.v0;
+    a->v1 += b.v1;
+  }
+  double Evaluate(const AggState& s) const override {
+    return s.v1 == 0 ? 0.0 : s.v0 / s.v1;
+  }
+  std::string name() const override { return "avg"; }
+  std::shared_ptr<const AggregateFunction> Clone() const override {
+    return std::make_shared<AvgAgg>();
+  }
+};
+
+/// Aggregates every valid cell of `attr` into a single value.
+Result<double> Aggregate(const SpangleArray& in, const std::string& attr,
+                         const AggregateFunction& fn);
+
+/// Collapses the named dimensions: the result is a new array over the
+/// remaining dimensions ("Spangle generates the new schema determined by
+/// the given conditions", Sec. V-B). E.g. collapsing {"time"} over
+/// (lon, lat, time) yields a (lon, lat) array of aggregates.
+Result<ArrayRdd> AggregateAlongDims(
+    const SpangleArray& in, const std::string& attr,
+    const AggregateFunction& fn, const std::vector<std::string>& collapse);
+
+/// Block regrid (Q2-style): output cell g aggregates the input block
+/// [g*grid, (g+1)*grid). The result array has ceil(size/grid) cells per
+/// dimension. Partial blocks at chunk borders are merged by one shuffle.
+Result<ArrayRdd> RegridAggregate(const SpangleArray& in,
+                                 const std::string& attr,
+                                 const AggregateFunction& fn,
+                                 const std::vector<uint64_t>& grid);
+
+}  // namespace spangle
+
+#endif  // SPANGLE_OPS_AGGREGATOR_H_

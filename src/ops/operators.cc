@@ -1,0 +1,80 @@
+#include "ops/operators.h"
+
+#include <unordered_set>
+
+namespace spangle {
+
+namespace {
+
+/// Eager-mode helper (the "without MaskRDD" baseline): every attribute is
+/// restricted by `view` and materialized *now* — per operator, per
+/// attribute — which is exactly the cost MaskRdd's lazy evaluation
+/// removes (Fig. 9b).
+SpangleArray ApplyViewToAllAttributes(const SpangleArray& in,
+                                      const MaskRdd& view) {
+  std::vector<std::pair<std::string, ArrayRdd>> rewritten;
+  for (const auto& name : in.attribute_names()) {
+    ArrayRdd restricted = view.ApplyTo(*in.RawAttribute(name));
+    restricted.Cache();
+    restricted.chunks().Count();  // eager evaluation
+    rewritten.emplace_back(name, std::move(restricted));
+  }
+  return in.WithAttributes(std::move(rewritten)).WithMask(view);
+}
+
+}  // namespace
+
+Result<SpangleArray> Subarray(const SpangleArray& in, const Coords& lo,
+                              const Coords& hi) {
+  if (lo.size() != in.metadata().num_dims() || hi.size() != lo.size()) {
+    return Status::InvalidArgument("subarray box dimensionality mismatch");
+  }
+  for (size_t d = 0; d < lo.size(); ++d) {
+    if (lo[d] > hi[d]) {
+      return Status::InvalidArgument("subarray box has lo > hi");
+    }
+  }
+  MaskRdd view = in.mask().AndRange(lo, hi);
+  if (in.uses_mask_rdd()) return in.WithMask(std::move(view));
+  return ApplyViewToAllAttributes(in, view);
+}
+
+Result<SpangleArray> Filter(const SpangleArray& in, const std::string& attr,
+                            std::function<bool(double)> pred) {
+  SPANGLE_ASSIGN_OR_RETURN(ArrayRdd values, in.RawAttribute(attr));
+  MaskRdd view = in.mask().AndPredicate(values, std::move(pred));
+  if (in.uses_mask_rdd()) return in.WithMask(std::move(view));
+  return ApplyViewToAllAttributes(in, view);
+}
+
+Result<SpangleArray> Join(const SpangleArray& left, const SpangleArray& right,
+                          JoinKind kind, const std::string& right_prefix) {
+  if (!(left.metadata() == right.metadata())) {
+    return Status::InvalidArgument(
+        "join requires identical dimensions and chunking");
+  }
+  // Combined attribute set: |left| + |right| attributes (Sec. V-A3).
+  std::unordered_set<std::string> taken;
+  std::vector<std::pair<std::string, ArrayRdd>> attrs;
+  for (const auto& name : left.attribute_names()) {
+    attrs.emplace_back(name, *left.RawAttribute(name));
+    taken.insert(name);
+  }
+  for (const auto& name : right.attribute_names()) {
+    std::string out_name = taken.count(name) ? right_prefix + name : name;
+    if (taken.count(out_name)) {
+      return Status::AlreadyExists("attribute name collision: " + out_name);
+    }
+    attrs.emplace_back(out_name, *right.RawAttribute(name));
+    taken.insert(out_name);
+  }
+  MaskRdd view = kind == JoinKind::kAnd ? left.mask().And(right.mask())
+                                        : left.mask().Or(right.mask());
+  SPANGLE_ASSIGN_OR_RETURN(
+      SpangleArray out,
+      SpangleArray::FromAttributes(std::move(attrs), left.uses_mask_rdd()));
+  if (left.uses_mask_rdd()) return out.WithMask(std::move(view));
+  return ApplyViewToAllAttributes(out, view);
+}
+
+}  // namespace spangle

@@ -1,0 +1,42 @@
+#ifndef SPANGLE_OPS_OPERATORS_H_
+#define SPANGLE_OPS_OPERATORS_H_
+
+#include <functional>
+#include <string>
+
+#include "array/spangle_array.h"
+#include "common/result.h"
+
+namespace spangle {
+
+/// Core declarative operators (paper Sec. V). Each operator consumes and
+/// produces a SpangleArray. In MaskRdd mode only the hidden mask is
+/// transformed (lazy); in eager mode every attribute is rewritten, which
+/// is the paper's "without MaskRDD" baseline.
+
+/// Cells inside the closed coordinate box [lo, hi] (Fig. 4a): bits of a
+/// per-chunk virtual bitmask of the box are ANDed with each chunk's mask;
+/// chunks outside the box are pruned without being touched.
+Result<SpangleArray> Subarray(const SpangleArray& in, const Coords& lo,
+                              const Coords& hi);
+
+/// Cells whose value of attribute `attr` satisfies `pred` (Fig. 4b). A
+/// cell that fails the predicate becomes invalid in the global view and
+/// therefore in *every* attribute — the consistency MaskRdd maintains.
+Result<SpangleArray> Filter(const SpangleArray& in, const std::string& attr,
+                            std::function<bool(double)> pred);
+
+/// Join sub-operators (Fig. 4c): and-join keeps cells valid on both
+/// sides; or-join keeps cells valid on either.
+enum class JoinKind { kAnd, kOr };
+
+/// Joins two arrays on their (identical) dimensions. The result carries
+/// the attributes of both inputs; on name clashes the right side's
+/// attributes are prefixed with `right_prefix`.
+Result<SpangleArray> Join(const SpangleArray& left, const SpangleArray& right,
+                          JoinKind kind,
+                          const std::string& right_prefix = "r_");
+
+}  // namespace spangle
+
+#endif  // SPANGLE_OPS_OPERATORS_H_

@@ -1,0 +1,309 @@
+#include "ops/overlap.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace spangle {
+
+namespace {
+
+/// Row-major layout of an expanded (core + 2*radius ghost) chunk.
+struct ExpandedLayout {
+  ExpandedLayout(const ArrayMetadata& meta, std::vector<uint64_t> radii_in)
+      : radii(std::move(radii_in)) {
+    const size_t nd = meta.num_dims();
+    ext.resize(nd);
+    stride.resize(nd);
+    uint64_t s = 1;
+    for (size_t d = nd; d-- > 0;) {
+      ext[d] = meta.dim(d).chunk_size + 2 * radii[d];
+      stride[d] = s;
+      s *= ext[d];
+    }
+    cells = static_cast<uint32_t>(s);
+  }
+
+  /// Expanded offset of global `pos` relative to chunk `cid`; valid for
+  /// positions within the expanded box.
+  uint32_t OffsetFor(const Mapper& mapper, ChunkId cid,
+                     const Coords& pos) const {
+    uint32_t off = 0;
+    for (size_t d = 0; d < pos.size(); ++d) {
+      const int64_t rel = pos[d] - mapper.ChunkStart(cid, d) +
+                          static_cast<int64_t>(radii[d]);
+      off += static_cast<uint32_t>(rel) * static_cast<uint32_t>(stride[d]);
+    }
+    return off;
+  }
+
+  std::vector<uint64_t> radii;
+  std::vector<uint64_t> ext;
+  std::vector<uint64_t> stride;
+  uint32_t cells = 0;
+};
+
+/// Per-dimension ghost depth: the requested radius clamped to the chunk
+/// size (a chunk only exchanges with immediate neighbors).
+std::vector<uint64_t> ClampedRadii(const ArrayMetadata& meta,
+                                   uint64_t radius) {
+  std::vector<uint64_t> radii(meta.num_dims());
+  for (size_t d = 0; d < meta.num_dims(); ++d) {
+    radii[d] = std::min<uint64_t>(radius, meta.dim(d).chunk_size);
+  }
+  return radii;
+}
+
+}  // namespace
+
+OverlapArrayRdd OverlapArrayRdd::Build(const ArrayRdd& base, uint64_t radius) {
+  OverlapArrayRdd out;
+  out.mapper_ = base.mapper_ptr();
+  out.radius_ = radius;
+  auto mapper = base.mapper_ptr();
+  const ArrayMetadata& meta = mapper->metadata();
+  const size_t nd = meta.num_dims();
+  out.radii_ = ClampedRadii(meta, radius);
+  auto radii = std::make_shared<std::vector<uint64_t>>(out.radii_);
+  auto layout = std::make_shared<ExpandedLayout>(meta, out.radii_);
+
+  // Halo exchange: every valid cell goes to its own chunk and to every
+  // neighbor whose ghost region contains it. One shuffle, then grouped
+  // into expanded chunks.
+  auto scattered = base.chunks().AsRdd().FlatMap(
+      [mapper, layout, radii, nd](const std::pair<ChunkId, Chunk>& rec) {
+        const auto& [cid, chunk] = rec;
+        std::vector<std::pair<ChunkId, std::pair<uint32_t, double>>> out_recs;
+        const auto grid = mapper->ChunkGridCoords(cid);
+        const ArrayMetadata& m = mapper->metadata();
+        chunk.ForEachValid([&](uint32_t off, double v) {
+          const Coords pos = mapper->CoordsFromChunkOffset(cid, off);
+          // Which neighbor deltas can see this cell: -1 when within
+          // `radius` of the low chunk edge, +1 near the high edge.
+          std::vector<std::vector<int>> deltas(nd);
+          for (size_t d = 0; d < nd; ++d) {
+            const uint64_t local = static_cast<uint64_t>(
+                pos[d] - mapper->ChunkStart(cid, d));
+            deltas[d].push_back(0);
+            const uint64_t r = (*radii)[d];
+            if (local < r && grid[d] > 0) deltas[d].push_back(-1);
+            if (local + r >= m.dim(d).chunk_size &&
+                grid[d] + 1 < m.chunks_along(d)) {
+              deltas[d].push_back(+1);
+            }
+          }
+          // Cartesian product of per-dim deltas.
+          std::vector<int> cur(nd, 0);
+          std::vector<size_t> idx(nd, 0);
+          for (;;) {
+            std::vector<uint64_t> ngrid(nd);
+            for (size_t d = 0; d < nd; ++d) {
+              ngrid[d] = grid[d] + deltas[d][idx[d]];
+            }
+            const ChunkId ncid = mapper->ChunkIdFromGrid(ngrid);
+            out_recs.emplace_back(
+                ncid, std::make_pair(layout->OffsetFor(*mapper, ncid, pos),
+                                     v));
+            size_t d = 0;
+            while (d < nd && ++idx[d] == deltas[d].size()) {
+              idx[d] = 0;
+              ++d;
+            }
+            if (d == nd) break;
+          }
+        });
+        return out_recs;
+      });
+
+  auto grouped =
+      ToPair<ChunkId, std::pair<uint32_t, double>>(std::move(scattered))
+          .GroupByKey(std::make_shared<HashPartitioner<ChunkId>>(
+              base.chunks().num_partitions()));
+  auto expanded = grouped.MapValues(
+      [layout](const std::vector<std::pair<uint32_t, double>>& cells) {
+        auto copy = cells;
+        return Chunk::FromCells(layout->cells, std::move(copy),
+                                Chunk::ChooseMode(layout->cells,
+                                                  cells.size()));
+      });
+  out.chunks_ = std::move(expanded);
+  return out;
+}
+
+ArrayRdd OverlapArrayRdd::WindowAggregate(const AggregateFunction& fn) const {
+  auto mapper = mapper_;
+  std::shared_ptr<const AggregateFunction> f = fn.Clone();
+  const ArrayMetadata& meta = mapper->metadata();
+  const size_t nd = meta.num_dims();
+  auto layout = std::make_shared<ExpandedLayout>(meta, radii_);
+  const uint32_t core_cells = mapper->cells_per_chunk();
+
+  auto result = chunks_.AsRdd().Map(
+      [mapper, layout, f, nd, core_cells](
+          const std::pair<ChunkId, Chunk>& rec) {
+        const auto& [cid, chunk] = rec;
+        std::vector<std::pair<uint32_t, double>> out_cells;
+        // Iterate the core cells through the base mapper's offsets.
+        const ArrayMetadata& m = mapper->metadata();
+        for (uint32_t off = 0; off < core_cells; ++off) {
+          if (!mapper->OffsetInBounds(cid, off)) continue;
+          const Coords pos = mapper->CoordsFromChunkOffset(cid, off);
+          const uint32_t e_off = layout->OffsetFor(*mapper, cid, pos);
+          if (!chunk.Valid(e_off)) continue;
+          // Aggregate the per-dim (2*radii[d]+1) neighborhood in
+          // expanded space.
+          AggState state = f->Initialize();
+          Coords npos(nd);
+          std::vector<int64_t> d_iter(nd);
+          for (size_t d = 0; d < nd; ++d) {
+            d_iter[d] = -static_cast<int64_t>(layout->radii[d]);
+          }
+          for (;;) {
+            bool in_array = true;
+            for (size_t d = 0; d < nd; ++d) {
+              npos[d] = pos[d] + d_iter[d];
+              const int64_t rel = npos[d] - m.dim(d).start;
+              if (rel < 0 ||
+                  rel >= static_cast<int64_t>(m.dim(d).size)) {
+                in_array = false;
+                break;
+              }
+            }
+            if (in_array) {
+              const uint32_t n_off = layout->OffsetFor(*mapper, cid, npos);
+              if (chunk.Valid(n_off)) {
+                f->Accumulate(&state, chunk.Value(n_off));
+              }
+            }
+            size_t d = 0;
+            while (d < nd &&
+                   ++d_iter[d] > static_cast<int64_t>(layout->radii[d])) {
+              d_iter[d] = -static_cast<int64_t>(layout->radii[d]);
+              ++d;
+            }
+            if (d == nd) break;
+          }
+          out_cells.emplace_back(off, f->Evaluate(state));
+        }
+        const ChunkMode mode =
+            Chunk::ChooseMode(core_cells, out_cells.size());
+        Chunk out_chunk =
+            Chunk::FromCells(core_cells, std::move(out_cells), mode);
+        return std::pair<ChunkId, Chunk>(cid, std::move(out_chunk));
+      });
+  auto filtered = result.Filter([](const std::pair<ChunkId, Chunk>& rec) {
+    return rec.second.num_valid() > 0;
+  });
+  return ArrayRdd(meta, ToPair<ChunkId, Chunk>(std::move(filtered),
+                                               chunks_.partitioner()));
+}
+
+Result<ArrayRdd> OverlapArrayRdd::RegridAggregateLocal(
+    const AggregateFunction& fn, const std::vector<uint64_t>& grid) const {
+  const ArrayMetadata& meta = mapper_->metadata();
+  const size_t nd = meta.num_dims();
+  if (grid.size() != nd) {
+    return Status::InvalidArgument("regrid dimensionality mismatch");
+  }
+  for (size_t d = 0; d < nd; ++d) {
+    if (grid[d] == 0) return Status::InvalidArgument("regrid block of 0");
+    const uint64_t needed =
+        meta.dim(d).chunk_size % grid[d] != 0 ? grid[d] - 1 : 0;
+    if (radii_[d] < needed) {
+      return Status::FailedPrecondition(
+          "overlap radius " + std::to_string(radii_[d]) + " along dim " +
+          std::to_string(d) + " < required straddle " +
+          std::to_string(needed));
+    }
+  }
+  std::vector<Dimension> out_dims;
+  for (size_t d = 0; d < nd; ++d) {
+    Dimension dim = meta.dim(d);
+    dim.start = 0;
+    dim.size = (dim.size + grid[d] - 1) / grid[d];
+    dim.chunk_size =
+        std::max<uint64_t>(1, (dim.chunk_size + grid[d] - 1) / grid[d]);
+    if (dim.chunk_size > dim.size) dim.chunk_size = dim.size;
+    out_dims.push_back(dim);
+  }
+  SPANGLE_ASSIGN_OR_RETURN(ArrayMetadata out_meta,
+                           ArrayMetadata::Make(std::move(out_dims)));
+  auto out_mapper = std::make_shared<Mapper>(out_meta);
+  auto mapper = mapper_;
+  std::shared_ptr<const AggregateFunction> f = fn.Clone();
+  auto layout = std::make_shared<ExpandedLayout>(meta, radii_);
+
+  // A chunk owns every output block whose input-space origin lies inside
+  // its core region; straddling cells come from the ghost region. One
+  // sequential pass over the expanded chunk (delta-count iteration)
+  // accumulates states per owned block.
+  auto cells_rdd = chunks_.AsRdd().FlatMap(
+      [mapper, out_mapper, layout, grid, f, nd](
+          const std::pair<ChunkId, Chunk>& rec) {
+        const auto& [cid, chunk] = rec;
+        const ArrayMetadata& m = mapper->metadata();
+        std::vector<std::pair<uint64_t, std::pair<uint32_t, double>>> out;
+        // Core bounds and per-dim strides of the expanded layout.
+        std::vector<int64_t> cstart(nd), cend(nd), start(nd);
+        for (size_t d = 0; d < nd; ++d) {
+          cstart[d] = mapper->ChunkStart(cid, d);
+          cend[d] = std::min<int64_t>(
+              cstart[d] + static_cast<int64_t>(m.dim(d).chunk_size),
+              m.dim(d).start + static_cast<int64_t>(m.dim(d).size));
+          start[d] = m.dim(d).start;
+        }
+        std::unordered_map<uint64_t, AggState> acc;
+        Coords pos(nd), out_pos(nd);
+        chunk.ForEachValid([&](uint32_t e_off, double v) {
+          // Global position from the expanded offset.
+          bool owned = true;
+          for (size_t d = 0; d < nd; ++d) {
+            const uint64_t local =
+                (e_off / layout->stride[d]) % layout->ext[d];
+            pos[d] = cstart[d] - static_cast<int64_t>(layout->radii[d]) +
+                     static_cast<int64_t>(local);
+            const int64_t rel = pos[d] - start[d];
+            if (rel < 0 ||
+                rel >= static_cast<int64_t>(m.dim(d).size)) {
+              owned = false;
+              break;
+            }
+            // This cell belongs to the block whose origin is:
+            const int64_t g = static_cast<int64_t>(grid[d]);
+            const int64_t origin = start[d] + (rel / g) * g;
+            if (origin < cstart[d] || origin >= cend[d]) {
+              owned = false;  // another chunk owns this block
+              break;
+            }
+            out_pos[d] = rel / g;
+          }
+          if (!owned) return;
+          const uint64_t key =
+              out_mapper->ChunkIdFromCoords(out_pos) *
+                  out_mapper->cells_per_chunk() +
+              out_mapper->LocalOffset(out_pos);
+          auto [it, inserted] = acc.try_emplace(key, f->Initialize());
+          f->Accumulate(&it->second, v);
+        });
+        out.reserve(acc.size());
+        for (auto& [key, state] : acc) {
+          const uint64_t cpc = out_mapper->cells_per_chunk();
+          out.emplace_back(key / cpc,
+                           std::make_pair(static_cast<uint32_t>(key % cpc),
+                                          f->Evaluate(state)));
+        }
+        return out;
+      });
+  const uint32_t out_cpc = out_mapper->cells_per_chunk();
+  auto grouped =
+      ToPair<uint64_t, std::pair<uint32_t, double>>(std::move(cells_rdd))
+          .GroupByKey();
+  auto chunks = grouped.MapValues(
+      [out_cpc](const std::vector<std::pair<uint32_t, double>>& cells) {
+        auto copy = cells;
+        return Chunk::FromCells(out_cpc, std::move(copy),
+                                Chunk::ChooseMode(out_cpc, cells.size()));
+      });
+  return ArrayRdd(out_meta, std::move(chunks));
+}
+
+}  // namespace spangle

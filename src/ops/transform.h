@@ -1,0 +1,40 @@
+#ifndef SPANGLE_OPS_TRANSFORM_H_
+#define SPANGLE_OPS_TRANSFORM_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "array/spangle_array.h"
+#include "common/result.h"
+
+namespace spangle {
+
+/// Structural array-algebra operators beyond the paper's core four —
+/// standard in array systems (AQL/AML [23][24], SciDB) and natural
+/// companions to Subarray/Filter.
+
+/// Fixes dimension `dim_name` at `coordinate` and removes it: a 3-d
+/// (img, x, y) array sliced at img=2 becomes the 2-d (x, y) image #2.
+/// Works on a single attribute; cells outside the slice vanish.
+Result<ArrayRdd> Slice(const ArrayRdd& in, const std::string& dim_name,
+                       int64_t coordinate);
+
+/// Derives a new attribute cell-wise from existing ones: for every cell
+/// valid in *all* of `inputs`, value = fn(input values in order). The
+/// classic use is SDSS color indices, e.g. u - g. The result array
+/// carries the original attributes plus the derived one.
+Result<SpangleArray> Apply(
+    const SpangleArray& in, const std::string& new_attr,
+    const std::vector<std::string>& inputs,
+    std::function<double(const std::vector<double>&)> fn);
+
+/// Concatenates two single-attribute arrays along `dim_name`: the right
+/// array's coordinates are shifted past the left array's extent. All
+/// other dimensions (and chunking) must match.
+Result<ArrayRdd> Concat(const ArrayRdd& left, const ArrayRdd& right,
+                        const std::string& dim_name);
+
+}  // namespace spangle
+
+#endif  // SPANGLE_OPS_TRANSFORM_H_

@@ -1,0 +1,64 @@
+#include "workload/graph_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace spangle {
+
+std::vector<std::pair<uint64_t, uint64_t>> GenerateRmat(
+    const RmatOptions& options) {
+  Rng rng(options.seed);
+  const uint64_t n = uint64_t{1} << options.scale;
+  const uint64_t target = n * options.edges_per_vertex;
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  edges.reserve(target);
+  std::unordered_set<uint64_t> seen;
+  const double ab = options.a + options.b;
+  const double abc = ab + options.c;
+  uint64_t attempts = 0;
+  while (edges.size() < target && attempts < target * 8) {
+    ++attempts;
+    uint64_t src = 0, dst = 0;
+    for (uint32_t level = 0; level < options.scale; ++level) {
+      const double r = rng.NextDouble();
+      src <<= 1;
+      dst <<= 1;
+      if (r < options.a) {
+        // top-left quadrant: no bits set
+      } else if (r < ab) {
+        dst |= 1;
+      } else if (r < abc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    if (!options.allow_self_loops && src == dst) continue;
+    if (options.deduplicate) {
+      if (!seen.insert(src * n + dst).second) continue;
+    }
+    edges.emplace_back(src, dst);
+  }
+  return edges;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> GenerateUniformGraph(
+    uint64_t n, uint64_t m, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  edges.reserve(m);
+  std::unordered_set<uint64_t> seen;
+  while (edges.size() < m) {
+    const uint64_t src = rng.NextBounded(n);
+    const uint64_t dst = rng.NextBounded(n);
+    if (src == dst) continue;
+    if (!seen.insert(src * n + dst).second) continue;
+    edges.emplace_back(src, dst);
+  }
+  return edges;
+}
+
+}  // namespace spangle

@@ -1,0 +1,33 @@
+#ifndef SPANGLE_WORKLOAD_GRAPH_GEN_H_
+#define SPANGLE_WORKLOAD_GRAPH_GEN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace spangle {
+
+/// R-MAT graph generator (Chakrabarti et al.): recursive quadrant
+/// sampling with probabilities (a, b, c, d) produces the power-law
+/// degree distributions of the paper's SNAP/Twitter graphs at any scale.
+struct RmatOptions {
+  uint32_t scale = 10;            // n = 2^scale vertices
+  uint64_t edges_per_vertex = 8;  // m = n * edges_per_vertex
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  bool deduplicate = true;
+  bool allow_self_loops = false;
+  uint64_t seed = 17;
+};
+
+/// Returns directed (src, dst) edges.
+std::vector<std::pair<uint64_t, uint64_t>> GenerateRmat(
+    const RmatOptions& options);
+
+/// Uniform Erdos–Renyi style edges: m edges drawn uniformly (for low-skew
+/// controls).
+std::vector<std::pair<uint64_t, uint64_t>> GenerateUniformGraph(
+    uint64_t n, uint64_t m, uint64_t seed);
+
+}  // namespace spangle
+
+#endif  // SPANGLE_WORKLOAD_GRAPH_GEN_H_

@@ -1,0 +1,60 @@
+#include "workload/lr_data_gen.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace spangle {
+
+LrSplit GenerateLrData(const LrDataOptions& options) {
+  Rng rng(options.seed);
+  // Ground-truth weights: half the features carry signal, so a row's
+  // margin |z| is usually far from the decision boundary and the Bayes
+  // accuracy is high (the paper's datasets reach 86-95%).
+  std::vector<double> w_true(options.features, 0.0);
+  for (uint64_t f = 0; f < options.features; ++f) {
+    if (rng.NextBool(0.5)) w_true[f] = rng.NextGaussian() * 2.0;
+  }
+  SparseDataset all;
+  all.rows = options.rows;
+  all.features = options.features;
+  all.labels.resize(options.rows);
+  for (uint64_t r = 0; r < options.rows; ++r) {
+    std::unordered_set<uint64_t> cols;
+    double z = 0;
+    while (cols.size() < options.nnz_per_row) {
+      const uint64_t c = rng.NextBounded(options.features);
+      if (!cols.insert(c).second) continue;
+      const double v = rng.NextDouble(0.5, 1.5);
+      all.entries.push_back({r, c, v});
+      z += v * w_true[c];
+    }
+    const double p = 1.0 / (1.0 + std::exp(-z));
+    double label = p >= 0.5 ? 1.0 : 0.0;
+    if (rng.NextBool(options.label_noise)) label = 1.0 - label;
+    all.labels[r] = label;
+  }
+  // 80/20 split by row index (rows are i.i.d., so a prefix split is a
+  // random split).
+  const uint64_t train_rows = options.rows * 8 / 10;
+  LrSplit split;
+  split.train.rows = train_rows;
+  split.train.features = options.features;
+  split.test.rows = options.rows - train_rows;
+  split.test.features = options.features;
+  split.train.labels.assign(all.labels.begin(),
+                            all.labels.begin() + train_rows);
+  split.test.labels.assign(all.labels.begin() + train_rows,
+                           all.labels.end());
+  for (const auto& e : all.entries) {
+    if (e.row < train_rows) {
+      split.train.entries.push_back(e);
+    } else {
+      split.test.entries.push_back({e.row - train_rows, e.col, e.value});
+    }
+  }
+  return split;
+}
+
+}  // namespace spangle

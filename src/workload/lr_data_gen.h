@@ -1,0 +1,31 @@
+#ifndef SPANGLE_WORKLOAD_LR_DATA_GEN_H_
+#define SPANGLE_WORKLOAD_LR_DATA_GEN_H_
+
+#include <string>
+
+#include "ml/logreg.h"
+
+namespace spangle {
+
+/// Synthetic sparse classification data shaped like the paper's Table IIc
+/// datasets (URL reputation, KDD Cup): many sparse binary-ish features, a
+/// linearly separable core with label noise.
+struct LrDataOptions {
+  uint64_t rows = 4096;
+  uint64_t features = 1024;
+  uint64_t nnz_per_row = 32;
+  double label_noise = 0.05;
+  uint64_t seed = 31;
+};
+
+struct LrSplit {
+  SparseDataset train;
+  SparseDataset test;
+};
+
+/// Generates the dataset and splits it 80/20 (the paper's split).
+LrSplit GenerateLrData(const LrDataOptions& options);
+
+}  // namespace spangle
+
+#endif  // SPANGLE_WORKLOAD_LR_DATA_GEN_H_

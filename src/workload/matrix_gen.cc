@@ -1,0 +1,81 @@
+#include "workload/matrix_gen.h"
+
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace spangle {
+
+SyntheticMatrix GenerateUniformMatrix(const std::string& name, uint64_t rows,
+                                      uint64_t cols, double density,
+                                      uint64_t seed) {
+  SyntheticMatrix m;
+  m.name = name;
+  m.rows = rows;
+  m.cols = cols;
+  m.density = density;
+  Rng rng(seed);
+  const uint64_t target = static_cast<uint64_t>(
+      density * static_cast<double>(rows) * static_cast<double>(cols));
+  std::unordered_set<uint64_t> seen;
+  m.entries.reserve(target);
+  while (m.entries.size() < target) {
+    const uint64_t r = rng.NextBounded(rows);
+    const uint64_t c = rng.NextBounded(cols);
+    if (!seen.insert(r * cols + c).second) continue;
+    m.entries.push_back({r, c, rng.NextDouble(0.1, 2.0)});
+  }
+  return m;
+}
+
+SyntheticMatrix GeneratePowerLawMatrix(const std::string& name, uint64_t rows,
+                                       uint64_t cols, uint64_t nnz,
+                                       double skew, uint64_t seed) {
+  SyntheticMatrix m;
+  m.name = name;
+  m.rows = rows;
+  m.cols = cols;
+  m.density = static_cast<double>(nnz) /
+              (static_cast<double>(rows) * static_cast<double>(cols));
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  m.entries.reserve(nnz);
+  uint64_t attempts = 0;
+  while (m.entries.size() < nnz && attempts < nnz * 8) {
+    ++attempts;
+    const uint64_t r = rng.NextZipf(rows, skew);
+    const uint64_t c = rng.NextZipf(cols, skew);
+    if (!seen.insert(r * cols + c).second) continue;
+    m.entries.push_back({r, c, rng.NextDouble(0.1, 2.0)});
+  }
+  return m;
+}
+
+std::vector<SyntheticMatrix> TableIIaMatrices(uint64_t shrink, uint64_t seed) {
+  // Paper shapes: Covtype 581Kx54 (d=0.218), Mouse 45Kx45K (0.014),
+  // Hardesty 8Mx8M (6.4e-7), Mawi 129Mx129M (9.3e-9). Densities are kept;
+  // dimensions shrink by `shrink`. The two network-trace matrices are
+  // skewed, so they use the power-law generator.
+  std::vector<SyntheticMatrix> out;
+  const uint64_t covtype_rows = std::max<uint64_t>(64, 581012 / shrink);
+  out.push_back(GenerateUniformMatrix("covtype", covtype_rows, 54, 0.218,
+                                      seed));
+  const uint64_t mouse_n = std::max<uint64_t>(64, 45000 / shrink);
+  out.push_back(
+      GenerateUniformMatrix("mouse", mouse_n, mouse_n, 0.014, seed + 1));
+  const uint64_t hardesty_n = std::max<uint64_t>(256, 8000000 / shrink);
+  const uint64_t hardesty_nnz = std::max<uint64_t>(
+      100, static_cast<uint64_t>(6.4e-7 * static_cast<double>(hardesty_n) *
+                                 static_cast<double>(hardesty_n)));
+  out.push_back(GeneratePowerLawMatrix("hardesty", hardesty_n, hardesty_n,
+                                       hardesty_nnz, 1.2, seed + 2));
+  const uint64_t mawi_n = std::max<uint64_t>(512, 129000000 / shrink);
+  const uint64_t mawi_nnz = std::max<uint64_t>(
+      100, static_cast<uint64_t>(9.3e-9 * static_cast<double>(mawi_n) *
+                                 static_cast<double>(mawi_n)));
+  out.push_back(
+      GeneratePowerLawMatrix("mawi", mawi_n, mawi_n, mawi_nnz, 1.3, seed + 3));
+  return out;
+}
+
+}  // namespace spangle

@@ -1,0 +1,42 @@
+#ifndef SPANGLE_WORKLOAD_MATRIX_GEN_H_
+#define SPANGLE_WORKLOAD_MATRIX_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "matrix/block_matrix.h"
+
+namespace spangle {
+
+/// Synthetic stand-ins for the paper's Table IIa matrices (Covtype,
+/// Mouse, Hardesty, Mawi), preserving each dataset's *density* — the
+/// property the paper shows dominates matrix-op performance — at
+/// laptop-feasible dimensions.
+struct SyntheticMatrix {
+  std::string name;
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  double density = 0;
+  std::vector<MatrixEntry> entries;
+};
+
+/// Uniform random sparse matrix with exactly ~density * rows * cols
+/// non-zeros.
+SyntheticMatrix GenerateUniformMatrix(const std::string& name, uint64_t rows,
+                                      uint64_t cols, double density,
+                                      uint64_t seed);
+
+/// Power-law sparse matrix: row populations follow a Zipf distribution,
+/// mimicking the network-trace matrices (Mawi) where a few rows are hot.
+SyntheticMatrix GeneratePowerLawMatrix(const std::string& name, uint64_t rows,
+                                       uint64_t cols, uint64_t nnz,
+                                       double skew, uint64_t seed);
+
+/// The four Table IIa stand-ins at 1/`shrink` of the paper's dimensions,
+/// each with the paper's density.
+std::vector<SyntheticMatrix> TableIIaMatrices(uint64_t shrink,
+                                              uint64_t seed = 23);
+
+}  // namespace spangle
+
+#endif  // SPANGLE_WORKLOAD_MATRIX_GEN_H_

@@ -1,0 +1,86 @@
+#ifndef SPANGLE_WORKLOAD_QUERIES_H_
+#define SPANGLE_WORKLOAD_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "array/spangle_array.h"
+#include "ops/overlap.h"
+
+namespace spangle {
+
+/// Parameters for the Table I benchmark queries (after the SS-DB
+/// scientific benchmark). Boxes are closed; `use_range` off reproduces
+/// the Fig. 7a variant that omits the range predicate.
+struct QueryParams {
+  Coords lo, hi;                 // spatial selection box
+  bool use_range = true;
+  std::string attr = "u";        // primary attribute
+  std::string attr2 = "g";       // Q4's second attribute
+  double threshold = 0.5;        // Q3/Q4 value condition: v > threshold
+  double threshold2 = 1.0;       // Q4 second condition on attr2
+  std::vector<uint64_t> grid;    // Q2/Q5 regrid block edge per dimension
+  double min_count = 3;          // Q5: groups with more observations
+};
+
+/// Engine-agnostic query suite: Spangle and every baseline system
+/// implement these five entry points so the Fig. 7 benches drive them
+/// identically and can cross-check results.
+class RasterEngine {
+ public:
+  virtual ~RasterEngine() = default;
+  virtual std::string name() const = 0;
+
+  /// Q1 (Aggregation): average value of the selected cells.
+  virtual Result<double> Q1Average(const QueryParams& q) = 0;
+  /// Q2 (Regridding): block-average regrid; returns output cell count.
+  virtual Result<uint64_t> Q2Regrid(const QueryParams& q) = 0;
+  /// Q3 (Aggregation): average of selected cells matching v > threshold.
+  virtual Result<double> Q3FilteredAverage(const QueryParams& q) = 0;
+  /// Q4 (Polygons): among selected cells passing the attr condition,
+  /// count those whose attr2 value passes the second condition.
+  virtual Result<uint64_t> Q4Polygons(const QueryParams& q) = 0;
+  /// Q5 (Density): group cells into grid blocks; count blocks holding
+  /// more than min_count observations.
+  virtual Result<uint64_t> Q5Density(const QueryParams& q) = 0;
+};
+
+/// Spangle's implementation: Subarray/Filter update the MaskRdd lazily,
+/// aggregation reconciles on demand, and Q2/Q5 run on the pre-built
+/// overlap (ghost cells) when available, avoiding the regrid shuffle.
+class SpangleRasterEngine : public RasterEngine {
+ public:
+  /// `overlap_radius` > 0 pre-builds ghost cells for attribute
+  /// `overlap_attr` at construction — a load-time cost, like the paper's
+  /// overlap which is set at chunk creation and used by Q2 and Q5.
+  SpangleRasterEngine(SpangleArray array, uint64_t overlap_radius = 0,
+                      const std::string& overlap_attr = "u");
+
+  std::string name() const override { return "Spangle"; }
+  Result<double> Q1Average(const QueryParams& q) override;
+  Result<uint64_t> Q2Regrid(const QueryParams& q) override;
+  Result<double> Q3FilteredAverage(const QueryParams& q) override;
+  Result<uint64_t> Q4Polygons(const QueryParams& q) override;
+  Result<uint64_t> Q5Density(const QueryParams& q) override;
+
+ private:
+  Result<SpangleArray> Selected(const QueryParams& q) const;
+  /// Regrids via the pre-built overlap when the query allows it (no
+  /// range, matching attribute, enough radius), else the shuffle path.
+  Result<ArrayRdd> RegridVia(const QueryParams& q,
+                             const AggregateFunction& fn);
+
+  SpangleArray array_;
+  uint64_t overlap_radius_ = 0;
+  bool overlap_built_ = false;
+  std::string overlap_attr_;
+  OverlapArrayRdd overlap_;
+};
+
+/// Counts valid cells of `array` whose value satisfies `pred`.
+uint64_t CountCellsWhere(const ArrayRdd& array,
+                         const std::function<bool(double)>& pred);
+
+}  // namespace spangle
+
+#endif  // SPANGLE_WORKLOAD_QUERIES_H_

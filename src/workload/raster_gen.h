@@ -1,0 +1,64 @@
+#ifndef SPANGLE_WORKLOAD_RASTER_GEN_H_
+#define SPANGLE_WORKLOAD_RASTER_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "array/spangle_array.h"
+
+namespace spangle {
+
+/// Generator-produced raster data: the logical cells per attribute plus
+/// the metadata. Kept engine-agnostic so the same dataset feeds Spangle
+/// and every baseline system in the Fig. 7 benches.
+struct RasterData {
+  ArrayMetadata meta;
+  std::vector<std::string> attr_names;
+  // cells[a] = valid cells of attribute a.
+  std::vector<std::vector<CellValue>> cells;
+
+  uint64_t TotalValid() const {
+    uint64_t n = 0;
+    for (const auto& c : cells) n += c.size();
+    return n;
+  }
+
+  /// Loads into a Spangle multi-attribute array.
+  Result<SpangleArray> ToSpangle(Context* ctx,
+                                 ModePolicy policy = ModePolicy::Auto(),
+                                 bool use_mask_rdd = true) const;
+};
+
+/// SDSS-like sky survey images (paper Sec. VII-B): a stack of `images`
+/// frames of `width x height` pixels with `bands` attributes (u g r i z).
+/// The sky is mostly empty; `source_density` point sources per pixel are
+/// splatted as small blobs, so valid cells cluster the way stars do.
+/// Dimensions: (img, x, y); chunking (1, chunk, chunk).
+struct SkyOptions {
+  uint64_t images = 4;
+  uint64_t width = 256;
+  uint64_t height = 256;
+  uint64_t bands = 5;
+  uint64_t chunk = 128;
+  double source_density = 0.002;  // sources per pixel
+  uint64_t seed = 7;
+};
+RasterData GenerateSky(const SkyOptions& options);
+
+/// SeaWiFS-chlorophyll-like data (paper's CHL): dims (lon, lat, time),
+/// one attribute; ~`land_fraction` of the globe is land (null), the rest
+/// holds positive chlorophyll values with a latitude gradient.
+struct ChlOptions {
+  uint64_t lon = 360;
+  uint64_t lat = 180;
+  uint64_t time = 4;
+  uint64_t chunk_lon = 64;
+  uint64_t chunk_lat = 64;
+  double land_fraction = 0.35;
+  uint64_t seed = 11;
+};
+RasterData GenerateChl(const ChlOptions& options);
+
+}  // namespace spangle
+
+#endif  // SPANGLE_WORKLOAD_RASTER_GEN_H_

@@ -1,0 +1,127 @@
+// Randomized property sweep for the array layer: every cell written must
+// read back exactly once, under every chunk mode, chunk shape and random
+// subarray box, against a driver-side reference model.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "array/mask_rdd.h"
+#include "common/random.h"
+
+namespace spangle {
+namespace {
+
+struct Case {
+  uint64_t seed;
+  uint64_t chunk_x;
+  uint64_t chunk_y;
+  double density;
+};
+
+class ArrayPropertyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ArrayPropertyTest, CellsSubarrayAndMasksAgreeWithModel) {
+  const Case c = GetParam();
+  Context ctx(2);
+  const int64_t W = 50, H = 34;
+  auto meta = *ArrayMetadata::Make(
+      {{"x", 0, static_cast<uint64_t>(W), c.chunk_x, 0},
+       {"y", -5, static_cast<uint64_t>(H), c.chunk_y, 0}});
+  Rng rng(c.seed);
+  std::map<std::pair<int64_t, int64_t>, double> model;
+  std::vector<CellValue> cells;
+  for (int64_t x = 0; x < W; ++x) {
+    for (int64_t y = -5; y < H - 5; ++y) {
+      if (rng.NextBool(c.density)) {
+        const double v = rng.NextDouble(-100, 100);
+        model[{x, y}] = v;
+        cells.push_back({{x, y}, v});
+      }
+    }
+  }
+  auto array = *ArrayRdd::FromCells(&ctx, meta, cells);
+  ASSERT_EQ(array.CountValid(), model.size());
+
+  // Every model cell reads back; a sample of absent cells reads null.
+  for (const auto& [pos, v] : model) {
+    auto got = array.GetCell({pos.first, pos.second});
+    ASSERT_TRUE(got.ok()) << pos.first << "," << pos.second;
+    EXPECT_DOUBLE_EQ(*got, v);
+  }
+  Rng probe(c.seed + 1);
+  for (int i = 0; i < 50; ++i) {
+    const int64_t x = static_cast<int64_t>(probe.NextBounded(W));
+    const int64_t y =
+        static_cast<int64_t>(probe.NextBounded(H)) - 5;
+    const bool exists = model.count({x, y}) > 0;
+    EXPECT_EQ(array.GetCell({x, y}).ok(), exists);
+  }
+
+  // Random subarray boxes match a model count.
+  auto mask = MaskRdd::FromArray(array);
+  for (int trial = 0; trial < 6; ++trial) {
+    int64_t x0 = static_cast<int64_t>(probe.NextBounded(W));
+    int64_t x1 = static_cast<int64_t>(probe.NextBounded(W));
+    int64_t y0 = static_cast<int64_t>(probe.NextBounded(H)) - 5;
+    int64_t y1 = static_cast<int64_t>(probe.NextBounded(H)) - 5;
+    if (x0 > x1) std::swap(x0, x1);
+    if (y0 > y1) std::swap(y0, y1);
+    uint64_t expected = 0;
+    for (const auto& [pos, v] : model) {
+      if (pos.first >= x0 && pos.first <= x1 && pos.second >= y0 &&
+          pos.second <= y1) {
+        ++expected;
+      }
+    }
+    auto view = mask.AndRange({x0, y0}, {x1, y1});
+    EXPECT_EQ(view.CountValid(), expected)
+        << "box [" << x0 << "," << y0 << "]..[" << x1 << "," << y1 << "]";
+    // Applying the view then counting must agree with the mask count.
+    EXPECT_EQ(view.ApplyTo(array).CountValid(), expected);
+  }
+
+  // Mode conversion preserves everything.
+  for (ChunkMode mode : {ChunkMode::kDense, ChunkMode::kSparse,
+                         ChunkMode::kSuperSparse}) {
+    EXPECT_EQ(array.ConvertMode(mode).CountValid(), model.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ArrayPropertyTest,
+    ::testing::Values(Case{1, 8, 8, 0.05}, Case{2, 8, 8, 0.6},
+                      Case{3, 16, 4, 0.2}, Case{4, 7, 11, 0.2},
+                      Case{5, 50, 34, 0.1}, Case{6, 3, 3, 0.4}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_cx" +
+             std::to_string(info.param.chunk_x) + "_cy" +
+             std::to_string(info.param.chunk_y);
+    });
+
+TEST(MaskAlgebraPropertyTest, AndOrAlgebraOnViews) {
+  Context ctx(2);
+  auto meta = *ArrayMetadata::Make({{"x", 0, 40, 8, 0}});
+  Rng rng(77);
+  std::vector<CellValue> ca, cb, cc;
+  for (int64_t x = 0; x < 40; ++x) {
+    if (rng.NextBool(0.5)) ca.push_back({{x}, 1.0});
+    if (rng.NextBool(0.5)) cb.push_back({{x}, 1.0});
+    if (rng.NextBool(0.5)) cc.push_back({{x}, 1.0});
+  }
+  auto ma = MaskRdd::FromArray(*ArrayRdd::FromCells(&ctx, meta, ca));
+  auto mb = MaskRdd::FromArray(*ArrayRdd::FromCells(&ctx, meta, cb));
+  auto mc = MaskRdd::FromArray(*ArrayRdd::FromCells(&ctx, meta, cc));
+  // Associativity of And and Or.
+  EXPECT_EQ(ma.And(mb).And(mc).CountValid(),
+            ma.And(mb.And(mc)).CountValid());
+  EXPECT_EQ(ma.Or(mb).Or(mc).CountValid(), ma.Or(mb.Or(mc)).CountValid());
+  // Distributivity: a & (b | c) == (a & b) | (a & c).
+  EXPECT_EQ(ma.And(mb.Or(mc)).CountValid(),
+            ma.And(mb).Or(ma.And(mc)).CountValid());
+  // Absorption: a & (a | b) == a.
+  EXPECT_EQ(ma.And(ma.Or(mb)).CountValid(), ma.CountValid());
+}
+
+}  // namespace
+}  // namespace spangle

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "array/array_rdd.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+
+namespace spangle {
+namespace {
+
+TEST(DistributedIngestTest, MatchesDriverSideIngest) {
+  Context ctx(4);
+  auto meta = *ArrayMetadata::Make({{"x", 0, 64, 16, 0},
+                                    {"y", 0, 48, 16, 0}});
+  Rng rng(5);
+  std::vector<CellValue> cells;
+  for (int64_t x = 0; x < 64; ++x) {
+    for (int64_t y = 0; y < 48; ++y) {
+      if (rng.NextBool(0.2)) cells.push_back({{x, y}, rng.NextDouble(0, 9)});
+    }
+  }
+  auto driver_side = *ArrayRdd::FromCells(&ctx, meta, cells);
+  auto distributed = *ArrayRdd::FromCellsDistributed(&ctx, meta, cells);
+  EXPECT_EQ(distributed.CountValid(), driver_side.CountValid());
+  EXPECT_EQ(distributed.NumChunks(), driver_side.NumChunks());
+  auto sort_cells = [](std::vector<CellValue> v) {
+    std::sort(v.begin(), v.end(), [](const CellValue& a, const CellValue& b) {
+      return a.pos < b.pos;
+    });
+    return v;
+  };
+  auto a = sort_cells(driver_side.CollectCells());
+  auto b = sort_cells(distributed.CollectCells());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pos, b[i].pos);
+    EXPECT_DOUBLE_EQ(a[i].value, b[i].value);
+  }
+}
+
+TEST(DistributedIngestTest, RunsTheMapReducePipeline) {
+  Context ctx(4);
+  auto meta = *ArrayMetadata::Make({{"x", 0, 32, 8, 0}});
+  std::vector<CellValue> cells;
+  for (int64_t x = 0; x < 32; ++x) cells.push_back({{x}, double(x)});
+  ctx.metrics().Reset();
+  auto array = *ArrayRdd::FromCellsDistributed(&ctx, meta, cells);
+  array.CountValid();
+  EXPECT_GE(ctx.metrics().shuffles.load(), 1u)
+      << "grouping cells into chunks is the ingest shuffle";
+  EXPECT_DOUBLE_EQ(*array.GetCell({17}), 17.0);
+}
+
+TEST(DistributedIngestTest, ValidatesBounds) {
+  Context ctx(2);
+  auto meta = *ArrayMetadata::Make({{"x", 0, 8, 4, 0}});
+  EXPECT_TRUE(ArrayRdd::FromCellsDistributed(&ctx, meta, {{{9}, 1.0}})
+                  .status()
+                  .IsOutOfRange());
+  EXPECT_FALSE(
+      ArrayRdd::FromCellsDistributed(&ctx, meta, {{{0, 0}, 1.0}}).ok());
+}
+
+TEST(TaskOverheadTest, SimulatedSchedulingCostSlowsManySmallTasks) {
+  // With per-task overhead, 512 tiny tasks must cost measurably more
+  // than 4 large ones — the Fig. 8 small-chunk effect.
+  Context ctx(4, 0, /*task_overhead_us=*/300);
+  auto many = ctx.Parallelize(std::vector<int>(512, 1), 512);
+  auto few = ctx.Parallelize(std::vector<int>(512, 1), 4);
+  Stopwatch t1;
+  many.Count();
+  const double many_secs = t1.ElapsedSeconds();
+  Stopwatch t2;
+  few.Count();
+  const double few_secs = t2.ElapsedSeconds();
+  EXPECT_GT(many_secs, few_secs * 4)
+      << "many=" << many_secs << " few=" << few_secs;
+}
+
+}  // namespace
+}  // namespace spangle

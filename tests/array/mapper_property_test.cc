@@ -1,0 +1,132 @@
+// Randomized round-trip sweep for Algorithm 1: for arbitrary metadata
+// (dimensionality, ragged extents, non-zero starts, uneven chunking),
+// coordinates <-> (ChunkId, offset) must be a bijection over the array,
+// ChunkIds must be unique per chunk-grid cell, and range queries must
+// cover exactly the intersecting chunks.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "array/mapper.h"
+#include "common/random.h"
+
+namespace spangle {
+namespace {
+
+ArrayMetadata RandomMeta(Rng* rng, size_t nd) {
+  std::vector<Dimension> dims(nd);
+  for (size_t d = 0; d < nd; ++d) {
+    dims[d].name = "d" + std::to_string(d);
+    dims[d].start = static_cast<int64_t>(rng->NextBounded(21)) - 10;
+    dims[d].size = 1 + rng->NextBounded(20);
+    dims[d].chunk_size = 1 + rng->NextBounded(dims[d].size + 3);
+  }
+  return *ArrayMetadata::Make(std::move(dims));
+}
+
+class MapperPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {};
+
+TEST_P(MapperPropertyTest, CoordinateRoundTripIsBijective) {
+  const auto [seed, nd] = GetParam();
+  Rng rng(seed);
+  const ArrayMetadata meta = RandomMeta(&rng, nd);
+  const Mapper mapper(meta);
+
+  // Enumerate every cell; (cid, offset) pairs must be unique and
+  // round-trip to the original coordinates.
+  std::set<std::pair<ChunkId, uint32_t>> seen;
+  Coords pos(nd);
+  for (size_t d = 0; d < nd; ++d) pos[d] = meta.dim(d).start;
+  uint64_t cells = 0;
+  for (;;) {
+    ASSERT_TRUE(mapper.InBounds(pos));
+    const ChunkId cid = mapper.ChunkIdFromCoords(pos);
+    const uint32_t off = mapper.LocalOffset(pos);
+    ASSERT_LT(cid, meta.total_chunks());
+    ASSERT_LT(off, mapper.cells_per_chunk());
+    ASSERT_TRUE(seen.insert({cid, off}).second)
+        << "collision at cid=" << cid << " off=" << off;
+    ASSERT_EQ(mapper.CoordsFromChunkOffset(cid, off), pos);
+    ASSERT_TRUE(mapper.OffsetInBounds(cid, off));
+    // Chunk start must be consistent with the grid coordinates.
+    const auto grid = mapper.ChunkGridCoords(cid);
+    ASSERT_EQ(mapper.ChunkIdFromGrid(grid), cid);
+    for (size_t d = 0; d < nd; ++d) {
+      const int64_t start = mapper.ChunkStart(cid, d);
+      ASSERT_GE(pos[d], start);
+      ASSERT_LT(pos[d],
+                start + static_cast<int64_t>(meta.dim(d).chunk_size));
+    }
+    ++cells;
+    // Advance, last dim fastest.
+    size_t d = nd;
+    for (; d-- > 0;) {
+      if (++pos[d] < meta.dim(d).start +
+                         static_cast<int64_t>(meta.dim(d).size)) {
+        break;
+      }
+      pos[d] = meta.dim(d).start;
+      if (d == 0) {
+        d = SIZE_MAX;
+        break;
+      }
+    }
+    if (d == SIZE_MAX) break;
+  }
+  ASSERT_EQ(cells, meta.total_cells());
+}
+
+TEST_P(MapperPropertyTest, RangeQueryCoversExactlyIntersectingChunks) {
+  const auto [seed, nd] = GetParam();
+  Rng rng(seed + 1000);
+  const ArrayMetadata meta = RandomMeta(&rng, nd);
+  const Mapper mapper(meta);
+  for (int trial = 0; trial < 5; ++trial) {
+    Coords lo(nd), hi(nd);
+    for (size_t d = 0; d < nd; ++d) {
+      const int64_t a = meta.dim(d).start +
+                        static_cast<int64_t>(rng.NextBounded(
+                            meta.dim(d).size));
+      const int64_t b = meta.dim(d).start +
+                        static_cast<int64_t>(rng.NextBounded(
+                            meta.dim(d).size));
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+    }
+    auto ids = mapper.ChunkIdsInRange(lo, hi);
+    std::unordered_set<ChunkId> got(ids.begin(), ids.end());
+    ASSERT_EQ(got.size(), ids.size()) << "duplicate chunk ids";
+    // Reference: chunks of all cells inside the box.
+    std::unordered_set<ChunkId> want;
+    Coords pos = lo;
+    for (;;) {
+      want.insert(mapper.ChunkIdFromCoords(pos));
+      size_t d = nd;
+      for (; d-- > 0;) {
+        if (++pos[d] <= hi[d]) break;
+        pos[d] = lo[d];
+        if (d == 0) {
+          d = SIZE_MAX;
+          break;
+        }
+      }
+      if (d == SIZE_MAX) break;
+    }
+    EXPECT_EQ(got, want) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MapperPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(1, 2, 3)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_nd" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace spangle

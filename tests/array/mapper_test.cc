@@ -1,0 +1,132 @@
+#include "array/mapper.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace spangle {
+namespace {
+
+Mapper Mapper2D() {
+  return Mapper(*ArrayMetadata::Make({{"x", 0, 100, 10, 0},
+                                      {"y", 0, 60, 16, 0}}));
+}
+
+TEST(MapperTest, Algorithm1MatchesManualComputation) {
+  // Algorithm 1: chunkID = sum_i (pos_i / chunk_i) * length_i with
+  // length accumulating ceil(size/chunk) in ascending dimension order.
+  auto m = Mapper2D();
+  // (0,0) -> chunk (0,0) -> 0.
+  EXPECT_EQ(m.ChunkIdFromCoords({0, 0}), 0u);
+  // (23, 0) -> chunk (2, 0): id = 2 * 1 = 2.
+  EXPECT_EQ(m.ChunkIdFromCoords({23, 0}), 2u);
+  // (0, 17) -> chunk (0, 1): id = 1 * 10 = 10 (10 chunks along x).
+  EXPECT_EQ(m.ChunkIdFromCoords({0, 17}), 10u);
+  // (99, 59) -> chunk (9, 3): id = 9 + 3*10 = 39.
+  EXPECT_EQ(m.ChunkIdFromCoords({99, 59}), 39u);
+}
+
+TEST(MapperTest, NonZeroStart) {
+  Mapper m(*ArrayMetadata::Make({{"lon", -180, 360, 90, 0}}));
+  EXPECT_EQ(m.ChunkIdFromCoords({-180}), 0u);
+  EXPECT_EQ(m.ChunkIdFromCoords({-91}), 0u);
+  EXPECT_EQ(m.ChunkIdFromCoords({-90}), 1u);
+  EXPECT_EQ(m.ChunkIdFromCoords({179}), 3u);
+}
+
+TEST(MapperTest, GridRoundTrip) {
+  auto m = Mapper2D();
+  for (ChunkId id = 0; id < 40; ++id) {
+    EXPECT_EQ(m.ChunkIdFromGrid(m.ChunkGridCoords(id)), id);
+  }
+}
+
+TEST(MapperTest, CoordsRoundTripThroughChunkAndOffset) {
+  auto m = Mapper2D();
+  for (int64_t x = 0; x < 100; x += 7) {
+    for (int64_t y = 0; y < 60; y += 5) {
+      const Coords pos{x, y};
+      const ChunkId id = m.ChunkIdFromCoords(pos);
+      const uint32_t off = m.LocalOffset(pos);
+      EXPECT_LT(off, m.cells_per_chunk());
+      EXPECT_EQ(m.CoordsFromChunkOffset(id, off), pos);
+    }
+  }
+}
+
+TEST(MapperTest, LocalOffsetIsRowMajorLastDimFastest) {
+  auto m = Mapper2D();
+  // Chunk is 10x16; offset of (x=1,y=0) within chunk 0 must be 16.
+  EXPECT_EQ(m.LocalOffset({0, 0}), 0u);
+  EXPECT_EQ(m.LocalOffset({0, 1}), 1u);
+  EXPECT_EQ(m.LocalOffset({1, 0}), 16u);
+}
+
+TEST(MapperTest, ChunkStart) {
+  auto m = Mapper2D();
+  const ChunkId id = m.ChunkIdFromCoords({23, 37});
+  EXPECT_EQ(m.ChunkStart(id, 0), 20);
+  EXPECT_EQ(m.ChunkStart(id, 1), 32);
+}
+
+TEST(MapperTest, InBounds) {
+  auto m = Mapper2D();
+  EXPECT_TRUE(m.InBounds({0, 0}));
+  EXPECT_TRUE(m.InBounds({99, 59}));
+  EXPECT_FALSE(m.InBounds({100, 0}));
+  EXPECT_FALSE(m.InBounds({0, 60}));
+  EXPECT_FALSE(m.InBounds({-1, 0}));
+}
+
+TEST(MapperTest, OffsetInBoundsAtEdgeChunks) {
+  // y size 60, chunk 16 -> last chunk covers [48, 64) but only [48, 60)
+  // is real.
+  auto m = Mapper2D();
+  const ChunkId edge = m.ChunkIdFromCoords({0, 59});
+  EXPECT_TRUE(m.OffsetInBounds(edge, m.LocalOffset({0, 59})));
+  // Local y index 12..15 are past the array edge.
+  const uint32_t past = 12;  // (x local 0) * 16 + 12 -> y = 48+12 = 60
+  EXPECT_FALSE(m.OffsetInBounds(edge, past));
+}
+
+TEST(MapperTest, ChunkIdsInRangeExactCover) {
+  auto m = Mapper2D();
+  // Box [15..34] x [0..15] covers x-chunks 1..3, y-chunk 0.
+  auto ids = m.ChunkIdsInRange({15, 0}, {34, 15});
+  std::set<ChunkId> got(ids.begin(), ids.end());
+  EXPECT_EQ(got, (std::set<ChunkId>{1, 2, 3}));
+}
+
+TEST(MapperTest, ChunkIdsInRangeClampsToArray) {
+  auto m = Mapper2D();
+  auto ids = m.ChunkIdsInRange({-50, -50}, {500, 500});
+  EXPECT_EQ(ids.size(), 40u) << "clamped box covers every chunk";
+}
+
+TEST(MapperTest, ChunkIdsInRangeDisjointBoxIsEmpty) {
+  auto m = Mapper2D();
+  EXPECT_TRUE(m.ChunkIdsInRange({200, 0}, {300, 10}).empty());
+  EXPECT_TRUE(m.ChunkIdsInRange({-10, 0}, {-1, 10}).empty());
+}
+
+TEST(MapperTest, ThreeDimensional) {
+  Mapper m(*ArrayMetadata::Make(
+      {{"x", 0, 8, 4, 0}, {"y", 0, 8, 4, 0}, {"t", 0, 3, 1, 0}}));
+  EXPECT_EQ(m.cells_per_chunk(), 16u);
+  // 2x2x3 chunk grid.
+  std::set<ChunkId> all;
+  for (int64_t x = 0; x < 8; ++x) {
+    for (int64_t y = 0; y < 8; ++y) {
+      for (int64_t t = 0; t < 3; ++t) {
+        const Coords pos{x, y, t};
+        const ChunkId id = m.ChunkIdFromCoords(pos);
+        all.insert(id);
+        EXPECT_EQ(m.CoordsFromChunkOffset(id, m.LocalOffset(pos)), pos);
+      }
+    }
+  }
+  EXPECT_EQ(all.size(), 12u);
+}
+
+}  // namespace
+}  // namespace spangle

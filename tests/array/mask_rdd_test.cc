@@ -1,0 +1,152 @@
+#include "array/mask_rdd.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace spangle {
+namespace {
+
+ArrayMetadata Meta2D() {
+  return *ArrayMetadata::Make({{"x", 0, 32, 8, 0}, {"y", 0, 32, 8, 0}});
+}
+
+std::vector<CellValue> GridCells(int64_t step, double value) {
+  std::vector<CellValue> cells;
+  for (int64_t x = 0; x < 32; x += step) {
+    for (int64_t y = 0; y < 32; y += step) {
+      cells.push_back({{x, y}, value});
+    }
+  }
+  return cells;
+}
+
+TEST(RangeMaskTest, ExactBoxWithinOneChunk) {
+  Mapper mapper(Meta2D());
+  const ChunkId id = mapper.ChunkIdFromCoords({8, 8});
+  Bitmask m = RangeMaskForChunk(mapper, id, {9, 10}, {11, 12});
+  EXPECT_EQ(m.CountAll(), 3u * 3u);
+  for (int64_t x = 8; x < 16; ++x) {
+    for (int64_t y = 8; y < 16; ++y) {
+      const bool inside = x >= 9 && x <= 11 && y >= 10 && y <= 12;
+      EXPECT_EQ(m.Test(mapper.LocalOffset({x, y})), inside);
+    }
+  }
+}
+
+TEST(RangeMaskTest, BoxClampedToChunk) {
+  Mapper mapper(Meta2D());
+  const ChunkId id = mapper.ChunkIdFromCoords({0, 0});
+  Bitmask m = RangeMaskForChunk(mapper, id, {-5, 4}, {3, 100});
+  EXPECT_EQ(m.CountAll(), 4u * 4u);  // x 0..3, y 4..7
+}
+
+TEST(RangeMaskTest, DisjointChunkAllZero) {
+  Mapper mapper(Meta2D());
+  const ChunkId id = mapper.ChunkIdFromCoords({0, 0});
+  EXPECT_TRUE(RangeMaskForChunk(mapper, id, {20, 20}, {25, 25}).AllZero());
+}
+
+TEST(RangeMaskTest, OneDimensional) {
+  Mapper mapper(*ArrayMetadata::Make({{"x", 0, 100, 10, 0}}));
+  const ChunkId id = mapper.ChunkIdFromCoords({42});
+  Bitmask m = RangeMaskForChunk(mapper, id, {41}, {47});
+  EXPECT_EQ(m.CountAll(), 7u);
+  EXPECT_TRUE(m.Test(mapper.LocalOffset({41})));
+  EXPECT_TRUE(m.Test(mapper.LocalOffset({47})));
+  EXPECT_FALSE(m.Test(mapper.LocalOffset({48})));
+}
+
+TEST(MaskRddTest, FromArrayCountsValidity) {
+  Context ctx(2);
+  auto array = *ArrayRdd::FromCells(&ctx, Meta2D(), GridCells(2, 1.0));
+  auto mask = MaskRdd::FromArray(array);
+  EXPECT_EQ(mask.CountValid(), 16u * 16u);
+}
+
+TEST(MaskRddTest, AndIntersects) {
+  Context ctx(2);
+  auto a = *ArrayRdd::FromCells(&ctx, Meta2D(), GridCells(2, 1.0));
+  auto b = *ArrayRdd::FromCells(&ctx, Meta2D(), GridCells(4, 1.0));
+  auto anded = MaskRdd::FromArray(a).And(MaskRdd::FromArray(b));
+  EXPECT_EQ(anded.CountValid(), 8u * 8u) << "step-4 grid is the subset";
+}
+
+TEST(MaskRddTest, OrUnions) {
+  Context ctx(2);
+  // Disjoint halves.
+  std::vector<CellValue> left, right;
+  for (int64_t x = 0; x < 16; ++x) left.push_back({{x, 0}, 1.0});
+  for (int64_t x = 16; x < 32; ++x) right.push_back({{x, 0}, 1.0});
+  auto a = *ArrayRdd::FromCells(&ctx, Meta2D(), left);
+  auto b = *ArrayRdd::FromCells(&ctx, Meta2D(), right);
+  auto ored = MaskRdd::FromArray(a).Or(MaskRdd::FromArray(b));
+  EXPECT_EQ(ored.CountValid(), 32u);
+}
+
+TEST(MaskRddTest, AndWithDisjointChunksIsEmpty) {
+  Context ctx(2);
+  std::vector<CellValue> corner_a = {{{0, 0}, 1.0}};
+  std::vector<CellValue> corner_b = {{{31, 31}, 1.0}};
+  auto a = *ArrayRdd::FromCells(&ctx, Meta2D(), corner_a);
+  auto b = *ArrayRdd::FromCells(&ctx, Meta2D(), corner_b);
+  EXPECT_EQ(MaskRdd::FromArray(a).And(MaskRdd::FromArray(b)).CountValid(), 0u);
+}
+
+TEST(MaskRddTest, AndRangeSelectsBox) {
+  Context ctx(2);
+  auto array = *ArrayRdd::FromCells(&ctx, Meta2D(), GridCells(1, 2.0));
+  auto view = MaskRdd::FromArray(array).AndRange({4, 4}, {11, 19});
+  EXPECT_EQ(view.CountValid(), 8u * 16u);
+}
+
+TEST(MaskRddTest, AndRangePrunesChunks) {
+  Context ctx(2);
+  auto array = *ArrayRdd::FromCells(&ctx, Meta2D(), GridCells(1, 2.0));
+  auto view = MaskRdd::FromArray(array).AndRange({0, 0}, {7, 7});
+  // Only chunk (0,0) survives.
+  EXPECT_EQ(view.masks().Count(), 1u);
+}
+
+TEST(MaskRddTest, AndPredicateFiltersByValue) {
+  Context ctx(2);
+  std::vector<CellValue> cells;
+  for (int64_t x = 0; x < 32; ++x) cells.push_back({{x, 0}, double(x)});
+  auto array = *ArrayRdd::FromCells(&ctx, Meta2D(), cells);
+  auto view = MaskRdd::FromArray(array).AndPredicate(
+      array, [](double v) { return v >= 10 && v < 20; });
+  EXPECT_EQ(view.CountValid(), 10u);
+}
+
+TEST(MaskRddTest, ApplyToRestrictsAttribute) {
+  Context ctx(2);
+  auto array = *ArrayRdd::FromCells(&ctx, Meta2D(), GridCells(1, 3.0));
+  auto view = MaskRdd::FromArray(array).AndRange({0, 0}, {3, 3});
+  auto restricted = view.ApplyTo(array);
+  EXPECT_EQ(restricted.CountValid(), 16u);
+  EXPECT_DOUBLE_EQ(*restricted.GetCell({2, 2}), 3.0);
+  EXPECT_TRUE(restricted.GetCell({5, 5}).status().IsNotFound());
+}
+
+TEST(MaskRddTest, ApplyToDropsEmptiedChunks) {
+  Context ctx(2);
+  auto array = *ArrayRdd::FromCells(&ctx, Meta2D(), GridCells(1, 3.0));
+  auto view = MaskRdd::FromArray(array).AndRange({0, 0}, {7, 7});
+  auto restricted = view.ApplyTo(array);
+  EXPECT_EQ(restricted.NumChunks(), 1u);
+}
+
+TEST(MaskRddTest, MaskOpsAreLocalJoins) {
+  Context ctx(2);
+  auto a = *ArrayRdd::FromCells(&ctx, Meta2D(), GridCells(2, 1.0));
+  auto b = *ArrayRdd::FromCells(&ctx, Meta2D(), GridCells(4, 1.0));
+  auto ma = MaskRdd::FromArray(a);
+  auto mb = MaskRdd::FromArray(b);
+  ctx.metrics().Reset();
+  ma.And(mb).CountValid();
+  EXPECT_EQ(ctx.metrics().shuffles.load(), 0u)
+      << "mask RDDs derived from equal-partitioned arrays join locally";
+}
+
+}  // namespace
+}  // namespace spangle

@@ -1,0 +1,62 @@
+#include "array/metadata.h"
+
+#include <gtest/gtest.h>
+
+namespace spangle {
+namespace {
+
+ArrayMetadata Meta2D() {
+  return *ArrayMetadata::Make({{"x", 0, 100, 10, 0}, {"y", 0, 60, 16, 0}});
+}
+
+TEST(MetadataTest, MakeValidates) {
+  EXPECT_FALSE(ArrayMetadata::Make({}).ok());
+  EXPECT_FALSE(ArrayMetadata::Make({{"x", 0, 0, 4, 0}}).ok());
+  EXPECT_FALSE(ArrayMetadata::Make({{"x", 0, 10, 0, 0}}).ok());
+  EXPECT_TRUE(ArrayMetadata::Make({{"x", -5, 10, 4, 1}}).ok());
+}
+
+TEST(MetadataTest, ChunkGridUsesCeiling) {
+  auto meta = Meta2D();
+  EXPECT_EQ(meta.chunks_along(0), 10u);
+  EXPECT_EQ(meta.chunks_along(1), 4u);  // ceil(60/16)
+  EXPECT_EQ(meta.total_chunks(), 40u);
+  EXPECT_EQ(meta.cells_per_chunk(), 160u);
+  EXPECT_EQ(meta.total_cells(), 6000u);
+}
+
+TEST(MetadataTest, DimIndexByName) {
+  auto meta = Meta2D();
+  EXPECT_EQ(*meta.DimIndex("x"), 0u);
+  EXPECT_EQ(*meta.DimIndex("y"), 1u);
+  EXPECT_FALSE(meta.DimIndex("z").ok());
+}
+
+TEST(MetadataTest, WithChunkSizes) {
+  auto meta = Meta2D().WithChunkSizes({25, 30});
+  EXPECT_EQ(meta.chunks_along(0), 4u);
+  EXPECT_EQ(meta.chunks_along(1), 2u);
+  EXPECT_EQ(meta.dim(0).size, 100u) << "sizes unchanged";
+}
+
+TEST(MetadataTest, TransposeReversesDims) {
+  auto t = Meta2D().Transposed();
+  EXPECT_EQ(t.dim(0).name, "y");
+  EXPECT_EQ(t.dim(1).name, "x");
+  EXPECT_TRUE(t.Transposed() == Meta2D());
+}
+
+TEST(MetadataTest, EqualityIsStructural) {
+  EXPECT_TRUE(Meta2D() == Meta2D());
+  auto other = Meta2D().WithChunkSizes({10, 15});
+  EXPECT_FALSE(Meta2D() == other);
+}
+
+TEST(MetadataTest, RejectsHugeChunks) {
+  EXPECT_FALSE(ArrayMetadata::Make(
+                   {{"x", 0, uint64_t{1} << 33, uint64_t{1} << 33, 0}})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace spangle

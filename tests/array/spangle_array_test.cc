@@ -1,0 +1,183 @@
+#include "array/spangle_array.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "array/ingest.h"
+
+namespace spangle {
+namespace {
+
+ArrayMetadata Meta2D() {
+  return *ArrayMetadata::Make({{"x", 0, 16, 4, 0}, {"y", 0, 16, 4, 0}});
+}
+
+ArrayRdd StripeArray(Context* ctx, int64_t x0, int64_t x1, double value) {
+  std::vector<CellValue> cells;
+  for (int64_t x = x0; x < x1; ++x) {
+    for (int64_t y = 0; y < 16; ++y) cells.push_back({{x, y}, value});
+  }
+  return *ArrayRdd::FromCells(ctx, Meta2D(), cells);
+}
+
+TEST(SpangleArrayTest, FromAttributesValidates) {
+  Context ctx(2);
+  EXPECT_FALSE(SpangleArray::FromAttributes({}).ok());
+  auto other_meta = *ArrayMetadata::Make({{"x", 0, 8, 4, 0}});
+  auto a = StripeArray(&ctx, 0, 8, 1.0);
+  auto b = *ArrayRdd::FromCells(&ctx, other_meta, {{{0}, 1.0}});
+  EXPECT_FALSE(SpangleArray::FromAttributes({{"a", a}, {"b", b}}).ok());
+}
+
+TEST(SpangleArrayTest, GlobalViewIsUnionOfAttributes) {
+  Context ctx(2);
+  auto a = StripeArray(&ctx, 0, 8, 1.0);    // x in [0,8)
+  auto b = StripeArray(&ctx, 4, 12, 2.0);   // x in [4,12)
+  auto arr = *SpangleArray::FromAttributes({{"a", a}, {"b", b}});
+  EXPECT_EQ(arr.CountValid(), 12u * 16u);
+  EXPECT_EQ(arr.num_attributes(), 2u);
+  EXPECT_TRUE(arr.HasAttribute("a"));
+  EXPECT_FALSE(arr.HasAttribute("c"));
+}
+
+TEST(SpangleArrayTest, AttributeLookup) {
+  Context ctx(2);
+  auto a = StripeArray(&ctx, 0, 8, 1.0);
+  auto arr = *SpangleArray::FromAttributes({{"a", a}});
+  EXPECT_TRUE(arr.Attribute("a").ok());
+  EXPECT_TRUE(arr.Attribute("zzz").status().IsNotFound());
+}
+
+TEST(SpangleArrayTest, WithMaskNarrowsLazily) {
+  Context ctx(2);
+  auto a = StripeArray(&ctx, 0, 16, 1.0);
+  auto arr = *SpangleArray::FromAttributes({{"a", a}});
+  auto view = arr.mask().AndRange({0, 0}, {3, 3});
+  auto narrowed = arr.WithMask(view);
+  EXPECT_EQ(narrowed.CountValid(), 16u);
+  // Raw attribute untouched; reconciled attribute restricted.
+  EXPECT_EQ(narrowed.RawAttribute("a")->CountValid(), 256u);
+  EXPECT_EQ(narrowed.Attribute("a")->CountValid(), 16u);
+}
+
+TEST(SpangleArrayTest, EvaluateReconcilesAllAttributes) {
+  Context ctx(2);
+  auto a = StripeArray(&ctx, 0, 16, 1.0);
+  auto b = StripeArray(&ctx, 0, 16, 2.0);
+  auto arr = *SpangleArray::FromAttributes({{"a", a}, {"b", b}});
+  auto narrowed = arr.WithMask(arr.mask().AndRange({0, 0}, {7, 15}));
+  auto evaluated = narrowed.Evaluate();
+  EXPECT_EQ(evaluated.RawAttribute("a")->CountValid(), 128u);
+  EXPECT_EQ(evaluated.RawAttribute("b")->CountValid(), 128u);
+}
+
+TEST(SpangleArrayTest, EagerModeReconcilesImmediately) {
+  Context ctx(2);
+  auto a = StripeArray(&ctx, 0, 16, 1.0);
+  auto arr = *SpangleArray::FromAttributes({{"a", a}},
+                                           /*use_mask_rdd=*/false);
+  EXPECT_FALSE(arr.uses_mask_rdd());
+  // In eager mode Attribute() == RawAttribute().
+  EXPECT_EQ(arr.Attribute("a")->CountValid(), 256u);
+}
+
+TEST(SpangleArrayTest, DropAndRenameAttributes) {
+  Context ctx(2);
+  auto a = StripeArray(&ctx, 0, 8, 1.0);
+  auto b = StripeArray(&ctx, 4, 12, 2.0);
+  auto arr = *SpangleArray::FromAttributes({{"a", a}, {"b", b}});
+
+  auto dropped = *arr.DropAttribute("a");
+  EXPECT_EQ(dropped.num_attributes(), 1u);
+  EXPECT_FALSE(dropped.HasAttribute("a"));
+  EXPECT_EQ(dropped.CountValid(), arr.CountValid())
+      << "the global view survives a column drop";
+  EXPECT_TRUE(arr.DropAttribute("zzz").status().IsNotFound());
+  EXPECT_FALSE(dropped.DropAttribute("b").ok()) << "last attribute";
+
+  auto renamed = *arr.RenameAttribute("a", "alpha");
+  EXPECT_TRUE(renamed.HasAttribute("alpha"));
+  EXPECT_FALSE(renamed.HasAttribute("a"));
+  EXPECT_EQ(renamed.RawAttribute("alpha")->CountValid(), 8u * 16u);
+  EXPECT_TRUE(arr.RenameAttribute("zzz", "x").status().IsNotFound());
+  EXPECT_FALSE(arr.RenameAttribute("a", "b").ok()) << "collision";
+}
+
+TEST(IngestTest, SgridRoundTrip) {
+  Context ctx(2);
+  auto meta = *ArrayMetadata::Make({{"x", 0, 4, 2, 0}, {"y", 0, 4, 2, 0}});
+  const double nan = std::nan("");
+  std::vector<std::vector<double>> planes = {
+      {1, 2, nan, 4, 5, nan, 7, 8, 9, 10, 11, nan, 13, 14, 15, 16},
+      {nan, nan, nan, nan, 1, 1, 1, 1, nan, nan, nan, nan, 2, 2, 2, 2}};
+  const std::string path = "/tmp/spangle_test_roundtrip.sgrid";
+  ASSERT_TRUE(WriteSgrid(path, meta, {"u", "g"}, planes).ok());
+  auto arr = *ReadSgrid(&ctx, path);
+  EXPECT_EQ(arr.num_attributes(), 2u);
+  EXPECT_EQ(arr.RawAttribute("u")->CountValid(), 13u);
+  EXPECT_EQ(arr.RawAttribute("g")->CountValid(), 8u);
+  EXPECT_DOUBLE_EQ(*arr.RawAttribute("u")->GetCell({0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(*arr.RawAttribute("g")->GetCell({3, 3}), 2.0);
+  std::remove(path.c_str());
+}
+
+TEST(IngestTest, SgridChunkOverride) {
+  Context ctx(2);
+  auto meta = *ArrayMetadata::Make({{"x", 0, 8, 2, 0}});
+  std::vector<std::vector<double>> planes = {{1, 2, 3, 4, 5, 6, 7, 8}};
+  const std::string path = "/tmp/spangle_test_override.sgrid";
+  ASSERT_TRUE(WriteSgrid(path, meta, {"v"}, planes).ok());
+  std::vector<uint64_t> chunks = {4};
+  auto arr = *ReadSgrid(&ctx, path, ModePolicy::Auto(), true, &chunks);
+  EXPECT_EQ(arr.metadata().dim(0).chunk_size, 4u);
+  EXPECT_EQ(arr.RawAttribute("v")->NumChunks(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(IngestTest, SgridRejectsGarbage) {
+  Context ctx(2);
+  const std::string path = "/tmp/spangle_test_garbage.sgrid";
+  FILE* f = fopen(path.c_str(), "wb");
+  fputs("not an sgrid", f);
+  fclose(f);
+  EXPECT_FALSE(ReadSgrid(&ctx, path).ok());
+  std::remove(path.c_str());
+  EXPECT_TRUE(ReadSgrid(&ctx, "/tmp/no_such_file.sgrid").status().IsIOError());
+}
+
+TEST(IngestTest, CsvRoundTrip) {
+  Context ctx(2);
+  auto meta = *ArrayMetadata::Make({{"x", 0, 4, 2, 0}, {"y", 0, 4, 2, 0}});
+  const std::string path = "/tmp/spangle_test.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("x,y,temp,pressure\n", f);
+  fputs("0,0,20.5,1.0\n", f);
+  fputs("1,2,21.0,\n", f);      // pressure null
+  fputs("3,3,nan,2.0\n", f);    // temp null
+  fclose(f);
+  auto arr = *ReadCsv(&ctx, path, meta);
+  EXPECT_EQ(arr.num_attributes(), 2u);
+  EXPECT_EQ(arr.RawAttribute("temp")->CountValid(), 2u);
+  EXPECT_EQ(arr.RawAttribute("pressure")->CountValid(), 2u);
+  EXPECT_DOUBLE_EQ(*arr.RawAttribute("temp")->GetCell({1, 2}), 21.0);
+  EXPECT_TRUE(
+      arr.RawAttribute("pressure")->GetCell({1, 2}).status().IsNotFound());
+  EXPECT_EQ(arr.CountValid(), 3u) << "global view is the union";
+  std::remove(path.c_str());
+}
+
+TEST(IngestTest, CsvValidatesHeader) {
+  Context ctx(2);
+  auto meta = *ArrayMetadata::Make({{"x", 0, 4, 2, 0}});
+  const std::string path = "/tmp/spangle_test_bad.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("wrong,v\n0,1\n", f);
+  fclose(f);
+  EXPECT_FALSE(ReadCsv(&ctx, path, meta).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace spangle

@@ -1,0 +1,113 @@
+// Edge-path coverage for the baseline engines: error reporting, budget
+// messages, and the behaviors the benches rely on.
+
+#include <gtest/gtest.h>
+
+#include "baselines/dense_engine.h"
+#include "baselines/diskdb.h"
+#include "baselines/matrix_engines.h"
+#include "baselines/tile_engine.h"
+#include "workload/raster_gen.h"
+
+namespace spangle {
+namespace {
+
+RasterData SmallSky() {
+  SkyOptions options;
+  options.images = 1;
+  options.width = 32;
+  options.height = 32;
+  options.bands = 2;
+  options.chunk = 16;
+  options.source_density = 0.02;
+  return GenerateSky(options);
+}
+
+TEST(MemoryBudgetTest, UnlimitedByDefault) {
+  MemoryBudget unlimited;
+  EXPECT_TRUE(unlimited.Reserve(uint64_t{1} << 60, "anything").ok());
+  MemoryBudget tight(100);
+  auto status = tight.Reserve(200, "dense planes");
+  EXPECT_TRUE(status.IsOutOfMemory());
+  EXPECT_NE(status.message().find("dense planes"), std::string::npos)
+      << "the message names what overflowed";
+  EXPECT_TRUE(tight.Reserve(100, "exact fit").ok());
+}
+
+TEST(BaselineEdgeTest, UnknownBandsFailEverywhere) {
+  Context ctx(2);
+  auto data = SmallSky();
+  QueryParams q;
+  q.use_range = false;
+  q.attr = "nope";
+  q.grid = {1, 8, 8};
+
+  auto scispark = *SciSparkEngine::Load(&ctx, data);
+  EXPECT_TRUE(scispark.Q1Average(q).status().IsNotFound());
+  auto frames = *RasterFramesEngine::Load(&ctx, data, 8);
+  EXPECT_TRUE(frames.Q3FilteredAverage(q).status().IsNotFound());
+  auto scidb = *SciDbEngine::Load(data, "/tmp");
+  EXPECT_TRUE(scidb.Q5Density(q).status().IsNotFound());
+}
+
+TEST(BaselineEdgeTest, GridValidation) {
+  Context ctx(2);
+  auto data = SmallSky();
+  QueryParams q;
+  q.use_range = false;
+  q.attr = "u";
+  q.grid = {8, 8};  // wrong dimensionality
+  auto scispark = *SciSparkEngine::Load(&ctx, data);
+  EXPECT_FALSE(scispark.Q2Regrid(q).ok());
+  auto scidb = *SciDbEngine::Load(data, "/tmp");
+  EXPECT_FALSE(scidb.Q2Regrid(q).ok());
+}
+
+TEST(BaselineEdgeTest, RasterFramesRejectsZeroTile) {
+  Context ctx(2);
+  auto data = SmallSky();
+  EXPECT_FALSE(RasterFramesEngine::Load(&ctx, data, 0).ok());
+}
+
+TEST(BaselineEdgeTest, EnginesRejectNon3dRasters) {
+  Context ctx(2);
+  RasterData flat;
+  flat.meta = *ArrayMetadata::Make({{"x", 0, 8, 4, 0}});
+  flat.attr_names = {"v"};
+  flat.cells.resize(1);
+  EXPECT_FALSE(SciSparkEngine::Load(&ctx, flat).ok());
+  EXPECT_FALSE(SciDbEngine::Load(flat, "/tmp").ok());
+}
+
+TEST(BaselineEdgeTest, EmptyQueriesReturnZeroes) {
+  Context ctx(2);
+  auto data = SmallSky();
+  QueryParams q;
+  q.use_range = true;
+  q.lo = {0, 0, 0};
+  q.hi = {0, 0, 0};  // single-pixel box, almost surely empty
+  q.attr = "u";
+  q.attr2 = "g";
+  q.grid = {1, 8, 8};
+  auto scispark = *SciSparkEngine::Load(&ctx, data);
+  auto scidb = *SciDbEngine::Load(data, "/tmp");
+  // Whatever Spangle answers, the baselines must match — even for an
+  // (almost certainly) empty selection.
+  SpangleRasterEngine spangle(*data.ToSpangle(&ctx));
+  EXPECT_DOUBLE_EQ(*scispark.Q1Average(q), *spangle.Q1Average(q));
+  EXPECT_EQ(*scidb.Q4Polygons(q), *spangle.Q4Polygons(q));
+}
+
+TEST(BaselineEdgeTest, SciDbMatrixEngineSurvivesEmptyMatrix) {
+  SyntheticMatrix empty;
+  empty.name = "empty";
+  empty.rows = 8;
+  empty.cols = 8;
+  auto engine = *SciDbMatrixEngine::Load(empty, "/tmp");
+  auto out = *engine->MxV(std::vector<double>(8, 1.0));
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_EQ(*engine->MtM(), 0u);
+}
+
+}  // namespace
+}  // namespace spangle

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "baselines/matrix_engines.h"
+
+namespace spangle {
+namespace {
+
+SyntheticMatrix TestMatrix() {
+  return GenerateUniformMatrix("test", 48, 32, 0.15, 5);
+}
+
+std::vector<double> TestVector(uint64_t n, double scale) {
+  std::vector<double> v(n);
+  for (uint64_t i = 0; i < n; ++i) v[i] = scale * (i % 7) - 1.0;
+  return v;
+}
+
+TEST(MatrixParityTest, AllEnginesAgreeOnMxVAndVtM) {
+  Context ctx(2);
+  auto m = TestMatrix();
+  auto spangle = *SpangleMatrixEngine::Load(&ctx, m, 16);
+  auto coo = *CooMatrixEngine::Load(&ctx, m);
+  auto mllib = *MllibMatrixEngine::Load(&ctx, m);
+  auto scispark = *SciSparkMatrixEngine::Load(&ctx, m);
+  auto scidb = *SciDbMatrixEngine::Load(m, "/tmp");
+
+  std::vector<MatrixEngine*> engines = {spangle.get(), coo.get(),
+                                        mllib.get(), scispark.get(),
+                                        scidb.get()};
+  const auto x_col = TestVector(m.cols, 0.5);
+  const auto x_row = TestVector(m.rows, 0.25);
+  const auto want_mxv = *spangle->MxV(x_col);
+  const auto want_vtm = *spangle->VtM(x_row);
+  for (MatrixEngine* engine : engines) {
+    auto mxv = *engine->MxV(x_col);
+    auto vtm = *engine->VtM(x_row);
+    ASSERT_EQ(mxv.size(), want_mxv.size()) << engine->name();
+    for (size_t i = 0; i < mxv.size(); ++i) {
+      EXPECT_NEAR(mxv[i], want_mxv[i], 1e-9) << engine->name() << " @" << i;
+    }
+    ASSERT_EQ(vtm.size(), want_vtm.size()) << engine->name();
+    for (size_t i = 0; i < vtm.size(); ++i) {
+      EXPECT_NEAR(vtm[i], want_vtm[i], 1e-9) << engine->name() << " @" << i;
+    }
+  }
+}
+
+TEST(MatrixParityTest, MtMNonZeroCountsAgree) {
+  Context ctx(2);
+  auto m = TestMatrix();
+  auto spangle = *SpangleMatrixEngine::Load(&ctx, m, 16);
+  auto coo = *CooMatrixEngine::Load(&ctx, m);
+  auto mllib = *MllibMatrixEngine::Load(&ctx, m);
+  auto scidb = *SciDbMatrixEngine::Load(m, "/tmp");
+  const uint64_t want = *spangle->MtM();
+  EXPECT_EQ(*coo->MtM(), want);
+  EXPECT_EQ(*mllib->MtM(), want);
+  EXPECT_EQ(*scidb->MtM(), want);
+}
+
+TEST(MatrixParityTest, SciSparkHasNoDistributedMultiply) {
+  Context ctx(2);
+  auto scispark = *SciSparkMatrixEngine::Load(&ctx, TestMatrix());
+  EXPECT_EQ(scispark->MtM().status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(MatrixBudgetTest, SciSparkDenseLoadOoms) {
+  Context ctx(2);
+  // 2000x2000 at density 1e-3: sparse is tiny, dense is 32 MB.
+  auto m = GenerateUniformMatrix("big", 2000, 2000, 0.001, 6);
+  MemoryBudget budget(4 * 1024 * 1024);
+  EXPECT_TRUE(SpangleMatrixEngine::Load(&ctx, m, 256, budget).ok());
+  EXPECT_TRUE(
+      SciSparkMatrixEngine::Load(&ctx, m, budget).status().IsOutOfMemory());
+}
+
+TEST(MatrixBudgetTest, CooMtMExplodesOnDenseRows) {
+  Context ctx(2);
+  // Dense-ish rows: 200 cols at 30% density -> ~60 nnz/row ->
+  // 200*60^2 = 720K cross terms ~ 11.5 MB > 4 MB budget.
+  auto dense_rows = GenerateUniformMatrix("mouse_like", 200, 200, 0.3, 7);
+  auto coo = *CooMatrixEngine::Load(&ctx, dense_rows, MemoryBudget(4 << 20));
+  EXPECT_TRUE(coo->MtM().status().IsOutOfMemory())
+      << "COO fails Mouse-like densities (Fig. 10)";
+  // Ultra-sparse rows pass under the same budget.
+  auto sparse_rows =
+      GenerateUniformMatrix("hardesty_like", 2000, 2000, 0.0005, 8);
+  auto coo2 = *CooMatrixEngine::Load(&ctx, sparse_rows, MemoryBudget(4 << 20));
+  EXPECT_TRUE(coo2->MtM().ok())
+      << "COO handles Hardesty-like densities (Fig. 10)";
+}
+
+TEST(MatrixBudgetTest, MllibGramianOomsOnWideMatrices) {
+  Context ctx(2);
+  // 4000 cols -> Gramian = 128 MB > budget.
+  auto wide = GenerateUniformMatrix("wide", 100, 4000, 0.001, 9);
+  auto mllib = *MllibMatrixEngine::Load(&ctx, wide, MemoryBudget(16 << 20));
+  EXPECT_TRUE(mllib->MtM().status().IsOutOfMemory());
+}
+
+}  // namespace
+}  // namespace spangle

@@ -1,0 +1,69 @@
+#include "baselines/mllib_lr.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/logreg.h"
+#include "workload/lr_data_gen.h"
+
+namespace spangle {
+namespace {
+
+TEST(MllibLrTest, LearnsAndMatchesSpangleAccuracy) {
+  Context ctx(2);
+  LrDataOptions data_options;
+  data_options.rows = 1024;
+  data_options.features = 64;
+  data_options.nnz_per_row = 12;
+  data_options.label_noise = 0.02;
+  auto data = GenerateLrData(data_options);
+
+  MllibLrOptions mllib_options;
+  mllib_options.max_iterations = 120;
+  auto mllib = *MllibTrainLogReg(&ctx, data.train, mllib_options,
+                                 MemoryBudget());
+  auto mllib_acc = *EvaluateAccuracy(&ctx, data.test, mllib.weights, 32);
+
+  LogRegOptions spangle_options;
+  spangle_options.block = 32;
+  spangle_options.max_iterations = 120;
+  spangle_options.batch_fraction = 0.5;
+  auto spangle = *TrainLogReg(&ctx, data.train, spangle_options);
+  auto spangle_acc = *EvaluateAccuracy(&ctx, data.test, spangle.weights, 32);
+
+  EXPECT_GT(mllib_acc, 80.0);
+  EXPECT_NEAR(mllib_acc, spangle_acc, 8.0)
+      << "both systems should reach comparable accuracy (Table III)";
+}
+
+TEST(MllibLrTest, IngestOomsUnderBudget) {
+  Context ctx(2);
+  LrDataOptions data_options;
+  data_options.rows = 8192;
+  data_options.features = 512;
+  data_options.nnz_per_row = 32;
+  auto data = GenerateLrData(data_options);
+  // Raw ~3.3 MB; with 4x JVM overhead ~13 MB > 8 MB budget.
+  MllibLrOptions options;
+  EXPECT_TRUE(MllibTrainLogReg(&ctx, data.train, options,
+                               MemoryBudget(8 << 20))
+                  .status()
+                  .IsOutOfMemory())
+      << "MLlib fails to ingest the larger datasets (Table III)";
+  // Spangle trains the same dataset without issue.
+  LogRegOptions spangle_options;
+  spangle_options.block = 64;
+  spangle_options.max_iterations = 3;
+  EXPECT_TRUE(TrainLogReg(&ctx, data.train, spangle_options).ok());
+}
+
+TEST(MllibLrTest, ValidatesInput) {
+  Context ctx(2);
+  SparseDataset bad;
+  bad.rows = 3;
+  bad.features = 2;
+  bad.labels = {0};
+  EXPECT_FALSE(MllibTrainLogReg(&ctx, bad, {}, MemoryBudget()).ok());
+}
+
+}  // namespace
+}  // namespace spangle

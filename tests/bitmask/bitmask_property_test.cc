@@ -1,0 +1,140 @@
+// Randomized property sweep: every Bitmask operation checked against a
+// std::vector<bool> reference model across seeds, sizes and densities.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bitmask/bitmask.h"
+#include "common/random.h"
+
+namespace spangle {
+namespace {
+
+struct Model {
+  std::vector<bool> bits;
+
+  uint64_t Count() const {
+    uint64_t n = 0;
+    for (bool b : bits) n += b;
+    return n;
+  }
+  uint64_t Rank(size_t i) const {
+    uint64_t n = 0;
+    for (size_t k = 0; k < i; ++k) n += bits[k];
+    return n;
+  }
+};
+
+class BitmaskPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t, double>> {
+};
+
+TEST_P(BitmaskPropertyTest, AgreesWithReferenceModel) {
+  const auto [seed, size, density] = GetParam();
+  Rng rng(seed);
+  Bitmask mask(size);
+  Model model{std::vector<bool>(size, false)};
+
+  // Random interleaving of mutations.
+  for (int step = 0; step < 200; ++step) {
+    const int op = static_cast<int>(rng.NextBounded(5));
+    switch (op) {
+      case 0: {
+        const size_t i = rng.NextBounded(size);
+        mask.Set(i);
+        model.bits[i] = true;
+        break;
+      }
+      case 1: {
+        const size_t i = rng.NextBounded(size);
+        mask.Clear(i);
+        model.bits[i] = false;
+        break;
+      }
+      case 2: {
+        size_t a = rng.NextBounded(size), b = rng.NextBounded(size + 1);
+        if (a > b) std::swap(a, b);
+        mask.SetRange(a, b);
+        for (size_t k = a; k < b; ++k) model.bits[k] = true;
+        break;
+      }
+      case 3: {
+        size_t a = rng.NextBounded(size), b = rng.NextBounded(size + 1);
+        if (a > b) std::swap(a, b);
+        mask.ClearRange(a, b);
+        for (size_t k = a; k < b; ++k) model.bits[k] = false;
+        break;
+      }
+      case 4: {
+        if (rng.NextBool(density)) {
+          mask.Invert();
+          model.bits.flip();
+        }
+        break;
+      }
+    }
+  }
+
+  // Full agreement.
+  ASSERT_EQ(mask.num_bits(), model.bits.size());
+  EXPECT_EQ(mask.CountAll(), model.Count());
+  for (size_t i = 0; i < size; i += 7) {
+    EXPECT_EQ(mask.Test(i), model.bits[i]) << "bit " << i;
+    EXPECT_EQ(mask.RankNaive(i), model.Rank(i)) << "rank " << i;
+  }
+  mask.BuildMilestones();
+  for (size_t i = 0; i <= size; i += 131) {
+    EXPECT_EQ(mask.Rank(i), model.Rank(i)) << "milestone rank " << i;
+  }
+  // Select inverts rank.
+  const uint64_t total = mask.CountAll();
+  for (uint64_t k = 0; k < total; k += 11) {
+    const size_t pos = mask.SelectSetBit(k);
+    EXPECT_TRUE(model.bits[pos]);
+    EXPECT_EQ(model.Rank(pos), k);
+  }
+  // Delta counter over a fresh pass.
+  DeltaCounter delta(mask);
+  for (size_t i = 0; i <= size; i += 97) {
+    EXPECT_EQ(delta.AdvanceTo(i), model.Rank(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BitmaskPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(63, 64, 65, 1000, 4096, 5000),
+                       ::testing::Values(0.05, 0.5)));
+
+TEST(BitmaskLogicalPropertyTest, DeMorgan) {
+  Rng rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    const size_t n = 500 + trial * 77;
+    Bitmask a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.NextBool(0.4)) a.Set(i);
+      if (rng.NextBool(0.4)) b.Set(i);
+    }
+    // ~(a | b) == ~a & ~b
+    Bitmask lhs = a;
+    lhs.OrWith(b);
+    lhs.Invert();
+    Bitmask rhs_a = a, rhs_b = b;
+    rhs_a.Invert();
+    rhs_b.Invert();
+    rhs_a.AndWith(rhs_b);
+    EXPECT_TRUE(lhs == rhs_a) << "trial " << trial;
+    // a & ~b == AndNot
+    Bitmask diff = a;
+    diff.AndNotWith(b);
+    Bitmask manual = a;
+    Bitmask not_b = b;
+    not_b.Invert();
+    manual.AndWith(not_b);
+    EXPECT_TRUE(diff == manual);
+  }
+}
+
+}  // namespace
+}  // namespace spangle

@@ -1,0 +1,230 @@
+#include "bitmask/bitmask.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace spangle {
+namespace {
+
+Bitmask RandomMask(size_t bits, uint64_t seed, double density) {
+  Rng rng(seed);
+  Bitmask m(bits);
+  for (size_t i = 0; i < bits; ++i) {
+    if (rng.NextBool(density)) m.Set(i);
+  }
+  return m;
+}
+
+TEST(BitmaskTest, StartsAllZero) {
+  Bitmask m(130);
+  EXPECT_EQ(m.num_bits(), 130u);
+  EXPECT_EQ(m.num_words(), 3u);
+  EXPECT_TRUE(m.AllZero());
+  EXPECT_EQ(m.CountAll(), 0u);
+}
+
+TEST(BitmaskTest, ConstantTrueMasksTail) {
+  Bitmask m(70, true);
+  EXPECT_EQ(m.CountAll(), 70u);
+  EXPECT_TRUE(m.AllOne());
+  // Tail bits beyond 70 must not be set in the backing word.
+  EXPECT_EQ(m.word(1) >> 6, 0u);
+}
+
+TEST(BitmaskTest, SetClearTest) {
+  Bitmask m(100);
+  m.Set(0);
+  m.Set(63);
+  m.Set(64);
+  m.Set(99);
+  EXPECT_TRUE(m.Test(0));
+  EXPECT_TRUE(m.Test(63));
+  EXPECT_TRUE(m.Test(64));
+  EXPECT_TRUE(m.Test(99));
+  EXPECT_FALSE(m.Test(1));
+  EXPECT_EQ(m.CountAll(), 4u);
+  m.Clear(63);
+  EXPECT_FALSE(m.Test(63));
+  EXPECT_EQ(m.CountAll(), 3u);
+}
+
+TEST(BitmaskTest, SetRangeSpanningWords) {
+  Bitmask m(256);
+  m.SetRange(60, 200);
+  for (size_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(m.Test(i), i >= 60 && i < 200) << "bit " << i;
+  }
+  EXPECT_EQ(m.CountAll(), 140u);
+  m.ClearRange(100, 150);
+  EXPECT_EQ(m.CountAll(), 90u);
+  EXPECT_FALSE(m.Test(100));
+  EXPECT_TRUE(m.Test(99));
+  EXPECT_TRUE(m.Test(150));
+}
+
+TEST(BitmaskTest, SetRangeWithinOneWord) {
+  Bitmask m(64);
+  m.SetRange(3, 9);
+  EXPECT_EQ(m.CountAll(), 6u);
+  m.ClearRange(4, 5);
+  EXPECT_EQ(m.CountAll(), 5u);
+}
+
+TEST(BitmaskTest, EmptyRangeIsNoop) {
+  Bitmask m(64);
+  m.SetRange(10, 10);
+  EXPECT_TRUE(m.AllZero());
+}
+
+TEST(BitmaskTest, RankMatchesNaive) {
+  auto m = RandomMask(10000, 77, 0.37);
+  for (size_t i : {size_t{0}, size_t{1}, size_t{63}, size_t{64}, size_t{65},
+                   size_t{4095}, size_t{4096}, size_t{4097}, size_t{9999},
+                   size_t{10000}}) {
+    EXPECT_EQ(m.Rank(i), m.RankNaive(i)) << "i=" << i;
+  }
+}
+
+TEST(BitmaskTest, MilestonesAccelerateWithoutChangingRank) {
+  auto m = RandomMask(100000, 5, 0.2);
+  std::vector<uint64_t> expected;
+  for (size_t i = 0; i <= m.num_bits(); i += 997) {
+    expected.push_back(m.RankNaive(i));
+  }
+  m.BuildMilestones();
+  ASSERT_TRUE(m.has_milestones());
+  size_t idx = 0;
+  for (size_t i = 0; i <= m.num_bits(); i += 997) {
+    EXPECT_EQ(m.Rank(i), expected[idx++]) << "i=" << i;
+  }
+}
+
+TEST(BitmaskTest, MutationInvalidatesMilestones) {
+  auto m = RandomMask(8192, 9, 0.5);
+  m.BuildMilestones();
+  ASSERT_TRUE(m.has_milestones());
+  m.Set(5000);
+  EXPECT_FALSE(m.has_milestones());
+  EXPECT_EQ(m.Rank(8192), m.RankNaive(8192));
+}
+
+TEST(BitmaskTest, LogicalOps) {
+  Bitmask a(128), b(128);
+  a.SetRange(0, 80);
+  b.SetRange(40, 128);
+  Bitmask and_mask = a;
+  and_mask.AndWith(b);
+  EXPECT_EQ(and_mask.CountAll(), 40u);  // [40,80)
+  Bitmask or_mask = a;
+  or_mask.OrWith(b);
+  EXPECT_EQ(or_mask.CountAll(), 128u);
+  Bitmask diff = a;
+  diff.AndNotWith(b);
+  EXPECT_EQ(diff.CountAll(), 40u);  // [0,40)
+  Bitmask inv = a;
+  inv.Invert();
+  EXPECT_EQ(inv.CountAll(), 48u);  // [80,128)
+  EXPECT_FALSE(inv.Test(0));
+  EXPECT_TRUE(inv.Test(127));
+}
+
+TEST(BitmaskTest, InvertMasksTailBits) {
+  Bitmask m(70);
+  m.Invert();
+  EXPECT_EQ(m.CountAll(), 70u);
+}
+
+TEST(BitmaskTest, SelectSetBit) {
+  Bitmask m(256);
+  m.Set(3);
+  m.Set(64);
+  m.Set(200);
+  EXPECT_EQ(m.SelectSetBit(0), 3u);
+  EXPECT_EQ(m.SelectSetBit(1), 64u);
+  EXPECT_EQ(m.SelectSetBit(2), 200u);
+  EXPECT_EQ(m.SelectSetBit(3), 256u);  // out of range
+}
+
+TEST(BitmaskTest, SelectIsInverseOfRank) {
+  auto m = RandomMask(5000, 21, 0.1);
+  const uint64_t total = m.CountAll();
+  for (uint64_t k = 0; k < total; k += 17) {
+    const size_t pos = m.SelectSetBit(k);
+    ASSERT_LT(pos, m.num_bits());
+    EXPECT_TRUE(m.Test(pos));
+    EXPECT_EQ(m.Rank(pos), k);
+  }
+}
+
+TEST(BitmaskTest, ForEachSetBitVisitsExactlySetBits) {
+  auto m = RandomMask(3000, 13, 0.05);
+  std::vector<size_t> visited;
+  m.ForEachSetBit([&](size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited.size(), m.CountAll());
+  size_t prev = 0;
+  bool first = true;
+  for (size_t i : visited) {
+    EXPECT_TRUE(m.Test(i));
+    if (!first) {
+      EXPECT_GT(i, prev);
+    }
+    prev = i;
+    first = false;
+  }
+}
+
+TEST(BitmaskTest, ToStringTruncates) {
+  Bitmask m(100);
+  m.Set(0);
+  m.Set(2);
+  EXPECT_EQ(m.ToString(4), "1010...");
+}
+
+TEST(BitmaskTest, EqualityComparesBits) {
+  auto a = RandomMask(500, 3, 0.5);
+  Bitmask b = a;
+  EXPECT_TRUE(a == b);
+  b.Set(b.SelectSetBit(0) == 0 ? 1 : 0);
+  // b changed unless that bit was already set; force a definite change:
+  Bitmask c = a;
+  c.Invert();
+  EXPECT_FALSE(a == c);
+}
+
+TEST(DeltaCounterTest, MatchesRankOnMonotoneSweep) {
+  auto m = RandomMask(20000, 99, 0.3);
+  DeltaCounter delta(m);
+  for (size_t i = 0; i <= m.num_bits(); i += 311) {
+    EXPECT_EQ(delta.AdvanceTo(i), m.RankNaive(i)) << "i=" << i;
+  }
+}
+
+TEST(DeltaCounterTest, StepByOneCountsEveryBit) {
+  auto m = RandomMask(1000, 4, 0.5);
+  DeltaCounter delta(m);
+  uint64_t expected = 0;
+  for (size_t i = 0; i < m.num_bits(); ++i) {
+    EXPECT_EQ(delta.AdvanceTo(i), expected);
+    if (m.Test(i)) ++expected;
+  }
+}
+
+TEST(DeltaCounterTest, AdvanceToSamePositionIsStable) {
+  auto m = RandomMask(500, 8, 0.5);
+  DeltaCounter delta(m);
+  EXPECT_EQ(delta.AdvanceTo(100), delta.AdvanceTo(100));
+}
+
+TEST(BitmaskTest, SizeBytesTracksWordsAndMilestones) {
+  Bitmask m(4096 * 4);
+  const size_t base = m.SizeBytes();
+  EXPECT_EQ(base, (4096u * 4 / 64) * 8);
+  m.BuildMilestones();
+  EXPECT_GT(m.SizeBytes(), base);
+}
+
+}  // namespace
+}  // namespace spangle

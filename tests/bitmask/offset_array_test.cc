@@ -1,0 +1,74 @@
+#include "bitmask/offset_array.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace spangle {
+namespace {
+
+Bitmask RandomMask(size_t bits, uint64_t seed, double density) {
+  Rng rng(seed);
+  Bitmask m(bits);
+  for (size_t i = 0; i < bits; ++i) {
+    if (rng.NextBool(density)) m.Set(i);
+  }
+  return m;
+}
+
+TEST(OffsetArrayTest, RoundTrip) {
+  auto mask = RandomMask(5000, 3, 0.01);
+  auto oa = OffsetArray::FromBitmask(mask);
+  EXPECT_EQ(oa.num_valid(), mask.CountAll());
+  EXPECT_TRUE(oa.ToBitmask() == mask);
+}
+
+TEST(OffsetArrayTest, TestAndRankAgreeWithMask) {
+  auto mask = RandomMask(4096, 5, 0.05);
+  auto oa = OffsetArray::FromBitmask(mask);
+  for (size_t i = 0; i < mask.num_bits(); i += 7) {
+    EXPECT_EQ(oa.Test(i), mask.Test(i)) << i;
+    EXPECT_EQ(oa.Rank(i), mask.RankNaive(i)) << i;
+  }
+}
+
+TEST(OffsetArrayTest, OffsetsAreSortedAndUnique) {
+  auto mask = RandomMask(10000, 9, 0.2);
+  auto oa = OffsetArray::FromBitmask(mask);
+  for (size_t i = 1; i < oa.offsets().size(); ++i) {
+    EXPECT_LT(oa.offsets()[i - 1], oa.offsets()[i]);
+  }
+}
+
+TEST(OffsetArrayTest, PrefersOffsetsOnlyWhenSmaller) {
+  // Bitmask of 4096 bits = 64 words = 512 bytes. Offsets win below
+  // 128 valid cells (128 * 4 = 512 bytes).
+  Bitmask sparse(4096);
+  for (size_t i = 0; i < 100; ++i) sparse.Set(i * 40);
+  EXPECT_TRUE(OffsetArray::PrefersOffsets(sparse));
+
+  Bitmask dense(4096);
+  dense.SetRange(0, 2000);
+  EXPECT_FALSE(OffsetArray::PrefersOffsets(dense));
+}
+
+TEST(OffsetArrayTest, EmptyMask) {
+  Bitmask mask(128);
+  auto oa = OffsetArray::FromBitmask(mask);
+  EXPECT_EQ(oa.num_valid(), 0u);
+  EXPECT_EQ(oa.SizeBytes(), 0u);
+  EXPECT_FALSE(oa.Test(5));
+  EXPECT_EQ(oa.Rank(128), 0u);
+}
+
+TEST(OffsetArrayTest, ForEachVisitsInOrder) {
+  auto mask = RandomMask(2000, 1, 0.1);
+  auto oa = OffsetArray::FromBitmask(mask);
+  std::vector<size_t> a, b;
+  mask.ForEachSetBit([&](size_t i) { a.push_back(i); });
+  oa.ForEachSetBit([&](size_t i) { b.push_back(i); });
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace spangle

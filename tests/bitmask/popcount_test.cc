@@ -1,0 +1,76 @@
+#include "bitmask/popcount.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace spangle {
+namespace {
+
+std::vector<uint64_t> RandomWords(size_t n, uint64_t seed, double density) {
+  Rng rng(seed);
+  std::vector<uint64_t> words(n);
+  for (auto& w : words) {
+    w = 0;
+    for (int b = 0; b < 64; ++b) {
+      if (rng.NextBool(density)) w |= uint64_t{1} << b;
+    }
+  }
+  return words;
+}
+
+uint64_t ReferenceCount(const std::vector<uint64_t>& words) {
+  uint64_t total = 0;
+  for (uint64_t w : words) {
+    while (w) {
+      total += w & 1;
+      w >>= 1;
+    }
+  }
+  return total;
+}
+
+TEST(PopcountTest, SingleWord) {
+  EXPECT_EQ(CountWord(0), 0);
+  EXPECT_EQ(CountWord(~uint64_t{0}), 64);
+  EXPECT_EQ(CountWord(0xF0F0F0F0F0F0F0F0ULL), 32);
+  EXPECT_EQ(CountWord(1), 1);
+}
+
+// Every kernel must agree with a bit-by-bit reference count across sizes
+// spanning the scalar tail, the 16-word Harley–Seal blocks, and the AVX2
+// flush boundary (124 words).
+class PopcountKernelTest
+    : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(PopcountKernelTest, KernelsAgreeWithReference) {
+  const auto [n, density] = GetParam();
+  auto words = RandomWords(n, /*seed=*/n * 31 + 7, density);
+  const uint64_t expected = ReferenceCount(words);
+  EXPECT_EQ(CountWordsScalar(words.data(), n), expected);
+  EXPECT_EQ(CountWordsHarleySeal(words.data(), n), expected);
+  EXPECT_EQ(CountWordsAvx2(words.data(), n), expected);
+  EXPECT_EQ(CountWords(words.data(), n, PopcountKernel::kAuto), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PopcountKernelTest,
+    ::testing::Combine(::testing::Values(0, 1, 3, 15, 16, 17, 63, 64, 65, 123,
+                                         124, 125, 128, 1000, 4096),
+                       ::testing::Values(0.0, 0.01, 0.5, 0.99, 1.0)));
+
+TEST(PopcountTest, AllOnesLargeBuffer) {
+  std::vector<uint64_t> words(2048, ~uint64_t{0});
+  EXPECT_EQ(CountWordsAvx2(words.data(), words.size()), 2048u * 64u);
+  EXPECT_EQ(CountWordsHarleySeal(words.data(), words.size()), 2048u * 64u);
+}
+
+TEST(PopcountTest, DispatchSmallBuffersUseScalarPathCorrectly) {
+  std::vector<uint64_t> words = {0xFFULL, 0x1ULL};
+  EXPECT_EQ(CountWords(words.data(), 2), 9u);
+}
+
+}  // namespace
+}  // namespace spangle

@@ -1,0 +1,67 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace spangle {
+namespace {
+
+TEST(LoggingTest, LevelsAreOrdered) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarning));
+  EXPECT_LT(static_cast<int>(LogLevel::kError),
+            static_cast<int>(LogLevel::kFatal));
+}
+
+TEST(LoggingTest, SetAndGetLevel) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, BelowThresholdIsSilent) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  SPANGLE_LOG(Info) << "should not appear";
+  SPANGLE_LOG(Error) << "should appear";
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should not appear"), std::string::npos);
+  EXPECT_NE(err.find("should appear"), std::string::npos);
+  SetLogLevel(before);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ SPANGLE_CHECK(1 == 2) << "impossible arithmetic"; },
+               "Check failed.*impossible arithmetic");
+}
+
+TEST(LoggingDeathTest, ComparisonMacros) {
+  EXPECT_DEATH({ SPANGLE_CHECK_EQ(3, 4); }, "Check failed");
+  EXPECT_DEATH({ SPANGLE_CHECK_LT(5, 5); }, "Check failed");
+  EXPECT_DEATH({ SPANGLE_CHECK_GE(1, 2); }, "Check failed");
+}
+
+TEST(LoggingTest, PassingChecksAreSilentAndCheap) {
+  testing::internal::CaptureStderr();
+  SPANGLE_CHECK(true) << "never evaluated";
+  SPANGLE_CHECK_EQ(7, 7);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(HumanBytesTest, Formats) {
+  EXPECT_EQ(HumanBytes(0), "0 B");
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1024), "1.00 KiB");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KiB");
+  EXPECT_EQ(HumanBytes(uint64_t{3} << 20), "3.00 MiB");
+  EXPECT_EQ(HumanBytes(uint64_t{5} << 30), "5.00 GiB");
+  EXPECT_EQ(HumanBytes(uint64_t{2} << 40), "2.00 TiB");
+}
+
+}  // namespace
+}  // namespace spangle

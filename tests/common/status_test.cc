@@ -1,0 +1,94 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace spangle {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad dims");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad dims");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad dims");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::IOError("disk");
+  Status t = s;
+  EXPECT_TRUE(t.IsIOError());
+  EXPECT_EQ(t.message(), "disk");
+  // Copy-assign over an OK status.
+  Status u;
+  u = s;
+  EXPECT_TRUE(u.IsIOError());
+  // Copy-assign OK over an error.
+  s = Status::OK();
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(u.IsIOError()) << "assignments are independent";
+}
+
+TEST(StatusTest, MoveLeavesSourceReusable) {
+  Status s = Status::NotFound("chunk 7");
+  Status t = std::move(s);
+  EXPECT_TRUE(t.IsNotFound());
+}
+
+TEST(StatusTest, AllFactoryCodesRoundTrip) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfMemory("x").code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MovableValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  SPANGLE_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_TRUE(UseHalf(7, &out).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace spangle

@@ -1,0 +1,98 @@
+#include "engine/executor_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+namespace spangle {
+namespace {
+
+TEST(ExecutorPoolTest, RunsEveryTaskExactlyOnce) {
+  ExecutorPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  std::vector<std::atomic<int>> per_task(100);
+  for (int i = 0; i < 100; ++i) {
+    tasks.emplace_back([&counter, &per_task, i] {
+      counter.fetch_add(1);
+      per_task[i].fetch_add(1);
+    });
+  }
+  pool.RunAll(std::move(tasks));
+  EXPECT_EQ(counter.load(), 100);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(per_task[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ExecutorPoolTest, ManySequentialBatches) {
+  ExecutorPool pool(3);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 7; ++i) {
+      tasks.emplace_back([&total] { total.fetch_add(1); });
+    }
+    pool.RunAll(std::move(tasks));
+  }
+  EXPECT_EQ(total.load(), 350);
+}
+
+TEST(ExecutorPoolTest, EmptyBatchReturnsImmediately) {
+  ExecutorPool pool(2);
+  pool.RunAll({});
+  SUCCEED();
+}
+
+TEST(ExecutorPoolTest, SingleWorkerRunsInline) {
+  ExecutorPool pool(1);
+  const auto driver = std::this_thread::get_id();
+  std::set<std::thread::id> seen;
+  std::vector<std::function<void()>> tasks;
+  std::mutex mu;
+  for (int i = 0; i < 10; ++i) {
+    tasks.emplace_back([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(std::this_thread::get_id());
+    });
+  }
+  pool.RunAll(std::move(tasks));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(*seen.begin(), driver) << "pool of 1 = the driver thread";
+}
+
+TEST(ExecutorPoolTest, TasksSpreadAcrossWorkers) {
+  ExecutorPool pool(4);
+  std::set<std::thread::id> seen;
+  std::mutex mu;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.emplace_back([&] {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        seen.insert(std::this_thread::get_id());
+      }
+      // Hold the task long enough that other workers pick work up.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+  }
+  pool.RunAll(std::move(tasks));
+  EXPECT_GE(seen.size(), 2u) << "more than one executor participated";
+}
+
+TEST(ExecutorPoolTest, RunAllPropagatesWorkDoneBeforeReturn) {
+  // Whatever tasks write must be visible after RunAll returns (barrier).
+  ExecutorPool pool(4);
+  std::vector<int> out(200, 0);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 200; ++i) {
+    tasks.emplace_back([&out, i] { out[i] = i * i; });
+  }
+  pool.RunAll(std::move(tasks));
+  for (int i = 0; i < 200; ++i) ASSERT_EQ(out[i], i * i);
+}
+
+}  // namespace
+}  // namespace spangle

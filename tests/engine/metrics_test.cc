@@ -1,0 +1,87 @@
+#include "engine/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "engine/size_estimator.h"
+
+namespace spangle {
+namespace {
+
+TEST(MetricsTest, ResetClearsEverything) {
+  EngineMetrics m;
+  m.tasks_run = 5;
+  m.shuffle_bytes = 100;
+  m.recomputed_partitions = 2;
+  m.Reset();
+  EXPECT_EQ(m.tasks_run.load(), 0u);
+  EXPECT_EQ(m.shuffle_bytes.load(), 0u);
+  EXPECT_EQ(m.recomputed_partitions.load(), 0u);
+}
+
+TEST(MetricsTest, ToStringMentionsCounters) {
+  EngineMetrics m;
+  m.stages_run = 3;
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("stages=3"), std::string::npos);
+  EXPECT_NE(s.find("shuffle_bytes"), std::string::npos);
+}
+
+TEST(MetricsTest, StageAndTaskAccounting) {
+  Context ctx(2);
+  auto rdd = ctx.Parallelize(std::vector<int>(60, 1), 6);
+  ctx.metrics().Reset();
+  rdd.Count();
+  EXPECT_EQ(ctx.metrics().stages_run.load(), 1u);
+  EXPECT_EQ(ctx.metrics().tasks_run.load(), 6u);
+  rdd.Count();
+  EXPECT_EQ(ctx.metrics().stages_run.load(), 2u) << "one stage per action";
+}
+
+TEST(MetricsTest, ShuffleByteAccountingIsExact) {
+  Context ctx(2);
+  // 100 records of pair<uint64_t, uint64_t>: EstimateSize = 16 each.
+  std::vector<std::pair<uint64_t, uint64_t>> data;
+  for (uint64_t i = 0; i < 100; ++i) data.emplace_back(i, i);
+  auto pairs = ToPair<uint64_t, uint64_t>(ctx.Parallelize(data, 4));
+  ctx.metrics().Reset();
+  pairs.PartitionBy(std::make_shared<HashPartitioner<uint64_t>>(4)).Count();
+  EXPECT_EQ(ctx.metrics().shuffle_records.load(), 100u);
+  EXPECT_EQ(ctx.metrics().shuffle_bytes.load(), 100u * 16u);
+  EXPECT_EQ(ctx.metrics().shuffles.load(), 1u);
+}
+
+TEST(SizeEstimatorTest, CompositesSumElementSizes) {
+  EXPECT_EQ(EstimateSize(int{1}), sizeof(int));
+  EXPECT_EQ(EstimateSize(std::pair<int, double>{1, 2.0}),
+            sizeof(int) + sizeof(double));
+  std::vector<uint64_t> v(10, 0);
+  EXPECT_EQ(EstimateSize(v), sizeof(std::vector<uint64_t>) + 80);
+  // Nested: vector of pairs inside a pair.
+  std::pair<uint64_t, std::vector<uint64_t>> rec{1, v};
+  EXPECT_EQ(EstimateSize(rec), 8 + sizeof(std::vector<uint64_t>) + 80);
+  std::string s = "hello";
+  EXPECT_EQ(EstimateSize(s), sizeof(std::string) + 5);
+}
+
+TEST(SizeEstimatorTest, UsesSerializedBytesWhenPresent) {
+  struct WithSize {
+    size_t SerializedBytes() const { return 1234; }
+  };
+  EXPECT_EQ(EstimateSize(WithSize{}), 1234u);
+}
+
+TEST(MetricsTest, CacheCountersTrackHitsAndMisses) {
+  Context ctx(2);
+  auto rdd = ctx.Parallelize(std::vector<int>(10, 1), 2);
+  rdd.Cache();
+  ctx.metrics().Reset();
+  rdd.Count();  // 2 misses
+  EXPECT_EQ(ctx.metrics().cache_misses.load(), 2u);
+  EXPECT_EQ(ctx.metrics().cache_hits.load(), 0u);
+  rdd.Count();  // 2 hits
+  EXPECT_EQ(ctx.metrics().cache_hits.load(), 2u);
+}
+
+}  // namespace
+}  // namespace spangle

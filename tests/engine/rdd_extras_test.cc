@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "engine/engine.h"
+
+namespace spangle {
+namespace {
+
+std::vector<int> Iota(int n) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(CoalesceTest, ReducesPartitionsWithoutShuffle) {
+  Context ctx(2);
+  auto rdd = ctx.Parallelize(Iota(100), 10);
+  ctx.metrics().Reset();
+  auto coalesced = rdd.Coalesce(3);
+  EXPECT_EQ(coalesced.num_partitions(), 3);
+  EXPECT_EQ(coalesced.Collect(), Iota(100)) << "order preserved";
+  EXPECT_EQ(ctx.metrics().shuffles.load(), 0u);
+}
+
+TEST(CoalesceTest, ClampsToParentCount) {
+  Context ctx(2);
+  auto rdd = ctx.Parallelize(Iota(10), 2);
+  EXPECT_EQ(rdd.Coalesce(8).num_partitions(), 2);
+  EXPECT_EQ(rdd.Coalesce(1).Collect(), Iota(10));
+}
+
+TEST(SampleTest, FractionRoughlyRespected) {
+  Context ctx(2);
+  auto rdd = ctx.Parallelize(Iota(10000), 8);
+  const size_t n = rdd.Sample(0.3, 7).Count();
+  EXPECT_GT(n, 2600u);
+  EXPECT_LT(n, 3400u);
+  EXPECT_EQ(rdd.Sample(0.0, 7).Count(), 0u);
+  EXPECT_EQ(rdd.Sample(1.0, 7).Count(), 10000u);
+}
+
+TEST(SampleTest, DeterministicPerSeed) {
+  Context ctx(2);
+  auto rdd = ctx.Parallelize(Iota(1000), 4);
+  EXPECT_EQ(rdd.Sample(0.5, 11).Collect(), rdd.Sample(0.5, 11).Collect());
+  EXPECT_NE(rdd.Sample(0.5, 11).Collect(), rdd.Sample(0.5, 12).Collect());
+}
+
+TEST(DistinctTest, RemovesDuplicates) {
+  Context ctx(2);
+  std::vector<int> data;
+  for (int i = 0; i < 300; ++i) data.push_back(i % 17);
+  auto rdd = ctx.Parallelize(data, 5);
+  auto unique = rdd.Distinct().Collect();
+  std::set<int> got(unique.begin(), unique.end());
+  EXPECT_EQ(unique.size(), 17u);
+  EXPECT_EQ(got.size(), 17u);
+}
+
+TEST(DistinctTest, EmptyAndSingleton) {
+  Context ctx(2);
+  EXPECT_EQ(ctx.Parallelize(std::vector<int>{}, 3).Distinct().Count(), 0u);
+  EXPECT_EQ(ctx.Parallelize(std::vector<int>{5, 5, 5}, 3).Distinct().Count(),
+            1u);
+}
+
+}  // namespace
+}  // namespace spangle

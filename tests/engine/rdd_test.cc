@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace spangle {
+namespace {
+
+std::vector<int> Iota(int n) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(RddTest, ParallelizeAndCollectPreservesOrder) {
+  Context ctx(2);
+  auto rdd = ctx.Parallelize(Iota(100), 7);
+  EXPECT_EQ(rdd.num_partitions(), 7);
+  EXPECT_EQ(rdd.Collect(), Iota(100));
+}
+
+TEST(RddTest, ParallelizeDefaultParallelism) {
+  Context ctx(3);
+  auto rdd = ctx.Parallelize(Iota(10));
+  EXPECT_EQ(rdd.num_partitions(), 6);  // 2x workers
+  EXPECT_EQ(rdd.Count(), 10u);
+}
+
+TEST(RddTest, MapTransformsEveryElement) {
+  Context ctx(2);
+  auto doubled =
+      ctx.Parallelize(Iota(50), 4).Map([](const int& x) { return x * 2; });
+  auto out = doubled.Collect();
+  ASSERT_EQ(out.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(out[i], 2 * i);
+}
+
+TEST(RddTest, MapChangesType) {
+  Context ctx(2);
+  auto strs = ctx.Parallelize(Iota(5), 2).Map([](const int& x) {
+    return std::to_string(x);
+  });
+  EXPECT_EQ(strs.Collect(),
+            (std::vector<std::string>{"0", "1", "2", "3", "4"}));
+}
+
+TEST(RddTest, FilterKeepsMatching) {
+  Context ctx(2);
+  auto evens =
+      ctx.Parallelize(Iota(100), 5).Filter([](const int& x) { return x % 2 == 0; });
+  EXPECT_EQ(evens.Count(), 50u);
+}
+
+TEST(RddTest, FlatMapExpands) {
+  Context ctx(2);
+  auto rdd = ctx.Parallelize(Iota(10), 3).FlatMap([](const int& x) {
+    return std::vector<int>{x, x};
+  });
+  EXPECT_EQ(rdd.Count(), 20u);
+}
+
+TEST(RddTest, LazinessNoTasksUntilAction) {
+  Context ctx(2);
+  auto rdd = ctx.Parallelize(Iota(10), 2);
+  const uint64_t before = ctx.metrics().tasks_run.load();
+  auto mapped = rdd.Map([](const int& x) { return x + 1; });
+  auto filtered = mapped.Filter([](const int& x) { return x > 3; });
+  EXPECT_EQ(ctx.metrics().tasks_run.load(), before)
+      << "transformations must not execute tasks";
+  filtered.Count();
+  EXPECT_GT(ctx.metrics().tasks_run.load(), before);
+}
+
+TEST(RddTest, NarrowChainRunsAsOneStage) {
+  Context ctx(2);
+  auto rdd = ctx.Parallelize(Iota(100), 4)
+                 .Map([](const int& x) { return x * 3; })
+                 .Filter([](const int& x) { return x % 2 == 0; })
+                 .Map([](const int& x) { return x + 1; });
+  ctx.metrics().Reset();
+  rdd.Count();
+  EXPECT_EQ(ctx.metrics().stages_run.load(), 1u)
+      << "narrow transformations pipeline into a single stage";
+}
+
+TEST(RddTest, ReduceSumsAcrossPartitions) {
+  Context ctx(4);
+  auto rdd = ctx.Parallelize(Iota(101), 8);
+  int total = rdd.Reduce(0, [](const int& a, const int& b) { return a + b; });
+  EXPECT_EQ(total, 5050);
+}
+
+TEST(RddTest, ReduceOnEmptyReturnsIdentity) {
+  Context ctx(2);
+  auto rdd = ctx.Parallelize(std::vector<int>{}, 3);
+  EXPECT_EQ(rdd.Reduce(0, [](const int& a, const int& b) { return a + b; }),
+            0);
+  EXPECT_EQ(rdd.Reduce(1, [](const int& a, const int& b) { return a * b; }),
+            1);
+}
+
+TEST(RddTest, AggregateWithDifferentAccumulatorType) {
+  Context ctx(2);
+  auto rdd = ctx.Parallelize(Iota(10), 3);
+  double mean_num = rdd.Aggregate<double>(
+      0.0, [](double acc, const int& x) { return acc + x; },
+      [](double a, double b) { return a + b; });
+  EXPECT_DOUBLE_EQ(mean_num, 45.0);
+}
+
+TEST(RddTest, UnionConcatenates) {
+  Context ctx(2);
+  auto a = ctx.Parallelize(Iota(10), 2);
+  auto b = ctx.Parallelize(Iota(5), 3);
+  auto u = a.Union(b);
+  EXPECT_EQ(u.num_partitions(), 5);
+  EXPECT_EQ(u.Count(), 15u);
+}
+
+TEST(RddTest, MapPartitionsWithIndexSeesPartitionIds) {
+  Context ctx(2);
+  auto rdd = ctx.Parallelize(Iota(40), 4);
+  auto tagged = rdd.MapPartitionsWithIndex<int>(
+      [](int idx, const std::vector<int>&) { return std::vector<int>{idx}; });
+  auto out = tagged.Collect();
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(RddTest, ZipPartitionsAligns) {
+  Context ctx(2);
+  auto a = ctx.Parallelize(Iota(20), 4);
+  auto b = ctx.Parallelize(Iota(20), 4).Map([](const int& x) { return x * 10; });
+  auto sum = a.ZipPartitions<int, int>(
+      b, [](int, const std::vector<int>& xs, const std::vector<int>& ys) {
+        std::vector<int> out;
+        for (size_t i = 0; i < xs.size(); ++i) out.push_back(xs[i] + ys[i]);
+        return out;
+      });
+  auto out = sum.Collect();
+  ASSERT_EQ(out.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(out[i], 11 * i);
+}
+
+TEST(RddTest, CacheAvoidsRecomputation) {
+  Context ctx(2);
+  std::atomic<int> evals{0};
+  auto rdd = ctx.Parallelize(Iota(10), 2).Map([&](const int& x) {
+    evals.fetch_add(1);
+    return x;
+  });
+  rdd.Cache();
+  rdd.Count();
+  EXPECT_EQ(evals.load(), 10);
+  rdd.Count();
+  EXPECT_EQ(evals.load(), 10) << "second action must hit the cache";
+  EXPECT_GT(ctx.metrics().cache_hits.load(), 0u);
+}
+
+TEST(RddTest, UncachedRecomputesEachAction) {
+  Context ctx(2);
+  std::atomic<int> evals{0};
+  auto rdd = ctx.Parallelize(Iota(10), 2).Map([&](const int& x) {
+    evals.fetch_add(1);
+    return x;
+  });
+  rdd.Count();
+  rdd.Count();
+  EXPECT_EQ(evals.load(), 20);
+}
+
+TEST(RddTest, ForEachPartitionVisitsAll) {
+  Context ctx(2);
+  auto rdd = ctx.Parallelize(Iota(30), 5);
+  std::atomic<size_t> seen{0};
+  rdd.ForEachPartition(
+      [&](int, const std::vector<int>& part) { seen += part.size(); });
+  EXPECT_EQ(seen.load(), 30u);
+}
+
+TEST(RddTest, SingleWorkerPoolStillCorrect) {
+  Context ctx(1);
+  auto rdd = ctx.Parallelize(Iota(1000), 16);
+  EXPECT_EQ(rdd.Map([](const int& x) { return x % 7; })
+                .Filter([](const int& x) { return x == 0; })
+                .Count(),
+            143u);
+}
+
+TEST(RddTest, ManyWorkersCorrect) {
+  Context ctx(8);
+  auto rdd = ctx.Parallelize(Iota(10000), 32);
+  int total = rdd.Reduce(0, [](const int& a, const int& b) { return a + b; });
+  EXPECT_EQ(total, 49995000);
+}
+
+}  // namespace
+}  // namespace spangle

@@ -1,0 +1,94 @@
+// Stress: fault injection interleaved with concurrent actions across a
+// deep lineage with shuffles — the engine must always reproduce the
+// original results, and recovery must be visible in the metrics.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/random.h"
+#include "engine/engine.h"
+
+namespace spangle {
+namespace {
+
+TEST(RecoveryStressTest, RepeatedLossesAcrossDeepLineage) {
+  Context ctx(4);
+  std::vector<int> data(2000);
+  std::iota(data.begin(), data.end(), 0);
+  // Deep chain: map -> shuffle (reduceByKey) -> map -> filter, cached at
+  // the end.
+  auto keyed = ToPair<uint64_t, int>(
+      ctx.Parallelize(data, 16).Map([](const int& x) {
+        return std::pair<uint64_t, int>(static_cast<uint64_t>(x % 97), x);
+      }));
+  auto reduced =
+      keyed.ReduceByKey([](const int& a, const int& b) { return a + b; });
+  auto final_rdd = reduced.AsRdd()
+                       .Map([](const std::pair<uint64_t, int>& kv) {
+                         return kv.second * 3;
+                       })
+                       .Filter([](const int& v) { return v % 2 == 1; });
+  final_rdd.Cache();
+  auto baseline = final_rdd.Collect();
+  std::sort(baseline.begin(), baseline.end());
+
+  Rng rng(3);
+  for (int round = 0; round < 20; ++round) {
+    // Lose a random cached partition, sometimes several.
+    const int n = final_rdd.num_partitions();
+    final_rdd.node()->DropCachedPartition(
+        static_cast<int>(rng.NextBounded(n)));
+    if (rng.NextBool(0.3)) {
+      final_rdd.node()->DropCachedPartition(
+          static_cast<int>(rng.NextBounded(n)));
+    }
+    auto got = final_rdd.Collect();
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, baseline) << "round " << round;
+  }
+  EXPECT_GE(ctx.metrics().recomputed_partitions.load(), 20u);
+}
+
+TEST(RecoveryStressTest, ShuffleInvalidationUnderRepeatedActions) {
+  Context ctx(4);
+  std::vector<std::pair<uint64_t, int>> data;
+  for (int i = 0; i < 500; ++i) data.emplace_back(i % 13, 1);
+  auto reduced = ToPair<uint64_t, int>(ctx.Parallelize(data, 8))
+                     .ReduceByKey([](const int& a, const int& b) {
+                       return a + b;
+                     });
+  auto baseline = reduced.CollectAsMap();
+  auto* shuffle = dynamic_cast<internal::ShuffleNode<uint64_t, int>*>(
+      reduced.AsRdd().node());
+  ASSERT_NE(shuffle, nullptr);
+  for (int round = 0; round < 10; ++round) {
+    shuffle->Invalidate();
+    ASSERT_EQ(reduced.CollectAsMap(), baseline) << "round " << round;
+  }
+}
+
+TEST(RecoveryStressTest, DerivedRddsSurviveUpstreamLoss) {
+  Context ctx(4);
+  std::vector<int> data(400);
+  std::iota(data.begin(), data.end(), 0);
+  auto base = ctx.Parallelize(data, 8).Map([](const int& x) { return x + 1; });
+  base.Cache();
+  base.Count();
+  // Two independent children of the cached parent.
+  auto evens = base.Filter([](const int& x) { return x % 2 == 0; });
+  auto squares = base.Map([](const int& x) { return x * x; });
+  const size_t evens_count = evens.Count();
+  const int square_sum =
+      squares.Reduce(0, [](const int& a, const int& b) { return a + b; });
+  // Lose parent partitions; children must still agree.
+  for (int i = 0; i < 8; ++i) base.node()->DropCachedPartition(i);
+  EXPECT_EQ(evens.Count(), evens_count);
+  EXPECT_EQ(squares.Reduce(0, [](const int& a, const int& b) {
+    return a + b;
+  }),
+            square_sum);
+}
+
+}  // namespace
+}  // namespace spangle

@@ -1,0 +1,313 @@
+#include "matrix/block_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace spangle {
+namespace {
+
+std::vector<MatrixEntry> RandomEntries(uint64_t rows, uint64_t cols,
+                                       double density, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<MatrixEntry> entries;
+  for (uint64_t r = 0; r < rows; ++r) {
+    for (uint64_t c = 0; c < cols; ++c) {
+      if (rng.NextBool(density)) {
+        entries.push_back({r, c, rng.NextDouble(-2, 2)});
+      }
+    }
+  }
+  return entries;
+}
+
+std::vector<double> DenseOf(const std::vector<MatrixEntry>& entries,
+                            uint64_t rows, uint64_t cols) {
+  std::vector<double> m(rows * cols, 0.0);
+  for (const auto& e : entries) m[e.row * cols + e.col] = e.value;
+  return m;
+}
+
+std::vector<double> RefMultiply(const std::vector<double>& a,
+                                const std::vector<double>& b, uint64_t m,
+                                uint64_t k, uint64_t n) {
+  std::vector<double> out(m * n, 0.0);
+  for (uint64_t i = 0; i < m; ++i) {
+    for (uint64_t j = 0; j < k; ++j) {
+      const double av = a[i * k + j];
+      if (av == 0.0) continue;
+      for (uint64_t c = 0; c < n; ++c) out[i * n + c] += av * b[j * n + c];
+    }
+  }
+  return out;
+}
+
+void ExpectDenseNear(const std::vector<double>& got,
+                     const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-9) << "index " << i;
+  }
+}
+
+TEST(BlockMatrixTest, FromEntriesBasics) {
+  Context ctx(2);
+  auto entries = RandomEntries(20, 14, 0.2, 1);
+  auto m = *BlockMatrix::FromEntries(&ctx, 20, 14, 8, entries);
+  EXPECT_EQ(m.rows(), 20u);
+  EXPECT_EQ(m.cols(), 14u);
+  EXPECT_EQ(m.num_row_blocks(), 3u);
+  EXPECT_EQ(m.num_col_blocks(), 2u);
+  EXPECT_EQ(m.NumNonZero(), entries.size());
+  for (const auto& e : entries) {
+    EXPECT_DOUBLE_EQ(m.Get(e.row, e.col), e.value);
+  }
+  EXPECT_DOUBLE_EQ(m.Get(0, 13), DenseOf(entries, 20, 14)[13]);
+}
+
+TEST(BlockMatrixTest, ZeroEntriesNotStored) {
+  Context ctx(2);
+  std::vector<MatrixEntry> entries = {{0, 0, 0.0}, {1, 1, 5.0}};
+  auto m = *BlockMatrix::FromEntries(&ctx, 4, 4, 2, entries);
+  EXPECT_EQ(m.NumNonZero(), 1u) << "zero is invalid (Sec. IV-A)";
+}
+
+TEST(BlockMatrixTest, ValidatesInput) {
+  Context ctx(2);
+  EXPECT_FALSE(BlockMatrix::FromEntries(&ctx, 0, 4, 2, {}).ok());
+  EXPECT_FALSE(
+      BlockMatrix::FromEntries(&ctx, 4, 4, 2, {{5, 0, 1.0}}).ok());
+}
+
+TEST(BlockMatrixTest, AddAndSubtract) {
+  Context ctx(2);
+  auto ea = RandomEntries(12, 12, 0.3, 2);
+  auto eb = RandomEntries(12, 12, 0.3, 3);
+  auto a = *BlockMatrix::FromEntries(&ctx, 12, 12, 5, ea);
+  auto b = *BlockMatrix::FromEntries(&ctx, 12, 12, 5, eb);
+  auto sum = *a.Add(b);
+  auto diff = *a.Subtract(b);
+  auto da = DenseOf(ea, 12, 12), db = DenseOf(eb, 12, 12);
+  std::vector<double> want_sum(144), want_diff(144);
+  for (int i = 0; i < 144; ++i) {
+    want_sum[i] = da[i] + db[i];
+    want_diff[i] = da[i] - db[i];
+  }
+  ExpectDenseNear(sum.ToDense(), want_sum);
+  ExpectDenseNear(diff.ToDense(), want_diff);
+}
+
+TEST(BlockMatrixTest, AddIsShuffleFreeWhenCoPartitioned) {
+  Context ctx(2);
+  auto a = *BlockMatrix::FromEntries(&ctx, 32, 32, 8,
+                                     RandomEntries(32, 32, 0.2, 4));
+  auto b = *BlockMatrix::FromEntries(&ctx, 32, 32, 8,
+                                     RandomEntries(32, 32, 0.2, 5));
+  ctx.metrics().Reset();
+  a.Add(b)->NumNonZero();
+  EXPECT_EQ(ctx.metrics().shuffles.load(), 0u)
+      << "addition is embarrassingly parallel (Sec. V-A4)";
+}
+
+TEST(BlockMatrixTest, HadamardSkipsZeroPairs) {
+  Context ctx(2);
+  std::vector<MatrixEntry> ea = {{0, 0, 2.0}, {1, 1, 3.0}, {2, 2, 4.0}};
+  std::vector<MatrixEntry> eb = {{1, 1, 10.0}, {2, 2, 0.5}, {3, 3, 9.0}};
+  auto a = *BlockMatrix::FromEntries(&ctx, 8, 8, 4, ea);
+  auto b = *BlockMatrix::FromEntries(&ctx, 8, 8, 4, eb);
+  auto h = *a.Hadamard(b);
+  EXPECT_EQ(h.NumNonZero(), 2u);
+  EXPECT_DOUBLE_EQ(h.Get(1, 1), 30.0);
+  EXPECT_DOUBLE_EQ(h.Get(2, 2), 2.0);
+}
+
+TEST(MultiplyTilesTest, MatchesDenseReference) {
+  Rng rng(6);
+  const uint32_t bs = 16;
+  std::vector<std::pair<uint32_t, double>> ac, bc;
+  for (uint32_t i = 0; i < bs * bs; ++i) {
+    if (rng.NextBool(0.3)) ac.emplace_back(i, rng.NextDouble(-1, 1));
+    if (rng.NextBool(0.3)) bc.emplace_back(i, rng.NextDouble(-1, 1));
+  }
+  Chunk a = Chunk::FromCells(bs * bs, ac, ChunkMode::kSparse);
+  Chunk b = Chunk::FromCells(bs * bs, bc, ChunkMode::kSparse);
+  auto cells = MultiplyTiles(a, b, bs);
+  // Dense reference.
+  std::vector<double> da(bs * bs, 0), db(bs * bs, 0), want(bs * bs, 0);
+  for (auto& [o, v] : ac) da[o] = v;
+  for (auto& [o, v] : bc) db[o] = v;
+  for (uint32_t r = 0; r < bs; ++r) {
+    for (uint32_t j = 0; j < bs; ++j) {
+      for (uint32_t c = 0; c < bs; ++c) {
+        want[r * bs + c] += da[r * bs + j] * db[j * bs + c];
+      }
+    }
+  }
+  std::vector<double> got(bs * bs, 0);
+  for (auto& [o, v] : cells) got[o] = v;
+  for (uint32_t i = 0; i < bs * bs; ++i) EXPECT_NEAR(got[i], want[i], 1e-9);
+}
+
+class MultiplyShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(MultiplyShapeTest, MatchesDenseReference) {
+  const auto [m, k, n, bs] = GetParam();
+  Context ctx(2);
+  auto ea = RandomEntries(m, k, 0.25, 100 + m);
+  auto eb = RandomEntries(k, n, 0.25, 200 + n);
+  auto a = *BlockMatrix::FromEntries(&ctx, m, k, bs, ea);
+  auto b = *BlockMatrix::FromEntries(&ctx, k, n, bs, eb);
+  auto c = *a.Multiply(b);
+  EXPECT_EQ(c.rows(), static_cast<uint64_t>(m));
+  EXPECT_EQ(c.cols(), static_cast<uint64_t>(n));
+  ExpectDenseNear(c.ToDense(), RefMultiply(DenseOf(ea, m, k),
+                                           DenseOf(eb, k, n), m, k, n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MultiplyShapeTest,
+    ::testing::Values(std::tuple{8, 8, 8, 4}, std::tuple{16, 8, 12, 4},
+                      std::tuple{5, 7, 3, 4}, std::tuple{20, 20, 20, 7},
+                      std::tuple{32, 16, 8, 8}));
+
+TEST(BlockMatrixTest, MultiplyValidatesShapes) {
+  Context ctx(2);
+  auto a = *BlockMatrix::FromEntries(&ctx, 8, 8, 4, {});
+  auto b = *BlockMatrix::FromEntries(&ctx, 9, 8, 4, {});
+  auto c = *BlockMatrix::FromEntries(&ctx, 8, 8, 2, {});
+  EXPECT_FALSE(a.Multiply(b).ok());
+  EXPECT_FALSE(a.Multiply(c).ok());
+}
+
+TEST(BlockMatrixTest, LocalJoinMultiplyShufflesLess) {
+  Context ctx(2);
+  const uint64_t n = 64, bs = 8;
+  auto ea = RandomEntries(n, n, 0.1, 7);
+  auto eb = RandomEntries(n, n, 0.1, 8);
+  // Placed for the local join: left by column block, right by row block.
+  auto a = *BlockMatrix::FromEntries(&ctx, n, n, bs, ea, ModePolicy::Auto(),
+                                     PartitionScheme::kByColBlock, 4);
+  auto b = *BlockMatrix::FromEntries(&ctx, n, n, bs, eb, ModePolicy::Auto(),
+                                     PartitionScheme::kByRowBlock, 4);
+
+  ctx.metrics().Reset();
+  auto local = *a.Multiply(b);
+  local.NumNonZero();
+  const uint64_t local_shuffles = ctx.metrics().shuffles.load();
+  const uint64_t local_bytes = ctx.metrics().shuffle_bytes.load();
+
+  ctx.metrics().Reset();
+  MatMulOptions forced;
+  forced.force_shuffle_join = true;
+  auto shuffled = *a.Multiply(b, forced);
+  shuffled.NumNonZero();
+  const uint64_t forced_shuffles = ctx.metrics().shuffles.load();
+  const uint64_t forced_bytes = ctx.metrics().shuffle_bytes.load();
+
+  EXPECT_LT(local_shuffles, forced_shuffles)
+      << "local join removes the two input shuffles (Sec. VI-A)";
+  EXPECT_LT(local_bytes, forced_bytes);
+  // Same numbers either way.
+  ExpectDenseNear(local.ToDense(), shuffled.ToDense());
+}
+
+TEST(BlockMatrixTest, MultiplyVectorMatchesReference) {
+  Context ctx(2);
+  const uint64_t m = 20, n = 12, bs = 5;
+  auto entries = RandomEntries(m, n, 0.3, 9);
+  auto a = *BlockMatrix::FromEntries(&ctx, m, n, bs, entries);
+  std::vector<double> x(n);
+  for (uint64_t i = 0; i < n; ++i) x[i] = 0.5 * i - 2;
+  auto v = BlockVector::FromDense(&ctx, x, bs);
+  auto y = *a.MultiplyVector(v);
+  EXPECT_EQ(y.size(), m);
+  EXPECT_TRUE(y.is_column());
+  auto dense = DenseOf(entries, m, n);
+  auto got = y.ToDense();
+  for (uint64_t r = 0; r < m; ++r) {
+    double want = 0;
+    for (uint64_t c = 0; c < n; ++c) want += dense[r * n + c] * x[c];
+    EXPECT_NEAR(got[r], want, 1e-9);
+  }
+}
+
+TEST(BlockMatrixTest, LeftMultiplyVectorMatchesReference) {
+  Context ctx(2);
+  const uint64_t m = 12, n = 20, bs = 5;
+  auto entries = RandomEntries(m, n, 0.3, 10);
+  auto a = *BlockMatrix::FromEntries(&ctx, m, n, bs, entries);
+  std::vector<double> x(m);
+  for (uint64_t i = 0; i < m; ++i) x[i] = 1.0 - 0.3 * i;
+  auto v = BlockVector::FromDense(&ctx, x, bs);
+  auto y = *a.LeftMultiplyVector(v);
+  EXPECT_EQ(y.size(), n);
+  EXPECT_FALSE(y.is_column()) << "vT M is a row vector";
+  auto dense = DenseOf(entries, m, n);
+  auto got = y.ToDense();
+  for (uint64_t c = 0; c < n; ++c) {
+    double want = 0;
+    for (uint64_t r = 0; r < m; ++r) want += dense[r * n + c] * x[r];
+    EXPECT_NEAR(got[c], want, 1e-9);
+  }
+}
+
+TEST(BlockMatrixTest, VectorMultiplyDimensionChecks) {
+  Context ctx(2);
+  auto a = *BlockMatrix::FromEntries(&ctx, 8, 6, 4, {{0, 0, 1.0}});
+  auto wrong_size = BlockVector::FromDense(&ctx, std::vector<double>(8), 4);
+  auto wrong_block = BlockVector::FromDense(&ctx, std::vector<double>(6), 3);
+  EXPECT_FALSE(a.MultiplyVector(wrong_size).ok());
+  EXPECT_FALSE(a.MultiplyVector(wrong_block).ok());
+  EXPECT_FALSE(a.LeftMultiplyVector(BlockVector::FromDense(
+                                        &ctx, std::vector<double>(6), 4))
+                   .ok());
+}
+
+TEST(BlockMatrixTest, TransposeMatchesReference) {
+  Context ctx(2);
+  auto entries = RandomEntries(10, 14, 0.25, 11);
+  auto a = *BlockMatrix::FromEntries(&ctx, 10, 14, 4, entries);
+  auto t = a.Transpose();
+  EXPECT_EQ(t.rows(), 14u);
+  EXPECT_EQ(t.cols(), 10u);
+  for (const auto& e : entries) {
+    EXPECT_DOUBLE_EQ(t.Get(e.col, e.row), e.value);
+  }
+  EXPECT_EQ(t.NumNonZero(), entries.size());
+}
+
+TEST(BlockMatrixTest, TransposeSelfMultiply) {
+  Context ctx(2);
+  const uint64_t m = 12, n = 8, bs = 4;
+  auto entries = RandomEntries(m, n, 0.3, 12);
+  auto a = *BlockMatrix::FromEntries(&ctx, m, n, bs, entries);
+  auto mtm = *a.TransposeSelfMultiply();
+  EXPECT_EQ(mtm.rows(), n);
+  EXPECT_EQ(mtm.cols(), n);
+  auto dense = DenseOf(entries, m, n);
+  auto got = mtm.ToDense();
+  for (uint64_t i = 0; i < n; ++i) {
+    for (uint64_t j = 0; j < n; ++j) {
+      double want = 0;
+      for (uint64_t r = 0; r < m; ++r) {
+        want += dense[r * n + i] * dense[r * n + j];
+      }
+      EXPECT_NEAR(got[i * n + j], want, 1e-9);
+    }
+  }
+}
+
+TEST(BlockMatrixTest, SparseMatrixMemoryFootprint) {
+  Context ctx(2);
+  auto sparse_entries = RandomEntries(256, 256, 0.01, 13);
+  auto sparse = *BlockMatrix::FromEntries(&ctx, 256, 256, 64, sparse_entries,
+                                          ModePolicy::Auto());
+  auto dense_mode =
+      *BlockMatrix::FromEntries(&ctx, 256, 256, 64, sparse_entries,
+                                ModePolicy::Fixed(ChunkMode::kDense));
+  EXPECT_LT(sparse.MemoryBytes(), dense_mode.MemoryBytes() / 4);
+}
+
+}  // namespace
+}  // namespace spangle

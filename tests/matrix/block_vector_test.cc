@@ -1,0 +1,84 @@
+#include "matrix/block_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace spangle {
+namespace {
+
+std::vector<double> Iota(int n) {
+  std::vector<double> v(n);
+  for (int i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+TEST(BlockVectorTest, RoundTrip) {
+  Context ctx(2);
+  auto v = BlockVector::FromDense(&ctx, Iota(17), 4);
+  EXPECT_EQ(v.size(), 17u);
+  EXPECT_EQ(v.num_blocks(), 5u) << "ragged last block";
+  EXPECT_EQ(v.ToDense(), Iota(17));
+}
+
+TEST(BlockVectorTest, TransposeMetadataIsFreeOfDataMovement) {
+  Context ctx(2);
+  auto v = BlockVector::FromDense(&ctx, Iota(16), 4);
+  EXPECT_TRUE(v.is_column());
+  ctx.metrics().Reset();
+  auto t = v.TransposeMetadata();
+  EXPECT_FALSE(t.is_column());
+  EXPECT_EQ(ctx.metrics().tasks_run.load(), 0u)
+      << "metadata transpose runs zero tasks (opt2)";
+  EXPECT_EQ(t.ToDense(), Iota(16));
+}
+
+TEST(BlockVectorTest, TransposePhysicalMovesData) {
+  Context ctx(2);
+  auto v = BlockVector::FromDense(&ctx, Iota(16), 4);
+  ctx.metrics().Reset();
+  auto t = v.TransposePhysical();
+  EXPECT_EQ(t.ToDense(), Iota(16));
+  EXPECT_GE(ctx.metrics().shuffles.load(), 1u)
+      << "the unoptimized transpose repartitions the vector";
+  EXPECT_FALSE(t.is_column());
+}
+
+TEST(BlockVectorTest, AddScaled) {
+  Context ctx(2);
+  auto a = BlockVector::FromDense(&ctx, Iota(10), 3);
+  auto b = BlockVector::FromDense(&ctx, std::vector<double>(10, 2.0), 3);
+  auto c = *a.AddScaled(b, 0.5);
+  auto dense = c.ToDense();
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(dense[i], i + 1.0);
+  EXPECT_FALSE(a.AddScaled(BlockVector::FromDense(&ctx, Iota(9), 3), 1).ok());
+}
+
+TEST(BlockVectorTest, Hadamard) {
+  Context ctx(2);
+  auto a = BlockVector::FromDense(&ctx, Iota(8), 4);
+  auto b = BlockVector::FromDense(&ctx, Iota(8), 4);
+  auto c = *a.Hadamard(b);
+  auto dense = c.ToDense();
+  for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(dense[i], double(i) * i);
+}
+
+TEST(BlockVectorTest, MapSumNorm) {
+  Context ctx(2);
+  auto v = BlockVector::FromDense(&ctx, Iota(5), 2);  // 0 1 2 3 4
+  EXPECT_DOUBLE_EQ(v.Sum(), 10.0);
+  EXPECT_DOUBLE_EQ(v.SquaredNorm(), 30.0);
+  auto shifted = v.Map([](double x) { return x + 1; });
+  EXPECT_DOUBLE_EQ(shifted.Sum(), 15.0);
+}
+
+TEST(BlockVectorTest, ElementwiseOpsJoinLocally) {
+  Context ctx(2);
+  auto a = BlockVector::FromDense(&ctx, Iota(64), 8, 4);
+  auto b = BlockVector::FromDense(&ctx, Iota(64), 8, 4);
+  ctx.metrics().Reset();
+  a.AddScaled(b, 1.0)->Sum();
+  EXPECT_EQ(ctx.metrics().shuffles.load(), 0u)
+      << "same-partitioner vectors combine without shuffling";
+}
+
+}  // namespace
+}  // namespace spangle

@@ -1,0 +1,119 @@
+#include "matrix/mask_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "matrix/block_matrix.h"
+
+namespace spangle {
+namespace {
+
+std::vector<std::pair<uint64_t, uint64_t>> RandomEdges(uint64_t n,
+                                                       double density,
+                                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  for (uint64_t r = 0; r < n; ++r) {
+    for (uint64_t c = 0; c < n; ++c) {
+      if (rng.NextBool(density)) edges.emplace_back(r, c);
+    }
+  }
+  return edges;
+}
+
+TEST(MaskMatrixTest, CountsEdges) {
+  Context ctx(2);
+  auto edges = RandomEdges(32, 0.1, 1);
+  auto m = *MaskMatrix::FromEdges(&ctx, 32, 8, edges);
+  EXPECT_EQ(m.NumEdges(), edges.size());
+}
+
+TEST(MaskMatrixTest, ValidatesInput) {
+  Context ctx(2);
+  EXPECT_FALSE(MaskMatrix::FromEdges(&ctx, 0, 8, {}).ok());
+  EXPECT_FALSE(MaskMatrix::FromEdges(&ctx, 8, 4, {{9, 0}}).ok());
+}
+
+TEST(MaskMatrixTest, OneBitPerEdgeBeatsPayloadMatrix) {
+  Context ctx(2);
+  const uint64_t n = 512;
+  auto edges = RandomEdges(n, 0.05, 2);
+  auto mask = *MaskMatrix::FromEdges(&ctx, n, 128, edges);
+  std::vector<MatrixEntry> entries;
+  entries.reserve(edges.size());
+  for (auto& [r, c] : edges) entries.push_back({r, c, 1.0});
+  auto weighted = *BlockMatrix::FromEntries(&ctx, n, n, 128, entries);
+  EXPECT_LT(mask.MemoryBytes(), weighted.MemoryBytes() / 2)
+      << "an unweighted edge costs one bit, not eight bytes (Sec. VI-B)";
+}
+
+TEST(MaskMatrixTest, HierarchicalTilesForVerySparseGraphs) {
+  Context ctx(2);
+  // 1000 nodes, ~2000 edges: density ~2e-3 < 1/64.
+  Rng rng(3);
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  for (int i = 0; i < 2000; ++i) {
+    edges.emplace_back(rng.NextBounded(1000), rng.NextBounded(1000));
+  }
+  auto auto_mode = *MaskMatrix::FromEdges(&ctx, 1000, 500, edges);
+  auto flat = *MaskMatrix::FromEdges(&ctx, 1000, 500, edges, false);
+  auto forced = *MaskMatrix::FromEdges(&ctx, 1000, 500, edges, true);
+  EXPECT_LT(forced.MemoryBytes(), 1000u * 1000u / 8 / 2)
+      << "hierarchical masks drop the all-zero words";
+  EXPECT_EQ(forced.NumEdges(), auto_mode.NumEdges());
+  (void)flat;
+}
+
+TEST(MaskMatrixTest, MultiplyVectorMatchesReference) {
+  Context ctx(2);
+  const uint64_t n = 24;
+  auto edges = RandomEdges(n, 0.2, 4);
+  auto m = *MaskMatrix::FromEdges(&ctx, n, 6, edges);
+  std::vector<double> x(n);
+  for (uint64_t i = 0; i < n; ++i) x[i] = 0.1 * i + 1;
+  auto v = BlockVector::FromDense(&ctx, x, 6);
+  auto y = *m.MultiplyVector(v);
+  std::vector<double> want(n, 0.0);
+  for (auto& [r, c] : edges) want[r] += x[c];
+  auto got = y.ToDense();
+  ASSERT_EQ(got.size(), n);
+  for (uint64_t i = 0; i < n; ++i) EXPECT_NEAR(got[i], want[i], 1e-9);
+}
+
+TEST(MaskMatrixTest, MultiplyVectorHierarchicalAgreesWithFlat) {
+  Context ctx(2);
+  const uint64_t n = 64;
+  auto edges = RandomEdges(n, 0.01, 5);
+  auto flat = *MaskMatrix::FromEdges(&ctx, n, 16, edges, false);
+  auto hier = *MaskMatrix::FromEdges(&ctx, n, 16, edges, true);
+  auto v = BlockVector::FromDense(&ctx, std::vector<double>(n, 1.0), 16);
+  EXPECT_EQ(flat.MultiplyVector(v)->ToDense(),
+            hier.MultiplyVector(v)->ToDense());
+}
+
+TEST(MaskMatrixTest, ColumnDegrees) {
+  Context ctx(2);
+  // Edges (dst, src): node 0 has out-degree 3 (appears as src 3 times).
+  std::vector<std::pair<uint64_t, uint64_t>> edges = {
+      {1, 0}, {2, 0}, {3, 0}, {0, 1}, {2, 1}, {3, 7}};
+  auto m = *MaskMatrix::FromEdges(&ctx, 8, 4, edges);
+  auto deg = m.ColumnDegrees();
+  EXPECT_EQ(deg[0], 3u);
+  EXPECT_EQ(deg[1], 2u);
+  EXPECT_EQ(deg[7], 1u);
+  EXPECT_EQ(deg[2], 0u);
+}
+
+TEST(MaskMatrixTest, MultiplyVectorDimensionChecks) {
+  Context ctx(2);
+  auto m = *MaskMatrix::FromEdges(&ctx, 8, 4, {{0, 1}});
+  EXPECT_FALSE(
+      m.MultiplyVector(BlockVector::FromDense(&ctx, std::vector<double>(9), 4))
+          .ok());
+  EXPECT_FALSE(
+      m.MultiplyVector(BlockVector::FromDense(&ctx, std::vector<double>(8), 2))
+          .ok());
+}
+
+}  // namespace
+}  // namespace spangle

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matrix/block_matrix.h"
+
+namespace spangle {
+namespace {
+
+TEST(MatrixExtrasTest, Scale) {
+  Context ctx(2);
+  auto m = *BlockMatrix::FromEntries(&ctx, 8, 8, 4,
+                                     {{0, 0, 2.0}, {3, 5, -1.0}});
+  auto scaled = m.Scale(2.5);
+  EXPECT_DOUBLE_EQ(scaled.Get(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(scaled.Get(3, 5), -2.5);
+  EXPECT_EQ(scaled.NumNonZero(), 2u);
+  // Scaling is narrow: no shuffles.
+  ctx.metrics().Reset();
+  m.Scale(3.0).NumNonZero();
+  EXPECT_EQ(ctx.metrics().shuffles.load(), 0u);
+}
+
+TEST(MatrixExtrasTest, FrobeniusNorm) {
+  Context ctx(2);
+  auto m = *BlockMatrix::FromEntries(&ctx, 8, 8, 4,
+                                     {{0, 0, 3.0}, {7, 7, 4.0}});
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  auto empty = *BlockMatrix::FromEntries(&ctx, 8, 8, 4, {});
+  EXPECT_DOUBLE_EQ(empty.FrobeniusNorm(), 0.0);
+}
+
+TEST(MatrixExtrasTest, Trace) {
+  Context ctx(2);
+  auto m = *BlockMatrix::FromEntries(
+      &ctx, 12, 12, 5,
+      {{0, 0, 1.5}, {6, 6, 2.5}, {11, 11, 3.0}, {2, 7, 100.0}});
+  EXPECT_DOUBLE_EQ(*m.Trace(), 7.0) << "off-diagonals ignored";
+  auto rect = *BlockMatrix::FromEntries(&ctx, 4, 8, 4, {});
+  EXPECT_FALSE(rect.Trace().ok());
+}
+
+TEST(MatrixExtrasTest, TraceOfProductEqualsFrobeniusSquared) {
+  // tr(A^T A) == ||A||_F^2 — ties the three new ops together.
+  Context ctx(2);
+  std::vector<MatrixEntry> entries = {
+      {0, 1, 1.0}, {2, 3, -2.0}, {5, 0, 0.5}, {7, 7, 3.0}};
+  auto a = *BlockMatrix::FromEntries(&ctx, 8, 8, 4, entries);
+  auto ata = *a.TransposeSelfMultiply();
+  EXPECT_NEAR(*ata.Trace(), a.FrobeniusNorm() * a.FrobeniusNorm(), 1e-9);
+}
+
+}  // namespace
+}  // namespace spangle

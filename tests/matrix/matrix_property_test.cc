@@ -1,0 +1,125 @@
+// Algebraic property sweep for BlockMatrix: distributivity, transpose
+// identities, identity matrix, and mode invariance, on random sparse
+// matrices across seeds and block sizes.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "matrix/block_matrix.h"
+
+namespace spangle {
+namespace {
+
+std::vector<MatrixEntry> RandomEntries(uint64_t rows, uint64_t cols,
+                                       double density, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<MatrixEntry> entries;
+  for (uint64_t r = 0; r < rows; ++r) {
+    for (uint64_t c = 0; c < cols; ++c) {
+      if (rng.NextBool(density)) {
+        entries.push_back({r, c, rng.NextDouble(-1, 1)});
+      }
+    }
+  }
+  return entries;
+}
+
+void ExpectSame(const BlockMatrix& a, const BlockMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  auto da = a.ToDense();
+  auto db = b.ToDense();
+  for (size_t i = 0; i < da.size(); ++i) {
+    ASSERT_NEAR(da[i], db[i], 1e-9) << "index " << i;
+  }
+}
+
+class MatrixAlgebraTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(MatrixAlgebraTest, DistributivityOfMultiplyOverAdd) {
+  const auto [seed, bs] = GetParam();
+  Context ctx(2);
+  const uint64_t n = 24;
+  auto a = *BlockMatrix::FromEntries(&ctx, n, n, bs,
+                                     RandomEntries(n, n, 0.3, seed));
+  auto b = *BlockMatrix::FromEntries(&ctx, n, n, bs,
+                                     RandomEntries(n, n, 0.3, seed + 1));
+  auto c = *BlockMatrix::FromEntries(&ctx, n, n, bs,
+                                     RandomEntries(n, n, 0.3, seed + 2));
+  // (A + B) C == AC + BC.
+  auto lhs = *(*a.Add(b)).Multiply(c);
+  auto rhs = *(*a.Multiply(c)).Add(*b.Multiply(c));
+  ExpectSame(lhs, rhs);
+}
+
+TEST_P(MatrixAlgebraTest, TransposeOfProduct) {
+  const auto [seed, bs] = GetParam();
+  Context ctx(2);
+  const uint64_t m = 20, k = 16, n = 12;
+  auto a = *BlockMatrix::FromEntries(&ctx, m, k, bs,
+                                     RandomEntries(m, k, 0.3, seed));
+  auto b = *BlockMatrix::FromEntries(&ctx, k, n, bs,
+                                     RandomEntries(k, n, 0.3, seed + 5));
+  // (AB)^T == B^T A^T.
+  auto lhs = (*a.Multiply(b)).Transpose();
+  auto rhs = *b.Transpose().Multiply(a.Transpose());
+  ExpectSame(lhs, rhs);
+}
+
+TEST_P(MatrixAlgebraTest, TransposeIsInvolution) {
+  const auto [seed, bs] = GetParam();
+  Context ctx(2);
+  auto a = *BlockMatrix::FromEntries(&ctx, 18, 26, bs,
+                                     RandomEntries(18, 26, 0.25, seed));
+  ExpectSame(a.Transpose().Transpose(), a);
+}
+
+TEST_P(MatrixAlgebraTest, IdentityIsNeutral) {
+  const auto [seed, bs] = GetParam();
+  Context ctx(2);
+  const uint64_t n = 20;
+  std::vector<MatrixEntry> eye;
+  for (uint64_t i = 0; i < n; ++i) eye.push_back({i, i, 1.0});
+  auto identity = *BlockMatrix::FromEntries(&ctx, n, n, bs, eye);
+  auto a = *BlockMatrix::FromEntries(&ctx, n, n, bs,
+                                     RandomEntries(n, n, 0.3, seed));
+  ExpectSame(*a.Multiply(identity), a);
+  ExpectSame(*identity.Multiply(a), a);
+}
+
+TEST_P(MatrixAlgebraTest, ChunkModeDoesNotChangeResults) {
+  const auto [seed, bs] = GetParam();
+  Context ctx(2);
+  const uint64_t n = 16;
+  auto entries_a = RandomEntries(n, n, 0.2, seed);
+  auto entries_b = RandomEntries(n, n, 0.2, seed + 9);
+  BlockMatrix results[3];
+  int idx = 0;
+  for (ChunkMode mode : {ChunkMode::kDense, ChunkMode::kSparse,
+                         ChunkMode::kSuperSparse}) {
+    auto a = *BlockMatrix::FromEntries(&ctx, n, n, bs, entries_a,
+                                       ModePolicy::Fixed(mode));
+    auto b = *BlockMatrix::FromEntries(&ctx, n, n, bs, entries_b,
+                                       ModePolicy::Fixed(mode));
+    results[idx++] = *a.Multiply(b);
+  }
+  ExpectSame(results[0], results[1]);
+  ExpectSame(results[0], results[2]);
+}
+
+TEST_P(MatrixAlgebraTest, SubtractOfSelfIsEmpty) {
+  const auto [seed, bs] = GetParam();
+  Context ctx(2);
+  auto a = *BlockMatrix::FromEntries(&ctx, 16, 16, bs,
+                                     RandomEntries(16, 16, 0.3, seed));
+  auto zero = *a.Subtract(a);
+  EXPECT_EQ(zero.NumNonZero(), 0u) << "exact cancellation drops cells";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatrixAlgebraTest,
+                         ::testing::Combine(::testing::Values(100, 200),
+                                            ::testing::Values(4, 7, 16)));
+
+}  // namespace
+}  // namespace spangle

@@ -1,0 +1,114 @@
+// Tests for the paper's flagged-as-future-work extensions: Adagrad SGD
+// (Sec. VII-C mentions Spangle "does not yet implement" it), PageRank
+// with dangling-mass redistribution, and tolerance-based termination.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "ml/logreg.h"
+#include "ml/pagerank.h"
+#include "workload/graph_gen.h"
+#include "workload/lr_data_gen.h"
+
+namespace spangle {
+namespace {
+
+TEST(AdagradTest, LearnsAtLeastAsWellAsPlainSgd) {
+  Context ctx(2);
+  LrDataOptions d;
+  d.rows = 2048;
+  d.features = 64;
+  d.nnz_per_row = 12;
+  d.label_noise = 0.02;
+  auto data = GenerateLrData(d);
+  LogRegOptions plain;
+  plain.block = 32;
+  plain.max_iterations = 80;
+  plain.batch_fraction = 0.5;
+  LogRegOptions adagrad = plain;
+  adagrad.adagrad = true;
+  adagrad.step_size = 0.5;
+  auto r_plain = *TrainLogReg(&ctx, data.train, plain);
+  auto r_ada = *TrainLogReg(&ctx, data.train, adagrad);
+  auto acc_plain = *EvaluateAccuracy(&ctx, data.test, r_plain.weights, 32);
+  auto acc_ada = *EvaluateAccuracy(&ctx, data.test, r_ada.weights, 32);
+  EXPECT_GT(acc_ada, 80.0);
+  EXPECT_GT(acc_ada, acc_plain - 5.0)
+      << "adaptive steps must not be materially worse";
+}
+
+TEST(AdagradTest, WeightsDifferFromPlainSgd) {
+  Context ctx(2);
+  LrDataOptions d;
+  d.rows = 512;
+  d.features = 32;
+  d.nnz_per_row = 8;
+  auto data = GenerateLrData(d);
+  LogRegOptions plain;
+  plain.block = 16;
+  plain.max_iterations = 5;
+  LogRegOptions adagrad = plain;
+  adagrad.adagrad = true;
+  auto a = *TrainLogReg(&ctx, data.train, plain);
+  auto b = *TrainLogReg(&ctx, data.train, adagrad);
+  double diff = 0;
+  for (size_t i = 0; i < a.weights.size(); ++i) {
+    diff += std::abs(a.weights[i] - b.weights[i]);
+  }
+  EXPECT_GT(diff, 1e-6) << "adaptive scaling must change the trajectory";
+}
+
+TEST(PageRankVariantsTest, DanglingRedistributionConservesMass) {
+  Context ctx(2);
+  // Vertex 3 is dangling (no out-edges).
+  std::vector<std::pair<uint64_t, uint64_t>> edges = {
+      {0, 1}, {1, 2}, {2, 3}, {2, 0}};
+  PageRankOptions options;
+  options.block = 2;
+  options.iterations = 30;
+  options.redistribute_dangling = true;
+  auto result = *PageRank(&ctx, 4, edges, options);
+  const double sum =
+      std::accumulate(result.ranks.begin(), result.ranks.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9) << "ranks must stay a distribution";
+
+  PageRankOptions basic = options;
+  basic.redistribute_dangling = false;
+  auto leaky = *PageRank(&ctx, 4, edges, basic);
+  const double leaky_sum =
+      std::accumulate(leaky.ranks.begin(), leaky.ranks.end(), 0.0);
+  EXPECT_LT(leaky_sum, 0.999) << "the basic variant leaks dangling mass";
+}
+
+TEST(PageRankVariantsTest, ToleranceStopsEarly) {
+  Context ctx(2);
+  auto edges = GenerateUniformGraph(64, 512, 9);
+  PageRankOptions options;
+  options.block = 16;
+  options.iterations = 100;
+  options.tolerance = 1e-6;
+  auto result = *PageRank(&ctx, 64, edges, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.iteration_seconds.size(), 100u);
+  // Deltas must be monotonically shrinking (power iteration contracts).
+  ASSERT_GE(result.deltas.size(), 3u);
+  EXPECT_LT(result.deltas.back(), result.deltas.front());
+  EXPECT_LT(result.deltas.back(), 1e-6);
+}
+
+TEST(PageRankVariantsTest, ToleranceZeroRunsAllIterations) {
+  Context ctx(2);
+  auto edges = GenerateUniformGraph(32, 128, 10);
+  PageRankOptions options;
+  options.block = 16;
+  options.iterations = 7;
+  auto result = *PageRank(&ctx, 32, edges, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iteration_seconds.size(), 7u);
+  EXPECT_EQ(result.deltas.size(), 7u);
+}
+
+}  // namespace
+}  // namespace spangle

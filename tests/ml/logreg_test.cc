@@ -1,0 +1,120 @@
+#include "ml/logreg.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/lr_data_gen.h"
+
+namespace spangle {
+namespace {
+
+LrSplit SmallData() {
+  LrDataOptions options;
+  options.rows = 1024;
+  options.features = 64;
+  options.nnz_per_row = 12;
+  options.label_noise = 0.02;
+  return GenerateLrData(options);
+}
+
+TEST(LogRegTest, LearnsSeparableData) {
+  Context ctx(2);
+  auto data = SmallData();
+  LogRegOptions options;
+  options.block = 32;
+  options.max_iterations = 150;
+  options.batch_fraction = 0.5;
+  auto result = *TrainLogReg(&ctx, data.train, options);
+  EXPECT_EQ(result.weights.size(), 64u);
+  auto train_acc = *EvaluateAccuracy(&ctx, data.train, result.weights, 32);
+  auto test_acc = *EvaluateAccuracy(&ctx, data.test, result.weights, 32);
+  EXPECT_GT(train_acc, 85.0) << "must beat chance comfortably";
+  EXPECT_GT(test_acc, 80.0);
+}
+
+TEST(LogRegTest, AllOptimizationVariantsReachSimilarAccuracy) {
+  Context ctx(2);
+  auto data = SmallData();
+  LogRegOptions base;
+  base.block = 32;
+  base.max_iterations = 60;
+  base.batch_fraction = 0.5;
+  double accs[4];
+  int idx = 0;
+  for (bool opt1 : {false, true}) {
+    for (bool opt2 : {false, true}) {
+      LogRegOptions options = base;
+      options.opt1 = opt1;
+      options.opt2 = opt2;
+      auto result = *TrainLogReg(&ctx, data.train, options);
+      accs[idx++] = *EvaluateAccuracy(&ctx, data.test, result.weights, 32);
+    }
+  }
+  // Optimizations change cost, not math: accuracies agree closely.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_NEAR(accs[i], accs[0], 3.0) << "variant " << i;
+  }
+}
+
+TEST(LogRegTest, Opt1AndOpt2AreIdenticalMathematically) {
+  Context ctx(2);
+  auto data = SmallData();
+  LogRegOptions a;
+  a.block = 32;
+  a.max_iterations = 10;
+  a.seed = 5;
+  LogRegOptions b = a;
+  b.opt2 = false;  // physical transpose instead of metadata
+  auto ra = *TrainLogReg(&ctx, data.train, a);
+  auto rb = *TrainLogReg(&ctx, data.train, b);
+  ASSERT_EQ(ra.weights.size(), rb.weights.size());
+  for (size_t i = 0; i < ra.weights.size(); ++i) {
+    EXPECT_NEAR(ra.weights[i], rb.weights[i], 1e-12)
+        << "same seed, same batches, same math";
+  }
+}
+
+TEST(LogRegTest, ToleranceStopsEarly) {
+  Context ctx(2);
+  auto data = SmallData();
+  LogRegOptions options;
+  options.block = 32;
+  options.max_iterations = 500;
+  options.tolerance = 0.5;  // huge tolerance: stop almost immediately
+  auto result = *TrainLogReg(&ctx, data.train, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.iterations, 20);
+}
+
+TEST(LogRegTest, ValidatesInput) {
+  Context ctx(2);
+  SparseDataset bad;
+  bad.rows = 4;
+  bad.features = 4;
+  bad.labels = {0, 1};  // wrong size
+  EXPECT_FALSE(TrainLogReg(&ctx, bad, {}).ok());
+  SparseDataset empty;
+  EXPECT_FALSE(TrainLogReg(&ctx, empty, {}).ok());
+  EXPECT_FALSE(EvaluateAccuracy(&ctx, SmallData().test,
+                                std::vector<double>(3), 32)
+                   .ok());
+}
+
+TEST(LogRegTest, MiniBatchSamplingIsShuffleFree) {
+  Context ctx(2);
+  auto data = SmallData();
+  LogRegOptions options;
+  options.block = 32;
+  options.max_iterations = 5;
+  options.batch_fraction = 0.25;
+  ctx.metrics().Reset();
+  auto result = *TrainLogReg(&ctx, data.train, options);
+  // Row-block sampling must not shuffle the (cached) training matrix —
+  // only small vector-side merges may shuffle.
+  const uint64_t bytes = ctx.metrics().shuffle_bytes.load();
+  EXPECT_LT(bytes, 512u * 1024u)
+      << "training matrix chunks must never move (Eq. 2 placement)";
+  EXPECT_EQ(result.iterations, 5);
+}
+
+}  // namespace
+}  // namespace spangle

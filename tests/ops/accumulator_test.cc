@@ -1,0 +1,157 @@
+#include "ops/accumulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace spangle {
+namespace {
+
+ArrayMetadata Meta2D() {
+  return *ArrayMetadata::Make({{"x", 0, 12, 4, 0}, {"y", 0, 12, 4, 0}});
+}
+
+class AccumulatorModeTest
+    : public ::testing::TestWithParam<AccumulateMode> {};
+
+TEST_P(AccumulatorModeTest, PrefixSumAlongYMatchesReference) {
+  Context ctx(2);
+  std::vector<CellValue> cells;
+  for (int64_t x = 0; x < 12; ++x) {
+    for (int64_t y = 0; y < 12; ++y) {
+      cells.push_back({{x, y}, double(x + 2 * y + 1)});
+    }
+  }
+  auto base = *ArrayRdd::FromCells(&ctx, Meta2D(), cells);
+  auto acc = *AccumulateSum(base, "y", GetParam());
+  EXPECT_EQ(acc.CountValid(), 144u);
+  for (int64_t x = 0; x < 12; x += 3) {
+    double running = 0;
+    for (int64_t y = 0; y < 12; ++y) {
+      running += double(x + 2 * y + 1);
+      EXPECT_DOUBLE_EQ(*acc.GetCell({x, y}), running)
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST_P(AccumulatorModeTest, PrefixSumAlongXCrossesChunks) {
+  Context ctx(2);
+  std::vector<CellValue> cells;
+  for (int64_t x = 0; x < 12; ++x) cells.push_back({{x, 5}, 1.0});
+  auto base = *ArrayRdd::FromCells(&ctx, Meta2D(), cells);
+  auto acc = *AccumulateSum(base, "x", GetParam());
+  for (int64_t x = 0; x < 12; ++x) {
+    EXPECT_DOUBLE_EQ(*acc.GetCell({x, 5}), double(x + 1));
+  }
+}
+
+TEST_P(AccumulatorModeTest, SkipsNullCells) {
+  Context ctx(2);
+  std::vector<CellValue> cells = {
+      {{0, 1}, 5.0}, {{0, 6}, 7.0}, {{0, 11}, 1.0}};
+  auto base = *ArrayRdd::FromCells(&ctx, Meta2D(), cells);
+  auto acc = *AccumulateSum(base, "y", GetParam());
+  EXPECT_EQ(acc.CountValid(), 3u);
+  EXPECT_DOUBLE_EQ(*acc.GetCell({0, 1}), 5.0);
+  EXPECT_DOUBLE_EQ(*acc.GetCell({0, 6}), 12.0);
+  EXPECT_DOUBLE_EQ(*acc.GetCell({0, 11}), 13.0);
+}
+
+TEST_P(AccumulatorModeTest, OneDimensionalArray) {
+  Context ctx(2);
+  auto meta = *ArrayMetadata::Make({{"t", 0, 20, 4, 0}});
+  std::vector<CellValue> cells;
+  for (int64_t t = 0; t < 20; ++t) cells.push_back({{t}, 2.0});
+  auto base = *ArrayRdd::FromCells(&ctx, meta, cells);
+  auto acc = *AccumulateSum(base, "t", GetParam());
+  EXPECT_DOUBLE_EQ(*acc.GetCell({19}), 40.0);
+}
+
+TEST_P(AccumulatorModeTest, UnknownDimensionFails) {
+  Context ctx(2);
+  auto base = *ArrayRdd::FromCells(&ctx, Meta2D(), {{{0, 0}, 1.0}});
+  EXPECT_FALSE(AccumulateSum(base, "z", GetParam()).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, AccumulatorModeTest,
+                         ::testing::Values(AccumulateMode::kSynchronous,
+                                           AccumulateMode::kAsynchronous),
+                         [](const auto& info) {
+                           return info.param == AccumulateMode::kSynchronous
+                                      ? "Sync"
+                                      : "Async";
+                         });
+
+TEST_P(AccumulatorModeTest, ProductAccumulation) {
+  Context ctx(2);
+  auto meta = *ArrayMetadata::Make({{"t", 0, 10, 3, 0}});
+  std::vector<CellValue> cells;
+  for (int64_t t = 0; t < 10; ++t) cells.push_back({{t}, 2.0});
+  auto base = *ArrayRdd::FromCells(&ctx, meta, cells);
+  auto acc = *AccumulateProduct(base, "t", GetParam());
+  for (int64_t t = 0; t < 10; ++t) {
+    EXPECT_DOUBLE_EQ(*acc.GetCell({t}), std::pow(2.0, t + 1)) << t;
+  }
+}
+
+TEST_P(AccumulatorModeTest, RunningMaximum) {
+  Context ctx(2);
+  auto meta = *ArrayMetadata::Make({{"t", 0, 12, 4, 0}});
+  const std::vector<double> values = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8};
+  std::vector<CellValue> cells;
+  for (int64_t t = 0; t < 12; ++t) cells.push_back({{t}, values[t]});
+  auto base = *ArrayRdd::FromCells(&ctx, meta, cells);
+  auto acc = *AccumulateMax(base, "t", GetParam());
+  double running = values[0];
+  for (int64_t t = 0; t < 12; ++t) {
+    running = std::max(running, values[t]);
+    EXPECT_DOUBLE_EQ(*acc.GetCell({t}), running) << t;
+  }
+}
+
+TEST_P(AccumulatorModeTest, UserDefinedOp) {
+  // A user-supplied associative op (running minimum) through the generic
+  // AccumulateOp entry point.
+  Context ctx(2);
+  auto meta = *ArrayMetadata::Make({{"t", 0, 8, 2, 0}});
+  const std::vector<double> values = {5, 3, 7, 2, 9, 1, 4, 6};
+  std::vector<CellValue> cells;
+  for (int64_t t = 0; t < 8; ++t) cells.push_back({{t}, values[t]});
+  auto base = *ArrayRdd::FromCells(&ctx, meta, cells);
+  auto acc = *AccumulateOp(
+      base, "t", GetParam(), [](double a, double b) { return a < b ? a : b; },
+      std::numeric_limits<double>::infinity());
+  double running = values[0];
+  for (int64_t t = 0; t < 8; ++t) {
+    running = std::min(running, values[t]);
+    EXPECT_DOUBLE_EQ(*acc.GetCell({t}), running) << t;
+  }
+}
+
+TEST(AccumulatorTest, AsyncUsesFewerStagesThanSync) {
+  Context ctx(2);
+  std::vector<CellValue> cells;
+  for (int64_t x = 0; x < 12; ++x) {
+    for (int64_t y = 0; y < 12; ++y) cells.push_back({{x, y}, 1.0});
+  }
+  auto base = *ArrayRdd::FromCells(&ctx, Meta2D(), cells);
+  base.Cache();
+  base.CountValid();
+
+  ctx.metrics().Reset();
+  (*AccumulateSum(base, "x", AccumulateMode::kSynchronous)).CountValid();
+  const uint64_t sync_stages = ctx.metrics().stages_run.load();
+
+  ctx.metrics().Reset();
+  (*AccumulateSum(base, "x", AccumulateMode::kAsynchronous)).CountValid();
+  const uint64_t async_stages = ctx.metrics().stages_run.load();
+
+  EXPECT_GT(sync_stages, async_stages)
+      << "sync pays one barrier per chunk layer";
+}
+
+}  // namespace
+}  // namespace spangle

@@ -1,0 +1,148 @@
+#include "ops/aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include "ops/operators.h"
+
+namespace spangle {
+namespace {
+
+ArrayMetadata Meta2D() {
+  return *ArrayMetadata::Make({{"x", 0, 12, 4, 0}, {"y", 0, 12, 4, 0}});
+}
+
+SpangleArray Ramp(Context* ctx) {
+  std::vector<CellValue> cells;
+  for (int64_t x = 0; x < 12; ++x) {
+    for (int64_t y = 0; y < 12; ++y) {
+      cells.push_back({{x, y}, double(x * 12 + y)});
+    }
+  }
+  return *SpangleArray::FromAttributes(
+      {{"v", *ArrayRdd::FromCells(ctx, Meta2D(), cells)}});
+}
+
+TEST(AggregatorTest, BuiltinsOverFullArray) {
+  Context ctx(2);
+  auto arr = Ramp(&ctx);
+  EXPECT_DOUBLE_EQ(*Aggregate(arr, "v", SumAgg()), 143.0 * 144 / 2);
+  EXPECT_DOUBLE_EQ(*Aggregate(arr, "v", CountAgg()), 144.0);
+  EXPECT_DOUBLE_EQ(*Aggregate(arr, "v", MinAgg()), 0.0);
+  EXPECT_DOUBLE_EQ(*Aggregate(arr, "v", MaxAgg()), 143.0);
+  EXPECT_DOUBLE_EQ(*Aggregate(arr, "v", AvgAgg()), 143.0 / 2);
+}
+
+TEST(AggregatorTest, MissingAttributeFails) {
+  Context ctx(2);
+  auto arr = Ramp(&ctx);
+  EXPECT_TRUE(Aggregate(arr, "nope", SumAgg()).status().IsNotFound());
+}
+
+TEST(AggregatorTest, RespectsMaskView) {
+  Context ctx(2);
+  auto arr = Ramp(&ctx);
+  auto sub = *Subarray(arr, {0, 0}, {0, 3});  // values 0,1,2,3
+  EXPECT_DOUBLE_EQ(*Aggregate(sub, "v", SumAgg()), 6.0);
+  EXPECT_DOUBLE_EQ(*Aggregate(sub, "v", AvgAgg()), 1.5);
+}
+
+TEST(AggregatorTest, UserDefinedFunction) {
+  // Sum of squares via the 4-hook abstraction.
+  class SumSquares : public AggregateFunction {
+   public:
+    AggState Initialize() const override { return {}; }
+    void Accumulate(AggState* s, double v) const override { s->v0 += v * v; }
+    void Merge(AggState* a, const AggState& b) const override {
+      a->v0 += b.v0;
+    }
+    double Evaluate(const AggState& s) const override { return s.v0; }
+    std::string name() const override { return "sumsq"; }
+    std::shared_ptr<const AggregateFunction> Clone() const override {
+      return std::make_shared<SumSquares>();
+    }
+  };
+  Context ctx(2);
+  auto arr = Ramp(&ctx);
+  double expected = 0;
+  for (int i = 0; i < 144; ++i) expected += double(i) * i;
+  EXPECT_DOUBLE_EQ(*Aggregate(arr, "v", SumSquares()), expected);
+}
+
+TEST(AggregatorTest, AggregateAlongDimsCollapsesAxis) {
+  Context ctx(2);
+  auto arr = Ramp(&ctx);
+  // Collapse y: result[x] = sum_y (12x + y) = 144x + 66.
+  auto result = *AggregateAlongDims(arr, "v", SumAgg(), {"y"});
+  EXPECT_EQ(result.metadata().num_dims(), 1u);
+  EXPECT_EQ(result.metadata().dim(0).name, "x");
+  EXPECT_EQ(result.CountValid(), 12u);
+  for (int64_t x = 0; x < 12; ++x) {
+    EXPECT_DOUBLE_EQ(*result.GetCell({x}), 144.0 * x + 66.0);
+  }
+}
+
+TEST(AggregatorTest, AggregateAlongDimsWithAvg) {
+  Context ctx(2);
+  auto arr = Ramp(&ctx);
+  auto result = *AggregateAlongDims(arr, "v", AvgAgg(), {"x"});
+  // avg_x (12x + y) = 66 + y.
+  for (int64_t y = 0; y < 12; ++y) {
+    EXPECT_DOUBLE_EQ(*result.GetCell({y}), 66.0 + y);
+  }
+}
+
+TEST(AggregatorTest, CollapsingEverythingIsAnError) {
+  Context ctx(2);
+  auto arr = Ramp(&ctx);
+  EXPECT_FALSE(AggregateAlongDims(arr, "v", SumAgg(), {"x", "y"}).ok());
+  EXPECT_FALSE(AggregateAlongDims(arr, "v", SumAgg(), {"t"}).ok());
+}
+
+TEST(AggregatorTest, RegridAveragesBlocks) {
+  Context ctx(2);
+  auto arr = Ramp(&ctx);
+  // 3x3 blocks: out[i][j] = avg over x in [3i,3i+3), y in [3j,3j+3)
+  //           = 12*(3i+1) + (3j+1).
+  auto result = *RegridAggregate(arr, "v", AvgAgg(), {3, 3});
+  EXPECT_EQ(result.metadata().dim(0).size, 4u);
+  EXPECT_EQ(result.metadata().dim(1).size, 4u);
+  EXPECT_EQ(result.CountValid(), 16u);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(*result.GetCell({i, j}),
+                       12.0 * (3 * i + 1) + (3 * j + 1));
+    }
+  }
+}
+
+TEST(AggregatorTest, RegridHandlesPartialBlocks) {
+  Context ctx(2);
+  auto arr = Ramp(&ctx);
+  // 5x5 blocks over 12x12 -> 3x3 output with ragged last blocks.
+  auto result = *RegridAggregate(arr, "v", CountAgg(), {5, 5});
+  EXPECT_EQ(result.metadata().dim(0).size, 3u);
+  EXPECT_DOUBLE_EQ(*result.GetCell({0, 0}), 25.0);
+  EXPECT_DOUBLE_EQ(*result.GetCell({2, 2}), 4.0);  // 2x2 corner
+  EXPECT_DOUBLE_EQ(*result.GetCell({0, 2}), 10.0);  // 5x2
+}
+
+TEST(AggregatorTest, RegridValidatesGrid) {
+  Context ctx(2);
+  auto arr = Ramp(&ctx);
+  EXPECT_FALSE(RegridAggregate(arr, "v", SumAgg(), {3}).ok());
+  EXPECT_FALSE(RegridAggregate(arr, "v", SumAgg(), {0, 3}).ok());
+}
+
+TEST(AggregatorTest, SparseInputOnlyAggregatesValidCells) {
+  Context ctx(2);
+  std::vector<CellValue> cells = {{{0, 0}, 5.0}, {{11, 11}, 7.0}};
+  auto arr = *SpangleArray::FromAttributes(
+      {{"v", *ArrayRdd::FromCells(&ctx, Meta2D(), cells)}});
+  EXPECT_DOUBLE_EQ(*Aggregate(arr, "v", SumAgg()), 12.0);
+  EXPECT_DOUBLE_EQ(*Aggregate(arr, "v", CountAgg()), 2.0);
+  auto regrid = *RegridAggregate(arr, "v", SumAgg(), {6, 6});
+  EXPECT_EQ(regrid.CountValid(), 2u) << "empty blocks produce no cells";
+}
+
+}  // namespace
+}  // namespace spangle

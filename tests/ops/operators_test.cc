@@ -1,0 +1,161 @@
+#include "ops/operators.h"
+
+#include <gtest/gtest.h>
+
+namespace spangle {
+namespace {
+
+ArrayMetadata Meta2D() {
+  return *ArrayMetadata::Make({{"x", 0, 16, 4, 0}, {"y", 0, 16, 4, 0}});
+}
+
+ArrayRdd Ramp(Context* ctx) {
+  // value = x * 16 + y over the full grid.
+  std::vector<CellValue> cells;
+  for (int64_t x = 0; x < 16; ++x) {
+    for (int64_t y = 0; y < 16; ++y) {
+      cells.push_back({{x, y}, double(x * 16 + y)});
+    }
+  }
+  return *ArrayRdd::FromCells(ctx, Meta2D(), cells);
+}
+
+class OperatorModeTest : public ::testing::TestWithParam<bool> {
+ protected:
+  bool use_mask_rdd() const { return GetParam(); }
+};
+
+TEST_P(OperatorModeTest, SubarraySelectsBox) {
+  Context ctx(2);
+  auto arr = *SpangleArray::FromAttributes({{"v", Ramp(&ctx)}},
+                                           use_mask_rdd());
+  auto sub = *Subarray(arr, {2, 3}, {5, 9});
+  EXPECT_EQ(sub.CountValid(), 4u * 7u);
+  auto v = *sub.Attribute("v");
+  EXPECT_DOUBLE_EQ(*v.GetCell({2, 3}), 2 * 16 + 3);
+  EXPECT_TRUE(v.GetCell({1, 3}).status().IsNotFound());
+}
+
+TEST_P(OperatorModeTest, SubarrayValidatesBox) {
+  Context ctx(2);
+  auto arr = *SpangleArray::FromAttributes({{"v", Ramp(&ctx)}},
+                                           use_mask_rdd());
+  EXPECT_FALSE(Subarray(arr, {5, 5}, {2, 9}).ok());
+  EXPECT_FALSE(Subarray(arr, {1}, {2}).ok());
+}
+
+TEST_P(OperatorModeTest, FilterKeepsPassingCells) {
+  Context ctx(2);
+  auto arr = *SpangleArray::FromAttributes({{"v", Ramp(&ctx)}},
+                                           use_mask_rdd());
+  auto filtered = *Filter(arr, "v", [](double v) { return v < 10; });
+  EXPECT_EQ(filtered.CountValid(), 10u);
+}
+
+TEST_P(OperatorModeTest, FilterOnOneAttributeExcludesFromOthers) {
+  Context ctx(2);
+  auto a = Ramp(&ctx);
+  auto b = Ramp(&ctx);
+  auto arr = *SpangleArray::FromAttributes({{"a", a}, {"b", b}},
+                                           use_mask_rdd());
+  // Filter on `a`; `b` must be restricted identically (the consistency
+  // guarantee of Sec. III-B1).
+  auto filtered = *Filter(arr, "a", [](double v) { return v >= 250; });
+  EXPECT_EQ(filtered.Attribute("b")->CountValid(), 6u);
+}
+
+TEST_P(OperatorModeTest, OperatorsCompose) {
+  Context ctx(2);
+  auto arr = *SpangleArray::FromAttributes({{"v", Ramp(&ctx)}},
+                                           use_mask_rdd());
+  auto sub = *Subarray(arr, {0, 0}, {7, 7});
+  auto filtered = *Filter(sub, "v", [](double v) {
+    return static_cast<int64_t>(v) % 2 == 0;
+  });
+  // Box holds 64 cells; value parity: v = 16x + y even iff y even -> 32.
+  EXPECT_EQ(filtered.CountValid(), 32u);
+}
+
+TEST_P(OperatorModeTest, AndJoinIntersects) {
+  Context ctx(2);
+  std::vector<CellValue> left_cells, right_cells;
+  for (int64_t x = 0; x < 8; ++x) left_cells.push_back({{x, 0}, 1.0});
+  for (int64_t x = 4; x < 12; ++x) right_cells.push_back({{x, 0}, 2.0});
+  auto l = *SpangleArray::FromAttributes(
+      {{"a", *ArrayRdd::FromCells(&ctx, Meta2D(), left_cells)}},
+      use_mask_rdd());
+  auto r = *SpangleArray::FromAttributes(
+      {{"b", *ArrayRdd::FromCells(&ctx, Meta2D(), right_cells)}},
+      use_mask_rdd());
+  auto joined = *Join(l, r, JoinKind::kAnd);
+  EXPECT_EQ(joined.num_attributes(), 2u);
+  EXPECT_EQ(joined.CountValid(), 4u);  // x in [4,8)
+  EXPECT_EQ(joined.Attribute("a")->CountValid(), 4u);
+  EXPECT_EQ(joined.Attribute("b")->CountValid(), 4u);
+}
+
+TEST_P(OperatorModeTest, OrJoinUnions) {
+  Context ctx(2);
+  std::vector<CellValue> left_cells, right_cells;
+  for (int64_t x = 0; x < 8; ++x) left_cells.push_back({{x, 0}, 1.0});
+  for (int64_t x = 4; x < 12; ++x) right_cells.push_back({{x, 0}, 2.0});
+  auto l = *SpangleArray::FromAttributes(
+      {{"a", *ArrayRdd::FromCells(&ctx, Meta2D(), left_cells)}},
+      use_mask_rdd());
+  auto r = *SpangleArray::FromAttributes(
+      {{"b", *ArrayRdd::FromCells(&ctx, Meta2D(), right_cells)}},
+      use_mask_rdd());
+  auto joined = *Join(l, r, JoinKind::kOr);
+  EXPECT_EQ(joined.CountValid(), 12u);
+}
+
+TEST_P(OperatorModeTest, JoinPrefixesClashingNames) {
+  Context ctx(2);
+  auto l = *SpangleArray::FromAttributes({{"v", Ramp(&ctx)}},
+                                         use_mask_rdd());
+  auto r = *SpangleArray::FromAttributes({{"v", Ramp(&ctx)}},
+                                         use_mask_rdd());
+  auto joined = *Join(l, r, JoinKind::kAnd);
+  EXPECT_TRUE(joined.HasAttribute("v"));
+  EXPECT_TRUE(joined.HasAttribute("r_v"));
+}
+
+TEST_P(OperatorModeTest, JoinRequiresMatchingMetadata) {
+  Context ctx(2);
+  auto other_meta = *ArrayMetadata::Make({{"x", 0, 16, 8, 0},
+                                          {"y", 0, 16, 8, 0}});
+  std::vector<CellValue> cells = {{{0, 0}, 1.0}};
+  auto l = *SpangleArray::FromAttributes({{"a", Ramp(&ctx)}},
+                                         use_mask_rdd());
+  auto r = *SpangleArray::FromAttributes(
+      {{"b", *ArrayRdd::FromCells(&ctx, other_meta, cells)}},
+      use_mask_rdd());
+  EXPECT_FALSE(Join(l, r, JoinKind::kAnd).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(MaskModes, OperatorModeTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "WithMaskRdd" : "Eager";
+                         });
+
+TEST(OperatorLazinessTest, MaskRddModeTouchesNoAttributeChunks) {
+  Context ctx(2);
+  // Two attributes; a chain of operators in MaskRdd mode must not
+  // rewrite attribute chunks at all until Attribute()/Evaluate().
+  std::vector<CellValue> cells;
+  for (int64_t x = 0; x < 16; ++x) {
+    for (int64_t y = 0; y < 16; ++y) cells.push_back({{x, y}, double(x)});
+  }
+  auto a = *ArrayRdd::FromCells(&ctx, Meta2D(), cells);
+  auto b = *ArrayRdd::FromCells(&ctx, Meta2D(), cells);
+  auto arr = *SpangleArray::FromAttributes({{"a", a}, {"b", b}}, true);
+  auto sub = *Subarray(arr, {0, 0}, {7, 15});
+  // Counting validity of the view only processes masks (cheap).
+  EXPECT_EQ(sub.CountValid(), 128u);
+  // Raw attributes still hold all 256 cells each.
+  EXPECT_EQ(sub.RawAttribute("a")->CountValid(), 256u);
+  EXPECT_EQ(sub.RawAttribute("b")->CountValid(), 256u);
+}
+
+}  // namespace
+}  // namespace spangle

@@ -1,0 +1,169 @@
+#include "ops/transform.h"
+
+#include <gtest/gtest.h>
+
+namespace spangle {
+namespace {
+
+ArrayMetadata Meta3D() {
+  return *ArrayMetadata::Make(
+      {{"img", 0, 3, 1, 0}, {"x", 0, 8, 4, 0}, {"y", 0, 8, 4, 0}});
+}
+
+ArrayRdd Ramp3D(Context* ctx) {
+  std::vector<CellValue> cells;
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t x = 0; x < 8; ++x) {
+      for (int64_t y = 0; y < 8; ++y) {
+        cells.push_back({{i, x, y}, double(i * 100 + x * 8 + y)});
+      }
+    }
+  }
+  return *ArrayRdd::FromCells(ctx, Meta3D(), cells);
+}
+
+TEST(SliceTest, ExtractsOneImage) {
+  Context ctx(2);
+  auto base = Ramp3D(&ctx);
+  auto img1 = *Slice(base, "img", 1);
+  EXPECT_EQ(img1.metadata().num_dims(), 2u);
+  EXPECT_EQ(img1.metadata().dim(0).name, "x");
+  EXPECT_EQ(img1.CountValid(), 64u);
+  for (int64_t x = 0; x < 8; x += 3) {
+    for (int64_t y = 0; y < 8; y += 2) {
+      EXPECT_DOUBLE_EQ(*img1.GetCell({x, y}), 100.0 + x * 8 + y);
+    }
+  }
+}
+
+TEST(SliceTest, SliceAlongInnerDim) {
+  Context ctx(2);
+  auto base = Ramp3D(&ctx);
+  auto col = *Slice(base, "y", 5);
+  EXPECT_EQ(col.metadata().dim(0).name, "img");
+  EXPECT_EQ(col.metadata().dim(1).name, "x");
+  EXPECT_EQ(col.CountValid(), 24u);
+  EXPECT_DOUBLE_EQ(*col.GetCell({2, 3}), 200.0 + 3 * 8 + 5);
+}
+
+TEST(SliceTest, Validates) {
+  Context ctx(2);
+  auto base = Ramp3D(&ctx);
+  EXPECT_FALSE(Slice(base, "t", 0).ok());
+  EXPECT_TRUE(Slice(base, "img", 5).status().IsOutOfRange());
+  auto meta1 = *ArrayMetadata::Make({{"x", 0, 4, 2, 0}});
+  auto one_d = *ArrayRdd::FromCells(&ctx, meta1, {{{0}, 1.0}});
+  EXPECT_FALSE(Slice(one_d, "x", 0).ok());
+}
+
+TEST(SliceTest, SparseInput) {
+  Context ctx(2);
+  std::vector<CellValue> cells = {{{0, 1, 1}, 5.0}, {{2, 1, 1}, 7.0}};
+  auto base = *ArrayRdd::FromCells(&ctx, Meta3D(), cells);
+  auto img0 = *Slice(base, "img", 0);
+  EXPECT_EQ(img0.CountValid(), 1u);
+  EXPECT_DOUBLE_EQ(*img0.GetCell({1, 1}), 5.0);
+  auto img1 = *Slice(base, "img", 1);
+  EXPECT_EQ(img1.CountValid(), 0u);
+}
+
+TEST(ApplyTest, DerivesColorIndex) {
+  Context ctx(2);
+  auto meta = *ArrayMetadata::Make({{"x", 0, 8, 4, 0}});
+  std::vector<CellValue> u_cells, g_cells;
+  for (int64_t x = 0; x < 8; ++x) {
+    if (x != 3) u_cells.push_back({{x}, double(10 + x)});
+    if (x != 5) g_cells.push_back({{x}, double(2 * x)});
+  }
+  auto arr = *SpangleArray::FromAttributes(
+      {{"u", *ArrayRdd::FromCells(&ctx, meta, u_cells)},
+       {"g", *ArrayRdd::FromCells(&ctx, meta, g_cells)}});
+  auto with_color = *Apply(arr, "u_minus_g", {"u", "g"},
+                           [](const std::vector<double>& v) {
+                             return v[0] - v[1];
+                           });
+  EXPECT_EQ(with_color.num_attributes(), 3u);
+  auto color = *with_color.RawAttribute("u_minus_g");
+  // Valid only where both u and g are valid: 8 - 2 = 6 cells.
+  EXPECT_EQ(color.CountValid(), 6u);
+  EXPECT_DOUBLE_EQ(*color.GetCell({0}), 10.0);
+  EXPECT_DOUBLE_EQ(*color.GetCell({7}), 17.0 - 14.0);
+  EXPECT_TRUE(color.GetCell({3}).status().IsNotFound());
+  EXPECT_TRUE(color.GetCell({5}).status().IsNotFound());
+}
+
+TEST(ApplyTest, SingleInputAndValidation) {
+  Context ctx(2);
+  auto meta = *ArrayMetadata::Make({{"x", 0, 4, 2, 0}});
+  auto arr = *SpangleArray::FromAttributes(
+      {{"v", *ArrayRdd::FromCells(&ctx, meta, {{{1}, 3.0}})}});
+  auto doubled = *Apply(arr, "v2", {"v"}, [](const std::vector<double>& v) {
+    return v[0] * 2;
+  });
+  EXPECT_DOUBLE_EQ(*doubled.RawAttribute("v2")->GetCell({1}), 6.0);
+  EXPECT_FALSE(Apply(arr, "v", {"v"}, [](const auto& v) { return v[0]; })
+                   .ok())
+      << "name collision";
+  EXPECT_FALSE(Apply(arr, "w", {}, [](const auto&) { return 0.0; }).ok());
+  EXPECT_FALSE(
+      Apply(arr, "w", {"nope"}, [](const auto& v) { return v[0]; }).ok());
+}
+
+TEST(ApplyTest, HonorsPendingMask) {
+  Context ctx(2);
+  auto meta = *ArrayMetadata::Make({{"x", 0, 8, 4, 0}});
+  std::vector<CellValue> cells;
+  for (int64_t x = 0; x < 8; ++x) cells.push_back({{x}, double(x)});
+  auto arr = *SpangleArray::FromAttributes(
+      {{"v", *ArrayRdd::FromCells(&ctx, meta, cells)}});
+  auto narrowed = arr.WithMask(arr.mask().AndRange({2}, {5}));
+  auto derived = *Apply(narrowed, "sq", {"v"},
+                        [](const std::vector<double>& v) {
+                          return v[0] * v[0];
+                        });
+  EXPECT_EQ(derived.RawAttribute("sq")->CountValid(), 4u);
+}
+
+TEST(ConcatTest, JoinsAlongAxis) {
+  Context ctx(2);
+  auto meta = *ArrayMetadata::Make({{"t", 0, 4, 2, 0}, {"x", 0, 4, 2, 0}});
+  std::vector<CellValue> left_cells, right_cells;
+  for (int64_t t = 0; t < 4; ++t) {
+    for (int64_t x = 0; x < 4; ++x) {
+      left_cells.push_back({{t, x}, double(t * 10 + x)});
+      right_cells.push_back({{t, x}, double(1000 + t * 10 + x)});
+    }
+  }
+  auto left = *ArrayRdd::FromCells(&ctx, meta, left_cells);
+  auto right = *ArrayRdd::FromCells(&ctx, meta, right_cells);
+  auto both = *Concat(left, right, "t");
+  EXPECT_EQ(both.metadata().dim(0).size, 8u);
+  EXPECT_EQ(both.CountValid(), 32u);
+  EXPECT_DOUBLE_EQ(*both.GetCell({1, 2}), 12.0);
+  EXPECT_DOUBLE_EQ(*both.GetCell({5, 2}), 1012.0);  // t=1 of the right
+}
+
+TEST(ConcatTest, ValidatesShapes) {
+  Context ctx(2);
+  auto meta_a = *ArrayMetadata::Make({{"t", 0, 4, 2, 0}, {"x", 0, 4, 2, 0}});
+  auto meta_b = *ArrayMetadata::Make({{"t", 0, 4, 2, 0}, {"x", 0, 6, 2, 0}});
+  auto a = *ArrayRdd::FromCells(&ctx, meta_a, {{{0, 0}, 1.0}});
+  auto b = *ArrayRdd::FromCells(&ctx, meta_b, {{{0, 0}, 1.0}});
+  EXPECT_FALSE(Concat(a, b, "t").ok()) << "x extents differ";
+  EXPECT_FALSE(Concat(a, a, "z").ok());
+}
+
+TEST(ConcatTest, DifferentSizesAlongAxis) {
+  Context ctx(2);
+  auto meta_a = *ArrayMetadata::Make({{"t", 0, 3, 2, 0}});
+  auto meta_b = *ArrayMetadata::Make({{"t", 0, 5, 2, 0}});
+  auto a = *ArrayRdd::FromCells(&ctx, meta_a, {{{2}, 1.0}});
+  auto b = *ArrayRdd::FromCells(&ctx, meta_b, {{{4}, 2.0}});
+  auto both = *Concat(a, b, "t");
+  EXPECT_EQ(both.metadata().dim(0).size, 8u);
+  EXPECT_DOUBLE_EQ(*both.GetCell({2}), 1.0);
+  EXPECT_DOUBLE_EQ(*both.GetCell({7}), 2.0);
+}
+
+}  // namespace
+}  // namespace spangle

@@ -1,0 +1,86 @@
+// Property sweep for windowed aggregation over overlap: results checked
+// against a brute-force stencil on random sparse rasters across seeds,
+// radii and aggregate functions.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "ops/overlap.h"
+
+namespace spangle {
+namespace {
+
+struct Case {
+  uint64_t seed;
+  uint64_t radius;
+  double density;
+};
+
+class WindowPropertyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(WindowPropertyTest, MatchesBruteForceStencil) {
+  const Case c = GetParam();
+  Context ctx(2);
+  const int64_t W = 24, H = 18;
+  auto meta = *ArrayMetadata::Make({{"x", 0, 24, 6, 0}, {"y", 0, 18, 6, 0}});
+  Rng rng(c.seed);
+  std::map<std::pair<int64_t, int64_t>, double> model;
+  std::vector<CellValue> cells;
+  for (int64_t x = 0; x < W; ++x) {
+    for (int64_t y = 0; y < H; ++y) {
+      if (rng.NextBool(c.density)) {
+        const double v = rng.NextDouble(0, 10);
+        model[{x, y}] = v;
+        cells.push_back({{x, y}, v});
+      }
+    }
+  }
+  auto base = *ArrayRdd::FromCells(&ctx, meta, cells);
+  auto overlap = OverlapArrayRdd::Build(base, c.radius);
+  const int64_t r = static_cast<int64_t>(c.radius);
+
+  std::vector<std::shared_ptr<const AggregateFunction>> fns = {
+      std::make_shared<SumAgg>(), std::make_shared<AvgAgg>(),
+      std::make_shared<MaxAgg>(), std::make_shared<CountAgg>()};
+  for (const auto& fn : fns) {
+    auto result = overlap.WindowAggregate(*fn);
+    EXPECT_EQ(result.CountValid(), model.size()) << fn->name();
+    for (const auto& cell : result.CollectCells()) {
+      AggState state = fn->Initialize();
+      for (int64_t dx = -r; dx <= r; ++dx) {
+        for (int64_t dy = -r; dy <= r; ++dy) {
+          auto it = model.find({cell.pos[0] + dx, cell.pos[1] + dy});
+          if (it != model.end()) fn->Accumulate(&state, it->second);
+        }
+      }
+      ASSERT_NEAR(cell.value, fn->Evaluate(state), 1e-9)
+          << fn->name() << " at (" << cell.pos[0] << "," << cell.pos[1]
+          << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WindowPropertyTest,
+    ::testing::Values(Case{1, 1, 0.15}, Case{2, 1, 0.7}, Case{3, 2, 0.3},
+                      Case{4, 2, 0.05}, Case{5, 3, 0.25}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_r" +
+             std::to_string(info.param.radius);
+    });
+
+TEST(WindowPropertyTest, RadiusZeroIsIdentityForSum) {
+  Context ctx(2);
+  auto meta = *ArrayMetadata::Make({{"x", 0, 12, 4, 0}, {"y", 0, 12, 4, 0}});
+  std::vector<CellValue> cells = {{{0, 0}, 3.0}, {{5, 7}, -2.0}};
+  auto base = *ArrayRdd::FromCells(&ctx, meta, cells);
+  auto overlap = OverlapArrayRdd::Build(base, 0);
+  auto result = overlap.WindowAggregate(SumAgg());
+  EXPECT_DOUBLE_EQ(*result.GetCell({0, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(*result.GetCell({5, 7}), -2.0);
+}
+
+}  // namespace
+}  // namespace spangle

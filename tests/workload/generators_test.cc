@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "workload/graph_gen.h"
+#include "workload/lr_data_gen.h"
+#include "workload/matrix_gen.h"
+#include "workload/raster_gen.h"
+
+namespace spangle {
+namespace {
+
+TEST(SkyGenTest, ShapeAndSparsity) {
+  SkyOptions options;
+  options.images = 2;
+  options.width = 128;
+  options.height = 128;
+  options.bands = 3;
+  options.source_density = 0.001;
+  auto data = GenerateSky(options);
+  EXPECT_EQ(data.meta.num_dims(), 3u);
+  EXPECT_EQ(data.attr_names.size(), 3u);
+  EXPECT_EQ(data.attr_names[0], "u");
+  ASSERT_EQ(data.cells.size(), 3u);
+  // Sky is mostly empty: valid fraction well under 50%.
+  const double total_cells = 2.0 * 128 * 128;
+  for (const auto& band : data.cells) {
+    EXPECT_GT(band.size(), 0u);
+    EXPECT_LT(static_cast<double>(band.size()), total_cells * 0.5);
+    for (const auto& cell : band) {
+      EXPECT_GE(cell.pos[1], 0);
+      EXPECT_LT(cell.pos[1], 128);
+      EXPECT_GT(cell.value, 0.0);
+    }
+  }
+}
+
+TEST(SkyGenTest, DeterministicBySeed) {
+  SkyOptions options;
+  options.images = 1;
+  options.width = 64;
+  options.height = 64;
+  auto a = GenerateSky(options);
+  auto b = GenerateSky(options);
+  EXPECT_EQ(a.TotalValid(), b.TotalValid());
+}
+
+TEST(SkyGenTest, LoadsIntoSpangle) {
+  Context ctx(2);
+  SkyOptions options;
+  options.images = 2;
+  options.width = 64;
+  options.height = 64;
+  options.bands = 2;
+  options.chunk = 32;
+  auto data = GenerateSky(options);
+  auto arr = *data.ToSpangle(&ctx);
+  EXPECT_EQ(arr.num_attributes(), 2u);
+  EXPECT_GT(arr.CountValid(), 0u);
+}
+
+TEST(ChlGenTest, LandIsMaskedOut) {
+  ChlOptions options;
+  options.lon = 90;
+  options.lat = 45;
+  options.time = 2;
+  auto data = GenerateChl(options);
+  const uint64_t total = 90 * 45 * 2;
+  EXPECT_LT(data.cells[0].size(), total) << "some land must exist";
+  EXPECT_GT(data.cells[0].size(), total / 3) << "some ocean must exist";
+  for (const auto& cell : data.cells[0]) EXPECT_GT(cell.value, 0.0);
+}
+
+TEST(RmatTest, ProducesRequestedScale) {
+  RmatOptions options;
+  options.scale = 8;
+  options.edges_per_vertex = 4;
+  auto edges = GenerateRmat(options);
+  EXPECT_GT(edges.size(), 800u);
+  std::set<std::pair<uint64_t, uint64_t>> unique(edges.begin(), edges.end());
+  EXPECT_EQ(unique.size(), edges.size()) << "deduplicated";
+  for (const auto& [s, d] : edges) {
+    EXPECT_LT(s, 256u);
+    EXPECT_LT(d, 256u);
+    EXPECT_NE(s, d);
+  }
+}
+
+TEST(RmatTest, SkewedDegreeDistribution) {
+  RmatOptions options;
+  options.scale = 10;
+  options.edges_per_vertex = 8;
+  auto edges = GenerateRmat(options);
+  std::vector<uint64_t> outdeg(1024, 0);
+  for (const auto& [s, d] : edges) ++outdeg[s];
+  auto sorted = outdeg;
+  std::sort(sorted.rbegin(), sorted.rend());
+  // Hot vertices dominate: top 1% of vertices hold far more than 1% of
+  // edges.
+  uint64_t top = 0;
+  for (int i = 0; i < 10; ++i) top += sorted[i];
+  EXPECT_GT(top * 100 / edges.size(), 5u);
+}
+
+TEST(MatrixGenTest, DensityRespected) {
+  auto m = GenerateUniformMatrix("t", 200, 100, 0.05, 1);
+  EXPECT_EQ(m.entries.size(), 1000u);
+  std::set<std::pair<uint64_t, uint64_t>> unique;
+  for (const auto& e : m.entries) {
+    unique.insert({e.row, e.col});
+    EXPECT_NE(e.value, 0.0);
+  }
+  EXPECT_EQ(unique.size(), m.entries.size());
+}
+
+TEST(MatrixGenTest, TableIIaShapes) {
+  auto matrices = TableIIaMatrices(/*shrink=*/1000);
+  ASSERT_EQ(matrices.size(), 4u);
+  EXPECT_EQ(matrices[0].name, "covtype");
+  EXPECT_EQ(matrices[0].cols, 54u);
+  EXPECT_EQ(matrices[1].name, "mouse");
+  EXPECT_NEAR(matrices[1].density, 0.014, 0.002);
+  EXPECT_EQ(matrices[2].name, "hardesty");
+  EXPECT_EQ(matrices[3].name, "mawi");
+  // Relative density ordering preserved: covtype >> mouse >> hardesty.
+  EXPECT_GT(matrices[0].density, matrices[1].density);
+  EXPECT_GT(matrices[1].density, matrices[2].density);
+}
+
+TEST(LrDataGenTest, SplitAndLearnability) {
+  LrDataOptions options;
+  options.rows = 1000;
+  options.features = 50;
+  options.nnz_per_row = 10;
+  auto split = GenerateLrData(options);
+  EXPECT_EQ(split.train.rows, 800u);
+  EXPECT_EQ(split.test.rows, 200u);
+  EXPECT_EQ(split.train.labels.size(), 800u);
+  EXPECT_EQ(split.train.entries.size(), 8000u);
+  // Both classes present.
+  double ones = 0;
+  for (double l : split.train.labels) ones += l;
+  EXPECT_GT(ones, 80.0);
+  EXPECT_LT(ones, 720.0);
+  // Test rows reindexed from zero.
+  for (const auto& e : split.test.entries) EXPECT_LT(e.row, 200u);
+}
+
+}  // namespace
+}  // namespace spangle

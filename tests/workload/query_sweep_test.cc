@@ -1,0 +1,121 @@
+// Randomized query sweep: the Spangle engine must match a brute-force
+// evaluator for arbitrary boxes, thresholds and grids, on both the
+// sky-survey and chlorophyll workloads.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/random.h"
+#include "workload/queries.h"
+#include "workload/raster_gen.h"
+
+namespace spangle {
+namespace {
+
+struct SweepCase {
+  uint64_t seed;
+  bool use_range;
+};
+
+struct Reference {
+  double q1 = 0;
+  uint64_t q2 = 0;
+  double q3 = 0;
+  uint64_t q5 = 0;
+};
+
+Reference BruteForce(const std::vector<CellValue>& cells,
+                     const QueryParams& q) {
+  Reference ref;
+  double sum1 = 0, sum3 = 0;
+  uint64_t n1 = 0, n3 = 0;
+  std::unordered_map<uint64_t, uint64_t> blocks;
+  for (const auto& cell : cells) {
+    bool inside = true;
+    if (q.use_range) {
+      for (size_t d = 0; d < 3; ++d) {
+        if (cell.pos[d] < q.lo[d] || cell.pos[d] > q.hi[d]) {
+          inside = false;
+          break;
+        }
+      }
+    }
+    if (!inside) continue;
+    sum1 += cell.value;
+    ++n1;
+    if (cell.value > q.threshold) {
+      sum3 += cell.value;
+      ++n3;
+    }
+    const uint64_t key =
+        ((static_cast<uint64_t>(cell.pos[0]) / q.grid[0]) * 1000003 +
+         static_cast<uint64_t>(cell.pos[1]) / q.grid[1]) *
+            1000003 +
+        static_cast<uint64_t>(cell.pos[2]) / q.grid[2];
+    blocks[key] += 1;
+  }
+  ref.q1 = n1 ? sum1 / n1 : 0;
+  ref.q2 = blocks.size();
+  ref.q3 = n3 ? sum3 / n3 : 0;
+  for (const auto& [k, n] : blocks) {
+    if (static_cast<double>(n) > q.min_count) ++ref.q5;
+  }
+  return ref;
+}
+
+class QuerySweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(QuerySweepTest, RandomBoxesMatchBruteForce) {
+  const SweepCase sc = GetParam();
+  Context ctx(2);
+  SkyOptions options;
+  options.images = 2;
+  options.width = 96;
+  options.height = 64;
+  options.bands = 1;
+  options.chunk = 32;
+  options.source_density = 0.01;
+  options.seed = sc.seed;
+  auto data = GenerateSky(options);
+  SpangleRasterEngine engine(*data.ToSpangle(&ctx));
+
+  Rng rng(sc.seed * 31 + 1);
+  for (int trial = 0; trial < 4; ++trial) {
+    QueryParams q;
+    q.use_range = sc.use_range;
+    q.attr = "u";
+    int64_t x0 = static_cast<int64_t>(rng.NextBounded(96));
+    int64_t x1 = static_cast<int64_t>(rng.NextBounded(96));
+    int64_t y0 = static_cast<int64_t>(rng.NextBounded(64));
+    int64_t y1 = static_cast<int64_t>(rng.NextBounded(64));
+    if (x0 > x1) std::swap(x0, x1);
+    if (y0 > y1) std::swap(y0, y1);
+    q.lo = {0, x0, y0};
+    q.hi = {1, x1, y1};
+    q.threshold = rng.NextDouble(0.1, 1.5);
+    q.grid = {1 + rng.NextBounded(2), 1 + rng.NextBounded(15),
+              1 + rng.NextBounded(15)};
+    q.min_count = static_cast<double>(rng.NextBounded(4));
+
+    auto ref = BruteForce(data.cells[0], q);
+    EXPECT_NEAR(*engine.Q1Average(q), ref.q1, 1e-9) << "trial " << trial;
+    EXPECT_EQ(*engine.Q2Regrid(q), ref.q2) << "trial " << trial;
+    EXPECT_NEAR(*engine.Q3FilteredAverage(q), ref.q3, 1e-9)
+        << "trial " << trial;
+    EXPECT_EQ(*engine.Q5Density(q), ref.q5) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuerySweepTest,
+    ::testing::Values(SweepCase{11, true}, SweepCase{12, true},
+                      SweepCase{13, false}, SweepCase{14, true},
+                      SweepCase{15, false}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return "seed" + std::to_string(info.param.seed) +
+             (info.param.use_range ? "_range" : "_norange");
+    });
+
+}  // namespace
+}  // namespace spangle
