@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_ml_core.dir/bench_fig10_ml_core.cc.o"
+  "CMakeFiles/bench_fig10_ml_core.dir/bench_fig10_ml_core.cc.o.d"
+  "bench_fig10_ml_core"
+  "bench_fig10_ml_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_ml_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_sgd.dir/bench_fig12_sgd.cc.o"
+  "CMakeFiles/bench_fig12_sgd.dir/bench_fig12_sgd.cc.o.d"
+  "bench_fig12_sgd"
+  "bench_fig12_sgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_sgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_maskrdd.dir/bench_fig9_maskrdd.cc.o"
+  "CMakeFiles/bench_fig9_maskrdd.dir/bench_fig9_maskrdd.cc.o.d"
+  "bench_fig9_maskrdd"
+  "bench_fig9_maskrdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_maskrdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

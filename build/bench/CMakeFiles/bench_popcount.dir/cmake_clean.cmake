@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_popcount.dir/bench_popcount.cc.o"
+  "CMakeFiles/bench_popcount.dir/bench_popcount.cc.o.d"
+  "bench_popcount"
+  "bench_popcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_popcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

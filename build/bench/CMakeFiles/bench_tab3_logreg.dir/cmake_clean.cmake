@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_logreg.dir/bench_tab3_logreg.cc.o"
+  "CMakeFiles/bench_tab3_logreg.dir/bench_tab3_logreg.cc.o.d"
+  "bench_tab3_logreg"
+  "bench_tab3_logreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_logreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logistic_regression.dir/logistic_regression.cpp.o"
+  "CMakeFiles/logistic_regression.dir/logistic_regression.cpp.o.d"
+  "logistic_regression"
+  "logistic_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logistic_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_ops.dir/matrix_ops.cpp.o"
+  "CMakeFiles/matrix_ops.dir/matrix_ops.cpp.o.d"
+  "matrix_ops"
+  "matrix_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/pagerank.cpp" "examples/CMakeFiles/pagerank.dir/pagerank.cpp.o" "gcc" "examples/CMakeFiles/pagerank.dir/pagerank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/spangle_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spangle_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/spangle_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/spangle_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/spangle_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/spangle_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmask/CMakeFiles/spangle_bitmask.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/spangle_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spangle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raster_analytics.dir/raster_analytics.cpp.o"
+  "CMakeFiles/raster_analytics.dir/raster_analytics.cpp.o.d"
+  "raster_analytics"
+  "raster_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raster_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spangle_shell.dir/spangle_shell.cpp.o"
+  "CMakeFiles/spangle_shell.dir/spangle_shell.cpp.o.d"
+  "spangle_shell"
+  "spangle_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spangle_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/array_rdd.cc" "src/array/CMakeFiles/spangle_array.dir/array_rdd.cc.o" "gcc" "src/array/CMakeFiles/spangle_array.dir/array_rdd.cc.o.d"
+  "/root/repo/src/array/chunk.cc" "src/array/CMakeFiles/spangle_array.dir/chunk.cc.o" "gcc" "src/array/CMakeFiles/spangle_array.dir/chunk.cc.o.d"
+  "/root/repo/src/array/ingest.cc" "src/array/CMakeFiles/spangle_array.dir/ingest.cc.o" "gcc" "src/array/CMakeFiles/spangle_array.dir/ingest.cc.o.d"
+  "/root/repo/src/array/mapper.cc" "src/array/CMakeFiles/spangle_array.dir/mapper.cc.o" "gcc" "src/array/CMakeFiles/spangle_array.dir/mapper.cc.o.d"
+  "/root/repo/src/array/mask_rdd.cc" "src/array/CMakeFiles/spangle_array.dir/mask_rdd.cc.o" "gcc" "src/array/CMakeFiles/spangle_array.dir/mask_rdd.cc.o.d"
+  "/root/repo/src/array/metadata.cc" "src/array/CMakeFiles/spangle_array.dir/metadata.cc.o" "gcc" "src/array/CMakeFiles/spangle_array.dir/metadata.cc.o.d"
+  "/root/repo/src/array/spangle_array.cc" "src/array/CMakeFiles/spangle_array.dir/spangle_array.cc.o" "gcc" "src/array/CMakeFiles/spangle_array.dir/spangle_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spangle_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmask/CMakeFiles/spangle_bitmask.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/spangle_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

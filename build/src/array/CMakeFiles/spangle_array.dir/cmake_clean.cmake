@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spangle_array.dir/array_rdd.cc.o"
+  "CMakeFiles/spangle_array.dir/array_rdd.cc.o.d"
+  "CMakeFiles/spangle_array.dir/chunk.cc.o"
+  "CMakeFiles/spangle_array.dir/chunk.cc.o.d"
+  "CMakeFiles/spangle_array.dir/ingest.cc.o"
+  "CMakeFiles/spangle_array.dir/ingest.cc.o.d"
+  "CMakeFiles/spangle_array.dir/mapper.cc.o"
+  "CMakeFiles/spangle_array.dir/mapper.cc.o.d"
+  "CMakeFiles/spangle_array.dir/mask_rdd.cc.o"
+  "CMakeFiles/spangle_array.dir/mask_rdd.cc.o.d"
+  "CMakeFiles/spangle_array.dir/metadata.cc.o"
+  "CMakeFiles/spangle_array.dir/metadata.cc.o.d"
+  "CMakeFiles/spangle_array.dir/spangle_array.cc.o"
+  "CMakeFiles/spangle_array.dir/spangle_array.cc.o.d"
+  "libspangle_array.a"
+  "libspangle_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spangle_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

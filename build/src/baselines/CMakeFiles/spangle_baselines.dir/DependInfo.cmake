@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dense_engine.cc" "src/baselines/CMakeFiles/spangle_baselines.dir/dense_engine.cc.o" "gcc" "src/baselines/CMakeFiles/spangle_baselines.dir/dense_engine.cc.o.d"
+  "/root/repo/src/baselines/diskdb.cc" "src/baselines/CMakeFiles/spangle_baselines.dir/diskdb.cc.o" "gcc" "src/baselines/CMakeFiles/spangle_baselines.dir/diskdb.cc.o.d"
+  "/root/repo/src/baselines/matrix_engines.cc" "src/baselines/CMakeFiles/spangle_baselines.dir/matrix_engines.cc.o" "gcc" "src/baselines/CMakeFiles/spangle_baselines.dir/matrix_engines.cc.o.d"
+  "/root/repo/src/baselines/mllib_lr.cc" "src/baselines/CMakeFiles/spangle_baselines.dir/mllib_lr.cc.o" "gcc" "src/baselines/CMakeFiles/spangle_baselines.dir/mllib_lr.cc.o.d"
+  "/root/repo/src/baselines/pagerank_baselines.cc" "src/baselines/CMakeFiles/spangle_baselines.dir/pagerank_baselines.cc.o" "gcc" "src/baselines/CMakeFiles/spangle_baselines.dir/pagerank_baselines.cc.o.d"
+  "/root/repo/src/baselines/tile_engine.cc" "src/baselines/CMakeFiles/spangle_baselines.dir/tile_engine.cc.o" "gcc" "src/baselines/CMakeFiles/spangle_baselines.dir/tile_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/spangle_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/spangle_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/spangle_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/spangle_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/spangle_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmask/CMakeFiles/spangle_bitmask.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/spangle_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spangle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

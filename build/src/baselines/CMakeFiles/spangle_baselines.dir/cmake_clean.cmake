@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spangle_baselines.dir/dense_engine.cc.o"
+  "CMakeFiles/spangle_baselines.dir/dense_engine.cc.o.d"
+  "CMakeFiles/spangle_baselines.dir/diskdb.cc.o"
+  "CMakeFiles/spangle_baselines.dir/diskdb.cc.o.d"
+  "CMakeFiles/spangle_baselines.dir/matrix_engines.cc.o"
+  "CMakeFiles/spangle_baselines.dir/matrix_engines.cc.o.d"
+  "CMakeFiles/spangle_baselines.dir/mllib_lr.cc.o"
+  "CMakeFiles/spangle_baselines.dir/mllib_lr.cc.o.d"
+  "CMakeFiles/spangle_baselines.dir/pagerank_baselines.cc.o"
+  "CMakeFiles/spangle_baselines.dir/pagerank_baselines.cc.o.d"
+  "CMakeFiles/spangle_baselines.dir/tile_engine.cc.o"
+  "CMakeFiles/spangle_baselines.dir/tile_engine.cc.o.d"
+  "libspangle_baselines.a"
+  "libspangle_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spangle_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitmask/bitmask.cc" "src/bitmask/CMakeFiles/spangle_bitmask.dir/bitmask.cc.o" "gcc" "src/bitmask/CMakeFiles/spangle_bitmask.dir/bitmask.cc.o.d"
+  "/root/repo/src/bitmask/hierarchical_bitmask.cc" "src/bitmask/CMakeFiles/spangle_bitmask.dir/hierarchical_bitmask.cc.o" "gcc" "src/bitmask/CMakeFiles/spangle_bitmask.dir/hierarchical_bitmask.cc.o.d"
+  "/root/repo/src/bitmask/offset_array.cc" "src/bitmask/CMakeFiles/spangle_bitmask.dir/offset_array.cc.o" "gcc" "src/bitmask/CMakeFiles/spangle_bitmask.dir/offset_array.cc.o.d"
+  "/root/repo/src/bitmask/popcount.cc" "src/bitmask/CMakeFiles/spangle_bitmask.dir/popcount.cc.o" "gcc" "src/bitmask/CMakeFiles/spangle_bitmask.dir/popcount.cc.o.d"
+  "/root/repo/src/bitmask/popcount_avx2.cc" "src/bitmask/CMakeFiles/spangle_bitmask.dir/popcount_avx2.cc.o" "gcc" "src/bitmask/CMakeFiles/spangle_bitmask.dir/popcount_avx2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spangle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spangle_bitmask.dir/bitmask.cc.o"
+  "CMakeFiles/spangle_bitmask.dir/bitmask.cc.o.d"
+  "CMakeFiles/spangle_bitmask.dir/hierarchical_bitmask.cc.o"
+  "CMakeFiles/spangle_bitmask.dir/hierarchical_bitmask.cc.o.d"
+  "CMakeFiles/spangle_bitmask.dir/offset_array.cc.o"
+  "CMakeFiles/spangle_bitmask.dir/offset_array.cc.o.d"
+  "CMakeFiles/spangle_bitmask.dir/popcount.cc.o"
+  "CMakeFiles/spangle_bitmask.dir/popcount.cc.o.d"
+  "CMakeFiles/spangle_bitmask.dir/popcount_avx2.cc.o"
+  "CMakeFiles/spangle_bitmask.dir/popcount_avx2.cc.o.d"
+  "libspangle_bitmask.a"
+  "libspangle_bitmask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spangle_bitmask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

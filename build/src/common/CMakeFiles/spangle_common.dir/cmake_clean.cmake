@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spangle_common.dir/bytes.cc.o"
+  "CMakeFiles/spangle_common.dir/bytes.cc.o.d"
+  "CMakeFiles/spangle_common.dir/logging.cc.o"
+  "CMakeFiles/spangle_common.dir/logging.cc.o.d"
+  "CMakeFiles/spangle_common.dir/random.cc.o"
+  "CMakeFiles/spangle_common.dir/random.cc.o.d"
+  "CMakeFiles/spangle_common.dir/status.cc.o"
+  "CMakeFiles/spangle_common.dir/status.cc.o.d"
+  "libspangle_common.a"
+  "libspangle_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spangle_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

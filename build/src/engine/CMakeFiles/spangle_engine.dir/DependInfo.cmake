@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/context.cc" "src/engine/CMakeFiles/spangle_engine.dir/context.cc.o" "gcc" "src/engine/CMakeFiles/spangle_engine.dir/context.cc.o.d"
+  "/root/repo/src/engine/executor_pool.cc" "src/engine/CMakeFiles/spangle_engine.dir/executor_pool.cc.o" "gcc" "src/engine/CMakeFiles/spangle_engine.dir/executor_pool.cc.o.d"
+  "/root/repo/src/engine/metrics.cc" "src/engine/CMakeFiles/spangle_engine.dir/metrics.cc.o" "gcc" "src/engine/CMakeFiles/spangle_engine.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spangle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spangle_engine.dir/context.cc.o"
+  "CMakeFiles/spangle_engine.dir/context.cc.o.d"
+  "CMakeFiles/spangle_engine.dir/executor_pool.cc.o"
+  "CMakeFiles/spangle_engine.dir/executor_pool.cc.o.d"
+  "CMakeFiles/spangle_engine.dir/metrics.cc.o"
+  "CMakeFiles/spangle_engine.dir/metrics.cc.o.d"
+  "libspangle_engine.a"
+  "libspangle_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spangle_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

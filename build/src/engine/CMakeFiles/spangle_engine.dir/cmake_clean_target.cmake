@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspangle_engine.a"
+)

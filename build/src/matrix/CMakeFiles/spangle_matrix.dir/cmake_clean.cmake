@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spangle_matrix.dir/block_matrix.cc.o"
+  "CMakeFiles/spangle_matrix.dir/block_matrix.cc.o.d"
+  "CMakeFiles/spangle_matrix.dir/block_vector.cc.o"
+  "CMakeFiles/spangle_matrix.dir/block_vector.cc.o.d"
+  "CMakeFiles/spangle_matrix.dir/mask_matrix.cc.o"
+  "CMakeFiles/spangle_matrix.dir/mask_matrix.cc.o.d"
+  "libspangle_matrix.a"
+  "libspangle_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spangle_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

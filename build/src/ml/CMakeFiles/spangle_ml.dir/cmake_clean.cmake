@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spangle_ml.dir/logreg.cc.o"
+  "CMakeFiles/spangle_ml.dir/logreg.cc.o.d"
+  "CMakeFiles/spangle_ml.dir/pagerank.cc.o"
+  "CMakeFiles/spangle_ml.dir/pagerank.cc.o.d"
+  "libspangle_ml.a"
+  "libspangle_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spangle_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

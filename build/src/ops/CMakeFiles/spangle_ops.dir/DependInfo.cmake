@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/accumulator.cc" "src/ops/CMakeFiles/spangle_ops.dir/accumulator.cc.o" "gcc" "src/ops/CMakeFiles/spangle_ops.dir/accumulator.cc.o.d"
+  "/root/repo/src/ops/aggregator.cc" "src/ops/CMakeFiles/spangle_ops.dir/aggregator.cc.o" "gcc" "src/ops/CMakeFiles/spangle_ops.dir/aggregator.cc.o.d"
+  "/root/repo/src/ops/operators.cc" "src/ops/CMakeFiles/spangle_ops.dir/operators.cc.o" "gcc" "src/ops/CMakeFiles/spangle_ops.dir/operators.cc.o.d"
+  "/root/repo/src/ops/overlap.cc" "src/ops/CMakeFiles/spangle_ops.dir/overlap.cc.o" "gcc" "src/ops/CMakeFiles/spangle_ops.dir/overlap.cc.o.d"
+  "/root/repo/src/ops/transform.cc" "src/ops/CMakeFiles/spangle_ops.dir/transform.cc.o" "gcc" "src/ops/CMakeFiles/spangle_ops.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/array/CMakeFiles/spangle_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmask/CMakeFiles/spangle_bitmask.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/spangle_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spangle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spangle_ops.dir/accumulator.cc.o"
+  "CMakeFiles/spangle_ops.dir/accumulator.cc.o.d"
+  "CMakeFiles/spangle_ops.dir/aggregator.cc.o"
+  "CMakeFiles/spangle_ops.dir/aggregator.cc.o.d"
+  "CMakeFiles/spangle_ops.dir/operators.cc.o"
+  "CMakeFiles/spangle_ops.dir/operators.cc.o.d"
+  "CMakeFiles/spangle_ops.dir/overlap.cc.o"
+  "CMakeFiles/spangle_ops.dir/overlap.cc.o.d"
+  "CMakeFiles/spangle_ops.dir/transform.cc.o"
+  "CMakeFiles/spangle_ops.dir/transform.cc.o.d"
+  "libspangle_ops.a"
+  "libspangle_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spangle_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spangle_workload.dir/graph_gen.cc.o"
+  "CMakeFiles/spangle_workload.dir/graph_gen.cc.o.d"
+  "CMakeFiles/spangle_workload.dir/lr_data_gen.cc.o"
+  "CMakeFiles/spangle_workload.dir/lr_data_gen.cc.o.d"
+  "CMakeFiles/spangle_workload.dir/matrix_gen.cc.o"
+  "CMakeFiles/spangle_workload.dir/matrix_gen.cc.o.d"
+  "CMakeFiles/spangle_workload.dir/queries.cc.o"
+  "CMakeFiles/spangle_workload.dir/queries.cc.o.d"
+  "CMakeFiles/spangle_workload.dir/raster_gen.cc.o"
+  "CMakeFiles/spangle_workload.dir/raster_gen.cc.o.d"
+  "libspangle_workload.a"
+  "libspangle_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spangle_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

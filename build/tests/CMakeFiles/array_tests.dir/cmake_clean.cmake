@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_tests.dir/array/array_property_test.cc.o"
+  "CMakeFiles/array_tests.dir/array/array_property_test.cc.o.d"
+  "CMakeFiles/array_tests.dir/array/array_rdd_test.cc.o"
+  "CMakeFiles/array_tests.dir/array/array_rdd_test.cc.o.d"
+  "CMakeFiles/array_tests.dir/array/chunk_test.cc.o"
+  "CMakeFiles/array_tests.dir/array/chunk_test.cc.o.d"
+  "CMakeFiles/array_tests.dir/array/distributed_ingest_test.cc.o"
+  "CMakeFiles/array_tests.dir/array/distributed_ingest_test.cc.o.d"
+  "CMakeFiles/array_tests.dir/array/mapper_property_test.cc.o"
+  "CMakeFiles/array_tests.dir/array/mapper_property_test.cc.o.d"
+  "CMakeFiles/array_tests.dir/array/mapper_test.cc.o"
+  "CMakeFiles/array_tests.dir/array/mapper_test.cc.o.d"
+  "CMakeFiles/array_tests.dir/array/mask_rdd_test.cc.o"
+  "CMakeFiles/array_tests.dir/array/mask_rdd_test.cc.o.d"
+  "CMakeFiles/array_tests.dir/array/metadata_test.cc.o"
+  "CMakeFiles/array_tests.dir/array/metadata_test.cc.o.d"
+  "CMakeFiles/array_tests.dir/array/spangle_array_test.cc.o"
+  "CMakeFiles/array_tests.dir/array/spangle_array_test.cc.o.d"
+  "array_tests"
+  "array_tests.pdb"
+  "array_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_tests.dir/baselines/engine_edge_test.cc.o"
+  "CMakeFiles/baselines_tests.dir/baselines/engine_edge_test.cc.o.d"
+  "CMakeFiles/baselines_tests.dir/baselines/matrix_parity_test.cc.o"
+  "CMakeFiles/baselines_tests.dir/baselines/matrix_parity_test.cc.o.d"
+  "CMakeFiles/baselines_tests.dir/baselines/mllib_lr_test.cc.o"
+  "CMakeFiles/baselines_tests.dir/baselines/mllib_lr_test.cc.o.d"
+  "CMakeFiles/baselines_tests.dir/baselines/pagerank_parity_test.cc.o"
+  "CMakeFiles/baselines_tests.dir/baselines/pagerank_parity_test.cc.o.d"
+  "CMakeFiles/baselines_tests.dir/baselines/raster_parity_test.cc.o"
+  "CMakeFiles/baselines_tests.dir/baselines/raster_parity_test.cc.o.d"
+  "baselines_tests"
+  "baselines_tests.pdb"
+  "baselines_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

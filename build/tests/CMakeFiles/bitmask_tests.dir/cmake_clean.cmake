@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitmask_tests.dir/bitmask/bitmask_property_test.cc.o"
+  "CMakeFiles/bitmask_tests.dir/bitmask/bitmask_property_test.cc.o.d"
+  "CMakeFiles/bitmask_tests.dir/bitmask/bitmask_test.cc.o"
+  "CMakeFiles/bitmask_tests.dir/bitmask/bitmask_test.cc.o.d"
+  "CMakeFiles/bitmask_tests.dir/bitmask/hierarchical_bitmask_test.cc.o"
+  "CMakeFiles/bitmask_tests.dir/bitmask/hierarchical_bitmask_test.cc.o.d"
+  "CMakeFiles/bitmask_tests.dir/bitmask/offset_array_test.cc.o"
+  "CMakeFiles/bitmask_tests.dir/bitmask/offset_array_test.cc.o.d"
+  "CMakeFiles/bitmask_tests.dir/bitmask/popcount_test.cc.o"
+  "CMakeFiles/bitmask_tests.dir/bitmask/popcount_test.cc.o.d"
+  "bitmask_tests"
+  "bitmask_tests.pdb"
+  "bitmask_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitmask_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_tests.dir/engine/disk_persist_test.cc.o"
+  "CMakeFiles/engine_tests.dir/engine/disk_persist_test.cc.o.d"
+  "CMakeFiles/engine_tests.dir/engine/executor_pool_test.cc.o"
+  "CMakeFiles/engine_tests.dir/engine/executor_pool_test.cc.o.d"
+  "CMakeFiles/engine_tests.dir/engine/fault_tolerance_test.cc.o"
+  "CMakeFiles/engine_tests.dir/engine/fault_tolerance_test.cc.o.d"
+  "CMakeFiles/engine_tests.dir/engine/metrics_test.cc.o"
+  "CMakeFiles/engine_tests.dir/engine/metrics_test.cc.o.d"
+  "CMakeFiles/engine_tests.dir/engine/pair_rdd_test.cc.o"
+  "CMakeFiles/engine_tests.dir/engine/pair_rdd_test.cc.o.d"
+  "CMakeFiles/engine_tests.dir/engine/rdd_extras_test.cc.o"
+  "CMakeFiles/engine_tests.dir/engine/rdd_extras_test.cc.o.d"
+  "CMakeFiles/engine_tests.dir/engine/rdd_test.cc.o"
+  "CMakeFiles/engine_tests.dir/engine/rdd_test.cc.o.d"
+  "CMakeFiles/engine_tests.dir/engine/recovery_stress_test.cc.o"
+  "CMakeFiles/engine_tests.dir/engine/recovery_stress_test.cc.o.d"
+  "engine_tests"
+  "engine_tests.pdb"
+  "engine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_tests.dir/matrix/block_matrix_test.cc.o"
+  "CMakeFiles/matrix_tests.dir/matrix/block_matrix_test.cc.o.d"
+  "CMakeFiles/matrix_tests.dir/matrix/block_vector_test.cc.o"
+  "CMakeFiles/matrix_tests.dir/matrix/block_vector_test.cc.o.d"
+  "CMakeFiles/matrix_tests.dir/matrix/mask_matrix_test.cc.o"
+  "CMakeFiles/matrix_tests.dir/matrix/mask_matrix_test.cc.o.d"
+  "CMakeFiles/matrix_tests.dir/matrix/matrix_extras_test.cc.o"
+  "CMakeFiles/matrix_tests.dir/matrix/matrix_extras_test.cc.o.d"
+  "CMakeFiles/matrix_tests.dir/matrix/matrix_property_test.cc.o"
+  "CMakeFiles/matrix_tests.dir/matrix/matrix_property_test.cc.o.d"
+  "matrix_tests"
+  "matrix_tests.pdb"
+  "matrix_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

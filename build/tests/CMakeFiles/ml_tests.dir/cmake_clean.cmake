@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tests.dir/ml/extensions_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/extensions_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/logreg_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/logreg_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/pagerank_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/pagerank_test.cc.o.d"
+  "ml_tests"
+  "ml_tests.pdb"
+  "ml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

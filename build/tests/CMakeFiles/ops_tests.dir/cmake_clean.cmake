@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_tests.dir/ops/accumulator_test.cc.o"
+  "CMakeFiles/ops_tests.dir/ops/accumulator_test.cc.o.d"
+  "CMakeFiles/ops_tests.dir/ops/aggregator_test.cc.o"
+  "CMakeFiles/ops_tests.dir/ops/aggregator_test.cc.o.d"
+  "CMakeFiles/ops_tests.dir/ops/operators_test.cc.o"
+  "CMakeFiles/ops_tests.dir/ops/operators_test.cc.o.d"
+  "CMakeFiles/ops_tests.dir/ops/overlap_test.cc.o"
+  "CMakeFiles/ops_tests.dir/ops/overlap_test.cc.o.d"
+  "CMakeFiles/ops_tests.dir/ops/transform_test.cc.o"
+  "CMakeFiles/ops_tests.dir/ops/transform_test.cc.o.d"
+  "CMakeFiles/ops_tests.dir/ops/window_property_test.cc.o"
+  "CMakeFiles/ops_tests.dir/ops/window_property_test.cc.o.d"
+  "ops_tests"
+  "ops_tests.pdb"
+  "ops_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
