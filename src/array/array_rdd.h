@@ -77,8 +77,8 @@ class ArrayRdd {
     return ArrayRdd(std::move(meta), chunks_);
   }
 
-  ArrayRdd& Cache() {
-    chunks_.Cache();
+  ArrayRdd& Cache(StorageLevel level = StorageLevel::kMemoryOnly) {
+    chunks_.Cache(level);
     return *this;
   }
 

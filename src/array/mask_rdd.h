@@ -28,8 +28,8 @@ class MaskRdd {
   const Mapper& mapper() const { return *mapper_; }
   const PairRdd<ChunkId, Bitmask>& masks() const { return masks_; }
 
-  MaskRdd& Cache() {
-    masks_.Cache();
+  MaskRdd& Cache(StorageLevel level = StorageLevel::kMemoryOnly) {
+    masks_.Cache(level);
     return *this;
   }
 

@@ -104,9 +104,9 @@ Result<SpangleArray> SpangleArray::RenameAttribute(
   return out;
 }
 
-SpangleArray& SpangleArray::Cache() {
-  mask_.Cache();
-  for (auto& [name, rdd] : attrs_) rdd.Cache();
+SpangleArray& SpangleArray::Cache(StorageLevel level) {
+  mask_.Cache(level);
+  for (auto& [name, rdd] : attrs_) rdd.Cache(level);
   return *this;
 }
 

@@ -73,8 +73,8 @@ class SpangleArray {
   /// Valid cells in the global view.
   uint64_t CountValid() const { return mask_.CountValid(); }
 
-  /// Caches the mask and all attribute chunk RDDs.
-  SpangleArray& Cache();
+  /// Caches the mask and all attribute chunk RDDs at `level`.
+  SpangleArray& Cache(StorageLevel level = StorageLevel::kMemoryOnly);
 
  private:
   std::vector<std::pair<std::string, ArrayRdd>> attrs_;

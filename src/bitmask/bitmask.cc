@@ -1,6 +1,7 @@
 #include "bitmask/bitmask.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace spangle {
 
@@ -174,6 +175,28 @@ std::string Bitmask::ToString(size_t max_bits) const {
   for (size_t i = 0; i < n; ++i) out.push_back(Test(i) ? '1' : '0');
   if (n < num_bits_) out += "...";
   return out;
+}
+
+void Bitmask::AppendTo(std::string* out) const {
+  const uint64_t n = num_bits_;
+  out->append(reinterpret_cast<const char*>(&n), sizeof(n));
+  out->append(reinterpret_cast<const char*>(words_.data()),
+              words_.size() * sizeof(uint64_t));
+}
+
+Result<Bitmask> Bitmask::FromBytes(const char* data, size_t size,
+                                   size_t* consumed) {
+  uint64_t n = 0;
+  if (size < sizeof(n)) return Status::InvalidArgument("truncated bitmask");
+  std::memcpy(&n, data, sizeof(n));
+  Bitmask mask(static_cast<size_t>(n));
+  const size_t word_bytes = mask.words_.size() * sizeof(uint64_t);
+  if (size - sizeof(n) < word_bytes) {
+    return Status::InvalidArgument("truncated bitmask words");
+  }
+  std::memcpy(mask.words_.data(), data + sizeof(n), word_bytes);
+  *consumed += sizeof(n) + word_bytes;
+  return mask;
 }
 
 uint64_t DeltaCounter::AdvanceTo(size_t i) {

@@ -8,6 +8,7 @@
 
 #include "bitmask/popcount.h"
 #include "common/logging.h"
+#include "common/result.h"
 
 namespace spangle {
 
@@ -106,6 +107,15 @@ class Bitmask {
       }
     }
   }
+
+  /// Binary encoding (bit count + raw words) appended to `out`; decode
+  /// with FromBytes. Used by the engine's spill codec (MEMORY_AND_DISK
+  /// storage for MaskRdd partitions).
+  void AppendTo(std::string* out) const;
+
+  /// Decodes one mask from `data`; adds the bytes read to *consumed.
+  static Result<Bitmask> FromBytes(const char* data, size_t size,
+                                   size_t* consumed);
 
   /// Wire size estimate (engine shuffle accounting).
   size_t SerializedBytes() const {

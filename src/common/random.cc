@@ -11,6 +11,13 @@ uint64_t SplitMix64(uint64_t* state) {
   return z ^ (z >> 31);
 }
 
+uint64_t MixSeeds(uint64_t a, uint64_t b) {
+  uint64_t s = a;
+  const uint64_t ha = SplitMix64(&s);
+  s = ha ^ (b + 0x9E3779B97F4A7C15ULL + (ha << 6) + (ha >> 2));
+  return SplitMix64(&s);
+}
+
 namespace {
 inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace

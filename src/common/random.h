@@ -8,6 +8,12 @@ namespace spangle {
 /// SplitMix64: used to seed Xoshiro and for cheap stateless hashing.
 uint64_t SplitMix64(uint64_t* state);
 
+/// Combines two seeds (e.g. a user seed and a partition index) into one
+/// well-mixed generator seed. Both inputs go through SplitMix64, so
+/// distinct (a, b) pairs cannot collide through simple arithmetic the
+/// way an affine a*K+b scheme can. Used by Rdd::Sample.
+uint64_t MixSeeds(uint64_t a, uint64_t b);
+
 /// Deterministic, fast PRNG (xoshiro256**). All workload generators use
 /// this so every experiment is reproducible from a seed.
 class Rng {

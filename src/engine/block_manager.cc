@@ -1,0 +1,267 @@
+#include "engine/block_manager.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace spangle {
+
+namespace {
+namespace fs = std::filesystem;
+
+std::string MakeUniqueSpillDir() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t n = counter.fetch_add(1);
+  std::error_code ec;
+  fs::path base = fs::temp_directory_path(ec);
+  if (ec) base = ".";
+  return (base / ("spangle-blocks-" + std::to_string(::getpid()) + "-" +
+                  std::to_string(n)))
+      .string();
+}
+}  // namespace
+
+BlockManager::BlockManager(const StorageOptions& options, int num_workers,
+                           EngineMetrics* metrics)
+    : budget_(options.memory_budget_bytes),
+      num_workers_(num_workers > 0 ? num_workers : 1),
+      metrics_(metrics) {
+  if (options.spill_dir.empty()) {
+    spill_dir_ = MakeUniqueSpillDir();
+    owns_spill_dir_ = true;
+  } else {
+    spill_dir_ = options.spill_dir;
+  }
+}
+
+BlockManager::~BlockManager() {
+  std::error_code ec;
+  if (owns_spill_dir_) {
+    fs::remove_all(spill_dir_, ec);
+    return;
+  }
+  // User-provided directory: remove only the files we created.
+  for (auto& [node, parts] : blocks_) {
+    for (auto& [p, b] : parts) {
+      if (b.on_disk) fs::remove(b.path, ec);
+    }
+  }
+}
+
+BlockManager::Block* BlockManager::Find(const BlockId& id) {
+  auto nit = blocks_.find(id.node);
+  if (nit == blocks_.end()) return nullptr;
+  auto pit = nit->second.find(id.partition);
+  return pit == nit->second.end() ? nullptr : &pit->second;
+}
+
+const BlockManager::Block* BlockManager::Find(const BlockId& id) const {
+  auto nit = blocks_.find(id.node);
+  if (nit == blocks_.end()) return nullptr;
+  auto pit = nit->second.find(id.partition);
+  return pit == nit->second.end() ? nullptr : &pit->second;
+}
+
+std::string BlockManager::PathFor(const BlockId& id) {
+  if (!spill_dir_ready_) {
+    std::error_code ec;
+    fs::create_directories(spill_dir_, ec);
+    SPANGLE_CHECK(!ec) << "cannot create spill dir " << spill_dir_ << ": "
+                       << ec.message();
+    spill_dir_ready_ = true;
+  }
+  return spill_dir_ + "/block_" + std::to_string(id.node) + "_" +
+         std::to_string(id.partition) + ".spill";
+}
+
+void BlockManager::UpdateGauges() {
+  metrics_->bytes_cached.store(bytes_in_memory_);
+  if (bytes_in_memory_ > metrics_->memory_high_water.load()) {
+    metrics_->memory_high_water.store(bytes_in_memory_);
+  }
+}
+
+void BlockManager::InsertResident(const BlockId& id, Block& b, DataPtr data) {
+  b.data = std::move(data);
+  b.lost = false;
+  b.lru_it = lru_.insert(lru_.end(), id);
+  bytes_in_memory_ += b.bytes;
+  UpdateGauges();
+}
+
+void BlockManager::ReleaseMemory(Block& b) {
+  if (b.data == nullptr) return;
+  lru_.erase(b.lru_it);
+  bytes_in_memory_ -= b.bytes;
+  b.data = nullptr;
+  UpdateGauges();
+}
+
+void BlockManager::SpillBlock(const BlockId& id, Block& b) {
+  if (b.on_disk) return;
+  b.path = PathFor(id);
+  const uint64_t written = b.spill(b.data.get(), b.path);
+  b.on_disk = true;
+  metrics_->spilled_bytes.fetch_add(written);
+}
+
+void BlockManager::RemoveFile(Block& b) {
+  if (!b.on_disk) return;
+  std::error_code ec;
+  fs::remove(b.path, ec);
+  b.on_disk = false;
+  b.path.clear();
+}
+
+void BlockManager::EvictBlock(const BlockId& id, Block& b) {
+  if (b.level == StorageLevel::kMemoryAndDisk && b.spill != nullptr) {
+    SpillBlock(id, b);
+  }
+  if (!b.on_disk) b.lost = true;
+  ReleaseMemory(b);
+  metrics_->evictions.fetch_add(1);
+}
+
+void BlockManager::EvictToFit(uint64_t incoming, const BlockId& protect) {
+  if (budget_ == 0) return;
+  auto it = lru_.begin();
+  while (bytes_in_memory_ + incoming > budget_ && it != lru_.end()) {
+    const BlockId victim = *it;
+    ++it;
+    if (victim == protect) continue;
+    Block* vb = Find(victim);
+    SPANGLE_CHECK(vb != nullptr && vb->data != nullptr)
+        << "LRU entry without a resident block";
+    // A block that can neither spill nor be recomputed (unspillable
+    // shuffle output) is pinned: losing it would be unrecoverable
+    // mid-action.
+    if (!vb->recomputable && vb->spill == nullptr) continue;
+    EvictBlock(victim, *vb);
+  }
+}
+
+void BlockManager::Put(const BlockId& id, DataPtr data, uint64_t bytes,
+                       StorageLevel level, SpillFn spill, LoadFn load,
+                       bool recomputable) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Block& b = blocks_[id.node][id.partition];
+  ReleaseMemory(b);  // replacing: drop the old payload's accounting
+  RemoveFile(b);     // a stale spill file no longer matches the payload
+  b.bytes = bytes;
+  b.level = level;
+  b.recomputable = recomputable;
+  b.spill = std::move(spill);
+  b.load = std::move(load);
+  b.lost = false;
+  if (level == StorageLevel::kDiskOnly && b.spill != nullptr) {
+    b.path = PathFor(id);
+    const uint64_t written = b.spill(data.get(), b.path);
+    b.on_disk = true;
+    metrics_->spilled_bytes.fetch_add(written);
+    return;  // never resident
+  }
+  EvictToFit(bytes, id);
+  InsertResident(id, b, std::move(data));
+}
+
+BlockManager::GetResult BlockManager::Get(const BlockId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Block* b = Find(id);
+  if (b == nullptr) return {};
+  if (b->data != nullptr) {
+    // LRU touch: move to the most-recently-used end.
+    lru_.splice(lru_.end(), lru_, b->lru_it);
+    return {b->data, false};
+  }
+  if (b->on_disk && b->load != nullptr) {
+    DataPtr loaded = b->load(b->path);
+    metrics_->disk_reads.fetch_add(1);
+    if (b->level != StorageLevel::kDiskOnly) {
+      EvictToFit(b->bytes, id);
+      InsertResident(id, *b, loaded);
+    }
+    return {std::move(loaded), false};
+  }
+  return {nullptr, b->lost};
+}
+
+bool BlockManager::Contains(const BlockId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Block* b = Find(id);
+  return b != nullptr && (b->data != nullptr || b->on_disk);
+}
+
+bool BlockManager::ContainsAll(uint64_t node, int num_partitions) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto nit = blocks_.find(node);
+  if (nit == blocks_.end()) return num_partitions == 0;
+  for (int p = 0; p < num_partitions; ++p) {
+    auto pit = nit->second.find(p);
+    if (pit == nit->second.end()) return false;
+    const Block& b = pit->second;
+    if (b.data == nullptr && !b.on_disk) return false;
+  }
+  return true;
+}
+
+void BlockManager::DropBlockLocked(const BlockId& id, Block& b) {
+  ReleaseMemory(b);
+  RemoveFile(b);
+  if (b.recomputable) {
+    b.lost = true;  // remembered so the recompute is counted
+  } else {
+    // Shuffle output: erase entirely; the owning node re-materializes
+    // when ContainsAll turns false.
+    auto nit = blocks_.find(id.node);
+    nit->second.erase(id.partition);
+    if (nit->second.empty()) blocks_.erase(nit);
+  }
+}
+
+void BlockManager::DropBlock(const BlockId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Block* b = Find(id);
+  if (b == nullptr) return;
+  DropBlockLocked(id, *b);
+}
+
+void BlockManager::DropNode(uint64_t node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto nit = blocks_.find(node);
+  if (nit == blocks_.end()) return;
+  for (auto& [p, b] : nit->second) {
+    ReleaseMemory(b);
+    RemoveFile(b);
+  }
+  blocks_.erase(nit);
+}
+
+void BlockManager::FailExecutor(int worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BlockId> victims;
+  for (auto& [node, parts] : blocks_) {
+    for (auto& [p, b] : parts) {
+      if (p % num_workers_ == worker) victims.push_back({node, p});
+    }
+  }
+  for (const BlockId& id : victims) {
+    Block* b = Find(id);
+    if (b != nullptr) DropBlockLocked(id, *b);
+  }
+}
+
+uint64_t BlockManager::bytes_in_memory() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_in_memory_;
+}
+
+size_t BlockManager::num_resident_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace spangle

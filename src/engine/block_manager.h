@@ -1,0 +1,158 @@
+#ifndef SPANGLE_ENGINE_BLOCK_MANAGER_H_
+#define SPANGLE_ENGINE_BLOCK_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "engine/metrics.h"
+#include "engine/storage_level.h"
+
+namespace spangle {
+
+/// Identifies one cached partition: (lineage node id, partition index).
+struct BlockId {
+  uint64_t node = 0;
+  int partition = 0;
+
+  friend bool operator==(const BlockId& a, const BlockId& b) {
+    return a.node == b.node && a.partition == b.partition;
+  }
+};
+
+/// Storage configuration for a Context (Spark's spark.memory.* knobs).
+struct StorageOptions {
+  /// Total bytes of cached partitions held in memory across the whole
+  /// context; 0 = unlimited. When full, least-recently-used blocks are
+  /// evicted (dropped or spilled, per their storage level).
+  uint64_t memory_budget_bytes = 0;
+  /// Directory for spill files; "" creates (and owns) a unique temp dir.
+  std::string spill_dir;
+};
+
+/// The context-owned block store (Spark's BlockManager): every cached
+/// partition in the system — node caches and shuffle outputs — lives
+/// here, keyed by (node, partition). The manager accounts each block's
+/// estimated bytes, enforces the memory budget with LRU eviction, spills
+/// MEMORY_AND_DISK blocks to length-prefixed files, and models executor
+/// loss: each partition is "resident" on worker (partition % workers),
+/// and FailExecutor(w) discards every block — memory and local disk —
+/// that lived on w. Lost recomputable blocks are remembered so lineage
+/// recomputation can be counted; lost shuffle blocks make their node
+/// report !IsMaterialized(), which re-runs the shuffle before the next
+/// action.
+///
+/// Thread safe. Payloads are shared_ptrs, so readers keep their data
+/// alive even when the block is evicted underneath them.
+class BlockManager {
+ public:
+  using DataPtr = std::shared_ptr<const void>;
+  /// Writes a block payload to `path`; returns bytes written.
+  using SpillFn = std::function<uint64_t(const void*, const std::string&)>;
+  /// Reads a block payload back from `path`.
+  using LoadFn = std::function<DataPtr(const std::string&)>;
+
+  struct GetResult {
+    DataPtr data;           // null when the block is not available
+    bool was_lost = false;  // block existed once but was dropped/evicted
+                            // without a disk copy (caller recomputes)
+  };
+
+  BlockManager(const StorageOptions& options, int num_workers,
+               EngineMetrics* metrics);
+  ~BlockManager();
+
+  BlockManager(const BlockManager&) = delete;
+  BlockManager& operator=(const BlockManager&) = delete;
+
+  /// Stores a block. `bytes` is its estimated in-memory size. `spill` /
+  /// `load` may be null for unspillable record types; a null-spill
+  /// MEMORY_AND_DISK block is treated as MEMORY_ONLY, and a null-spill
+  /// non-recomputable block (shuffle output) is pinned in memory.
+  /// Replaces any previous payload under the same id.
+  void Put(const BlockId& id, DataPtr data, uint64_t bytes, StorageLevel level,
+           SpillFn spill, LoadFn load, bool recomputable = true);
+
+  /// Fetches a block: from memory (LRU touch), or from its spill file
+  /// (counted as a disk read; re-admitted to memory unless DISK_ONLY).
+  /// data == null means the caller must recompute from lineage.
+  GetResult Get(const BlockId& id);
+
+  /// True when the block is available in memory or on disk.
+  bool Contains(const BlockId& id) const;
+
+  /// True when all of `node`'s partitions [0, num_partitions) are
+  /// available; shuffle nodes use this as their materialization check.
+  bool ContainsAll(uint64_t node, int num_partitions) const;
+
+  /// Fault injection: discards one block (memory + disk) as if its
+  /// executor died. No-op when the block does not exist.
+  void DropBlock(const BlockId& id);
+
+  /// Removes every block of `node` and forgets its history (unpersist;
+  /// also called by the node's destructor).
+  void DropNode(uint64_t node);
+
+  /// Fault injection: drops every block resident on `worker`, memory and
+  /// executor-local disk alike.
+  void FailExecutor(int worker);
+
+  /// The simulated placement: partition i lives on worker i % workers.
+  int ExecutorOf(const BlockId& id) const {
+    return id.partition % num_workers_;
+  }
+
+  uint64_t memory_budget() const { return budget_; }
+  uint64_t bytes_in_memory() const;
+  size_t num_resident_blocks() const;
+
+ private:
+  struct Block {
+    DataPtr data;        // in-memory payload; null when evicted
+    uint64_t bytes = 0;  // estimated in-memory size
+    StorageLevel level = StorageLevel::kMemoryOnly;
+    bool on_disk = false;
+    bool lost = false;         // dropped with no disk copy; next Get
+                               // reports was_lost so recompute is counted
+    bool recomputable = true;  // false = shuffle output (pinned when
+                               // it cannot spill)
+    std::string path;          // spill file, valid when on_disk
+    SpillFn spill;
+    LoadFn load;
+    std::list<BlockId>::iterator lru_it;  // valid iff data != null
+  };
+
+  // All private helpers assume mu_ is held.
+  Block* Find(const BlockId& id);
+  const Block* Find(const BlockId& id) const;
+  void InsertResident(const BlockId& id, Block& b, DataPtr data);
+  void ReleaseMemory(Block& b);
+  void EvictToFit(uint64_t incoming, const BlockId& protect);
+  void EvictBlock(const BlockId& id, Block& b);
+  void SpillBlock(const BlockId& id, Block& b);
+  void RemoveFile(Block& b);
+  void DropBlockLocked(const BlockId& id, Block& b);
+  std::string PathFor(const BlockId& id);
+  void UpdateGauges();
+
+  const uint64_t budget_;
+  const int num_workers_;
+  EngineMetrics* metrics_;
+  std::string spill_dir_;
+  bool owns_spill_dir_ = false;
+  bool spill_dir_ready_ = false;
+
+  mutable std::mutex mu_;
+  // node id -> partition -> block.
+  std::unordered_map<uint64_t, std::unordered_map<int, Block>> blocks_;
+  std::list<BlockId> lru_;  // front = least recently used resident block
+  uint64_t bytes_in_memory_ = 0;
+};
+
+}  // namespace spangle
+
+#endif  // SPANGLE_ENGINE_BLOCK_MANAGER_H_

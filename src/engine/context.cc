@@ -6,8 +6,9 @@
 namespace spangle {
 
 Context::Context(int num_workers, int default_parallelism,
-                 int task_overhead_us)
+                 int task_overhead_us, StorageOptions storage)
     : pool_(num_workers),
+      block_manager_(storage, num_workers, &metrics_),
       default_parallelism_(default_parallelism > 0 ? default_parallelism
                                                    : 2 * num_workers),
       task_overhead_us_(task_overhead_us) {}

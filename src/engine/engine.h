@@ -17,10 +17,13 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "engine/block_manager.h"
 #include "engine/executor_pool.h"
 #include "engine/metrics.h"
 #include "engine/partitioner.h"
 #include "engine/size_estimator.h"
+#include "engine/spill_codec.h"
+#include "engine/storage_level.h"
 
 namespace spangle {
 
@@ -43,12 +46,21 @@ class Context {
   /// `task_overhead_us` adds a fixed cost to every task, modeling the
   /// real cluster's per-task scheduling latency (Spark pays ~ms per
   /// task, which is why tiny chunks lose in the paper's Fig. 8).
+  /// `storage` configures the block store (memory budget, spill dir).
+  /// The Context must outlive every Rdd created from it.
   explicit Context(int num_workers = 4, int default_parallelism = 0,
-                   int task_overhead_us = 0);
+                   int task_overhead_us = 0, StorageOptions storage = {});
 
   int num_workers() const { return pool_.num_workers(); }
   int default_parallelism() const { return default_parallelism_; }
   EngineMetrics& metrics() { return metrics_; }
+  BlockManager& block_manager() { return block_manager_; }
+
+  /// Fault injection: drops every cached/spilled block resident on
+  /// `worker`, as if that executor process died. Cached partitions
+  /// recompute from lineage on next access; lost shuffle outputs
+  /// re-materialize before the next action.
+  void FailExecutor(int worker) { block_manager_.FailExecutor(worker); }
 
   /// Distributes `data` over `num_partitions` partitions (round-robin
   /// blocks, preserving order). The RDD analogue of sc.parallelize.
@@ -74,6 +86,7 @@ class Context {
  private:
   ExecutorPool pool_;
   EngineMetrics metrics_;
+  BlockManager block_manager_;  // after metrics_: holds a pointer to it
   int default_parallelism_;
   int task_overhead_us_;
   std::atomic<uint64_t> next_node_id_{0};
@@ -108,8 +121,10 @@ class NodeBase {
   std::string name_;
 };
 
-/// Typed node: computes one partition at a time, with optional caching and
-/// lineage-based recomputation when a cached partition is lost.
+/// Typed node: computes one partition at a time. Persistence goes through
+/// the context's BlockManager: cached partitions are accounted, LRU
+/// evicted under the memory budget, optionally spilled to disk, and
+/// recomputed from lineage (parents) when lost.
 template <typename T>
 class Node : public NodeBase {
  public:
@@ -117,61 +132,93 @@ class Node : public NodeBase {
 
   using NodeBase::NodeBase;
 
-  /// Partition contents; serves from cache when enabled, otherwise
-  /// recomputes from parents (lineage).
+  ~Node() override { ctx()->block_manager().DropNode(id()); }
+
+  /// Partition contents; serves from the block store when persistence is
+  /// enabled, otherwise recomputes from parents (lineage).
   PartitionPtr GetPartition(int i) {
-    bool was_dropped = false;
-    if (cache_enabled_) {
-      std::lock_guard<std::mutex> lock(cache_mu_);
-      if (static_cast<int>(cache_.size()) < num_partitions()) {
-        cache_.resize(num_partitions());
-        dropped_.assign(num_partitions(), false);
-      }
-      if (cache_[i] != nullptr) {
+    const StorageLevel level =
+        storage_level_.load(std::memory_order_acquire);
+    bool was_lost = false;
+    if (level != StorageLevel::kNone) {
+      auto r = ctx()->block_manager().Get({id(), i});
+      if (r.data != nullptr) {
         ctx()->metrics().cache_hits.fetch_add(1);
-        return cache_[i];
+        return std::static_pointer_cast<const std::vector<T>>(r.data);
       }
       ctx()->metrics().cache_misses.fetch_add(1);
-      was_dropped = dropped_[i];
+      was_lost = r.was_lost;
     }
     auto computed =
         std::make_shared<const std::vector<T>>(ComputePartition(i));
-    if (cache_enabled_) {
-      std::lock_guard<std::mutex> lock(cache_mu_);
-      if (was_dropped) {
-        ctx()->metrics().recomputed_partitions.fetch_add(1);
-        dropped_[i] = false;
-      }
-      cache_[i] = computed;
+    if (level != StorageLevel::kNone) {
+      if (was_lost) ctx()->metrics().recomputed_partitions.fetch_add(1);
+      StoreBlock(i, computed, level, /*recomputable=*/true);
     }
     return computed;
   }
 
-  void EnableCache() {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    cache_enabled_ = true;
+  /// Marks this node's partitions for persistence (rdd.persist(level)).
+  /// Disk-backed levels need a spillable record type; otherwise they
+  /// degrade to MEMORY_ONLY (lineage recompute) with a warning.
+  void EnableCache(StorageLevel level = StorageLevel::kMemoryOnly) {
+    if (level == StorageLevel::kNone) level = StorageLevel::kMemoryOnly;
+    if constexpr (!spill::kSpillable<T>) {
+      if (level != StorageLevel::kMemoryOnly) {
+        SPANGLE_LOG(Warning)
+            << "storage level " << ToString(level) << " on node '" << name()
+            << "' needs a spillable record type; using MEMORY_ONLY";
+        level = StorageLevel::kMemoryOnly;
+      }
+    }
+    storage_level_.store(level, std::memory_order_release);
   }
 
-  bool cache_enabled() const { return cache_enabled_; }
-
-  /// Fault injection: discards a cached partition as if its executor died.
-  /// The next access recomputes it from lineage.
-  void DropCachedPartition(int i) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    if (i < static_cast<int>(cache_.size()) && cache_[i] != nullptr) {
-      cache_[i] = nullptr;
-      dropped_[i] = true;
-    }
+  bool cache_enabled() const {
+    return storage_level_.load(std::memory_order_acquire) !=
+           StorageLevel::kNone;
+  }
+  StorageLevel storage_level() const {
+    return storage_level_.load(std::memory_order_acquire);
   }
 
  protected:
   virtual std::vector<T> ComputePartition(int i) = 0;
 
+  /// Hands one partition to the BlockManager. `recomputable` is false
+  /// for shuffle outputs, whose loss is repaired by re-materializing
+  /// the whole shuffle rather than per-partition lineage recompute.
+  void StoreBlock(int i, PartitionPtr data, StorageLevel level,
+                  bool recomputable) {
+    const uint64_t bytes = EstimateSize(*data);
+    ctx()->block_manager().Put({id(), i}, std::move(data), bytes, level,
+                               MakeSpillFn(), MakeLoadFn(), recomputable);
+  }
+
+  static BlockManager::SpillFn MakeSpillFn() {
+    if constexpr (spill::kSpillable<T>) {
+      return [](const void* data, const std::string& path) -> uint64_t {
+        return spill::WritePartitionFile<T>(
+            *static_cast<const std::vector<T>*>(data), path);
+      };
+    } else {
+      return nullptr;
+    }
+  }
+
+  static BlockManager::LoadFn MakeLoadFn() {
+    if constexpr (spill::kSpillable<T>) {
+      return [](const std::string& path) -> BlockManager::DataPtr {
+        return std::make_shared<const std::vector<T>>(
+            spill::ReadPartitionFile<T>(path));
+      };
+    } else {
+      return nullptr;
+    }
+  }
+
  private:
-  mutable std::mutex cache_mu_;
-  bool cache_enabled_ = false;
-  std::vector<PartitionPtr> cache_;
-  std::vector<bool> dropped_;
+  std::atomic<StorageLevel> storage_level_{StorageLevel::kNone};
 };
 
 /// Source node: data distributed at construction time.
@@ -341,16 +388,21 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
   }
   std::vector<NodeBase*> Parents() const override { return {parent_.get()}; }
   bool IsShuffle() const override { return true; }
+
+  /// Materialized = every output block is still available (in memory or
+  /// spilled). Executor failures make this false again, which re-runs
+  /// the shuffle before the next action (Spark's stage retry).
   bool IsMaterialized() const override {
-    std::lock_guard<std::mutex> lock(mu_);
-    return materialized_;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!materialized_) return false;
+    }
+    return this->ctx()->block_manager().ContainsAll(this->id(),
+                                                    num_partitions());
   }
 
   void Materialize() override {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (materialized_) return;
-    }
+    if (IsMaterialized()) return;
     Context* ctx = this->ctx();
     const int n_map = parent_->num_partitions();
     const int n_out = partitioner_->num_partitions();
@@ -412,25 +464,29 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
       }
     });
     ctx->metrics().shuffles.fetch_add(1);
+    // Output blocks live in the block store like any cached partition:
+    // accounted against the budget, spillable to disk when the record
+    // type allows it, pinned in memory otherwise (they cannot be
+    // recomputed partition-by-partition mid-action).
+    const StorageLevel out_level = spill::kSpillable<Record>
+                                       ? StorageLevel::kMemoryAndDisk
+                                       : StorageLevel::kMemoryOnly;
+    for (int r = 0; r < n_out; ++r) {
+      this->StoreBlock(r,
+                       std::make_shared<const std::vector<Record>>(
+                           std::move(output[r])),
+                       out_level, /*recomputable=*/false);
+    }
     std::lock_guard<std::mutex> lock(mu_);
-    output_ = std::move(output);
     materialized_ = true;
-  }
-
-  /// Fault injection: discards the shuffle output; the next action
-  /// re-materializes it from lineage.
-  void Invalidate() {
-    std::lock_guard<std::mutex> lock(mu_);
-    materialized_ = false;
-    output_.clear();
   }
 
  protected:
   std::vector<Record> ComputePartition(int i) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    SPANGLE_CHECK(materialized_)
+    auto r = this->ctx()->block_manager().Get({this->id(), i});
+    SPANGLE_CHECK(r.data != nullptr)
         << "shuffle output accessed before materialization";
-    return output_[i];
+    return *std::static_pointer_cast<const std::vector<Record>>(r.data);
   }
 
  private:
@@ -440,7 +496,6 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
 
   mutable std::mutex mu_;
   bool materialized_ = false;
-  std::vector<std::vector<Record>> output_;
 };
 
 }  // namespace internal
@@ -539,11 +594,15 @@ class Rdd {
   }
 
   /// Bernoulli sample: keeps each record with probability `fraction`.
-  /// Deterministic for a given (seed, partitioning).
+  /// Deterministic for a given (seed, partitioning). The per-partition
+  /// stream is seeded with MixSeeds(seed, partition) — both inputs pass
+  /// through SplitMix64, so distinct (seed, partition) pairs cannot
+  /// collide by simple arithmetic (the old affine seed*K+idx scheme let
+  /// different pairs land on the same generator state).
   Rdd<T> Sample(double fraction, uint64_t seed) const {
     return MapPartitionsWithIndex<T>(
         [fraction, seed](int idx, const std::vector<T>& in) {
-          Rng rng(seed * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(idx));
+          Rng rng(MixSeeds(seed, static_cast<uint64_t>(idx)));
           std::vector<T> out;
           for (const auto& v : in) {
             if (rng.NextBool(fraction)) out.push_back(v);
@@ -564,9 +623,12 @@ class Rdd {
         [](const std::pair<T, char>& kv) { return kv.first; });
   }
 
-  /// Marks this RDD's partitions for in-memory persistence (rdd.cache()).
-  Rdd<T>& Cache() {
-    node_->EnableCache();
+  /// Marks this RDD's partitions for persistence (rdd.persist(level)):
+  /// MEMORY_ONLY recomputes evicted partitions from lineage,
+  /// MEMORY_AND_DISK spills them to disk and reads them back, DISK_ONLY
+  /// streams every access from disk.
+  Rdd<T>& Cache(StorageLevel level = StorageLevel::kMemoryOnly) {
+    node_->EnableCache(level);
     return *this;
   }
 
@@ -659,8 +721,8 @@ class PairRdd {
     return partitioner_;
   }
 
-  PairRdd<K, V>& Cache() {
-    rdd_.Cache();
+  PairRdd<K, V>& Cache(StorageLevel level = StorageLevel::kMemoryOnly) {
+    rdd_.Cache(level);
     return *this;
   }
 

@@ -15,6 +15,11 @@ void EngineMetrics::Reset() {
   recomputed_partitions = 0;
   cache_hits = 0;
   cache_misses = 0;
+  bytes_cached = 0;
+  memory_high_water = 0;
+  evictions = 0;
+  spilled_bytes = 0;
+  disk_reads = 0;
 }
 
 std::string EngineMetrics::ToString() const {
@@ -25,7 +30,12 @@ std::string EngineMetrics::ToString() const {
      << " shuffle_bytes=" << HumanBytes(shuffle_bytes.load())
      << " recomputed=" << recomputed_partitions.load()
      << " cache_hits=" << cache_hits.load()
-     << " cache_misses=" << cache_misses.load();
+     << " cache_misses=" << cache_misses.load()
+     << " bytes_cached=" << HumanBytes(bytes_cached.load())
+     << " memory_high_water=" << HumanBytes(memory_high_water.load())
+     << " evictions=" << evictions.load()
+     << " spilled_bytes=" << HumanBytes(spilled_bytes.load())
+     << " disk_reads=" << disk_reads.load();
   return os.str();
 }
 

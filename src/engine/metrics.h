@@ -24,6 +24,13 @@ class EngineMetrics {
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> cache_misses{0};
 
+  // Storage subsystem (BlockManager) counters.
+  std::atomic<uint64_t> bytes_cached{0};       // gauge: resident block bytes
+  std::atomic<uint64_t> memory_high_water{0};  // max bytes_cached observed
+  std::atomic<uint64_t> evictions{0};          // blocks evicted under budget
+  std::atomic<uint64_t> spilled_bytes{0};      // bytes written to spill files
+  std::atomic<uint64_t> disk_reads{0};         // blocks read back from disk
+
   std::string ToString() const;
 };
 

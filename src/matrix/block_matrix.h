@@ -54,8 +54,8 @@ class BlockMatrix {
   ArrayRdd& array() { return array_; }
   PartitionScheme scheme() const { return scheme_; }
 
-  BlockMatrix& Cache() {
-    array_.Cache();
+  BlockMatrix& Cache(StorageLevel level = StorageLevel::kMemoryOnly) {
+    array_.Cache(level);
     return *this;
   }
 

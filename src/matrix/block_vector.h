@@ -1,6 +1,7 @@
 #ifndef SPANGLE_MATRIX_BLOCK_VECTOR_H_
 #define SPANGLE_MATRIX_BLOCK_VECTOR_H_
 
+#include <cstring>
 #include <functional>
 #include <vector>
 
@@ -15,6 +16,28 @@ struct VecBlock {
 
   size_t SerializedBytes() const {
     return values.size() * sizeof(double) + sizeof(uint32_t);
+  }
+
+  /// Binary codec for the engine's spill path (MEMORY_AND_DISK).
+  void AppendTo(std::string* out) const {
+    const uint32_t n = static_cast<uint32_t>(values.size());
+    out->append(reinterpret_cast<const char*>(&n), sizeof(n));
+    out->append(reinterpret_cast<const char*>(values.data()),
+                values.size() * sizeof(double));
+  }
+  static Result<VecBlock> FromBytes(const char* data, size_t size,
+                                    size_t* consumed) {
+    uint32_t n = 0;
+    if (size < sizeof(n)) return Status::InvalidArgument("truncated block");
+    std::memcpy(&n, data, sizeof(n));
+    if (size - sizeof(n) < n * sizeof(double)) {
+      return Status::InvalidArgument("truncated block values");
+    }
+    VecBlock b;
+    b.values.resize(n);
+    std::memcpy(b.values.data(), data + sizeof(n), n * sizeof(double));
+    *consumed += sizeof(n) + n * sizeof(double);
+    return b;
   }
 };
 
@@ -48,8 +71,8 @@ class BlockVector {
   const PairRdd<uint64_t, VecBlock>& blocks() const { return blocks_; }
   PairRdd<uint64_t, VecBlock>& blocks() { return blocks_; }
 
-  BlockVector& Cache() {
-    blocks_.Cache();
+  BlockVector& Cache(StorageLevel level = StorageLevel::kMemoryOnly) {
+    blocks_.Cache(level);
     return *this;
   }
 

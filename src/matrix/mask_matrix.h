@@ -62,8 +62,8 @@ class MaskMatrix {
   Context* ctx() const { return tiles_.ctx(); }
   const PairRdd<ChunkId, MaskTile>& tiles() const { return tiles_; }
 
-  MaskMatrix& Cache() {
-    tiles_.Cache();
+  MaskMatrix& Cache(StorageLevel level = StorageLevel::kMemoryOnly) {
+    tiles_.Cache(level);
     return *this;
   }
 

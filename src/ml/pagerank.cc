@@ -22,7 +22,7 @@ Result<PageRankResult> PageRank(
                             options.super_sparse,
                             PartitionScheme::kHashChunk,
                             options.num_partitions));
-  a_prime.Cache();
+  a_prime.Cache(options.storage_level);
 
   // w[j] = 1 / outdeg(j); dangling nodes keep w = 0 (the basic variant
   // the paper evaluates).
@@ -66,7 +66,7 @@ Result<PageRankResult> PageRank(
     p = ap.Map([alpha, teleport, dangling_share](double v) {
       return alpha * (v + dangling_share) + teleport;
     });
-    p.Cache();
+    p.Cache(options.storage_level);
     auto next = p.ToDense();  // action: materializes this iteration
     double delta = 0;
     for (uint64_t v = 0; v < n; ++v) {
@@ -75,6 +75,7 @@ Result<PageRankResult> PageRank(
     result.ranks = std::move(next);
     result.deltas.push_back(delta);
     result.iteration_seconds.push_back(timer.ElapsedSeconds());
+    if (options.on_iteration) options.on_iteration(it, delta);
     if (options.tolerance > 0 && delta < options.tolerance) {
       result.converged = true;
       break;

@@ -1,6 +1,7 @@
 #ifndef SPANGLE_ML_PAGERANK_H_
 #define SPANGLE_ML_PAGERANK_H_
 
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -24,6 +25,14 @@ struct PageRankOptions {
   /// > 0 stops early once the L1 change between iterations drops below
   /// this (a standard PageRank variant; 0 keeps the fixed count).
   double tolerance = 0.0;
+
+  /// Storage level for the cached iterate (rank vector) and matrix tiles.
+  StorageLevel storage_level = StorageLevel::kMemoryOnly;
+
+  /// Called at the end of every power iteration with (iteration, delta).
+  /// Used by the fault-tolerance tests to inject executor failures
+  /// mid-computation; leave empty in production runs.
+  std::function<void(int, double)> on_iteration;
 };
 
 struct PageRankResult {

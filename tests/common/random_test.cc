@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 #include <vector>
 
 namespace spangle {
@@ -86,6 +87,30 @@ TEST(RngTest, SplitMixAdvancesState) {
   uint64_t b = SplitMix64(&s);
   EXPECT_NE(a, b);
   EXPECT_NE(s, 42u);
+}
+
+TEST(MixSeedsTest, GridOfPairsIsCollisionFree) {
+  // The old affine seed*K+idx scheme collides whenever
+  // a*K + i == b*K + j; the mixed version must keep a dense grid of
+  // (seed, index) pairs pairwise distinct.
+  std::set<uint64_t> seen;
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    for (uint64_t idx = 0; idx < 32; ++idx) {
+      seen.insert(MixSeeds(seed, idx));
+    }
+  }
+  EXPECT_EQ(seen.size(), 32u * 32u);
+}
+
+TEST(MixSeedsTest, OrderMatters) {
+  EXPECT_NE(MixSeeds(0, 1), MixSeeds(1, 0));
+  EXPECT_NE(MixSeeds(3, 7), MixSeeds(7, 3));
+}
+
+TEST(MixSeedsTest, ZeroInputsStillMix) {
+  EXPECT_NE(MixSeeds(0, 0), 0u);
+  EXPECT_NE(MixSeeds(0, 0), MixSeeds(0, 1));
+  EXPECT_NE(MixSeeds(0, 0), MixSeeds(1, 0));
 }
 
 }  // namespace

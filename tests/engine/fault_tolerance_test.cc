@@ -27,7 +27,7 @@ TEST(FaultToleranceTest, LostCachedPartitionRecomputesFromLineage) {
   EXPECT_EQ(evals.load(), 40);
 
   // Simulate an executor loss: partition 2's cached data vanishes.
-  rdd.node()->DropCachedPartition(2);
+  ctx.block_manager().DropBlock({rdd.node()->id(), 2});
   ctx.metrics().Reset();
   auto second = rdd.Collect();
   EXPECT_EQ(second, first) << "recovered data must be identical";
@@ -42,8 +42,8 @@ TEST(FaultToleranceTest, RecoveryThroughTransformationChain) {
                      .Filter([](const int& x) { return x % 3 == 0; });
   derived.Cache();
   const size_t count = derived.Count();
-  derived.node()->DropCachedPartition(0);
-  derived.node()->DropCachedPartition(4);
+  ctx.block_manager().DropBlock({derived.node()->id(), 0});
+  ctx.block_manager().DropBlock({derived.node()->id(), 4});
   EXPECT_EQ(derived.Count(), count);
   EXPECT_EQ(ctx.metrics().recomputed_partitions.load(), 2u);
 }
@@ -59,10 +59,7 @@ TEST(FaultToleranceTest, ShuffleOutputRecoverable) {
   auto before = reduced.CollectAsMap();
 
   // Drop the whole shuffle output; next action re-runs the shuffle.
-  auto* shuffle = dynamic_cast<internal::ShuffleNode<uint64_t, int>*>(
-      reduced.AsRdd().node());
-  ASSERT_NE(shuffle, nullptr);
-  shuffle->Invalidate();
+  ctx.block_manager().DropNode(reduced.AsRdd().node()->id());
   const uint64_t shuffles_before = ctx.metrics().shuffles.load();
   auto after = reduced.CollectAsMap();
   EXPECT_EQ(after, before);
@@ -76,14 +73,16 @@ TEST(FaultToleranceTest, LineageRecomputationIsDeterministic) {
   });
   rdd.Cache();
   auto baseline = rdd.Collect();
-  for (int i = 0; i < 16; ++i) rdd.node()->DropCachedPartition(i);
+  for (int i = 0; i < 16; ++i) {
+    ctx.block_manager().DropBlock({rdd.node()->id(), i});
+  }
   EXPECT_EQ(rdd.Collect(), baseline);
 }
 
 TEST(FaultToleranceTest, DropOnUncachedNodeIsNoop) {
   Context ctx(2);
   auto rdd = ctx.Parallelize(Iota(10), 2);
-  rdd.node()->DropCachedPartition(0);  // must not crash
+  ctx.block_manager().DropBlock({rdd.node()->id(), 0});  // must not crash
   EXPECT_EQ(rdd.Count(), 10u);
   EXPECT_EQ(ctx.metrics().recomputed_partitions.load(), 0u);
 }

@@ -71,6 +71,52 @@ TEST(SizeEstimatorTest, UsesSerializedBytesWhenPresent) {
   EXPECT_EQ(EstimateSize(WithSize{}), 1234u);
 }
 
+TEST(MetricsTest, CoPartitionedJoinMovesNoBytes) {
+  Context ctx(2);
+  std::shared_ptr<Partitioner<uint64_t>> part =
+      std::make_shared<HashPartitioner<uint64_t>>(4);
+  std::vector<std::pair<uint64_t, int>> left, right;
+  for (uint64_t i = 0; i < 50; ++i) {
+    left.emplace_back(i, static_cast<int>(i));
+    right.emplace_back(i, static_cast<int>(i * 10));
+  }
+  // Both sides born on the same partitioner: Join must take the local
+  // (narrow) path and never shuffle.
+  auto l = ctx.ParallelizePairs(left, part);
+  auto r = ctx.ParallelizePairs(right, part);
+  ctx.metrics().Reset();
+  auto joined = l.Join(r);
+  EXPECT_EQ(joined.AsRdd().Count(), 50u);
+  EXPECT_EQ(ctx.metrics().shuffles.load(), 0u);
+  EXPECT_EQ(ctx.metrics().shuffle_bytes.load(), 0u);
+  EXPECT_EQ(ctx.metrics().shuffle_records.load(), 0u);
+}
+
+TEST(MetricsTest, ToStringIncludesStorageCounters) {
+  EngineMetrics m;
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("bytes_cached"), std::string::npos);
+  EXPECT_NE(s.find("memory_high_water"), std::string::npos);
+  EXPECT_NE(s.find("evictions"), std::string::npos);
+  EXPECT_NE(s.find("spilled"), std::string::npos);
+  EXPECT_NE(s.find("disk_reads"), std::string::npos);
+}
+
+TEST(MetricsTest, ResetClearsStorageCounters) {
+  EngineMetrics m;
+  m.bytes_cached = 10;
+  m.memory_high_water = 20;
+  m.evictions = 3;
+  m.spilled_bytes = 40;
+  m.disk_reads = 5;
+  m.Reset();
+  EXPECT_EQ(m.bytes_cached.load(), 0u);
+  EXPECT_EQ(m.memory_high_water.load(), 0u);
+  EXPECT_EQ(m.evictions.load(), 0u);
+  EXPECT_EQ(m.spilled_bytes.load(), 0u);
+  EXPECT_EQ(m.disk_reads.load(), 0u);
+}
+
 TEST(MetricsTest, CacheCountersTrackHitsAndMisses) {
   Context ctx(2);
   auto rdd = ctx.Parallelize(std::vector<int>(10, 1), 2);

@@ -48,6 +48,32 @@ TEST(SampleTest, DeterministicPerSeed) {
   EXPECT_NE(rdd.Sample(0.5, 11).Collect(), rdd.Sample(0.5, 12).Collect());
 }
 
+TEST(SampleTest, IndependentOfWorkerCount) {
+  // Per-partition streams are a pure function of (seed, partition), so
+  // the sample must not change with the executor pool size.
+  Context ctx2(2), ctx8(8);
+  auto a = ctx2.Parallelize(Iota(5000), 16).Sample(0.3, 99).Collect();
+  auto b = ctx8.Parallelize(Iota(5000), 16).Sample(0.3, 99).Collect();
+  EXPECT_EQ(a, b);
+}
+
+TEST(SampleTest, PartitionStreamsAreDecorrelated) {
+  Context ctx(4);
+  const int kParts = 8, kPerPart = 500;
+  auto rdd = ctx.Parallelize(Iota(kParts * kPerPart), kParts);
+  auto sampled = rdd.Sample(0.5, 3).Collect();
+  // Reduce each sampled global index to its in-partition offset; if the
+  // partitions shared one RNG stream (the old seed*K+idx scheme with a
+  // colliding K), every partition would select identical offsets.
+  std::vector<std::set<int>> offsets(kParts);
+  for (int v : sampled) offsets[v / kPerPart].insert(v % kPerPart);
+  int identical_pairs = 0;
+  for (int p = 1; p < kParts; ++p) {
+    if (offsets[p] == offsets[0]) ++identical_pairs;
+  }
+  EXPECT_EQ(identical_pairs, 0) << "partitions reused an RNG stream";
+}
+
 TEST(DistinctTest, RemovesDuplicates) {
   Context ctx(2);
   std::vector<int> data;

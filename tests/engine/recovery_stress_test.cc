@@ -37,11 +37,11 @@ TEST(RecoveryStressTest, RepeatedLossesAcrossDeepLineage) {
   for (int round = 0; round < 20; ++round) {
     // Lose a random cached partition, sometimes several.
     const int n = final_rdd.num_partitions();
-    final_rdd.node()->DropCachedPartition(
-        static_cast<int>(rng.NextBounded(n)));
+    ctx.block_manager().DropBlock(
+        {final_rdd.node()->id(), static_cast<int>(rng.NextBounded(n))});
     if (rng.NextBool(0.3)) {
-      final_rdd.node()->DropCachedPartition(
-          static_cast<int>(rng.NextBounded(n)));
+      ctx.block_manager().DropBlock(
+          {final_rdd.node()->id(), static_cast<int>(rng.NextBounded(n))});
     }
     auto got = final_rdd.Collect();
     std::sort(got.begin(), got.end());
@@ -59,11 +59,8 @@ TEST(RecoveryStressTest, ShuffleInvalidationUnderRepeatedActions) {
                        return a + b;
                      });
   auto baseline = reduced.CollectAsMap();
-  auto* shuffle = dynamic_cast<internal::ShuffleNode<uint64_t, int>*>(
-      reduced.AsRdd().node());
-  ASSERT_NE(shuffle, nullptr);
   for (int round = 0; round < 10; ++round) {
-    shuffle->Invalidate();
+    ctx.block_manager().DropNode(reduced.AsRdd().node()->id());
     ASSERT_EQ(reduced.CollectAsMap(), baseline) << "round " << round;
   }
 }
@@ -82,7 +79,9 @@ TEST(RecoveryStressTest, DerivedRddsSurviveUpstreamLoss) {
   const int square_sum =
       squares.Reduce(0, [](const int& a, const int& b) { return a + b; });
   // Lose parent partitions; children must still agree.
-  for (int i = 0; i < 8; ++i) base.node()->DropCachedPartition(i);
+  for (int i = 0; i < 8; ++i) {
+    ctx.block_manager().DropBlock({base.node()->id(), i});
+  }
   EXPECT_EQ(evens.Count(), evens_count);
   EXPECT_EQ(squares.Reduce(0, [](const int& a, const int& b) {
     return a + b;

@@ -1,0 +1,93 @@
+// End-to-end storage stress: PageRank with cached state under a tight
+// memory budget loses an executor mid-run; the final ranks must be
+// bit-identical to an undisturbed run, with lineage recomputation doing
+// real work along the way.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/engine.h"
+#include "ml/pagerank.h"
+
+namespace spangle {
+namespace {
+
+std::vector<std::pair<uint64_t, uint64_t>> RandomGraph(uint64_t n,
+                                                       size_t edges,
+                                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  out.reserve(edges);
+  for (size_t i = 0; i < edges; ++i) {
+    out.emplace_back(rng.NextBounded(n), rng.NextBounded(n));
+  }
+  return out;
+}
+
+TEST(StorageFaultTest, PageRankSurvivesExecutorLossUnderTightBudget) {
+  const uint64_t n = 2000;
+  const auto edges = RandomGraph(n, 12000, 42);
+
+  PageRankOptions options;
+  options.iterations = 10;
+  options.block = 256;
+
+  // Undisturbed baseline with unlimited memory.
+  Context baseline_ctx(4);
+  auto baseline = PageRank(&baseline_ctx, n, edges, options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  // Faulted run: ~1 MB budget forces evictions throughout, and worker 1
+  // dies after iteration 4, taking its cached rank-vector partitions and
+  // matrix tiles with it.
+  StorageOptions storage;
+  storage.memory_budget_bytes = 1 << 20;
+  Context faulted_ctx(4, 0, 0, storage);
+  PageRankOptions faulted_options = options;
+  faulted_options.storage_level = StorageLevel::kMemoryAndDisk;
+  faulted_options.on_iteration = [&faulted_ctx](int it, double) {
+    if (it == 4) faulted_ctx.FailExecutor(1);
+  };
+  auto faulted = PageRank(&faulted_ctx, n, edges, faulted_options);
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+
+  ASSERT_EQ(faulted.ValueOrDie().ranks.size(),
+            baseline.ValueOrDie().ranks.size());
+  for (uint64_t v = 0; v < n; ++v) {
+    ASSERT_EQ(faulted.ValueOrDie().ranks[v], baseline.ValueOrDie().ranks[v])
+        << "rank of vertex " << v << " diverged after recovery";
+  }
+  EXPECT_GT(faulted_ctx.metrics().recomputed_partitions.load(), 0u)
+      << "the failure must have forced lineage recomputation";
+}
+
+TEST(StorageFaultTest, RepeatedFailuresStillConverge) {
+  const uint64_t n = 500;
+  const auto edges = RandomGraph(n, 3000, 7);
+
+  PageRankOptions options;
+  options.iterations = 8;
+  options.block = 128;
+
+  Context baseline_ctx(4);
+  auto baseline = PageRank(&baseline_ctx, n, edges, options);
+  ASSERT_TRUE(baseline.ok());
+
+  StorageOptions storage;
+  storage.memory_budget_bytes = 256 * 1024;
+  Context faulted_ctx(4, 0, 0, storage);
+  PageRankOptions faulted_options = options;
+  faulted_options.on_iteration = [&faulted_ctx](int it, double) {
+    // A different executor dies after every other iteration.
+    if (it % 2 == 1) faulted_ctx.FailExecutor(it % 4);
+  };
+  auto faulted = PageRank(&faulted_ctx, n, edges, faulted_options);
+  ASSERT_TRUE(faulted.ok());
+  EXPECT_EQ(faulted.ValueOrDie().ranks, baseline.ValueOrDie().ranks);
+}
+
+}  // namespace
+}  // namespace spangle
