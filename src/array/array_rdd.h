@@ -82,6 +82,12 @@ class ArrayRdd {
     return *this;
   }
 
+  /// Staged physical plan for running `action` over the chunks (see
+  /// Rdd::Explain). Does not execute.
+  std::string Explain(const std::string& action = "collect") const {
+    return chunks_.Explain(action);
+  }
+
   /// Number of materialized (non-empty) chunks.
   size_t NumChunks() const { return chunks_.Count(); }
 

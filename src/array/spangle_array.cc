@@ -73,6 +73,19 @@ SpangleArray SpangleArray::Evaluate() const {
   return out;
 }
 
+std::string SpangleArray::Explain(const std::string& action) const {
+  // Plan what Evaluate() would run: every reconciled attribute as one
+  // multi-root job. The evaluated RDDs only live for the planning call —
+  // BuildPlan executes nothing, so that is all they are needed for.
+  SpangleArray evaluated = Evaluate();
+  std::vector<internal::NodeBase*> roots;
+  roots.reserve(evaluated.attrs_.size());
+  for (auto& [name, rdd] : evaluated.attrs_) {
+    roots.push_back(rdd.chunks().AsRdd().node());
+  }
+  return ctx()->BuildPlan(roots, action).ToString();
+}
+
 Result<SpangleArray> SpangleArray::DropAttribute(
     const std::string& name) const {
   if (!HasAttribute(name)) {

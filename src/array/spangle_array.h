@@ -62,6 +62,12 @@ class SpangleArray {
   /// reconciled array (the "on-demand evaluation" of Sec. III-B1).
   SpangleArray Evaluate() const;
 
+  /// Staged physical plan for reconciling every attribute, scheduled as
+  /// one multi-root job (see Rdd::Explain). Does not execute; in MaskRdd
+  /// mode this shows the pending mask-application work an Evaluate()
+  /// would run.
+  std::string Explain(const std::string& action = "evaluate") const;
+
   /// Same array without attribute `name` (the global view is unchanged —
   /// dropped columns do not invalidate cells).
   Result<SpangleArray> DropAttribute(const std::string& name) const;

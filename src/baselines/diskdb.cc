@@ -1,11 +1,20 @@
 #include "baselines/diskdb.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <unordered_map>
 
 namespace spangle {
+
+std::string UniqueDiskFileTag() {
+  static std::atomic<uint64_t> counter{0};
+  return std::to_string(static_cast<uint64_t>(::getpid())) + "_" +
+         std::to_string(counter.fetch_add(1));
+}
 
 Result<SciDbEngine> SciDbEngine::Load(const RasterData& data,
                                       const std::string& dir) {
@@ -16,8 +25,10 @@ Result<SciDbEngine> SciDbEngine::Load(const RasterData& data,
   engine.dir_ = dir;
   engine.attr_names_ = data.attr_names;
   engine.owns_files_ = true;
+  const std::string tag = UniqueDiskFileTag();
   for (size_t a = 0; a < data.cells.size(); ++a) {
-    const std::string path = dir + "/scidb_attr_" + std::to_string(a) + ".bin";
+    const std::string path =
+        dir + "/scidb_attr_" + tag + "_" + std::to_string(a) + ".bin";
     std::ofstream out(path, std::ios::binary);
     if (!out) return Status::IOError("cannot create " + path);
     // Cells sorted by coordinates: the store is coordinate-clustered.
@@ -105,7 +116,8 @@ Result<uint64_t> SciDbEngine::GroupToDiskAndCount(
   }));
   // Operator boundary: the grouped intermediate spills to disk before
   // the evaluating operator reads it back.
-  const std::string tmp = dir_ + "/scidb_tmp_groups.bin";
+  const std::string tmp =
+      dir_ + "/scidb_tmp_groups_" + UniqueDiskFileTag() + ".bin";
   {
     std::ofstream out(tmp, std::ios::binary);
     if (!out) return Status::IOError("cannot create " + tmp);

@@ -9,6 +9,12 @@
 
 namespace spangle {
 
+/// Filename tag unique across processes and engine instances. The disk
+/// engines write under a caller-supplied dir (tests share /tmp), and
+/// ctest runs each discovered test in its own process — fixed names let
+/// concurrent tests clobber each other's stores.
+std::string UniqueDiskFileTag();
+
 /// SciDB-like baseline: a C++ disk-based array store. Cells live in
 /// per-attribute files sorted by coordinates; queries push the range
 /// predicate into the scan (so pure selections are fast), but any

@@ -1,6 +1,8 @@
 #include "baselines/matrix_engines.h"
 
 #include <algorithm>
+
+#include "baselines/diskdb.h"
 #include <cstdio>
 #include <fstream>
 #include <unordered_map>
@@ -318,7 +320,8 @@ Result<std::unique_ptr<SciDbMatrixEngine>> SciDbMatrixEngine::Load(
   auto engine = std::unique_ptr<SciDbMatrixEngine>(new SciDbMatrixEngine());
   engine->rows_ = m.rows;
   engine->cols_ = m.cols;
-  engine->file_ = dir + "/scidb_matrix_" + m.name + ".bin";
+  engine->file_ =
+      dir + "/scidb_matrix_" + m.name + "_" + UniqueDiskFileTag() + ".bin";
   std::ofstream out(engine->file_, std::ios::binary);
   if (!out) return Status::IOError("cannot create " + engine->file_);
   for (const auto& e : m.entries) {

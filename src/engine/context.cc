@@ -1,9 +1,43 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 namespace spangle {
+
+namespace {
+
+/// Minimal JSON string escaping for stage/task names in trace output.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 Context::Context(int num_workers, int default_parallelism,
                  int task_overhead_us, StorageOptions storage)
@@ -14,35 +48,152 @@ Context::Context(int num_workers, int default_parallelism,
       task_overhead_us_(task_overhead_us) {}
 
 void Context::RunStage(int n, const std::function<void(int)>& fn) {
+  RunStage("stage", n, fn);
+}
+
+void Context::RunStage(const std::string& name, int n,
+                       const std::function<void(int)>& fn) {
+  StageStat stat;
+  stat.job_id = internal::CurrentJobId();
+  stat.seq = next_stage_seq_.fetch_add(1);
+  stat.name = name;
+  stat.num_tasks = n;
+  stat.tasks.resize(static_cast<size_t>(std::max(n, 0)));
+  EngineMetrics::StageAccumulator acc;
+
   std::vector<std::function<void()>> tasks;
   tasks.reserve(n);
   const int overhead = task_overhead_us_;
   for (int i = 0; i < n; ++i) {
-    tasks.emplace_back([&fn, i, overhead] {
+    tasks.emplace_back([this, &fn, &acc, i, overhead] {
+      EngineMetrics::ScopedStageAccumulator scope(&acc);
       if (overhead > 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(overhead));
       }
       fn(i);
     });
   }
-  pool_.RunAll(std::move(tasks));
+  stat.start_us = pool_.NowMicros();
+  // Observer slots are per-index: each written once by the thread that ran
+  // the task, read after the batch barrier below (happens-before via the
+  // pool's completion wait).
+  TaskStat* slots = stat.tasks.data();
+  pool_.RunAll(std::move(tasks), [slots](const TaskTiming& t) {
+    slots[t.index] = TaskStat{t.index, t.lane, t.start_us, t.duration_us};
+  });
+  stat.wall_us = pool_.NowMicros() - stat.start_us;
+
+  // Task-time distribution: min/max/total, log-scale histogram, skew
+  // ratio (max/mean), and stragglers (tasks slower than 2x the mean).
+  if (n > 0) {
+    stat.min_task_us = UINT64_MAX;
+    for (const TaskStat& t : stat.tasks) {
+      stat.min_task_us = std::min(stat.min_task_us, t.duration_us);
+      stat.max_task_us = std::max(stat.max_task_us, t.duration_us);
+      stat.total_task_us += t.duration_us;
+      for (size_t b = 0; b < StageStat::kHistBoundsUs.size(); ++b) {
+        if (t.duration_us <= StageStat::kHistBoundsUs[b]) {
+          ++stat.task_hist[b];
+          break;
+        }
+      }
+    }
+    const double mean =
+        static_cast<double>(stat.total_task_us) / static_cast<double>(n);
+    if (mean > 0) {
+      stat.skew_ratio = static_cast<double>(stat.max_task_us) / mean;
+      for (const TaskStat& t : stat.tasks) {
+        if (static_cast<double>(t.duration_us) > 2.0 * mean) {
+          ++stat.num_stragglers;
+        }
+      }
+    }
+  }
+  stat.shuffle_bytes = acc.shuffle_bytes.load(std::memory_order_relaxed);
+  stat.shuffle_records = acc.shuffle_records.load(std::memory_order_relaxed);
+  metrics_.RecordStage(std::move(stat));
   metrics_.tasks_run.fetch_add(static_cast<uint64_t>(n));
   metrics_.stages_run.fetch_add(1);
 }
 
+void Context::RunJob(internal::NodeBase* root, const std::string& action,
+                     int n, const std::function<void(int)>& fn) {
+  internal::ScopedJobId job(next_job_id_.fetch_add(1) + 1);
+  PhysicalPlan plan = scheduler_.BuildPlan({root}, action);
+  scheduler_.MaterializeShuffles(plan, serial_shuffle_materialization());
+  RunStage(action, n, fn);
+  metrics_.jobs_run.fetch_add(1);
+}
+
+PhysicalPlan Context::BuildPlan(internal::NodeBase* root,
+                                const std::string& action) {
+  return scheduler_.BuildPlan({root}, action);
+}
+
+PhysicalPlan Context::BuildPlan(
+    const std::vector<internal::NodeBase*>& roots,
+    const std::string& action) {
+  return scheduler_.BuildPlan(roots, action);
+}
+
 void Context::EnsureShuffleDependencies(internal::NodeBase* node) {
-  // Post-order DFS: materialize ancestor shuffles before descendants.
-  // Materialized shuffle nodes cut the walk — their output is available,
-  // so nothing above them needs to run (Spark skips completed stages).
-  std::unordered_set<uint64_t> visited;
-  std::function<void(internal::NodeBase*)> visit =
-      [&](internal::NodeBase* n) {
-        if (n == nullptr || !visited.insert(n->id()).second) return;
-        if (n->IsShuffle() && n->IsMaterialized()) return;
-        for (internal::NodeBase* parent : n->Parents()) visit(parent);
-        if (n->IsShuffle()) n->Materialize();
-      };
-  visit(node);
+  EnsureShuffleDependencies(std::vector<internal::NodeBase*>{node});
+}
+
+void Context::EnsureShuffleDependencies(
+    const std::vector<internal::NodeBase*>& roots) {
+  // Materialize-only job (no result stage). Runs under the caller's job
+  // id when one is active (e.g. called from RunJob), else under its own.
+  const bool in_job = internal::CurrentJobId() != 0;
+  internal::ScopedJobId job(in_job ? internal::CurrentJobId()
+                                   : next_job_id_.fetch_add(1) + 1);
+  PhysicalPlan plan = scheduler_.BuildPlan(roots, "");
+  scheduler_.MaterializeShuffles(plan, serial_shuffle_materialization());
+  if (!in_job) metrics_.jobs_run.fetch_add(1);
+}
+
+bool Context::DumpTrace(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  // Chrome trace_event JSON (chrome://tracing, ui.perfetto.dev).
+  // pid 0 = executor lanes (one tid per lane, complete events per task);
+  // pid 1 = driver (one tid per stage so overlapping stages render as
+  // parallel rows).
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
+  std::fputs(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+      "\"args\":{\"name\":\"executors\"}},\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"driver (stages)\"}}",
+      f);
+  for (const StageStat& s : metrics_.StageStats()) {
+    const std::string name = JsonEscape(s.name);
+    std::fprintf(f,
+                 ",\n{\"name\":\"%s\",\"cat\":\"stage\",\"ph\":\"X\","
+                 "\"ts\":%llu,\"dur\":%llu,\"pid\":1,\"tid\":%llu,"
+                 "\"args\":{\"job\":%llu,\"tasks\":%d,\"skew\":%.2f,"
+                 "\"stragglers\":%d,\"shuffle_bytes\":%llu}}",
+                 name.c_str(), static_cast<unsigned long long>(s.start_us),
+                 static_cast<unsigned long long>(s.wall_us),
+                 static_cast<unsigned long long>(s.seq),
+                 static_cast<unsigned long long>(s.job_id), s.num_tasks,
+                 s.skew_ratio, s.num_stragglers,
+                 static_cast<unsigned long long>(s.shuffle_bytes));
+    for (const TaskStat& t : s.tasks) {
+      std::fprintf(f,
+                   ",\n{\"name\":\"%s[%d]\",\"cat\":\"task\",\"ph\":\"X\","
+                   "\"ts\":%llu,\"dur\":%llu,\"pid\":0,\"tid\":%d,"
+                   "\"args\":{\"job\":%llu,\"stage\":%llu}}",
+                   name.c_str(), t.index,
+                   static_cast<unsigned long long>(t.start_us),
+                   static_cast<unsigned long long>(t.duration_us), t.lane,
+                   static_cast<unsigned long long>(s.job_id),
+                   static_cast<unsigned long long>(s.seq));
+    }
+  }
+  std::fputs("\n]}\n", f);
+  const bool ok = std::fclose(f) == 0;
+  return ok;
 }
 
 }  // namespace spangle

@@ -21,6 +21,7 @@
 #include "engine/executor_pool.h"
 #include "engine/metrics.h"
 #include "engine/partitioner.h"
+#include "engine/scheduler.h"
 #include "engine/size_estimator.h"
 #include "engine/spill_codec.h"
 #include "engine/storage_level.h"
@@ -37,8 +38,13 @@ class NodeBase;
 }  // namespace internal
 
 /// The driver-side entry point, standing in for SparkContext: owns the
-/// executor pool (simulated cluster workers), runs stages, tracks metrics,
-/// and materializes shuffle dependencies in DAG order before each action.
+/// executor pool (simulated cluster workers), the block store, and the
+/// DAG scheduler. Every action submits a *job*: the scheduler reifies the
+/// lineage DAG into a staged physical plan (stages cut at shuffle
+/// boundaries, deduped by node id), materializes independent shuffle
+/// stages concurrently, then runs the action's result stage. Every stage
+/// is instrumented (wall time, task-time histogram, skew, shuffle bytes)
+/// into EngineMetrics::StageStats, exportable with DumpTrace().
 class Context {
  public:
   /// `num_workers` simulated executors (threads); `default_parallelism`
@@ -75,21 +81,69 @@ class Context {
       std::shared_ptr<Partitioner<K>> partitioner);
 
   /// Runs fn(0..n-1) as one stage across the pool. One task per index.
+  /// The named overload labels the stage's StageStat record; the unnamed
+  /// one records under "stage". Thread-safe: concurrent stages from
+  /// different driver threads interleave over the shared workers.
   void RunStage(int n, const std::function<void(int)>& fn);
+  void RunStage(const std::string& name, int n,
+                const std::function<void(int)>& fn);
 
-  /// Walks the lineage DAG upward from `node` and materializes every
-  /// un-materialized shuffle dependency, parents first (Spark's stage DAG).
+  /// Submits one job for `action` over `root`: plans the lineage DAG,
+  /// materializes every pending shuffle stage (independent stages
+  /// concurrently), then runs fn(0..n-1) as the instrumented result stage.
+  void RunJob(internal::NodeBase* root, const std::string& action, int n,
+              const std::function<void(int)>& fn);
+
+  /// Builds (without executing) the staged physical plan for an action on
+  /// `root` / `roots` — the structure behind Rdd::Explain().
+  PhysicalPlan BuildPlan(internal::NodeBase* root,
+                         const std::string& action = "collect");
+  PhysicalPlan BuildPlan(const std::vector<internal::NodeBase*>& roots,
+                         const std::string& action);
+
+  /// Materializes every un-materialized shuffle dependency above the
+  /// given root(s), dependencies first. Since the DAG-scheduler refactor
+  /// this plans the whole sub-DAG and overlaps independent shuffle
+  /// stages; the multi-root overload schedules several lineages as one
+  /// job (e.g. all attributes of a SpangleArray).
   void EnsureShuffleDependencies(internal::NodeBase* node);
+  void EnsureShuffleDependencies(
+      const std::vector<internal::NodeBase*>& roots);
+
+  /// Writes every retained StageStat as Chrome trace_event JSON; open the
+  /// file in chrome://tracing (or https://ui.perfetto.dev) to see stage
+  /// spans and per-task lanes. Returns false when the file cannot be
+  /// written.
+  bool DumpTrace(const std::string& path) const;
+
+  /// Ablation switch: when set, the scheduler materializes shuffle stages
+  /// strictly one at a time in topological order (the pre-scheduler
+  /// behavior). Benches use this to measure what stage overlap buys.
+  void set_serial_shuffle_materialization(bool serial) {
+    serial_shuffles_.store(serial, std::memory_order_relaxed);
+  }
+  bool serial_shuffle_materialization() const {
+    return serial_shuffles_.load(std::memory_order_relaxed);
+  }
+
+  Scheduler& scheduler() { return scheduler_; }
 
   uint64_t NextNodeId() { return next_node_id_.fetch_add(1); }
+
+  /// Microseconds since context creation — the trace/timing epoch.
+  uint64_t NowMicros() const { return pool_.NowMicros(); }
 
  private:
   ExecutorPool pool_;
   EngineMetrics metrics_;
   BlockManager block_manager_;  // after metrics_: holds a pointer to it
+  Scheduler scheduler_{this};
   int default_parallelism_;
   int task_overhead_us_;
   std::atomic<uint64_t> next_node_id_{0};
+  std::atomic<uint64_t> next_job_id_{0};
+  std::atomic<uint64_t> next_stage_seq_{0};
+  std::atomic<bool> serial_shuffles_{false};
 };
 
 namespace internal {
@@ -408,7 +462,7 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
     const int n_out = partitioner_->num_partitions();
     // Map side: one task per input partition produces n_out buckets.
     std::vector<std::vector<std::vector<Record>>> map_outputs(n_map);
-    ctx->RunStage(n_map, [&](int m) {
+    ctx->RunStage(this->name() + "/map", n_map, [&](int m) {
       auto in = parent_->GetPartition(m);
       std::vector<Record> records;
       if (combiner_) {
@@ -435,12 +489,12 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
         buckets[partitioner_->PartitionFor(rec.first)].push_back(
             std::move(rec));
       }
-      ctx->metrics().shuffle_records.fetch_add(records.size());
-      ctx->metrics().shuffle_bytes.fetch_add(bytes);
+      ctx->metrics().AddShuffleRecords(records.size());
+      ctx->metrics().AddShuffleBytes(bytes);
     });
     // Reduce side: merge buckets (and combine when requested).
     std::vector<std::vector<Record>> output(n_out);
-    ctx->RunStage(n_out, [&](int r) {
+    ctx->RunStage(this->name() + "/reduce", n_out, [&](int r) {
       if (combiner_) {
         std::unordered_map<K, V> acc;
         for (int m = 0; m < n_map; ++m) {
@@ -506,6 +560,8 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
 template <typename T>
 class Rdd {
  public:
+  using PartitionPtr = typename internal::Node<T>::PartitionPtr;
+
   Rdd() = default;
   explicit Rdd(std::shared_ptr<internal::Node<T>> node)
       : node_(std::move(node)) {}
@@ -632,36 +688,54 @@ class Rdd {
     return *this;
   }
 
+  // ---- Introspection ----
+
+  /// Human-readable staged physical plan for running `action` on this
+  /// RDD: stages cut at shuffle boundaries, dependency edges, and how
+  /// many independent shuffle stages could overlap. Does not execute.
+  std::string Explain(const std::string& action = "collect") const {
+    return ctx()->BuildPlan(node_.get(), action).ToString();
+  }
+
   // ---- Actions (trigger execution) ----
 
   /// All records, concatenated in partition order.
   std::vector<T> Collect() const {
-    auto parts = CollectPartitions();
+    auto parts = CollectPartitionPtrs("collect");
+    size_t total = 0;
+    for (const auto& p : parts) total += p->size();
     std::vector<T> out;
-    for (auto& p : parts) {
-      for (auto& v : p) out.push_back(std::move(v));
-    }
+    out.reserve(total);
+    for (const auto& p : parts) out.insert(out.end(), p->begin(), p->end());
     return out;
   }
 
-  /// Per-partition record vectors.
-  std::vector<std::vector<T>> CollectPartitions() const {
-    ctx()->EnsureShuffleDependencies(node_.get());
+  /// Per-partition contents as shared pointers — no copy for cached (or
+  /// freshly computed) partitions; the blocks stay alive as long as the
+  /// returned pointers do. Prefer this over CollectPartitions when the
+  /// caller only reads.
+  std::vector<PartitionPtr> CollectPartitionPtrs(
+      const std::string& action = "collectPartitions") const {
     const int n = num_partitions();
-    std::vector<std::vector<T>> parts(n);
-    ctx()->RunStage(n, [&](int i) { parts[i] = *node_->GetPartition(i); });
+    std::vector<PartitionPtr> parts(n);
+    ctx()->RunJob(node_.get(), action, n,
+                  [&](int i) { parts[i] = node_->GetPartition(i); });
+    return parts;
+  }
+
+  /// Per-partition record vectors (copying; kept for callers that mutate).
+  std::vector<std::vector<T>> CollectPartitions() const {
+    auto ptrs = CollectPartitionPtrs();
+    std::vector<std::vector<T>> parts(ptrs.size());
+    for (size_t i = 0; i < ptrs.size(); ++i) parts[i] = *ptrs[i];
     return parts;
   }
 
   /// Number of records.
   size_t Count() const {
-    ctx()->EnsureShuffleDependencies(node_.get());
-    const int n = num_partitions();
-    std::vector<size_t> counts(n, 0);
-    ctx()->RunStage(n,
-                    [&](int i) { counts[i] = node_->GetPartition(i)->size(); });
+    auto parts = CollectPartitionPtrs("count");
     size_t total = 0;
-    for (size_t c : counts) total += c;
+    for (const auto& p : parts) total += p->size();
     return total;
   }
 
@@ -675,10 +749,9 @@ class Rdd {
   /// Parallel fold with distinct element-combine and accumulator-merge.
   template <typename Acc, typename SeqFn, typename MergeFn>
   Acc Aggregate(Acc init, SeqFn seq, MergeFn merge) const {
-    ctx()->EnsureShuffleDependencies(node_.get());
     const int n = num_partitions();
     std::vector<Acc> accs(n, init);
-    ctx()->RunStage(n, [&](int i) {
+    ctx()->RunJob(node_.get(), "aggregate", n, [&](int i) {
       auto part = node_->GetPartition(i);
       Acc acc = init;
       for (const auto& v : *part) acc = seq(std::move(acc), v);
@@ -692,9 +765,8 @@ class Rdd {
   /// Runs `fn(partition_index, records)` once per partition, in parallel.
   void ForEachPartition(
       const std::function<void(int, const std::vector<T>&)>& fn) const {
-    ctx()->EnsureShuffleDependencies(node_.get());
-    ctx()->RunStage(num_partitions(),
-                    [&](int i) { fn(i, *node_->GetPartition(i)); });
+    ctx()->RunJob(node_.get(), "forEachPartition", num_partitions(),
+                  [&](int i) { fn(i, *node_->GetPartition(i)); });
   }
 
  private:
@@ -724,6 +796,11 @@ class PairRdd {
   PairRdd<K, V>& Cache(StorageLevel level = StorageLevel::kMemoryOnly) {
     rdd_.Cache(level);
     return *this;
+  }
+
+  /// Staged physical plan dump (see Rdd::Explain).
+  std::string Explain(const std::string& action = "collect") const {
+    return rdd_.Explain(action);
   }
 
   /// Value-only transformation; preserves partitioning.

@@ -4,13 +4,28 @@
 
 namespace spangle {
 
-ExecutorPool::ExecutorPool(int num_workers) : num_workers_(num_workers) {
+namespace {
+
+// Set while the current thread is executing a task body; RunAll CHECKs it
+// so a nested stage barrier fails loudly instead of deadlocking.
+thread_local bool tl_in_task = false;
+
+// Lane id of the current thread (worker threads get theirs at spawn,
+// driver threads on their first RunAll). -1 = not yet assigned.
+thread_local int tl_lane = -1;
+
+}  // namespace
+
+ExecutorPool::ExecutorPool(int num_workers)
+    : num_workers_(num_workers),
+      epoch_(std::chrono::steady_clock::now()),
+      next_driver_lane_(num_workers - 1) {
   SPANGLE_CHECK_GE(num_workers, 1);
-  // The driver thread participates in RunAll, so spawn one fewer thread.
+  // Driver threads participate in RunAll, so spawn one fewer thread.
   const int extra = num_workers - 1;
   workers_.reserve(extra);
   for (int i = 0; i < extra; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -23,53 +38,106 @@ ExecutorPool::~ExecutorPool() {
   for (auto& t : workers_) t.join();
 }
 
-void ExecutorPool::RunAll(std::vector<std::function<void()>> tasks) {
+int ExecutorPool::LaneForThisThread() {
+  if (tl_lane < 0) tl_lane = next_driver_lane_.fetch_add(1);
+  return tl_lane;
+}
+
+void ExecutorPool::RunAll(std::vector<std::function<void()>> tasks,
+                          const TaskObserver& observer) {
+  SPANGLE_CHECK(!tl_in_task)
+      << "ExecutorPool::RunAll called from inside a task (lane "
+      << tl_lane << "): a stage cannot launch a nested stage — restructure "
+      << "the computation so stages are submitted from the driver or a "
+      << "scheduler thread";
   if (tasks.empty()) return;
+  auto batch = std::make_shared<Batch>();
+  batch->tasks = std::move(tasks);
+  batch->observer = observer;
+  batch->pending = batch->tasks.size();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    batch_ = std::move(tasks);
-    next_task_ = 0;
-    pending_ = batch_.size();
-    ++batch_id_;
+    active_.push_back(batch);
   }
   work_ready_.notify_all();
-  DrainCurrentBatch();
-  std::unique_lock<std::mutex> lock(mu_);
-  batch_done_.wait(lock, [this] { return pending_ == 0; });
-  batch_.clear();
-}
-
-void ExecutorPool::DrainCurrentBatch() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (next_task_ >= batch_.size()) return;
-      task = std::move(batch_[next_task_]);
-      ++next_task_;
-    }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --pending_;
-      if (pending_ == 0) batch_done_.notify_all();
+  // Help drain our own batch (never another driver's: returning promptly
+  // once our batch finishes matters more than global throughput here).
+  while (RunOneTask(batch.get())) {
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    batch_done_.wait(lock, [&] { return batch->pending == 0; });
+    for (auto it = active_.begin(); it != active_.end(); ++it) {
+      if (it->get() == batch.get()) {
+        active_.erase(it);
+        break;
+      }
     }
   }
 }
 
-void ExecutorPool::WorkerLoop() {
-  uint64_t seen_batch = 0;
+bool ExecutorPool::AnyRunnableLocked() const {
+  for (const auto& b : active_) {
+    if (b->next < b->tasks.size()) return true;
+  }
+  return false;
+}
+
+bool ExecutorPool::RunOneTask(Batch* only) {
+  std::shared_ptr<Batch> batch;
+  std::function<void()> task;
+  int index = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (only != nullptr) {
+      if (only->next < only->tasks.size()) {
+        for (const auto& b : active_) {
+          if (b.get() == only) {
+            batch = b;
+            break;
+          }
+        }
+      }
+    } else {
+      for (const auto& b : active_) {
+        if (b->next < b->tasks.size()) {
+          batch = b;
+          break;
+        }
+      }
+    }
+    if (batch == nullptr) return false;
+    index = static_cast<int>(batch->next);
+    task = std::move(batch->tasks[batch->next]);
+    ++batch->next;
+  }
+  TaskTiming timing;
+  timing.index = index;
+  timing.lane = LaneForThisThread();
+  timing.start_us = NowMicros();
+  tl_in_task = true;
+  task();
+  tl_in_task = false;
+  timing.duration_us = NowMicros() - timing.start_us;
+  if (batch->observer) batch->observer(timing);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--batch->pending == 0) batch_done_.notify_all();
+  }
+  return true;
+}
+
+void ExecutorPool::WorkerLoop(int lane) {
+  tl_lane = lane;
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this, seen_batch] {
-        return shutdown_ ||
-               (batch_id_ != seen_batch && next_task_ < batch_.size());
-      });
+      work_ready_.wait(lock,
+                       [this] { return shutdown_ || AnyRunnableLocked(); });
       if (shutdown_) return;
-      seen_batch = batch_id_;
     }
-    DrainCurrentBatch();
+    while (RunOneTask(nullptr)) {
+    }
   }
 }
 

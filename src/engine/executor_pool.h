@@ -1,21 +1,48 @@
 #ifndef SPANGLE_ENGINE_EXECUTOR_POOL_H_
 #define SPANGLE_ENGINE_EXECUTOR_POOL_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace spangle {
 
+/// Where and when one task ran. Times are microseconds relative to the
+/// pool's construction, so timings from different stages of one context
+/// share an epoch and can be laid out on a common trace timeline.
+struct TaskTiming {
+  int index = 0;        // task index within its batch
+  int lane = 0;         // executor lane that ran it (see RunAll)
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+};
+
 /// Fixed pool of worker threads standing in for the cluster's executors.
-/// The driver submits one batch of tasks per stage with RunAll(), which
-/// blocks until every task has finished — mirroring Spark's stage barrier.
-/// RunAll must only be called from the driver thread (never from inside a
-/// task); stages are strictly sequential, tasks within a stage parallel.
+/// A driver thread submits one batch of tasks per stage with RunAll(),
+/// which blocks until every task of that batch has finished — mirroring
+/// Spark's stage barrier.
+///
+/// Multiple driver threads may call RunAll() concurrently (the DAG
+/// scheduler materializes independent shuffle stages in parallel): each
+/// call is an independent batch, workers drain tasks from every active
+/// batch, and each caller returns when its own batch completes. What is
+/// NOT allowed is calling RunAll() from *inside a task* — that would nest
+/// a stage barrier inside a task and, before the guard, deadlocked
+/// silently; it now CHECK-fails with the offending lane.
 class ExecutorPool {
  public:
+  /// Observer invoked once per task, after the task body returns, from
+  /// the thread that ran it. May be called concurrently; implementations
+  /// must be thread-safe (writing to distinct per-index slots is enough).
+  using TaskObserver = std::function<void(const TaskTiming&)>;
+
   explicit ExecutorPool(int num_workers);
   ~ExecutorPool();
 
@@ -25,24 +52,45 @@ class ExecutorPool {
   int num_workers() const { return num_workers_; }
 
   /// Runs all tasks across the pool; the calling thread participates, so a
-  /// pool of size 1 degenerates to serial in-line execution.
-  void RunAll(std::vector<std::function<void()>> tasks);
+  /// pool of size 1 degenerates to serial in-line execution. Lanes number
+  /// the threads that can run tasks: pool workers take 0..num_workers-2,
+  /// the first driver thread num_workers-1, and additional concurrent
+  /// drivers (scheduler threads) count up from there.
+  void RunAll(std::vector<std::function<void()>> tasks,
+              const TaskObserver& observer = nullptr);
+
+  /// Microseconds since pool construction (the trace epoch).
+  uint64_t NowMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
 
  private:
-  void WorkerLoop();
-  // Pops and runs tasks from the current batch until it is drained.
-  void DrainCurrentBatch();
+  struct Batch {
+    std::vector<std::function<void()>> tasks;
+    TaskObserver observer;
+    size_t next = 0;     // next task index to hand out
+    size_t pending = 0;  // tasks taken but unfinished + tasks not taken
+  };
+
+  void WorkerLoop(int lane);
+  /// Picks one runnable task — from `only` when given, else from any
+  /// active batch — runs it, and returns true. False when nothing to run.
+  bool RunOneTask(Batch* only);
+  bool AnyRunnableLocked() const;
+  int LaneForThisThread();
 
   const int num_workers_;
+  const std::chrono::steady_clock::time_point epoch_;
   std::vector<std::thread> workers_;
+  std::atomic<int> next_driver_lane_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable batch_done_;
-  std::vector<std::function<void()>> batch_;
-  size_t next_task_ = 0;
-  size_t pending_ = 0;  // tasks taken but not finished + tasks not taken
-  uint64_t batch_id_ = 0;
+  std::deque<std::shared_ptr<Batch>> active_;
   bool shutdown_ = false;
 };
 

@@ -1,12 +1,81 @@
 #include "engine/metrics.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/bytes.h"
 
 namespace spangle {
 
+namespace {
+
+// The stage accumulator of the task currently running on this thread, if
+// any. Bound by Context::RunStage around each task body.
+thread_local EngineMetrics::StageAccumulator* tl_stage_acc = nullptr;
+
+}  // namespace
+
+std::string StageStat::ToString() const {
+  std::ostringstream os;
+  os << "stage#" << seq << " '" << name << "' job=" << job_id
+     << " tasks=" << num_tasks << " wall=" << wall_us << "us"
+     << " task[min/mean/max]=" << min_task_us << "/"
+     << (num_tasks > 0 ? total_task_us / num_tasks : 0) << "/" << max_task_us
+     << "us skew=" << skew_ratio << " stragglers=" << num_stragglers;
+  if (shuffle_bytes > 0) {
+    os << " shuffled=" << HumanBytes(shuffle_bytes) << " ("
+       << shuffle_records << " records)";
+  }
+  return os.str();
+}
+
+EngineMetrics::ScopedStageAccumulator::ScopedStageAccumulator(
+    StageAccumulator* acc)
+    : prev_(tl_stage_acc) {
+  tl_stage_acc = acc;
+}
+
+EngineMetrics::ScopedStageAccumulator::~ScopedStageAccumulator() {
+  tl_stage_acc = prev_;
+}
+
+void EngineMetrics::AddShuffleBytes(uint64_t bytes) {
+  shuffle_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  if (tl_stage_acc != nullptr) {
+    tl_stage_acc->shuffle_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+}
+
+void EngineMetrics::AddShuffleRecords(uint64_t n) {
+  shuffle_records.fetch_add(n, std::memory_order_relaxed);
+  if (tl_stage_acc != nullptr) {
+    tl_stage_acc->shuffle_records.fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+void EngineMetrics::RaisePeakConcurrentShuffles(uint64_t v) {
+  uint64_t cur = peak_concurrent_shuffles.load(std::memory_order_relaxed);
+  while (cur < v && !peak_concurrent_shuffles.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void EngineMetrics::RecordStage(StageStat stat) {
+  std::lock_guard<std::mutex> lock(stage_mu_);
+  if (stage_stats_.size() >= kMaxStageStats) {
+    stage_stats_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  stage_stats_.push_back(std::move(stat));
+}
+
+std::vector<StageStat> EngineMetrics::StageStats() const {
+  std::lock_guard<std::mutex> lock(stage_mu_);
+  return stage_stats_;
+}
+
 void EngineMetrics::Reset() {
+  jobs_run = 0;
   tasks_run = 0;
   stages_run = 0;
   shuffles = 0;
@@ -15,19 +84,24 @@ void EngineMetrics::Reset() {
   recomputed_partitions = 0;
   cache_hits = 0;
   cache_misses = 0;
+  peak_concurrent_shuffles = 0;
   bytes_cached = 0;
   memory_high_water = 0;
   evictions = 0;
   spilled_bytes = 0;
   disk_reads = 0;
+  std::lock_guard<std::mutex> lock(stage_mu_);
+  stage_stats_.clear();
+  stage_stats_dropped_ = 0;
 }
 
 std::string EngineMetrics::ToString() const {
   std::ostringstream os;
-  os << "tasks=" << tasks_run.load() << " stages=" << stages_run.load()
-     << " shuffles=" << shuffles.load()
+  os << "jobs=" << jobs_run.load() << " tasks=" << tasks_run.load()
+     << " stages=" << stages_run.load() << " shuffles=" << shuffles.load()
      << " shuffle_records=" << shuffle_records.load()
      << " shuffle_bytes=" << HumanBytes(shuffle_bytes.load())
+     << " peak_concurrent_shuffles=" << peak_concurrent_shuffles.load()
      << " recomputed=" << recomputed_partitions.load()
      << " cache_hits=" << cache_hits.load()
      << " cache_misses=" << cache_misses.load()

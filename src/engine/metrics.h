@@ -1,20 +1,73 @@
 #ifndef SPANGLE_ENGINE_METRICS_H_
 #define SPANGLE_ENGINE_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <vector>
 
 namespace spangle {
+
+/// Where and when one task of a stage ran (times are microseconds on the
+/// owning context's trace epoch).
+struct TaskStat {
+  int index = 0;
+  int lane = 0;
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+};
+
+/// One executed stage: identity, wall time, task-time distribution, skew,
+/// and the shuffle bytes its tasks produced. Recorded by Context::RunStage
+/// for every stage — shuffle map/reduce sides and action result stages
+/// alike — and consumed by Explain-style reporting, tests, and the Chrome
+/// trace exporter (Context::DumpTrace).
+struct StageStat {
+  /// Log-scale task-duration histogram bucket upper bounds (microseconds);
+  /// the last bucket is open-ended.
+  static constexpr std::array<uint64_t, 8> kHistBoundsUs = {
+      10, 100, 1000, 10000, 100000, 1000000, 10000000, UINT64_MAX};
+
+  uint64_t job_id = 0;   // 0 = outside any scheduler-submitted job
+  uint64_t seq = 0;      // global stage sequence number (per context)
+  std::string name;      // e.g. "reduceByKey/map", "collect"
+  int num_tasks = 0;
+  uint64_t start_us = 0;
+  uint64_t wall_us = 0;
+
+  // Task-time distribution.
+  uint64_t min_task_us = 0;
+  uint64_t max_task_us = 0;
+  uint64_t total_task_us = 0;
+  std::array<uint32_t, 8> task_hist{};  // counts per kHistBoundsUs bucket
+  double skew_ratio = 0.0;              // max task time / mean task time
+  int num_stragglers = 0;  // tasks slower than 2x the stage mean
+
+  // Bytes/records this stage's tasks pushed through the shuffle write
+  // path (zero for narrow/result stages).
+  uint64_t shuffle_bytes = 0;
+  uint64_t shuffle_records = 0;
+
+  // Per-task detail for trace export; empty when the stage had more tasks
+  // than the retention cap.
+  std::vector<TaskStat> tasks;
+
+  std::string ToString() const;
+};
 
 /// Per-context execution counters. The paper's performance arguments are
 /// about *what moves*: shuffle volume, stage counts, recomputation. These
 /// counters let tests assert structural claims (e.g. "co-partitioned join
 /// shuffles zero bytes") and let benches report simulated network cost.
+/// Since the DAG-scheduler refactor the metrics also retain a structured
+/// per-stage log (StageStats) feeding Explain output and trace dumps.
 class EngineMetrics {
  public:
   void Reset();
 
+  std::atomic<uint64_t> jobs_run{0};
   std::atomic<uint64_t> tasks_run{0};
   std::atomic<uint64_t> stages_run{0};
   std::atomic<uint64_t> shuffles{0};
@@ -24,6 +77,10 @@ class EngineMetrics {
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> cache_misses{0};
 
+  // Scheduler concurrency: the most shuffle stages ever observed
+  // materializing at the same instant (>= 2 proves stage overlap).
+  std::atomic<uint64_t> peak_concurrent_shuffles{0};
+
   // Storage subsystem (BlockManager) counters.
   std::atomic<uint64_t> bytes_cached{0};       // gauge: resident block bytes
   std::atomic<uint64_t> memory_high_water{0};  // max bytes_cached observed
@@ -31,7 +88,52 @@ class EngineMetrics {
   std::atomic<uint64_t> spilled_bytes{0};      // bytes written to spill files
   std::atomic<uint64_t> disk_reads{0};         // blocks read back from disk
 
+  /// Credits shuffle volume to the global counters AND to the stage the
+  /// calling task belongs to (registered via ScopedStageAccumulator).
+  /// Shuffle writers must use these instead of touching the atomics so
+  /// per-stage attribution stays correct under concurrent stages.
+  void AddShuffleBytes(uint64_t bytes);
+  void AddShuffleRecords(uint64_t n);
+
+  /// Raises peak_concurrent_shuffles to at least `v`.
+  void RaisePeakConcurrentShuffles(uint64_t v);
+
+  /// Per-stage shuffle-volume accumulator, bound to the running task's
+  /// thread for the duration of the task body by Context::RunStage.
+  struct StageAccumulator {
+    std::atomic<uint64_t> shuffle_bytes{0};
+    std::atomic<uint64_t> shuffle_records{0};
+  };
+  class ScopedStageAccumulator {
+   public:
+    explicit ScopedStageAccumulator(StageAccumulator* acc);
+    ~ScopedStageAccumulator();
+    ScopedStageAccumulator(const ScopedStageAccumulator&) = delete;
+    ScopedStageAccumulator& operator=(const ScopedStageAccumulator&) = delete;
+
+   private:
+    StageAccumulator* prev_;
+  };
+
+  /// Appends one stage record (drops silently past the retention cap,
+  /// counted in stage_stats_dropped).
+  void RecordStage(StageStat stat);
+
+  /// Snapshot of every retained stage record, in execution order.
+  std::vector<StageStat> StageStats() const;
+
+  uint64_t stage_stats_dropped() const {
+    return stage_stats_dropped_.load(std::memory_order_relaxed);
+  }
+
   std::string ToString() const;
+
+ private:
+  static constexpr size_t kMaxStageStats = 8192;
+
+  mutable std::mutex stage_mu_;
+  std::vector<StageStat> stage_stats_;
+  std::atomic<uint64_t> stage_stats_dropped_{0};
 };
 
 }  // namespace spangle

@@ -59,6 +59,14 @@ class BlockMatrix {
     return *this;
   }
 
+  /// Staged physical plan for running `action` over the tiles (see
+  /// Rdd::Explain): shows which shuffles an operation would run — e.g.
+  /// co-partitioned Add plans zero pending shuffle stages while a
+  /// forced-shuffle Multiply plans two independent scatter stages.
+  std::string Explain(const std::string& action = "collect") const {
+    return array_.Explain(action);
+  }
+
   /// Number of stored (non-zero) entries.
   uint64_t NumNonZero() const { return array_.CountValid(); }
 

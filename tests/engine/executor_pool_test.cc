@@ -82,6 +82,69 @@ TEST(ExecutorPoolTest, TasksSpreadAcrossWorkers) {
   EXPECT_GE(seen.size(), 2u) << "more than one executor participated";
 }
 
+TEST(ExecutorPoolTest, ConcurrentRunAllFromTwoDriversBothComplete) {
+  // Two driver threads each submit their own batch; each must return
+  // only when its own batch is done, and both batches must fully run.
+  ExecutorPool pool(4);
+  std::atomic<int> a_done{0}, b_done{0};
+  auto submit = [&pool](std::atomic<int>* counter, int n) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < n; ++i) {
+      tasks.emplace_back([counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        counter->fetch_add(1);
+      });
+    }
+    pool.RunAll(std::move(tasks));
+    // Barrier semantics hold per batch even with another driver active.
+    EXPECT_EQ(counter->load(), n);
+  };
+  std::thread da([&] { submit(&a_done, 23); });
+  std::thread db([&] { submit(&b_done, 31); });
+  da.join();
+  db.join();
+  EXPECT_EQ(a_done.load(), 23);
+  EXPECT_EQ(b_done.load(), 31);
+}
+
+TEST(ExecutorPoolTest, ObserverReportsEveryTaskWithSaneTimings) {
+  ExecutorPool pool(3);
+  std::vector<TaskTiming> timings(16);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.emplace_back(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(2)); });
+  }
+  const uint64_t before = pool.NowMicros();
+  pool.RunAll(std::move(tasks), [&timings](const TaskTiming& t) {
+    timings[t.index] = t;
+  });
+  const uint64_t after = pool.NowMicros();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(timings[i].index, i);
+    EXPECT_GE(timings[i].lane, 0);
+    EXPECT_LT(timings[i].lane, 3);
+    EXPECT_GE(timings[i].start_us, before);
+    EXPECT_GE(timings[i].duration_us, 1000u) << "task slept 2ms";
+    EXPECT_LE(timings[i].start_us + timings[i].duration_us, after);
+  }
+}
+
+TEST(ExecutorPoolDeathTest, NestedRunAllInsideTaskChecks) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  // Submitting a stage from inside a task used to deadlock silently
+  // (the task waits on a barrier only its own lane could drain). It must
+  // CHECK-fail with a diagnosable message instead.
+  EXPECT_DEATH(
+      {
+        ExecutorPool pool(1);
+        std::vector<std::function<void()>> tasks;
+        tasks.emplace_back([&pool] { pool.RunAll({[] {}}); });
+        pool.RunAll(std::move(tasks));
+      },
+      "RunAll called from inside a task");
+}
+
 TEST(ExecutorPoolTest, RunAllPropagatesWorkDoneBeforeReturn) {
   // Whatever tasks write must be visible after RunAll returns (barrier).
   ExecutorPool pool(4);
