@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Chaos stress harness: runs the seeded chaos suite (ctest -L chaos) 20
+# times per sanitizer, rotating the fault-injection seed every run, under
+# both AddressSanitizer and ThreadSanitizer builds. Any failure prints
+# the exact seed so the run is reproducible with
+#   SPANGLE_CHAOS_SEED=<seed> ctest --test-dir build-<san> -L chaos
+#
+# Usage: scripts/stress.sh [base_seed]   (default base seed: 1234)
+set -u
+
+cd "$(dirname "$0")/.."
+
+BASE_SEED="${1:-1234}"
+ROUNDS="${SPANGLE_STRESS_ROUNDS:-20}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+FAILED=0
+
+for SAN in address thread; do
+  BUILD="build-${SAN/address/asan}"
+  BUILD="${BUILD/thread/tsan}"
+  echo "=== [$SAN] configure + build ($BUILD) ==="
+  cmake -B "$BUILD" -S . -DSPANGLE_SANITIZE="$SAN" > /dev/null || exit 1
+  cmake --build "$BUILD" -j "$JOBS" || exit 1
+  for ((i = 0; i < ROUNDS; ++i)); do
+    SEED=$((BASE_SEED + i))
+    echo "=== [$SAN] chaos round $((i + 1))/$ROUNDS seed=$SEED ==="
+    if ! SPANGLE_CHAOS_SEED="$SEED" \
+        ctest --test-dir "$BUILD" -L chaos --output-on-failure; then
+      echo "FAILED: sanitizer=$SAN seed=$SEED" >&2
+      echo "reproduce: SPANGLE_CHAOS_SEED=$SEED ctest --test-dir $BUILD -L chaos --output-on-failure" >&2
+      FAILED=1
+    fi
+  done
+done
+
+if [[ "$FAILED" -ne 0 ]]; then
+  echo "chaos stress: FAILURES above (seeds printed per round)" >&2
+  exit 1
+fi
+echo "chaos stress: all rounds passed (base seed $BASE_SEED, $ROUNDS rounds x {asan,tsan})"

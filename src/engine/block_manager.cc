@@ -148,6 +148,27 @@ void BlockManager::Put(const BlockId& id, DataPtr data, uint64_t bytes,
                        StorageLevel level, SpillFn spill, LoadFn load,
                        bool recomputable) {
   std::lock_guard<std::mutex> lock(mu_);
+  PutLocked(id, std::move(data), bytes, level, std::move(spill),
+            std::move(load), recomputable);
+}
+
+bool BlockManager::PutIfAbsent(const BlockId& id, DataPtr data, uint64_t bytes,
+                               StorageLevel level, SpillFn spill, LoadFn load,
+                               bool recomputable) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Block* existing = Find(id);
+  if (existing != nullptr &&
+      (existing->data != nullptr || existing->on_disk)) {
+    return false;  // a usable payload is already committed: keep it
+  }
+  PutLocked(id, std::move(data), bytes, level, std::move(spill),
+            std::move(load), recomputable);
+  return true;
+}
+
+void BlockManager::PutLocked(const BlockId& id, DataPtr data, uint64_t bytes,
+                             StorageLevel level, SpillFn spill, LoadFn load,
+                             bool recomputable) {
   Block& b = blocks_[id.node][id.partition];
   ReleaseMemory(b);  // replacing: drop the old payload's accounting
   RemoveFile(b);     // a stale spill file no longer matches the payload

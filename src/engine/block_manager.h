@@ -77,6 +77,16 @@ class BlockManager {
   void Put(const BlockId& id, DataPtr data, uint64_t bytes, StorageLevel level,
            SpillFn spill, LoadFn load, bool recomputable = true);
 
+  /// Stores like Put, but keeps any payload already available (in memory
+  /// or on disk) under the same id — the idempotent commit path used when
+  /// duplicate computations of one partition race (speculative task
+  /// attempts, concurrent jobs over a shared cached node, partial shuffle
+  /// re-materialization). Returns false when an existing payload was kept,
+  /// so the caller knows its copy was the discarded loser.
+  bool PutIfAbsent(const BlockId& id, DataPtr data, uint64_t bytes,
+                   StorageLevel level, SpillFn spill, LoadFn load,
+                   bool recomputable = true);
+
   /// Fetches a block: from memory (LRU touch), or from its spill file
   /// (counted as a disk read; re-admitted to memory unless DISK_ONLY).
   /// data == null means the caller must recompute from lineage.
@@ -127,6 +137,9 @@ class BlockManager {
   };
 
   // All private helpers assume mu_ is held.
+  void PutLocked(const BlockId& id, DataPtr data, uint64_t bytes,
+                 StorageLevel level, SpillFn spill, LoadFn load,
+                 bool recomputable);
   Block* Find(const BlockId& id);
   const Block* Find(const BlockId& id) const;
   void InsertResident(const BlockId& id, Block& b, DataPtr data);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
 #include <thread>
 
 namespace spangle {
@@ -37,6 +39,19 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+/// First-finisher-wins gate for one task index. Duplicate attempts of the
+/// same task (speculation) serialize on `mu`: exactly one attempt ever
+/// runs the task body; the other observes fn_done and returns without
+/// side effects. The cv doubles as the interruptible-sleep channel — a
+/// straggler sitting out an injected delay wakes as soon as the other
+/// attempt wins.
+struct TaskGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool fn_done = false;
+  bool winner_speculative = false;  // settled by the re-launched copy
+};
+
 }  // namespace
 
 Context::Context(int num_workers, int default_parallelism,
@@ -48,69 +63,218 @@ Context::Context(int num_workers, int default_parallelism,
       task_overhead_us_(task_overhead_us) {}
 
 void Context::RunStage(int n, const std::function<void(int)>& fn) {
-  RunStage("stage", n, fn);
+  RunStage("stage", n, fn, /*stage_attempt=*/0);
 }
 
 void Context::RunStage(const std::string& name, int n,
                        const std::function<void(int)>& fn) {
+  RunStage(name, n, fn, /*stage_attempt=*/0);
+}
+
+void Context::RunStage(const std::string& name, int n,
+                       const std::function<void(int)>& fn,
+                       int stage_attempt) {
+  const FaultToleranceOptions opts = fault_options();
+  const std::shared_ptr<const ChaosPolicy> chaos = chaos_policy();
+
   StageStat stat;
   stat.job_id = internal::CurrentJobId();
   stat.seq = next_stage_seq_.fetch_add(1);
   stat.name = name;
+  stat.attempt = stage_attempt;
   stat.num_tasks = n;
   stat.tasks.resize(static_cast<size_t>(std::max(n, 0)));
   EngineMetrics::StageAccumulator acc;
 
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(n);
-  const int overhead = task_overhead_us_;
-  for (int i = 0; i < n; ++i) {
-    tasks.emplace_back([this, &fn, &acc, i, overhead] {
-      EngineMetrics::ScopedStageAccumulator scope(&acc);
-      if (overhead > 0) {
-        std::this_thread::sleep_for(std::chrono::microseconds(overhead));
-      }
-      fn(i);
-    });
-  }
-  stat.start_us = pool_.NowMicros();
-  // Observer slots are per-index: each written once by the thread that ran
-  // the task, read after the batch barrier below (happens-before via the
-  // pool's completion wait).
-  TaskStat* slots = stat.tasks.data();
-  pool_.RunAll(std::move(tasks), [slots](const TaskTiming& t) {
-    slots[t.index] = TaskStat{t.index, t.lane, t.start_us, t.duration_us};
-  });
-  stat.wall_us = pool_.NowMicros() - stat.start_us;
+  ExecutorPool::SpeculationOptions spec;
+  spec.enabled = opts.speculation;
+  spec.multiplier = opts.speculation_multiplier;
+  spec.min_runtime_us = opts.speculation_min_runtime_us;
+  spec.min_completed_fraction = opts.speculation_min_completed_fraction;
+  spec.check_interval_us = opts.speculation_check_interval_us;
 
-  // Task-time distribution: min/max/total, log-scale histogram, skew
-  // ratio (max/mean), and stragglers (tasks slower than 2x the mean).
-  if (n > 0) {
-    stat.min_task_us = UINT64_MAX;
-    for (const TaskStat& t : stat.tasks) {
-      stat.min_task_us = std::min(stat.min_task_us, t.duration_us);
-      stat.max_task_us = std::max(stat.max_task_us, t.duration_us);
-      stat.total_task_us += t.duration_us;
-      for (size_t b = 0; b < StageStat::kHistBoundsUs.size(); ++b) {
-        if (t.duration_us <= StageStat::kHistBoundsUs[b]) {
-          ++stat.task_hist[b];
-          break;
+  // Per-index gates outlive every attempt of the stage (the pool's batch
+  // barrier waits for losers too, so stack storage is safe).
+  std::vector<TaskGate> gates(static_cast<size_t>(std::max(n, 0)));
+  // Attempts already consumed by finished rounds, per index; written by
+  // the driver between rounds only.
+  std::vector<int> attempt_base(static_cast<size_t>(std::max(n, 0)), 0);
+
+  // Primary per-index timing slots live in stat.tasks[0..n); retry and
+  // speculative attempts are appended afterwards as extra trace lanes.
+  TaskStat* slots = stat.tasks.data();
+  std::mutex extra_mu;
+  std::vector<TaskStat> extras;
+
+  const int overhead = task_overhead_us_;
+  stat.start_us = pool_.NowMicros();
+
+  std::vector<int> pending(static_cast<size_t>(std::max(n, 0)));
+  for (int i = 0; i < n; ++i) pending[static_cast<size_t>(i)] = i;
+  std::vector<uint64_t> lost_nodes;
+  Status last_failure;
+
+  // Finalization shared by the success path and both abort paths, so
+  // every stage execution — including aborted ones — leaves a complete
+  // StageStat for Explain()/DumpTrace.
+  const auto Finalize = [&] {
+    stat.wall_us = pool_.NowMicros() - stat.start_us;
+    for (const TaskGate& g : gates) {
+      if (g.fn_done && g.winner_speculative) ++stat.speculative_wins;
+    }
+    if (stat.speculative_wins > 0) {
+      metrics_.speculative_wins.fetch_add(
+          static_cast<uint64_t>(stat.speculative_wins));
+    }
+    // Task-time distribution over the primary attempts: min/max/total,
+    // log-scale histogram, skew ratio (max/mean), stragglers (> 2x mean).
+    if (n > 0) {
+      stat.min_task_us = UINT64_MAX;
+      for (int i = 0; i < n; ++i) {
+        const TaskStat& t = stat.tasks[static_cast<size_t>(i)];
+        stat.min_task_us = std::min(stat.min_task_us, t.duration_us);
+        stat.max_task_us = std::max(stat.max_task_us, t.duration_us);
+        stat.total_task_us += t.duration_us;
+        for (size_t b = 0; b < StageStat::kHistBoundsUs.size(); ++b) {
+          if (t.duration_us <= StageStat::kHistBoundsUs[b]) {
+            ++stat.task_hist[b];
+            break;
+          }
+        }
+      }
+      const double mean =
+          static_cast<double>(stat.total_task_us) / static_cast<double>(n);
+      if (mean > 0) {
+        stat.skew_ratio = static_cast<double>(stat.max_task_us) / mean;
+        for (int i = 0; i < n; ++i) {
+          if (static_cast<double>(
+                  stat.tasks[static_cast<size_t>(i)].duration_us) >
+              2.0 * mean) {
+            ++stat.num_stragglers;
+          }
         }
       }
     }
-    const double mean =
-        static_cast<double>(stat.total_task_us) / static_cast<double>(n);
-    if (mean > 0) {
-      stat.skew_ratio = static_cast<double>(stat.max_task_us) / mean;
-      for (const TaskStat& t : stat.tasks) {
-        if (static_cast<double>(t.duration_us) > 2.0 * mean) {
-          ++stat.num_stragglers;
+    stat.shuffle_bytes = acc.shuffle_bytes.load(std::memory_order_relaxed);
+    stat.shuffle_records =
+        acc.shuffle_records.load(std::memory_order_relaxed);
+    stat.tasks.insert(stat.tasks.end(), extras.begin(), extras.end());
+  };
+
+  for (int round = 0;; ++round) {
+    std::vector<ExecutorPool::Task> tasks;
+    tasks.reserve(pending.size());
+    for (const int i : pending) {
+      tasks.emplace_back([this, &fn, &acc, &gates, &attempt_base, &chaos,
+                          &name, stage_attempt, overhead, i](int pool_attempt) {
+        EngineMetrics::ScopedStageAccumulator scope(&acc);
+        TaskGate& gate = gates[static_cast<size_t>(i)];
+        const int attempt = attempt_base[static_cast<size_t>(i)] + pool_attempt;
+        uint64_t delay = static_cast<uint64_t>(overhead > 0 ? overhead : 0);
+        if (chaos != nullptr) {
+          const ChaosTaskInfo info{name, stage_attempt, i, attempt};
+          if (chaos->fail_executor) {
+            const int w = chaos->fail_executor(info);
+            if (w >= 0) block_manager_.FailExecutor(w);
+          }
+          if (chaos->delay_us) delay += chaos->delay_us(info);
+          if (chaos->fail_task && chaos->fail_task(info)) {
+            if (delay > 0) {
+              std::this_thread::sleep_for(std::chrono::microseconds(delay));
+            }
+            throw TaskKilledError(name, i, attempt);
+          }
         }
+        if (delay > 0) {
+          // Interruptible: a speculative loser sleeping out an injected
+          // delay yields the moment the other attempt wins.
+          std::unique_lock<std::mutex> lock(gate.mu);
+          gate.cv.wait_for(lock, std::chrono::microseconds(delay),
+                           [&gate] { return gate.fn_done; });
+          if (gate.fn_done) return;  // discarded loser
+        }
+        {
+          std::unique_lock<std::mutex> lock(gate.mu);
+          if (gate.fn_done) return;  // discarded loser
+          fn(i);  // throws propagate with fn_done still false
+          gate.fn_done = true;
+          gate.winner_speculative = pool_attempt > 0;
+        }
+        gate.cv.notify_all();
+      });
+    }
+
+    const auto observer = [&pending, &attempt_base, slots, &extra_mu,
+                           &extras, round](const TaskTiming& t) {
+      const int real = pending[static_cast<size_t>(t.index)];
+      const TaskStat ts{real, t.lane, t.start_us, t.duration_us,
+                        attempt_base[static_cast<size_t>(real)] + t.attempt};
+      if (round == 0 && t.attempt == 0) {
+        // Per-index slot, written once by the thread that ran the primary
+        // attempt, read after the batch barrier (happens-before via the
+        // pool's completion wait).
+        slots[real] = ts;
+      } else {
+        std::lock_guard<std::mutex> lock(extra_mu);
+        extras.push_back(ts);
+      }
+    };
+
+    ExecutorPool::BatchResult res =
+        pool_.RunAll(std::move(tasks), observer, spec);
+    if (res.speculative_launches > 0) {
+      stat.speculative_launches += res.speculative_launches;
+      metrics_.speculative_launches.fetch_add(
+          static_cast<uint64_t>(res.speculative_launches));
+    }
+
+    std::vector<int> retry;
+    for (size_t j = 0; j < pending.size(); ++j) {
+      const int i = pending[j];
+      const ExecutorPool::TaskResult& tr = res.tasks[j];
+      attempt_base[static_cast<size_t>(i)] += tr.attempts;
+      if (tr.status.ok()) continue;
+      try {
+        std::rethrow_exception(tr.error);
+      } catch (const ShuffleBlockLostError& e) {
+        // Fetch failure: retrying the task cannot help until the upstream
+        // stage re-materializes. Escalate to job-level recovery.
+        for (const uint64_t node : e.nodes()) {
+          if (std::find(lost_nodes.begin(), lost_nodes.end(), node) ==
+              lost_nodes.end()) {
+            lost_nodes.push_back(node);
+          }
+        }
+      } catch (...) {
+        retry.push_back(i);
+        last_failure = tr.status;
       }
     }
+
+    if (!lost_nodes.empty()) {
+      Finalize();
+      metrics_.RecordStage(std::move(stat));
+      throw ShuffleBlockLostError(std::move(lost_nodes));
+    }
+    if (retry.empty()) break;
+    if (round >= opts.max_task_retries) {
+      Finalize();
+      metrics_.RecordStage(std::move(stat));
+      throw JobFailedError(
+          "stage '" + name + "' failed: task exhausted " +
+          std::to_string(opts.max_task_retries) + " retries; last error: " +
+          std::string(last_failure.message()));
+    }
+    metrics_.task_retries.fetch_add(retry.size());
+    stat.task_retries += static_cast<int>(retry.size());
+    if (opts.retry_backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          opts.retry_backoff_us << std::min(round, 16)));
+    }
+    pending = std::move(retry);
   }
-  stat.shuffle_bytes = acc.shuffle_bytes.load(std::memory_order_relaxed);
-  stat.shuffle_records = acc.shuffle_records.load(std::memory_order_relaxed);
+
+  Finalize();
   metrics_.RecordStage(std::move(stat));
   metrics_.tasks_run.fetch_add(static_cast<uint64_t>(n));
   metrics_.stages_run.fetch_add(1);
@@ -119,9 +283,27 @@ void Context::RunStage(const std::string& name, int n,
 void Context::RunJob(internal::NodeBase* root, const std::string& action,
                      int n, const std::function<void(int)>& fn) {
   internal::ScopedJobId job(next_job_id_.fetch_add(1) + 1);
-  PhysicalPlan plan = scheduler_.BuildPlan({root}, action);
-  scheduler_.MaterializeShuffles(plan, serial_shuffle_materialization());
-  RunStage(action, n, fn);
+  const FaultToleranceOptions opts = fault_options();
+  const int max_attempts = std::max(1, opts.max_job_attempts);
+  for (int attempt = 0;; ++attempt) {
+    // Re-planning each attempt is what makes recovery stage-granular:
+    // shuffles whose output survived report IsMaterialized() and are
+    // skipped; only lost ones re-run from lineage.
+    PhysicalPlan plan = scheduler_.BuildPlan({root}, action);
+    try {
+      scheduler_.MaterializeShuffles(plan, serial_shuffle_materialization());
+      RunStage(action, n, fn, attempt);
+      break;
+    } catch (const ShuffleBlockLostError& e) {
+      if (attempt + 1 >= max_attempts) {
+        throw JobFailedError("job '" + action + "' failed after " +
+                             std::to_string(attempt + 1) +
+                             " attempt(s): " + e.what());
+      }
+      SPANGLE_LOG(Warning) << "job '" << action << "' attempt " << attempt
+                           << ": " << e.what() << "; re-planning";
+    }
+  }
   metrics_.jobs_run.fetch_add(1);
 }
 
@@ -147,8 +329,23 @@ void Context::EnsureShuffleDependencies(
   const bool in_job = internal::CurrentJobId() != 0;
   internal::ScopedJobId job(in_job ? internal::CurrentJobId()
                                    : next_job_id_.fetch_add(1) + 1);
-  PhysicalPlan plan = scheduler_.BuildPlan(roots, "");
-  scheduler_.MaterializeShuffles(plan, serial_shuffle_materialization());
+  const FaultToleranceOptions opts = fault_options();
+  const int max_attempts = std::max(1, opts.max_job_attempts);
+  for (int attempt = 0;; ++attempt) {
+    PhysicalPlan plan = scheduler_.BuildPlan(roots, "");
+    try {
+      scheduler_.MaterializeShuffles(plan, serial_shuffle_materialization());
+      break;
+    } catch (const ShuffleBlockLostError& e) {
+      if (attempt + 1 >= max_attempts) {
+        throw JobFailedError("shuffle materialization failed after " +
+                             std::to_string(attempt + 1) +
+                             " attempt(s): " + e.what());
+      }
+      SPANGLE_LOG(Warning) << "materialization attempt " << attempt << ": "
+                           << e.what() << "; re-planning";
+    }
+  }
   if (!in_job) metrics_.jobs_run.fetch_add(1);
 }
 
@@ -158,7 +355,8 @@ bool Context::DumpTrace(const std::string& path) const {
   // Chrome trace_event JSON (chrome://tracing, ui.perfetto.dev).
   // pid 0 = executor lanes (one tid per lane, complete events per task);
   // pid 1 = driver (one tid per stage so overlapping stages render as
-  // parallel rows).
+  // parallel rows). Task events carry their attempt number, so retries
+  // and speculative copies show up as extra slices on their lanes.
   std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
   std::fputs(
       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
@@ -171,24 +369,25 @@ bool Context::DumpTrace(const std::string& path) const {
     std::fprintf(f,
                  ",\n{\"name\":\"%s\",\"cat\":\"stage\",\"ph\":\"X\","
                  "\"ts\":%llu,\"dur\":%llu,\"pid\":1,\"tid\":%llu,"
-                 "\"args\":{\"job\":%llu,\"tasks\":%d,\"skew\":%.2f,"
-                 "\"stragglers\":%d,\"shuffle_bytes\":%llu}}",
+                 "\"args\":{\"job\":%llu,\"attempt\":%d,\"tasks\":%d,"
+                 "\"skew\":%.2f,\"stragglers\":%d,\"task_retries\":%d,"
+                 "\"shuffle_bytes\":%llu}}",
                  name.c_str(), static_cast<unsigned long long>(s.start_us),
                  static_cast<unsigned long long>(s.wall_us),
                  static_cast<unsigned long long>(s.seq),
-                 static_cast<unsigned long long>(s.job_id), s.num_tasks,
-                 s.skew_ratio, s.num_stragglers,
+                 static_cast<unsigned long long>(s.job_id), s.attempt,
+                 s.num_tasks, s.skew_ratio, s.num_stragglers, s.task_retries,
                  static_cast<unsigned long long>(s.shuffle_bytes));
     for (const TaskStat& t : s.tasks) {
       std::fprintf(f,
                    ",\n{\"name\":\"%s[%d]\",\"cat\":\"task\",\"ph\":\"X\","
                    "\"ts\":%llu,\"dur\":%llu,\"pid\":0,\"tid\":%d,"
-                   "\"args\":{\"job\":%llu,\"stage\":%llu}}",
+                   "\"args\":{\"job\":%llu,\"stage\":%llu,\"attempt\":%d}}",
                    name.c_str(), t.index,
                    static_cast<unsigned long long>(t.start_us),
                    static_cast<unsigned long long>(t.duration_us), t.lane,
                    static_cast<unsigned long long>(s.job_id),
-                   static_cast<unsigned long long>(s.seq));
+                   static_cast<unsigned long long>(s.seq), t.attempt);
     }
   }
   std::fputs("\n]}\n", f);

@@ -19,6 +19,7 @@
 #include "common/random.h"
 #include "engine/block_manager.h"
 #include "engine/executor_pool.h"
+#include "engine/fault.h"
 #include "engine/metrics.h"
 #include "engine/partitioner.h"
 #include "engine/scheduler.h"
@@ -84,15 +85,56 @@ class Context {
   /// The named overload labels the stage's StageStat record; the unnamed
   /// one records under "stage". Thread-safe: concurrent stages from
   /// different driver threads interleave over the shared workers.
+  ///
+  /// Fault tolerance: a task attempt that throws is retried up to
+  /// `FaultToleranceOptions::max_task_retries` times with exponential
+  /// backoff; stragglers are speculatively re-launched when speculation is
+  /// on (first finisher wins, the loser never re-runs the task body). A
+  /// task that throws ShuffleBlockLostError is NOT retried — the stage
+  /// aborts with that error so the job can re-run the upstream stage from
+  /// lineage. Retries and job re-attempts may invoke fn more than once
+  /// for the same index; fn must be deterministic per index (all engine
+  /// call sites write per-index slots, which is enough).
   void RunStage(int n, const std::function<void(int)>& fn);
   void RunStage(const std::string& name, int n,
                 const std::function<void(int)>& fn);
+  /// `stage_attempt` labels re-executions of the same logical stage
+  /// (shuffle re-materializations, job re-attempts) in StageStat/traces
+  /// and is exposed to ChaosPolicy predicates.
+  void RunStage(const std::string& name, int n,
+                const std::function<void(int)>& fn, int stage_attempt);
 
   /// Submits one job for `action` over `root`: plans the lineage DAG,
   /// materializes every pending shuffle stage (independent stages
   /// concurrently), then runs fn(0..n-1) as the instrumented result stage.
+  /// Survives mid-job failures: when a task discovers its shuffle input
+  /// blocks were dropped (executor death), the job re-plans — stages
+  /// whose output survived are skipped, lost ones re-materialize from
+  /// lineage — and re-runs, up to FaultToleranceOptions::max_job_attempts
+  /// times before throwing JobFailedError.
   void RunJob(internal::NodeBase* root, const std::string& action, int n,
               const std::function<void(int)>& fn);
+
+  /// Retry/speculation knobs; read at the start of every stage and job.
+  void set_fault_options(const FaultToleranceOptions& opts) {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    fault_options_ = opts;
+  }
+  FaultToleranceOptions fault_options() const {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    return fault_options_;
+  }
+
+  /// Installs (or clears, with nullptr) the deterministic fault-injection
+  /// hooks consulted before every task attempt. Testing only.
+  void set_chaos_policy(std::shared_ptr<const ChaosPolicy> policy) {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    chaos_ = std::move(policy);
+  }
+  std::shared_ptr<const ChaosPolicy> chaos_policy() const {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    return chaos_;
+  }
 
   /// Builds (without executing) the staged physical plan for an action on
   /// `root` / `roots` — the structure behind Rdd::Explain().
@@ -144,6 +186,10 @@ class Context {
   std::atomic<uint64_t> next_job_id_{0};
   std::atomic<uint64_t> next_stage_seq_{0};
   std::atomic<bool> serial_shuffles_{false};
+
+  mutable std::mutex fault_mu_;
+  FaultToleranceOptions fault_options_;
+  std::shared_ptr<const ChaosPolicy> chaos_;
 };
 
 namespace internal {
@@ -242,11 +288,16 @@ class Node : public NodeBase {
   /// Hands one partition to the BlockManager. `recomputable` is false
   /// for shuffle outputs, whose loss is repaired by re-materializing
   /// the whole shuffle rather than per-partition lineage recompute.
+  /// Put-if-absent: when duplicate computations of one partition race
+  /// (speculative attempts, task retries, partial shuffle reruns), the
+  /// first committed payload wins and the loser is discarded — the
+  /// commit is idempotent, so duplicated work never changes state.
   void StoreBlock(int i, PartitionPtr data, StorageLevel level,
                   bool recomputable) {
     const uint64_t bytes = EstimateSize(*data);
-    ctx()->block_manager().Put({id(), i}, std::move(data), bytes, level,
-                               MakeSpillFn(), MakeLoadFn(), recomputable);
+    ctx()->block_manager().PutIfAbsent({id(), i}, std::move(data), bytes,
+                                       level, MakeSpillFn(), MakeLoadFn(),
+                                       recomputable);
   }
 
   static BlockManager::SpillFn MakeSpillFn() {
@@ -458,6 +509,15 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
   void Materialize() override {
     if (IsMaterialized()) return;
     Context* ctx = this->ctx();
+    // Count lifetime materializations: attempt > 0 means this stage's
+    // output was lost (executor failure / eviction) and lineage is
+    // re-running it — Spark's stage rerun.
+    int attempt;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      attempt = materialize_attempts_++;
+    }
+    if (attempt > 0) ctx->metrics().stage_reruns.fetch_add(1);
     const int n_map = parent_->num_partitions();
     const int n_out = partitioner_->num_partitions();
     // Map side: one task per input partition produces n_out buckets.
@@ -491,7 +551,7 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
       }
       ctx->metrics().AddShuffleRecords(records.size());
       ctx->metrics().AddShuffleBytes(bytes);
-    });
+    }, attempt);
     // Reduce side: merge buckets (and combine when requested).
     std::vector<std::vector<Record>> output(n_out);
     ctx->RunStage(this->name() + "/reduce", n_out, [&](int r) {
@@ -516,7 +576,7 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
           for (auto& rec : map_outputs[m][r]) out.push_back(std::move(rec));
         }
       }
-    });
+    }, attempt);
     ctx->metrics().shuffles.fetch_add(1);
     // Output blocks live in the block store like any cached partition:
     // accounted against the budget, spillable to disk when the record
@@ -538,8 +598,12 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
  protected:
   std::vector<Record> ComputePartition(int i) override {
     auto r = this->ctx()->block_manager().Get({this->id(), i});
-    SPANGLE_CHECK(r.data != nullptr)
-        << "shuffle output accessed before materialization";
+    if (r.data == nullptr) {
+      // Fetch failure: this shuffle's output was dropped after the job
+      // was planned (executor death mid-job). Not task-retryable — the
+      // running job must re-materialize this stage from lineage first.
+      throw ShuffleBlockLostError({this->id()});
+    }
     return *std::static_pointer_cast<const std::vector<Record>>(r.data);
   }
 
@@ -550,6 +614,7 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
 
   mutable std::mutex mu_;
   bool materialized_ = false;
+  int materialize_attempts_ = 0;
 };
 
 }  // namespace internal

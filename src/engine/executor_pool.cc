@@ -1,5 +1,8 @@
 #include "engine/executor_pool.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/logging.h"
 
 namespace spangle {
@@ -13,6 +16,17 @@ thread_local bool tl_in_task = false;
 // Lane id of the current thread (worker threads get theirs at spawn,
 // driver threads on their first RunAll). -1 = not yet assigned.
 thread_local int tl_lane = -1;
+
+// Human-readable message for a captured task exception.
+std::string DescribeError(const std::exception_ptr& err) {
+  try {
+    std::rethrow_exception(err);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown non-std exception";
+  }
+}
 
 }  // namespace
 
@@ -43,18 +57,26 @@ int ExecutorPool::LaneForThisThread() {
   return tl_lane;
 }
 
-void ExecutorPool::RunAll(std::vector<std::function<void()>> tasks,
-                          const TaskObserver& observer) {
+ExecutorPool::BatchResult ExecutorPool::RunAll(
+    std::vector<Task> tasks, const TaskObserver& observer,
+    const SpeculationOptions& speculation) {
   SPANGLE_CHECK(!tl_in_task)
       << "ExecutorPool::RunAll called from inside a task (lane "
       << tl_lane << "): a stage cannot launch a nested stage — restructure "
       << "the computation so stages are submitted from the driver or a "
       << "scheduler thread";
-  if (tasks.empty()) return;
+  BatchResult result;
+  if (tasks.empty()) return result;
+  const int n = static_cast<int>(tasks.size());
   auto batch = std::make_shared<Batch>();
   batch->tasks = std::move(tasks);
   batch->observer = observer;
-  batch->pending = batch->tasks.size();
+  batch->slots.resize(n);
+  batch->outstanding = static_cast<size_t>(n);
+  for (int i = 0; i < n; ++i) {
+    batch->queue.push_back({i, 0});
+    batch->slots[i].launched = 1;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     active_.push_back(batch);
@@ -62,35 +84,119 @@ void ExecutorPool::RunAll(std::vector<std::function<void()>> tasks,
   work_ready_.notify_all();
   // Help drain our own batch (never another driver's: returning promptly
   // once our batch finishes matters more than global throughput here).
-  while (RunOneTask(batch.get())) {
+  // When speculating with worker threads available, the driver must NOT
+  // take primary attempts: if it picked up the straggler itself, no
+  // thread would be left to monitor the batch and launch the copy. It
+  // stays the monitor and runs only the speculative copies it creates
+  // (the straggling originals may occupy every worker lane, so the
+  // copies' only guaranteed lane is this driver).
+  const bool driver_runs_primaries =
+      !speculation.enabled || num_workers_ == 1;
+  if (driver_runs_primaries) {
+    while (RunOneTask(batch.get())) {
+    }
   }
   {
     std::unique_lock<std::mutex> lock(mu_);
-    batch_done_.wait(lock, [&] { return batch->pending == 0; });
+    while (batch->outstanding != 0) {
+      if (!speculation.enabled) {
+        batch_done_.wait(lock, [&] { return batch->outstanding == 0; });
+        break;
+      }
+      // Speculation: wake periodically and re-launch stragglers.
+      const uint64_t tick =
+          std::max<uint64_t>(speculation.check_interval_us, 50);
+      batch_done_.wait_for(lock, std::chrono::microseconds(tick),
+                           [&] { return batch->outstanding == 0; });
+      if (batch->outstanding == 0) break;
+      if (MaybeSpeculateLocked(*batch, speculation)) {
+        work_ready_.notify_all();
+      }
+      lock.unlock();
+      while (RunOneTask(batch.get(),
+                        /*speculative_only=*/!driver_runs_primaries)) {
+      }
+      lock.lock();
+    }
     for (auto it = active_.begin(); it != active_.end(); ++it) {
       if (it->get() == batch.get()) {
         active_.erase(it);
         break;
       }
     }
+    result.tasks.resize(n);
+    for (int i = 0; i < n; ++i) {
+      Slot& s = batch->slots[i];
+      result.tasks[i] = {std::move(s.status), std::move(s.error), s.launched};
+    }
+    result.speculative_launches = batch->speculative_launches;
   }
+  return result;
+}
+
+void ExecutorPool::RunAll(std::vector<std::function<void()>> tasks,
+                          const TaskObserver& observer) {
+  std::vector<Task> wrapped;
+  wrapped.reserve(tasks.size());
+  for (auto& t : tasks) {
+    wrapped.emplace_back([t = std::move(t)](int) { t(); });
+  }
+  BatchResult result = RunAll(std::move(wrapped), observer);
+  for (auto& tr : result.tasks) {
+    if (tr.error != nullptr) std::rethrow_exception(tr.error);
+  }
+}
+
+bool ExecutorPool::MaybeSpeculateLocked(Batch& b,
+                                        const SpeculationOptions& spec) {
+  const int n = static_cast<int>(b.slots.size());
+  std::vector<uint64_t> durations;
+  durations.reserve(n);
+  for (const Slot& s : b.slots) {
+    if (s.returned > 0) durations.push_back(s.first_duration_us);
+  }
+  const int completed = static_cast<int>(durations.size());
+  const int min_completed = std::max(
+      1, static_cast<int>(std::ceil(spec.min_completed_fraction * n)));
+  if (completed < min_completed || completed == n) return false;
+  auto mid = durations.begin() + durations.size() / 2;
+  std::nth_element(durations.begin(), mid, durations.end());
+  const uint64_t threshold = std::max<uint64_t>(
+      static_cast<uint64_t>(static_cast<double>(*mid) * spec.multiplier),
+      spec.min_runtime_us);
+  const uint64_t now = NowMicros();
+  bool launched_any = false;
+  for (int i = 0; i < n; ++i) {
+    Slot& s = b.slots[i];
+    if (s.returned > 0 || s.speculated || s.launched != 1 ||
+        s.first_start_us == 0) {
+      continue;
+    }
+    if (now - s.first_start_us < threshold) continue;
+    b.queue.push_back({i, 1});
+    s.launched = 2;
+    s.speculated = true;
+    ++b.outstanding;
+    ++b.speculative_launches;
+    launched_any = true;
+  }
+  return launched_any;
 }
 
 bool ExecutorPool::AnyRunnableLocked() const {
   for (const auto& b : active_) {
-    if (b->next < b->tasks.size()) return true;
+    if (!b->queue.empty()) return true;
   }
   return false;
 }
 
-bool ExecutorPool::RunOneTask(Batch* only) {
+bool ExecutorPool::RunOneTask(Batch* only, bool speculative_only) {
   std::shared_ptr<Batch> batch;
-  std::function<void()> task;
-  int index = 0;
+  WorkItem item;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (only != nullptr) {
-      if (only->next < only->tasks.size()) {
+      if (!only->queue.empty()) {
         for (const auto& b : active_) {
           if (b.get() == only) {
             batch = b;
@@ -100,29 +206,64 @@ bool ExecutorPool::RunOneTask(Batch* only) {
       }
     } else {
       for (const auto& b : active_) {
-        if (b->next < b->tasks.size()) {
+        if (!b->queue.empty()) {
           batch = b;
           break;
         }
       }
     }
     if (batch == nullptr) return false;
-    index = static_cast<int>(batch->next);
-    task = std::move(batch->tasks[batch->next]);
-    ++batch->next;
+    if (speculative_only) {
+      auto it = batch->queue.begin();
+      while (it != batch->queue.end() && it->attempt == 0) ++it;
+      if (it == batch->queue.end()) return false;
+      item = *it;
+      batch->queue.erase(it);
+    } else {
+      item = batch->queue.front();
+      batch->queue.pop_front();
+    }
+    Slot& s = batch->slots[item.index];
+    if (s.first_start_us == 0) s.first_start_us = NowMicros();
   }
   TaskTiming timing;
-  timing.index = index;
+  timing.index = item.index;
+  timing.attempt = item.attempt;
   timing.lane = LaneForThisThread();
   timing.start_us = NowMicros();
+  std::exception_ptr err;
   tl_in_task = true;
-  task();
+  try {
+    batch->tasks[item.index](item.attempt);
+  } catch (...) {
+    err = std::current_exception();
+  }
   tl_in_task = false;
   timing.duration_us = NowMicros() - timing.start_us;
   if (batch->observer) batch->observer(timing);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (--batch->pending == 0) batch_done_.notify_all();
+    Slot& s = batch->slots[item.index];
+    ++s.returned;
+    if (s.returned == 1) s.first_duration_us = timing.duration_us;
+    if (err == nullptr) {
+      // A normal return means the task body either ran to completion in
+      // this attempt or was already completed by the other attempt
+      // (discarded loser) — either way the task is settled successfully.
+      s.succeeded = true;
+      s.status = Status::OK();
+      s.error = nullptr;
+    } else if (!s.succeeded) {
+      s.status = Status::Internal(DescribeError(err));
+      s.error = err;
+    }
+    // Drop our reference to the exception while still holding mu_. The
+    // slot (or nothing, for a discarded loser) now owns the object, so
+    // the final release — and the free TSan watches — always happens on
+    // the driver after it takes mu_ at the barrier, never on a worker
+    // racing the driver's reads of the exception contents.
+    err = nullptr;
+    if (--batch->outstanding == 0) batch_done_.notify_all();
   }
   return true;
 }

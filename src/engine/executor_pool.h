@@ -6,19 +6,23 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace spangle {
 
-/// Where and when one task ran. Times are microseconds relative to the
-/// pool's construction, so timings from different stages of one context
-/// share an epoch and can be laid out on a common trace timeline.
+/// Where and when one task attempt ran. Times are microseconds relative
+/// to the pool's construction, so timings from different stages of one
+/// context share an epoch and can be laid out on a common trace timeline.
 struct TaskTiming {
   int index = 0;        // task index within its batch
+  int attempt = 0;      // 0 = original launch, 1 = speculative copy
   int lane = 0;         // executor lane that ran it (see RunAll)
   uint64_t start_us = 0;
   uint64_t duration_us = 0;
@@ -26,8 +30,23 @@ struct TaskTiming {
 
 /// Fixed pool of worker threads standing in for the cluster's executors.
 /// A driver thread submits one batch of tasks per stage with RunAll(),
-/// which blocks until every task of that batch has finished — mirroring
-/// Spark's stage barrier.
+/// which blocks until every launched attempt of that batch has finished —
+/// mirroring Spark's stage barrier.
+///
+/// Failure contract: a task body that throws does NOT poison the batch or
+/// the pool. The exception is captured per task, unrelated tasks keep
+/// running, and RunAll reports one TaskResult per task (Status plus the
+/// captured exception_ptr) so the scheduler can retry or re-plan. The
+/// legacy void()-task overload rethrows the first captured error on the
+/// calling thread after the batch barrier.
+///
+/// Speculation: when enabled, the calling (driver) thread monitors its
+/// batch while waiting on the barrier and re-enqueues a second attempt of
+/// any task that has been running far longer than the median of the
+/// batch's completed tasks. Both attempts invoke the same callable (which
+/// receives its attempt number); the first to return settles the task and
+/// the barrier still waits for the loser to come back, so no attempt ever
+/// outlives RunAll.
 ///
 /// Multiple driver threads may call RunAll() concurrently (the DAG
 /// scheduler materializes independent shuffle stages in parallel): each
@@ -38,10 +57,46 @@ struct TaskTiming {
 /// silently; it now CHECK-fails with the offending lane.
 class ExecutorPool {
  public:
-  /// Observer invoked once per task, after the task body returns, from
-  /// the thread that ran it. May be called concurrently; implementations
-  /// must be thread-safe (writing to distinct per-index slots is enough).
+  /// One task: invoked as task(attempt). May be invoked more than once
+  /// (speculation), possibly concurrently with itself; implementations
+  /// that are not naturally idempotent must gate their side effects (the
+  /// scheduler's task wrappers do).
+  using Task = std::function<void(int attempt)>;
+
+  /// Observer invoked once per task *attempt*, after the attempt returns,
+  /// from the thread that ran it. May be called concurrently;
+  /// implementations must be thread-safe.
   using TaskObserver = std::function<void(const TaskTiming&)>;
+
+  /// Straggler re-launch policy for one batch (see FaultToleranceOptions
+  /// for the context-level defaults these are filled from).
+  struct SpeculationOptions {
+    bool enabled = false;
+    double multiplier = 1.5;
+    uint64_t min_runtime_us = 2000;
+    double min_completed_fraction = 0.5;
+    uint64_t check_interval_us = 200;
+  };
+
+  /// Outcome of one task across all its attempts.
+  struct TaskResult {
+    Status status;             // OK when any attempt returned normally
+    std::exception_ptr error;  // captured exception when !status.ok()
+    int attempts = 0;          // attempts launched (2 when speculated)
+  };
+
+  /// Outcome of one batch.
+  struct BatchResult {
+    std::vector<TaskResult> tasks;
+    int speculative_launches = 0;
+
+    bool ok() const {
+      for (const auto& t : tasks) {
+        if (!t.status.ok()) return false;
+      }
+      return true;
+    }
+  };
 
   explicit ExecutorPool(int num_workers);
   ~ExecutorPool();
@@ -55,7 +110,18 @@ class ExecutorPool {
   /// pool of size 1 degenerates to serial in-line execution. Lanes number
   /// the threads that can run tasks: pool workers take 0..num_workers-2,
   /// the first driver thread num_workers-1, and additional concurrent
-  /// drivers (scheduler threads) count up from there.
+  /// drivers (scheduler threads) count up from there. Returns one
+  /// TaskResult per task; never throws on task failure.
+  BatchResult RunAll(std::vector<Task> tasks,
+                     const TaskObserver& observer,
+                     const SpeculationOptions& speculation);
+  BatchResult RunAll(std::vector<Task> tasks,
+                     const TaskObserver& observer = nullptr) {
+    return RunAll(std::move(tasks), observer, SpeculationOptions{});
+  }
+
+  /// Legacy attempt-less batch: wraps each task, then rethrows the first
+  /// captured task error (if any) after the whole batch has finished.
   void RunAll(std::vector<std::function<void()>> tasks,
               const TaskObserver& observer = nullptr);
 
@@ -68,19 +134,44 @@ class ExecutorPool {
   }
 
  private:
+  struct WorkItem {
+    int index = 0;
+    int attempt = 0;
+  };
+
+  /// Per-task bookkeeping across attempts; guarded by mu_.
+  struct Slot {
+    int launched = 0;             // attempts queued so far (1 or 2)
+    int returned = 0;             // attempts that came back
+    uint64_t first_start_us = 0;  // 0 = no attempt has started yet
+    uint64_t first_duration_us = 0;  // duration of first returned attempt
+    bool speculated = false;
+    bool succeeded = false;  // some attempt returned normally
+    Status status;
+    std::exception_ptr error;
+  };
+
   struct Batch {
-    std::vector<std::function<void()>> tasks;
+    std::vector<Task> tasks;  // invoked by index; callable repeatedly
     TaskObserver observer;
-    size_t next = 0;     // next task index to hand out
-    size_t pending = 0;  // tasks taken but unfinished + tasks not taken
+    std::deque<WorkItem> queue;  // attempts not yet picked up
+    std::vector<Slot> slots;
+    size_t outstanding = 0;  // queued + running attempts
+    int speculative_launches = 0;
   };
 
   void WorkerLoop(int lane);
-  /// Picks one runnable task — from `only` when given, else from any
+  /// Picks one runnable attempt — from `only` when given, else from any
   /// active batch — runs it, and returns true. False when nothing to run.
-  bool RunOneTask(Batch* only);
+  /// With `speculative_only`, considers only re-launched copies (attempt
+  /// > 0): the speculating driver must not occupy its lane with a
+  /// primary attempt that could itself be the straggler.
+  bool RunOneTask(Batch* only, bool speculative_only = false);
   bool AnyRunnableLocked() const;
   int LaneForThisThread();
+  /// Re-enqueues a speculative copy of every straggler in `b`; returns
+  /// true when at least one was launched. Caller holds mu_.
+  bool MaybeSpeculateLocked(Batch& b, const SpeculationOptions& spec);
 
   const int num_workers_;
   const std::chrono::steady_clock::time_point epoch_;

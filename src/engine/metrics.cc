@@ -17,11 +17,17 @@ thread_local EngineMetrics::StageAccumulator* tl_stage_acc = nullptr;
 
 std::string StageStat::ToString() const {
   std::ostringstream os;
-  os << "stage#" << seq << " '" << name << "' job=" << job_id
-     << " tasks=" << num_tasks << " wall=" << wall_us << "us"
-     << " task[min/mean/max]=" << min_task_us << "/"
+  os << "stage#" << seq << " '" << name << "'";
+  if (attempt > 0) os << " attempt=" << attempt;
+  os << " job=" << job_id << " tasks=" << num_tasks << " wall=" << wall_us
+     << "us task[min/mean/max]=" << min_task_us << "/"
      << (num_tasks > 0 ? total_task_us / num_tasks : 0) << "/" << max_task_us
      << "us skew=" << skew_ratio << " stragglers=" << num_stragglers;
+  if (task_retries > 0) os << " task_retries=" << task_retries;
+  if (speculative_launches > 0) {
+    os << " speculative=" << speculative_launches << "/" << speculative_wins
+       << " (launched/won)";
+  }
   if (shuffle_bytes > 0) {
     os << " shuffled=" << HumanBytes(shuffle_bytes) << " ("
        << shuffle_records << " records)";
@@ -85,6 +91,10 @@ void EngineMetrics::Reset() {
   cache_hits = 0;
   cache_misses = 0;
   peak_concurrent_shuffles = 0;
+  task_retries = 0;
+  stage_reruns = 0;
+  speculative_launches = 0;
+  speculative_wins = 0;
   bytes_cached = 0;
   memory_high_water = 0;
   evictions = 0;
@@ -102,6 +112,10 @@ std::string EngineMetrics::ToString() const {
      << " shuffle_records=" << shuffle_records.load()
      << " shuffle_bytes=" << HumanBytes(shuffle_bytes.load())
      << " peak_concurrent_shuffles=" << peak_concurrent_shuffles.load()
+     << " task_retries=" << task_retries.load()
+     << " stage_reruns=" << stage_reruns.load()
+     << " speculative_launches=" << speculative_launches.load()
+     << " speculative_wins=" << speculative_wins.load()
      << " recomputed=" << recomputed_partitions.load()
      << " cache_hits=" << cache_hits.load()
      << " cache_misses=" << cache_misses.load()

@@ -17,6 +17,7 @@ struct TaskStat {
   int lane = 0;
   uint64_t start_us = 0;
   uint64_t duration_us = 0;
+  int attempt = 0;  // cumulative attempt of the task (0 = first launch)
 };
 
 /// One executed stage: identity, wall time, task-time distribution, skew,
@@ -33,9 +34,16 @@ struct StageStat {
   uint64_t job_id = 0;   // 0 = outside any scheduler-submitted job
   uint64_t seq = 0;      // global stage sequence number (per context)
   std::string name;      // e.g. "reduceByKey/map", "collect"
+  int attempt = 0;       // stage attempt: reruns of a lost shuffle stage
+                         // (or job re-attempts of a result stage) count up
   int num_tasks = 0;
   uint64_t start_us = 0;
   uint64_t wall_us = 0;
+
+  // Fault-tolerance accounting for this stage execution.
+  int task_retries = 0;          // failed task attempts re-launched
+  int speculative_launches = 0;  // straggler copies launched
+  int speculative_wins = 0;      // tasks settled by a speculative copy
 
   // Task-time distribution.
   uint64_t min_task_us = 0;
@@ -50,8 +58,9 @@ struct StageStat {
   uint64_t shuffle_bytes = 0;
   uint64_t shuffle_records = 0;
 
-  // Per-task detail for trace export; empty when the stage had more tasks
-  // than the retention cap.
+  // Per-task detail for trace export; the first num_tasks entries are the
+  // primary attempts (slot per task), with retry/speculative attempts
+  // appended after them (attempt > 0 ⇒ an extra lane in the trace).
   std::vector<TaskStat> tasks;
 
   std::string ToString() const;
@@ -80,6 +89,13 @@ class EngineMetrics {
   // Scheduler concurrency: the most shuffle stages ever observed
   // materializing at the same instant (>= 2 proves stage overlap).
   std::atomic<uint64_t> peak_concurrent_shuffles{0};
+
+  // Fault tolerance: mid-job recovery and straggler mitigation.
+  std::atomic<uint64_t> task_retries{0};      // failed attempts re-launched
+  std::atomic<uint64_t> stage_reruns{0};      // shuffle stages re-materialized
+                                              // after their output was lost
+  std::atomic<uint64_t> speculative_launches{0};  // straggler copies launched
+  std::atomic<uint64_t> speculative_wins{0};  // tasks won by the copy
 
   // Storage subsystem (BlockManager) counters.
   std::atomic<uint64_t> bytes_cached{0};       // gauge: resident block bytes

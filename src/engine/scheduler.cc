@@ -174,6 +174,12 @@ void Scheduler::MaterializeShuffles(const PhysicalPlan& plan,
   // One driver thread per pending stage: each waits for its dependencies,
   // then materializes. Stages with no ordering between them overlap; the
   // executor pool multiplexes their task batches over the shared workers.
+  //
+  // Failure: the first stage whose materialization throws records its
+  // exception and flips `failed`, which releases every thread still
+  // waiting on dependencies (they return without materializing). After
+  // the join the error is rethrown on the submitting thread, where
+  // RunJob's recovery loop can re-plan.
   const uint64_t job = internal::CurrentJobId();
   std::mutex mu;
   std::condition_variable cv;
@@ -182,6 +188,8 @@ void Scheduler::MaterializeShuffles(const PhysicalPlan& plan,
     if (s.is_shuffle && s.materialized) done[s.id] = 1;
   }
   int running = 0;
+  bool failed = false;
+  std::exception_ptr first_error;
   std::vector<std::thread> threads;
   threads.reserve(pending.size());
   for (int id : pending) {
@@ -191,24 +199,34 @@ void Scheduler::MaterializeShuffles(const PhysicalPlan& plan,
       {
         std::unique_lock<std::mutex> lock(mu);
         cv.wait(lock, [&] {
+          if (failed) return true;
           for (int dep : stage.deps) {
             if (!done[dep]) return false;
           }
           return true;
         });
+        if (failed) return;
         ++running;
         metrics.RaisePeakConcurrentShuffles(static_cast<uint64_t>(running));
       }
-      stage.node->Materialize();
-      {
+      try {
+        stage.node->Materialize();
         std::lock_guard<std::mutex> lock(mu);
         --running;
         done[id] = 1;
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        --running;
+        if (!failed) {
+          failed = true;
+          first_error = std::current_exception();
+        }
       }
       cv.notify_all();
     });
   }
   for (auto& t : threads) t.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 }  // namespace spangle

@@ -42,7 +42,7 @@ TEST(ExecutorPoolTest, ManySequentialBatches) {
 
 TEST(ExecutorPoolTest, EmptyBatchReturnsImmediately) {
   ExecutorPool pool(2);
-  pool.RunAll({});
+  pool.RunAll(std::vector<std::function<void()>>{});
   SUCCEED();
 }
 
@@ -155,6 +155,122 @@ TEST(ExecutorPoolTest, RunAllPropagatesWorkDoneBeforeReturn) {
   }
   pool.RunAll(std::move(tasks));
   for (int i = 0; i < 200; ++i) ASSERT_EQ(out[i], i * i);
+}
+
+TEST(ExecutorPoolTest, ThrowingTaskDoesNotPoisonBatch) {
+  // The failure contract: a throwing task is captured per-task; every
+  // unrelated task in the batch still runs to completion.
+  ExecutorPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<ExecutorPool::Task> tasks;
+  for (int i = 0; i < 32; ++i) {
+    tasks.emplace_back([&ran, i](int) {
+      if (i == 7) throw std::runtime_error("boom in task 7");
+      ran.fetch_add(1);
+    });
+  }
+  const ExecutorPool::BatchResult res = pool.RunAll(std::move(tasks));
+  EXPECT_EQ(ran.load(), 31);
+  ASSERT_EQ(res.tasks.size(), 32u);
+  EXPECT_FALSE(res.ok());
+  for (int i = 0; i < 32; ++i) {
+    if (i == 7) {
+      EXPECT_FALSE(res.tasks[i].status.ok());
+      EXPECT_NE(res.tasks[i].status.ToString().find("boom in task 7"),
+                std::string::npos);
+      EXPECT_NE(res.tasks[i].error, nullptr);
+    } else {
+      EXPECT_TRUE(res.tasks[i].status.ok()) << "task " << i;
+    }
+    EXPECT_EQ(res.tasks[i].attempts, 1);
+  }
+}
+
+TEST(ExecutorPoolTest, LegacyRunAllRethrowsFirstErrorAfterBarrier) {
+  ExecutorPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.emplace_back([&ran, i] {
+      if (i == 2) throw std::runtime_error("legacy failure");
+      ran.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.RunAll(std::move(tasks)), std::runtime_error);
+  // The barrier still held: the error surfaced only after every other
+  // task finished.
+  EXPECT_EQ(ran.load(), 7);
+}
+
+TEST(ExecutorPoolTest, ThrowingBatchLeavesConcurrentBatchIntact) {
+  // Two drivers share the workers; one batch throwing must not disturb
+  // the other batch's tasks or barrier.
+  ExecutorPool pool(4);
+  std::atomic<int> good{0};
+  std::atomic<bool> bad_failed{false};
+  std::thread bad([&] {
+    std::vector<ExecutorPool::Task> tasks;
+    for (int i = 0; i < 16; ++i) {
+      tasks.emplace_back([](int) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        throw std::runtime_error("all tasks fail");
+      });
+    }
+    bad_failed.store(!pool.RunAll(std::move(tasks)).ok());
+  });
+  std::thread ok([&] {
+    std::vector<ExecutorPool::Task> tasks;
+    for (int i = 0; i < 16; ++i) {
+      tasks.emplace_back([&good](int) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        good.fetch_add(1);
+      });
+    }
+    EXPECT_TRUE(pool.RunAll(std::move(tasks)).ok());
+  });
+  bad.join();
+  ok.join();
+  EXPECT_TRUE(bad_failed.load());
+  EXPECT_EQ(good.load(), 16);
+}
+
+TEST(ExecutorPoolTest, SpeculationRelaunchesStragglerFirstFinisherWins) {
+  ExecutorPool pool(4);
+  // 7 fast tasks + 1 straggler. The straggler's first attempt sleeps far
+  // past the median; its speculative copy (attempt 1) returns at once.
+  std::atomic<bool> settled{false};
+  std::atomic<int> straggler_attempts{0};
+  std::vector<ExecutorPool::Task> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.emplace_back([&settled, &straggler_attempts, i](int attempt) {
+      if (i != 7) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        return;
+      }
+      straggler_attempts.fetch_add(1);
+      if (attempt == 0) {
+        // First-finisher-wins gate, as the scheduler builds it: wait for
+        // the copy to settle the task, then return as the discarded loser.
+        while (!settled.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        return;
+      }
+      settled.store(true);
+    });
+  }
+  ExecutorPool::SpeculationOptions spec;
+  spec.enabled = true;
+  spec.multiplier = 1.5;
+  spec.min_runtime_us = 4000;
+  spec.min_completed_fraction = 0.5;
+  spec.check_interval_us = 200;
+  const ExecutorPool::BatchResult res =
+      pool.RunAll(std::move(tasks), nullptr, spec);
+  EXPECT_TRUE(res.ok());
+  EXPECT_GE(res.speculative_launches, 1);
+  EXPECT_EQ(straggler_attempts.load(), 2);
+  EXPECT_EQ(res.tasks[7].attempts, 2);
 }
 
 }  // namespace
