@@ -8,12 +8,19 @@
 //   4. DAG scheduler stage overlap: the two independent scatter shuffles
 //      of a shuffle-join matmul materialized concurrently vs one at a
 //      time. Also written to BENCH_scheduler.json for machines.
+//   5. RuntimeProfile instrumentation overhead: PageRank and matmul with
+//      profiling on vs off. The hooks must stay under a few percent or
+//      always-on profiling is off the table. Written to
+//      BENCH_observability.json for machines.
 
 #include <cstdio>
+#include <functional>
 
 #include "bench/bench_util.h"
 #include "common/bytes.h"
 #include "matrix/block_matrix.h"
+#include "ml/pagerank.h"
+#include "workload/graph_gen.h"
 #include "ops/aggregator.h"
 #include "ops/operators.h"
 #include "ops/overlap.h"
@@ -207,6 +214,97 @@ void SchedulerAblation() {
   }
 }
 
+void ObservabilityAblation() {
+  Context ctx(4);
+
+  // Workload A: PageRank on an R-MAT graph (many small per-tile tasks —
+  // the per-partition hook cost shows up here if anywhere).
+  RmatOptions graph;
+  graph.scale = 13;
+  graph.edges_per_vertex = 8;
+  const auto edges = GenerateRmat(graph);
+  const uint64_t n = uint64_t{1} << graph.scale;
+  PageRankOptions pr;
+  pr.iterations = 15;
+  pr.block = 512;
+
+  // Workload B: sparse block matmul (chunk-build heavy, so the
+  // RecordChunkBuilt hook fires per output tile).
+  const uint64_t mn = 2048, block = 256;
+  auto ma = GenerateUniformMatrix("a", mn, mn, 0.004, 51);
+  auto mb = GenerateUniformMatrix("b", mn, mn, 0.004, 52);
+  auto a = *BlockMatrix::FromEntries(&ctx, mn, mn, block, ma.entries,
+                                     ModePolicy::Auto(),
+                                     PartitionScheme::kByColBlock, 8);
+  auto b = *BlockMatrix::FromEntries(&ctx, mn, mn, block, mb.entries,
+                                     ModePolicy::Auto(),
+                                     PartitionScheme::kByRowBlock, 8);
+  a.Cache();
+  b.Cache();
+  a.NumNonZero();
+  b.NumNonZero();
+
+  // Interleave off/on reps and take the min of each: allocator and cache
+  // state drift across runs, so measuring all-off then all-on biases the
+  // later configuration. Alternating exposes both to the same drift.
+  constexpr int kReps = 7;
+  auto pagerank_once = [&] { (void)*PageRank(&ctx, n, edges, pr); };
+  auto matmul_once = [&] { a.Multiply(b)->NumNonZero(); };
+  auto measure = [&](const std::function<void()>& fn, double* off,
+                     double* on) {
+    ctx.set_profiling_enabled(false);
+    fn();  // warmup
+    ctx.set_profiling_enabled(true);
+    fn();  // warmup
+    *off = -1.0;
+    *on = -1.0;
+    for (int r = 0; r < kReps; ++r) {
+      ctx.set_profiling_enabled(false);
+      const double t_off = TimeSeconds(fn);
+      ctx.set_profiling_enabled(true);
+      const double t_on = TimeSeconds(fn);
+      if (*off < 0.0 || t_off < *off) *off = t_off;
+      if (*on < 0.0 || t_on < *on) *on = t_on;
+    }
+  };
+
+  PrintHeader("Ablation 5: RuntimeProfile instrumentation overhead",
+              {"workload", "profile off", "profile on", "overhead"});
+  double results[2][2];  // [workload][off, on]
+  const char* names[2] = {"pagerank", "matmul"};
+  const std::function<void()> work[2] = {pagerank_once, matmul_once};
+  for (int w = 0; w < 2; ++w) {
+    measure(work[w], &results[w][0], &results[w][1]);
+    const double overhead =
+        results[w][0] > 0
+            ? (results[w][1] - results[w][0]) / results[w][0] * 100.0
+            : 0.0;
+    PrintCell(std::string(names[w]));
+    PrintCell(results[w][0]);
+    PrintCell(results[w][1]);
+    char pct[32];
+    std::snprintf(pct, sizeof(pct), "%+.2f%%", overhead);
+    PrintCell(std::string(pct));
+    PrintEnd();
+  }
+
+  FILE* f = std::fopen("BENCH_observability.json", "w");
+  if (f != nullptr) {
+    std::fprintf(
+        f,
+        "{\"bench\":\"runtime_profile_overhead\",\"reps\":%d,"
+        "\"pagerank_off_seconds\":%.6f,\"pagerank_on_seconds\":%.6f,"
+        "\"pagerank_overhead_pct\":%.3f,"
+        "\"matmul_off_seconds\":%.6f,\"matmul_on_seconds\":%.6f,"
+        "\"matmul_overhead_pct\":%.3f}\n",
+        kReps, results[0][0], results[0][1],
+        (results[0][1] - results[0][0]) / results[0][0] * 100.0,
+        results[1][0], results[1][1],
+        (results[1][1] - results[1][0]) / results[1][0] * 100.0);
+    std::fclose(f);
+  }
+}
+
 }  // namespace
 }  // namespace spangle
 
@@ -216,5 +314,6 @@ int main() {
   spangle::OverlapAblation();
   spangle::MaskRddAblation();
   spangle::SchedulerAblation();
+  spangle::ObservabilityAblation();
   return 0;
 }

@@ -11,8 +11,16 @@
 //   filter <attr> <op> <value>      Filter (op: gt | lt)
 //   agg <attr> <sum|avg|min|max|count>
 //   cell <attr> <coords...>         point query
+//   explain                         staged plan of the current view
+//   explain analyze [<expr>]        EXECUTE and report per-node actuals;
+//                                   expr: sub <lo...> <hi...>
+//                                       | filter <attr> gt|lt <v>
+//                                       | (empty: the current view)
+//   metrics [--json]                engine metrics (pretty or JSON)
 //   reset                           discard the operator chain
 //   quit
+//
+// A leading ':' on any command is accepted (":metrics" == "metrics").
 
 #include <cstdio>
 #include <iostream>
@@ -101,12 +109,56 @@ int main(int argc, char** argv) {
       std::printf("spangle> ");
       continue;
     }
-    const std::string& cmd = tok[0];
+    std::string cmd = tok[0];
+    if (!cmd.empty() && cmd[0] == ':') cmd.erase(0, 1);
     if (cmd == "quit" || cmd == "exit") break;
     if (cmd == "help") {
       std::printf(
           "attrs | count | sub <lo...> <hi...> | filter <attr> gt|lt <v> | "
-          "agg <attr> <fn> | cell <attr> <coords...> | reset | quit\n");
+          "agg <attr> <fn> | cell <attr> <coords...> | explain [analyze "
+          "[<expr>]] | metrics [--json] | reset | quit\n");
+    } else if (cmd == "metrics") {
+      if (tok.size() >= 2 && tok[1] == "--json") {
+        std::printf("%s\n", ctx.MetricsJson().c_str());
+      } else {
+        std::printf("%s\n", ctx.metrics().ToString().c_str());
+      }
+    } else if (cmd == "explain") {
+      if (tok.size() == 1) {
+        std::printf("%s", view.Explain().c_str());
+      } else if (tok[1] != "analyze") {
+        std::printf("unrecognized; try 'explain' or 'explain analyze'\n");
+      } else if (tok.size() == 2) {
+        // Profile the reconciliation of the current view.
+        std::printf("%s", view.ExplainAnalyze().c_str());
+      } else if (tok[2] == "sub" && tok.size() == 3 + 2 * nd) {
+        Coords lo(nd), hi(nd);
+        for (size_t d = 0; d < nd; ++d) {
+          lo[d] = std::stoll(tok[3 + d]);
+          hi[d] = std::stoll(tok[3 + nd + d]);
+        }
+        auto q = Subarray(view, lo, hi);
+        if (q.ok()) {
+          std::printf("%s", q->ExplainAnalyze().c_str());
+        } else {
+          std::printf("error: %s\n", q.status().ToString().c_str());
+        }
+      } else if (tok[2] == "filter" && tok.size() == 6) {
+        const double value = std::stod(tok[5]);
+        const bool greater = tok[4] == "gt";
+        auto q = Filter(view, tok[3], [value, greater](double v) {
+          return greater ? v > value : v < value;
+        });
+        if (q.ok()) {
+          std::printf("%s", q->ExplainAnalyze().c_str());
+        } else {
+          std::printf("error: %s\n", q.status().ToString().c_str());
+        }
+      } else {
+        std::printf(
+            "usage: explain analyze [sub <lo...> <hi...> | filter <attr> "
+            "gt|lt <v>]\n");
+      }
     } else if (cmd == "attrs") {
       for (const auto& name : view.attribute_names()) {
         std::printf("  %s\n", name.c_str());

@@ -133,6 +133,10 @@ Result<ArrayRdd> ArrayRdd::FromDenseBuffer(
   return ArrayRdd(meta, std::move(pairs));
 }
 
+AnalyzedPlan ArrayRdd::ExplainAnalyzePlan(const std::string& action) const {
+  return chunks_.ExplainAnalyzePlan(action);
+}
+
 uint64_t ArrayRdd::CountValid() const {
   return chunks_.AsRdd().Aggregate<uint64_t>(
       0,

@@ -88,6 +88,15 @@ class ArrayRdd {
     return chunks_.Explain(action);
   }
 
+  /// EXECUTES `action` over the chunks and returns the plan annotated
+  /// with per-node actuals — including the chunk modes, densities, and
+  /// mode transitions the chunk builders reported (see Rdd::ExplainAnalyze).
+  AnalyzedPlan ExplainAnalyzePlan(
+      const std::string& action = "collect") const;
+  std::string ExplainAnalyze(const std::string& action = "collect") const {
+    return ExplainAnalyzePlan(action).ToString();
+  }
+
   /// Number of materialized (non-empty) chunks.
   size_t NumChunks() const { return chunks_.Count(); }
 

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "engine/runtime_profile.h"
+
 namespace spangle {
 
 const char* ChunkModeName(ChunkMode mode) {
@@ -71,6 +73,9 @@ Chunk Chunk::FromCells(uint32_t num_cells,
       break;
     }
   }
+  // RuntimeProfile hook: no-op unless the calling thread is a profiling
+  // task (attributes the chunk's mode + density to the running operator).
+  prof::RecordChunkBuilt(static_cast<int>(mode), num_cells, c.num_valid_);
   return c;
 }
 
@@ -145,6 +150,8 @@ std::vector<std::pair<uint32_t, double>> Chunk::ToCells() const {
 
 Chunk Chunk::ConvertTo(ChunkMode mode) const {
   if (mode == mode_) return *this;
+  prof::RecordModeTransition(static_cast<int>(mode_),
+                             static_cast<int>(mode));
   return FromCells(num_cells_, ToCells(), mode);
 }
 

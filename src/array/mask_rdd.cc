@@ -3,7 +3,20 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "engine/runtime_profile.h"
+
 namespace spangle {
+
+namespace {
+
+/// RuntimeProfile hook (no-op off the profiling path): the set-bit
+/// fraction of each bitmask a reconciliation combinator produces — the
+/// paper's evidence for how selective a MaskRDD actually is.
+void RecordDensity(const Bitmask& m) {
+  prof::RecordMaskDensity(m.CountAll(), m.num_bits());
+}
+
+}  // namespace
 
 Bitmask RangeMaskForChunk(const Mapper& mapper, ChunkId id, const Coords& lo,
                           const Coords& hi) {
@@ -67,6 +80,7 @@ MaskRdd MaskRdd::And(const MaskRdd& other) const {
           .MapValues([](const std::pair<Bitmask, Bitmask>& pair) {
             Bitmask out = pair.first;
             out.AndWith(pair.second);
+            RecordDensity(out);
             return out;
           })
           .Filter([](const std::pair<ChunkId, Bitmask>& rec) {
@@ -91,6 +105,7 @@ MaskRdd MaskRdd::Or(const MaskRdd& other) const {
             }
           }
         }
+        RecordDensity(out);
         return out;
       });
   return MaskRdd(mapper_, std::move(combined));
@@ -112,6 +127,7 @@ MaskRdd MaskRdd::AndRange(const Coords& lo, const Coords& hi) const {
           .Map([mapper, lo, hi](const std::pair<ChunkId, Bitmask>& rec) {
             Bitmask out = rec.second;
             out.AndWith(RangeMaskForChunk(*mapper, rec.first, lo, hi));
+            RecordDensity(out);
             return std::pair<ChunkId, Bitmask>(rec.first, std::move(out));
           })
           .Filter([](const std::pair<ChunkId, Bitmask>& rec) {
@@ -130,6 +146,7 @@ MaskRdd MaskRdd::AndPredicate(const ArrayRdd& attr,
     c.ForEachValid([&](uint32_t off, double v) {
       if (pred(v)) mask.Set(off);
     });
+    RecordDensity(mask);
     return mask;
   });
   MaskRdd pass_view(mapper_, std::move(pass));

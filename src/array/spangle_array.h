@@ -68,6 +68,16 @@ class SpangleArray {
   /// would run.
   std::string Explain(const std::string& action = "evaluate") const;
 
+  /// EXECUTES the reconciliation of every attribute (one multi-root
+  /// profiled run) and returns the plan annotated with actuals: rows,
+  /// bytes, mask densities, chunk modes per lineage node (see
+  /// Rdd::ExplainAnalyze).
+  AnalyzedPlan ExplainAnalyzePlan(
+      const std::string& action = "evaluate") const;
+  std::string ExplainAnalyze(const std::string& action = "evaluate") const {
+    return ExplainAnalyzePlan(action).ToString();
+  }
+
   /// Same array without attribute `name` (the global view is unchanged —
   /// dropped columns do not invalidate cells).
   Result<SpangleArray> DropAttribute(const std::string& name) const;

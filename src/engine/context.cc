@@ -7,37 +7,11 @@
 #include <mutex>
 #include <thread>
 
+#include "engine/metrics_export.h"
+
 namespace spangle {
 
 namespace {
-
-/// Minimal JSON string escaping for stage/task names in trace output.
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 /// First-finisher-wins gate for one task index. Duplicate attempts of the
 /// same task (speculation) serialize on `mu`: exactly one attempt ever
@@ -76,6 +50,9 @@ void Context::RunStage(const std::string& name, int n,
                        int stage_attempt) {
   const FaultToleranceOptions opts = fault_options();
   const std::shared_ptr<const ChaosPolicy> chaos = chaos_policy();
+  // Bound to every task thread of this stage (null = profiling off, all
+  // hooks reduce to one branch).
+  RuntimeProfile* const profile = profiling_enabled() ? &profile_ : nullptr;
 
   StageStat stat;
   stat.job_id = internal::CurrentJobId();
@@ -108,6 +85,7 @@ void Context::RunStage(const std::string& name, int n,
 
   const int overhead = task_overhead_us_;
   stat.start_us = pool_.NowMicros();
+  if (profile != nullptr) profile->SampleCounters(stat.start_us);
 
   std::vector<int> pending(static_cast<size_t>(std::max(n, 0)));
   for (int i = 0; i < n; ++i) pending[static_cast<size_t>(i)] = i;
@@ -119,6 +97,7 @@ void Context::RunStage(const std::string& name, int n,
   // StageStat for Explain()/DumpTrace.
   const auto Finalize = [&] {
     stat.wall_us = pool_.NowMicros() - stat.start_us;
+    if (profile != nullptr) profile->SampleCounters(pool_.NowMicros());
     for (const TaskGate& g : gates) {
       if (g.fn_done && g.winner_speculative) ++stat.speculative_wins;
     }
@@ -135,6 +114,8 @@ void Context::RunStage(const std::string& name, int n,
         stat.min_task_us = std::min(stat.min_task_us, t.duration_us);
         stat.max_task_us = std::max(stat.max_task_us, t.duration_us);
         stat.total_task_us += t.duration_us;
+        metrics_.task_duration_us.Observe(
+            static_cast<double>(t.duration_us));
         for (size_t b = 0; b < StageStat::kHistBoundsUs.size(); ++b) {
           if (t.duration_us <= StageStat::kHistBoundsUs[b]) {
             ++stat.task_hist[b];
@@ -155,6 +136,8 @@ void Context::RunStage(const std::string& name, int n,
         }
       }
     }
+    metrics_.task_time_us.fetch_add(stat.total_task_us,
+                                    std::memory_order_relaxed);
     stat.shuffle_bytes = acc.shuffle_bytes.load(std::memory_order_relaxed);
     stat.shuffle_records =
         acc.shuffle_records.load(std::memory_order_relaxed);
@@ -166,8 +149,10 @@ void Context::RunStage(const std::string& name, int n,
     tasks.reserve(pending.size());
     for (const int i : pending) {
       tasks.emplace_back([this, &fn, &acc, &gates, &attempt_base, &chaos,
-                          &name, stage_attempt, overhead, i](int pool_attempt) {
+                          &name, stage_attempt, overhead, profile,
+                          i](int pool_attempt) {
         EngineMetrics::ScopedStageAccumulator scope(&acc);
+        prof::ScopedThreadProfile profile_scope(profile);
         TaskGate& gate = gates[static_cast<size_t>(i)];
         const int attempt = attempt_base[static_cast<size_t>(i)] + pool_attempt;
         uint64_t delay = static_cast<uint64_t>(overhead > 0 ? overhead : 0);
@@ -355,8 +340,10 @@ bool Context::DumpTrace(const std::string& path) const {
   // Chrome trace_event JSON (chrome://tracing, ui.perfetto.dev).
   // pid 0 = executor lanes (one tid per lane, complete events per task);
   // pid 1 = driver (one tid per stage so overlapping stages render as
-  // parallel rows). Task events carry their attempt number, so retries
-  // and speculative copies show up as extra slices on their lanes.
+  // parallel rows); pid 2 = counter tracks (cache pressure, shuffle
+  // volume, shuffle concurrency sampled at stage boundaries). Task
+  // events carry their attempt number, so retries and speculative
+  // copies show up as extra slices on their lanes.
   std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
   std::fputs(
       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
@@ -390,9 +377,45 @@ bool Context::DumpTrace(const std::string& path) const {
                    static_cast<unsigned long long>(s.seq), t.attempt);
     }
   }
+  const auto samples = profile_.CounterSamples();
+  if (!samples.empty()) {
+    std::fputs(
+        ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+        "\"args\":{\"name\":\"counters\"}}",
+        f);
+    for (const auto& cs : samples) {
+      std::fprintf(f,
+                   ",\n{\"name\":\"bytes_cached\",\"ph\":\"C\",\"ts\":%llu,"
+                   "\"pid\":2,\"args\":{\"bytes\":%llu}}"
+                   ",\n{\"name\":\"shuffle_bytes\",\"ph\":\"C\",\"ts\":%llu,"
+                   "\"pid\":2,\"args\":{\"bytes\":%llu}}"
+                   ",\n{\"name\":\"concurrent_shuffles\",\"ph\":\"C\","
+                   "\"ts\":%llu,\"pid\":2,\"args\":{\"stages\":%llu}}",
+                   static_cast<unsigned long long>(cs.t_us),
+                   static_cast<unsigned long long>(cs.bytes_cached),
+                   static_cast<unsigned long long>(cs.t_us),
+                   static_cast<unsigned long long>(cs.shuffle_bytes),
+                   static_cast<unsigned long long>(cs.t_us),
+                   static_cast<unsigned long long>(cs.concurrent_shuffles));
+    }
+  }
   std::fputs("\n]}\n", f);
   const bool ok = std::fclose(f) == 0;
   return ok;
+}
+
+std::string Context::MetricsJson() const { return spangle::MetricsJson(metrics_); }
+
+bool Context::DumpMetricsJson(const std::string& path) const {
+  return WriteStringToFile(MetricsJson(), path);
+}
+
+std::string Context::MetricsPrometheus() const {
+  return spangle::MetricsPrometheus(metrics_);
+}
+
+bool Context::DumpMetricsPrometheus(const std::string& path) const {
+  return WriteStringToFile(MetricsPrometheus(), path);
 }
 
 }  // namespace spangle

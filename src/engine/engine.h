@@ -22,6 +22,7 @@
 #include "engine/fault.h"
 #include "engine/metrics.h"
 #include "engine/partitioner.h"
+#include "engine/runtime_profile.h"
 #include "engine/scheduler.h"
 #include "engine/size_estimator.h"
 #include "engine/spill_codec.h"
@@ -62,6 +63,22 @@ class Context {
   int default_parallelism() const { return default_parallelism_; }
   EngineMetrics& metrics() { return metrics_; }
   BlockManager& block_manager() { return block_manager_; }
+
+  /// Per-node executed actuals (rows, bytes, self time, chunk modes),
+  /// populated by worker threads while profiling is enabled. The store
+  /// behind ExplainAnalyze and the trace counter tracks.
+  RuntimeProfile& profile() { return profile_; }
+
+  /// Profiling is on by default; the hooks cost a few relaxed atomics
+  /// per *partition* (not per record), so the overhead is small — see
+  /// bench_ablation's observability ablation. Turning it off unbinds the
+  /// thread-local profile, reducing every hook to one branch.
+  void set_profiling_enabled(bool enabled) {
+    profiling_.store(enabled, std::memory_order_relaxed);
+  }
+  bool profiling_enabled() const {
+    return profiling_.load(std::memory_order_relaxed);
+  }
 
   /// Fault injection: drops every cached/spilled block resident on
   /// `worker`, as if that executor process died. Cached partitions
@@ -158,6 +175,15 @@ class Context {
   /// written.
   bool DumpTrace(const std::string& path) const;
 
+  /// Machine-readable snapshot of every registered metric (see
+  /// metrics_export.h for the schema); Dump* variants write to `path`
+  /// and return false when the file cannot be written.
+  std::string MetricsJson() const;
+  bool DumpMetricsJson(const std::string& path) const;
+  /// Prometheus text exposition of the same registry ("spangle_" prefix).
+  std::string MetricsPrometheus() const;
+  bool DumpMetricsPrometheus(const std::string& path) const;
+
   /// Ablation switch: when set, the scheduler materializes shuffle stages
   /// strictly one at a time in topological order (the pre-scheduler
   /// behavior). Benches use this to measure what stage overlap buys.
@@ -179,6 +205,7 @@ class Context {
   ExecutorPool pool_;
   EngineMetrics metrics_;
   BlockManager block_manager_;  // after metrics_: holds a pointer to it
+  RuntimeProfile profile_{&metrics_};  // after metrics_ likewise
   Scheduler scheduler_{this};
   int default_parallelism_;
   int task_overhead_us_;
@@ -186,6 +213,7 @@ class Context {
   std::atomic<uint64_t> next_job_id_{0};
   std::atomic<uint64_t> next_stage_seq_{0};
   std::atomic<bool> serial_shuffles_{false};
+  std::atomic<bool> profiling_{true};
 
   mutable std::mutex fault_mu_;
   FaultToleranceOptions fault_options_;
@@ -235,8 +263,11 @@ class Node : public NodeBase {
   ~Node() override { ctx()->block_manager().DropNode(id()); }
 
   /// Partition contents; serves from the block store when persistence is
-  /// enabled, otherwise recomputes from parents (lineage).
+  /// enabled, otherwise recomputes from parents (lineage). The
+  /// OperatorScope attributes rows/bytes/self-time to this node's
+  /// RuntimeProfile entry when the calling thread is profiling.
   PartitionPtr GetPartition(int i) {
+    prof::OperatorScope op(id());
     const StorageLevel level =
         storage_level_.load(std::memory_order_acquire);
     bool was_lost = false;
@@ -244,13 +275,18 @@ class Node : public NodeBase {
       auto r = ctx()->block_manager().Get({id(), i});
       if (r.data != nullptr) {
         ctx()->metrics().cache_hits.fetch_add(1);
-        return std::static_pointer_cast<const std::vector<T>>(r.data);
+        auto part = std::static_pointer_cast<const std::vector<T>>(r.data);
+        if (op.active()) op.FinishCached(part->size());
+        return part;
       }
       ctx()->metrics().cache_misses.fetch_add(1);
       was_lost = r.was_lost;
     }
     auto computed =
         std::make_shared<const std::vector<T>>(ComputePartition(i));
+    if (op.active()) {
+      op.FinishComputed(computed->size(), EstimateSize(*computed));
+    }
     if (level != StorageLevel::kNone) {
       if (was_lost) ctx()->metrics().recomputed_partitions.fetch_add(1);
       StoreBlock(i, computed, level, /*recomputable=*/true);
@@ -762,6 +798,22 @@ class Rdd {
     return ctx()->BuildPlan(node_.get(), action).ToString();
   }
 
+  /// EXECUTES `action` and returns the static plan annotated with this
+  /// run's actuals: per-node rows/bytes/self-time, cache hits, and the
+  /// chunk-mode / density / mode-transition stats the array layer
+  /// reported (Spark SQL's "explain analyze"). Scoped to this run via
+  /// snapshot diffs, so shared or cached lineage reports only what this
+  /// query executed.
+  AnalyzedPlan ExplainAnalyzePlan(
+      const std::string& action = "collect") const {
+    ProfiledRun run(ctx(), {node_.get()}, action);
+    CollectPartitionPtrs(action);
+    return run.Finish();
+  }
+  std::string ExplainAnalyze(const std::string& action = "collect") const {
+    return ExplainAnalyzePlan(action).ToString();
+  }
+
   // ---- Actions (trigger execution) ----
 
   /// All records, concatenated in partition order.
@@ -866,6 +918,15 @@ class PairRdd {
   /// Staged physical plan dump (see Rdd::Explain).
   std::string Explain(const std::string& action = "collect") const {
     return rdd_.Explain(action);
+  }
+
+  /// Executed-plan profile (see Rdd::ExplainAnalyze).
+  AnalyzedPlan ExplainAnalyzePlan(
+      const std::string& action = "collect") const {
+    return rdd_.ExplainAnalyzePlan(action);
+  }
+  std::string ExplainAnalyze(const std::string& action = "collect") const {
+    return rdd_.ExplainAnalyze(action);
   }
 
   /// Value-only transformation; preserves partitioning.

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/bytes.h"
+#include "common/logging.h"
 
 namespace spangle {
 
@@ -13,7 +14,64 @@ namespace {
 // any. Bound by Context::RunStage around each task body.
 thread_local EngineMetrics::StageAccumulator* tl_stage_acc = nullptr;
 
+// Finite log-scale task-duration bounds (us); the registry histogram gets
+// an implicit overflow bucket, unlike StageStat::kHistBoundsUs whose last
+// entry is UINT64_MAX.
+std::vector<double> TaskDurationBounds() {
+  return {10, 100, 1000, 10000, 100000, 1000000, 10000000};
+}
+
 }  // namespace
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kTimer:
+      return "timer";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+void MetricRegistry::RegisterScalar(MetricKind kind, std::string name,
+                                    std::string unit, std::string help,
+                                    std::atomic<uint64_t>* value) {
+  SPANGLE_CHECK(kind != MetricKind::kHistogram);
+  SPANGLE_CHECK(value != nullptr);
+  SPANGLE_CHECK(Find(name) == nullptr) << "duplicate metric: " << name;
+  MetricDef def;
+  def.name = std::move(name);
+  def.unit = std::move(unit);
+  def.help = std::move(help);
+  def.kind = kind;
+  def.value = value;
+  metrics_.push_back(std::move(def));
+}
+
+void MetricRegistry::RegisterHistogram(std::string name, std::string unit,
+                                       std::string help,
+                                       Histogram* histogram) {
+  SPANGLE_CHECK(histogram != nullptr);
+  SPANGLE_CHECK(Find(name) == nullptr) << "duplicate metric: " << name;
+  MetricDef def;
+  def.name = std::move(name);
+  def.unit = std::move(unit);
+  def.help = std::move(help);
+  def.kind = MetricKind::kHistogram;
+  def.histogram = histogram;
+  metrics_.push_back(std::move(def));
+}
+
+const MetricDef* MetricRegistry::Find(const std::string& name) const {
+  for (const auto& m : metrics_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
 
 std::string StageStat::ToString() const {
   std::ostringstream os;
@@ -33,6 +91,82 @@ std::string StageStat::ToString() const {
        << shuffle_records << " records)";
   }
   return os.str();
+}
+
+const std::vector<double>& EngineMetrics::DensityBounds() {
+  static const std::vector<double> kBounds = {0.001, 0.01, 0.05, 0.1,
+                                              0.25,  0.5,  0.75, 1.0};
+  return kBounds;
+}
+
+EngineMetrics::EngineMetrics()
+    : task_duration_us(TaskDurationBounds()),
+      chunk_density(DensityBounds()),
+      mask_density(DensityBounds()) {
+  const auto counter = [this](const char* name, const char* unit,
+                              const char* help, std::atomic<uint64_t>* v) {
+    registry_.RegisterScalar(MetricKind::kCounter, name, unit, help, v);
+  };
+  const auto gauge = [this](const char* name, const char* unit,
+                            const char* help, std::atomic<uint64_t>* v) {
+    registry_.RegisterScalar(MetricKind::kGauge, name, unit, help, v);
+  };
+  counter("jobs_run", "count", "Jobs submitted by actions", &jobs_run);
+  counter("tasks_run", "count", "Tasks executed across all stages",
+          &tasks_run);
+  counter("stages_run", "count", "Stages executed (map/reduce/result)",
+          &stages_run);
+  counter("shuffles", "count", "Shuffle materializations", &shuffles);
+  counter("shuffle_records", "count", "Records moved through shuffles",
+          &shuffle_records);
+  counter("shuffle_bytes", "bytes", "Bytes moved through shuffles",
+          &shuffle_bytes);
+  counter("recomputed_partitions", "count",
+          "Cached partitions recomputed from lineage after loss",
+          &recomputed_partitions);
+  counter("cache_hits", "count", "Block store hits", &cache_hits);
+  counter("cache_misses", "count", "Block store misses", &cache_misses);
+  gauge("concurrent_shuffles", "count",
+        "Shuffle stages materializing right now", &concurrent_shuffles);
+  gauge("peak_concurrent_shuffles", "count",
+        "Most shuffle stages ever materializing at once",
+        &peak_concurrent_shuffles);
+  counter("task_retries", "count", "Failed task attempts re-launched",
+          &task_retries);
+  counter("stage_reruns", "count",
+          "Shuffle stages re-materialized after output loss", &stage_reruns);
+  counter("speculative_launches", "count", "Straggler copies launched",
+          &speculative_launches);
+  counter("speculative_wins", "count", "Tasks settled by the copy",
+          &speculative_wins);
+  gauge("bytes_cached", "bytes", "Resident block store bytes",
+        &bytes_cached);
+  gauge("memory_high_water", "bytes", "Max resident bytes observed",
+        &memory_high_water);
+  counter("evictions", "count", "Blocks evicted under the memory budget",
+          &evictions);
+  counter("spilled_bytes", "bytes", "Bytes written to spill files",
+          &spilled_bytes);
+  counter("disk_reads", "count", "Blocks read back from disk", &disk_reads);
+  registry_.RegisterScalar(MetricKind::kTimer, "task_time_us", "us",
+                           "Accumulated task execution time", &task_time_us);
+  registry_.RegisterHistogram("task_duration_us", "us",
+                              "Distribution of task durations",
+                              &task_duration_us);
+  counter("mode_transitions", "count",
+          "Chunk storage-mode conversions (dense/sparse/super-sparse)",
+          &mode_transitions);
+  registry_.RegisterHistogram(
+      "chunk_density", "fraction",
+      "Valid-cell fraction of chunks built during execution",
+      &chunk_density);
+  registry_.RegisterHistogram(
+      "mask_density", "fraction",
+      "Set-bit fraction of bitmasks produced by MaskRdd combinators",
+      &mask_density);
+  counter("stage_stats_dropped", "count",
+          "Stage records evicted from the retention ring",
+          &stage_stats_dropped_);
 }
 
 EngineMetrics::ScopedStageAccumulator::ScopedStageAccumulator(
@@ -68,62 +202,48 @@ void EngineMetrics::RaisePeakConcurrentShuffles(uint64_t v) {
 
 void EngineMetrics::RecordStage(StageStat stat) {
   std::lock_guard<std::mutex> lock(stage_mu_);
-  if (stage_stats_.size() >= kMaxStageStats) {
+  while (stage_stats_.size() >= kMaxStageStats) {
+    stage_stats_.pop_front();
     stage_stats_dropped_.fetch_add(1, std::memory_order_relaxed);
-    return;
   }
   stage_stats_.push_back(std::move(stat));
 }
 
 std::vector<StageStat> EngineMetrics::StageStats() const {
   std::lock_guard<std::mutex> lock(stage_mu_);
-  return stage_stats_;
+  return std::vector<StageStat>(stage_stats_.begin(), stage_stats_.end());
 }
 
 void EngineMetrics::Reset() {
-  jobs_run = 0;
-  tasks_run = 0;
-  stages_run = 0;
-  shuffles = 0;
-  shuffle_records = 0;
-  shuffle_bytes = 0;
-  recomputed_partitions = 0;
-  cache_hits = 0;
-  cache_misses = 0;
-  peak_concurrent_shuffles = 0;
-  task_retries = 0;
-  stage_reruns = 0;
-  speculative_launches = 0;
-  speculative_wins = 0;
-  bytes_cached = 0;
-  memory_high_water = 0;
-  evictions = 0;
-  spilled_bytes = 0;
-  disk_reads = 0;
+  // Registry-driven: every registered metric — and only registered
+  // metrics — resets, so this cannot drift from the member list.
+  for (const MetricDef& m : registry_.metrics()) {
+    if (m.kind == MetricKind::kHistogram) {
+      m.histogram->Reset();
+    } else {
+      m.value->store(0, std::memory_order_relaxed);
+    }
+  }
   std::lock_guard<std::mutex> lock(stage_mu_);
   stage_stats_.clear();
-  stage_stats_dropped_ = 0;
+  stage_stats_dropped_.store(0, std::memory_order_relaxed);
 }
 
 std::string EngineMetrics::ToString() const {
   std::ostringstream os;
-  os << "jobs=" << jobs_run.load() << " tasks=" << tasks_run.load()
-     << " stages=" << stages_run.load() << " shuffles=" << shuffles.load()
-     << " shuffle_records=" << shuffle_records.load()
-     << " shuffle_bytes=" << HumanBytes(shuffle_bytes.load())
-     << " peak_concurrent_shuffles=" << peak_concurrent_shuffles.load()
-     << " task_retries=" << task_retries.load()
-     << " stage_reruns=" << stage_reruns.load()
-     << " speculative_launches=" << speculative_launches.load()
-     << " speculative_wins=" << speculative_wins.load()
-     << " recomputed=" << recomputed_partitions.load()
-     << " cache_hits=" << cache_hits.load()
-     << " cache_misses=" << cache_misses.load()
-     << " bytes_cached=" << HumanBytes(bytes_cached.load())
-     << " memory_high_water=" << HumanBytes(memory_high_water.load())
-     << " evictions=" << evictions.load()
-     << " spilled_bytes=" << HumanBytes(spilled_bytes.load())
-     << " disk_reads=" << disk_reads.load();
+  bool first = true;
+  for (const MetricDef& m : registry_.metrics()) {
+    if (!first) os << " ";
+    first = false;
+    os << m.name << "=";
+    if (m.kind == MetricKind::kHistogram) {
+      os << "hist(n=" << m.histogram->count() << ")";
+    } else if (m.unit == "bytes") {
+      os << HumanBytes(m.value->load(std::memory_order_relaxed));
+    } else {
+      os << m.value->load(std::memory_order_relaxed);
+    }
+  }
   return os.str();
 }
 

@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -66,14 +67,108 @@ struct StageStat {
   std::string ToString() const;
 };
 
+/// What a registered metric measures. Counters only go up (until Reset),
+/// gauges track a current level, timers are counters whose unit is
+/// microseconds of accumulated time, histograms bucket observations.
+enum class MetricKind { kCounter, kGauge, kTimer, kHistogram };
+
+const char* MetricKindName(MetricKind kind);
+
+/// Thread-safe fixed-bucket histogram: `bounds` are ascending inclusive
+/// upper edges, with an implicit open overflow bucket after the last one
+/// (BucketCounts() returns bounds().size() + 1 entries).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)), bucket_counts_(bounds_.size() + 1) {}
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double v) {
+    size_t b = 0;
+    while (b < bounds_.size() && v > bounds_[b]) ++b;
+    bucket_counts_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    for (auto& c : bucket_counts_) c.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<uint64_t> BucketCounts() const {
+    std::vector<uint64_t> out;
+    out.reserve(bucket_counts_.size());
+    for (const auto& c : bucket_counts_) {
+      out.push_back(c.load(std::memory_order_relaxed));
+    }
+    return out;
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> bucket_counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One registered metric: a stable name (snake_case, also the Prometheus
+/// name suffix), unit ("count", "bytes", "us", "fraction"), help text,
+/// and a pointer to the backing atomic or histogram. The pointers target
+/// members of the owning EngineMetrics, so a registry entry is valid for
+/// the metrics object's lifetime.
+struct MetricDef {
+  std::string name;
+  std::string unit;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  std::atomic<uint64_t>* value = nullptr;  // scalar kinds
+  Histogram* histogram = nullptr;          // kHistogram only
+};
+
+/// Typed metric registry: every EngineMetrics counter/gauge/timer/
+/// histogram registers itself here exactly once, and Reset()/ToString()/
+/// the JSON + Prometheus exporters iterate the registry — so adding a
+/// metric in one place keeps every surface in sync by construction.
+class MetricRegistry {
+ public:
+  void RegisterScalar(MetricKind kind, std::string name, std::string unit,
+                      std::string help, std::atomic<uint64_t>* value);
+  void RegisterHistogram(std::string name, std::string unit,
+                         std::string help, Histogram* histogram);
+
+  const std::vector<MetricDef>& metrics() const { return metrics_; }
+  const MetricDef* Find(const std::string& name) const;
+
+ private:
+  std::vector<MetricDef> metrics_;
+};
+
 /// Per-context execution counters. The paper's performance arguments are
 /// about *what moves*: shuffle volume, stage counts, recomputation. These
 /// counters let tests assert structural claims (e.g. "co-partitioned join
 /// shuffles zero bytes") and let benches report simulated network cost.
 /// Since the DAG-scheduler refactor the metrics also retain a structured
-/// per-stage log (StageStats) feeding Explain output and trace dumps.
+/// per-stage log (StageStats) feeding Explain output and trace dumps; the
+/// observability PR added the registry, histograms, and machine-readable
+/// exporters (metrics_export.h).
 class EngineMetrics {
  public:
+  /// Inclusive upper edges for density-style histograms (fraction of
+  /// valid cells in a chunk / set bits in a bitmask, 0..1).
+  static const std::vector<double>& DensityBounds();
+
+  EngineMetrics();
+
+  EngineMetrics(const EngineMetrics&) = delete;
+  EngineMetrics& operator=(const EngineMetrics&) = delete;
+
   void Reset();
 
   std::atomic<uint64_t> jobs_run{0};
@@ -86,8 +181,10 @@ class EngineMetrics {
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> cache_misses{0};
 
-  // Scheduler concurrency: the most shuffle stages ever observed
-  // materializing at the same instant (>= 2 proves stage overlap).
+  // Scheduler concurrency: how many shuffle stages are materializing
+  // right now (gauge, feeds the trace counter track) and the most ever
+  // observed at the same instant (>= 2 proves stage overlap).
+  std::atomic<uint64_t> concurrent_shuffles{0};
   std::atomic<uint64_t> peak_concurrent_shuffles{0};
 
   // Fault tolerance: mid-job recovery and straggler mitigation.
@@ -103,6 +200,19 @@ class EngineMetrics {
   std::atomic<uint64_t> evictions{0};          // blocks evicted under budget
   std::atomic<uint64_t> spilled_bytes{0};      // bytes written to spill files
   std::atomic<uint64_t> disk_reads{0};         // blocks read back from disk
+
+  // Execution time: accumulated task CPU-occupancy time across all
+  // stages (timer), plus a log-scale distribution of task durations.
+  std::atomic<uint64_t> task_time_us{0};
+  Histogram task_duration_us;
+
+  // Array-layer structure: chunk storage-mode conversions (dense ↔
+  // sparse ↔ super-sparse), the density of chunks built during execution,
+  // and the density of bitmasks produced by MaskRdd combinators — the
+  // quantities behind the paper's Fig. 7/8 arguments.
+  std::atomic<uint64_t> mode_transitions{0};
+  Histogram chunk_density;
+  Histogram mask_density;
 
   /// Credits shuffle volume to the global counters AND to the stage the
   /// calling task belongs to (registered via ScopedStageAccumulator).
@@ -131,8 +241,10 @@ class EngineMetrics {
     StageAccumulator* prev_;
   };
 
-  /// Appends one stage record (drops silently past the retention cap,
-  /// counted in stage_stats_dropped).
+  /// Appends one stage record. Retention is a ring: past the cap the
+  /// OLDEST record is dropped (counted in stage_stats_dropped), so a
+  /// long-running context always keeps the most recent stages — the ones
+  /// being debugged.
   void RecordStage(StageStat stat);
 
   /// Snapshot of every retained stage record, in execution order.
@@ -142,13 +254,18 @@ class EngineMetrics {
     return stage_stats_dropped_.load(std::memory_order_relaxed);
   }
 
+  /// Every registered metric (stable registration order).
+  const MetricRegistry& registry() const { return registry_; }
+
   std::string ToString() const;
 
  private:
   static constexpr size_t kMaxStageStats = 8192;
 
+  MetricRegistry registry_;
+
   mutable std::mutex stage_mu_;
-  std::vector<StageStat> stage_stats_;
+  std::deque<StageStat> stage_stats_;
   std::atomic<uint64_t> stage_stats_dropped_{0};
 };
 

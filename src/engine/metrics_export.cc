@@ -1,0 +1,136 @@
+#include "engine/metrics_export.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace spangle {
+
+namespace {
+
+/// Formats a double as a valid JSON number (no inf/nan, which JSON
+/// forbids; both are clamped to 0).
+std::string JsonNumber(double v) {
+  if (!(v == v) || v > 1e308 || v < -1e308) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetricsJson(const EngineMetrics& metrics) {
+  std::ostringstream os;
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const MetricDef& m : metrics.registry().metrics()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(m.name) << "\",\"kind\":\""
+       << MetricKindName(m.kind) << "\",\"unit\":\"" << JsonEscape(m.unit)
+       << "\",\"help\":\"" << JsonEscape(m.help) << "\"";
+    if (m.kind == MetricKind::kHistogram) {
+      os << ",\"count\":" << m.histogram->count()
+         << ",\"sum\":" << JsonNumber(m.histogram->sum()) << ",\"bounds\":[";
+      const auto& bounds = m.histogram->bounds();
+      for (size_t i = 0; i < bounds.size(); ++i) {
+        if (i > 0) os << ",";
+        os << JsonNumber(bounds[i]);
+      }
+      os << "],\"bucket_counts\":[";
+      const auto counts = m.histogram->BucketCounts();
+      for (size_t i = 0; i < counts.size(); ++i) {
+        if (i > 0) os << ",";
+        os << counts[i];
+      }
+      os << "]";
+    } else {
+      os << ",\"value\":" << m.value->load(std::memory_order_relaxed);
+    }
+    os << "}";
+  }
+  os << "],\"stage_stats\":{\"retained\":" << metrics.StageStats().size()
+     << ",\"dropped\":" << metrics.stage_stats_dropped() << "}}";
+  return os.str();
+}
+
+std::string MetricsPrometheus(const EngineMetrics& metrics,
+                              const std::string& prefix) {
+  std::ostringstream os;
+  for (const MetricDef& m : metrics.registry().metrics()) {
+    const std::string name = prefix + m.name;
+    // HELP text: Prometheus escapes only backslash and newline here.
+    std::string help;
+    for (char c : m.help) {
+      if (c == '\\') {
+        help += "\\\\";
+      } else if (c == '\n') {
+        help += "\\n";
+      } else {
+        help += c;
+      }
+    }
+    os << "# HELP " << name << " " << help << "\n";
+    if (m.kind == MetricKind::kHistogram) {
+      os << "# TYPE " << name << " histogram\n";
+      const auto& bounds = m.histogram->bounds();
+      const auto counts = m.histogram->BucketCounts();
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < bounds.size(); ++i) {
+        cumulative += counts[i];
+        char bound[64];
+        std::snprintf(bound, sizeof(bound), "%g", bounds[i]);
+        os << name << "_bucket{le=\"" << bound << "\"} " << cumulative
+           << "\n";
+      }
+      cumulative += counts[bounds.size()];
+      os << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+      char sum[64];
+      std::snprintf(sum, sizeof(sum), "%g", m.histogram->sum());
+      os << name << "_sum " << sum << "\n";
+      os << name << "_count " << m.histogram->count() << "\n";
+    } else {
+      const bool gauge = m.kind == MetricKind::kGauge;
+      os << "# TYPE " << name << " " << (gauge ? "gauge" : "counter")
+         << "\n";
+      os << name << " " << m.value->load(std::memory_order_relaxed) << "\n";
+    }
+  }
+  return os.str();
+}
+
+bool WriteStringToFile(const std::string& content, const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == content.size();
+  return ok;
+}
+
+}  // namespace spangle

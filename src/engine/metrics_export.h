@@ -1,0 +1,36 @@
+#ifndef SPANGLE_ENGINE_METRICS_EXPORT_H_
+#define SPANGLE_ENGINE_METRICS_EXPORT_H_
+
+#include <string>
+
+#include "engine/metrics.h"
+
+namespace spangle {
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters; the latter as \uXXXX). Shared by
+/// the metrics exporters and the Chrome trace writer.
+std::string JsonEscape(const std::string& s);
+
+/// Machine-readable snapshot of every registered metric:
+///   {"metrics":[{"name":...,"kind":...,"unit":...,"help":...,"value":N} |
+///               {..., "count":N,"sum":S,"bounds":[...],
+///                "bucket_counts":[...]}],
+///    "stage_stats":{"retained":N,"dropped":M}}
+/// Histogram bucket_counts has bounds.size()+1 entries; the last is the
+/// open overflow bucket (JSON has no +Inf literal).
+std::string MetricsJson(const EngineMetrics& metrics);
+
+/// Prometheus text exposition format (version 0.0.4): one HELP/TYPE pair
+/// per metric, `prefix` prepended to every name. Timers export as
+/// counters; histograms emit cumulative _bucket{le=...} series plus _sum
+/// and _count, per the Prometheus histogram convention.
+std::string MetricsPrometheus(const EngineMetrics& metrics,
+                              const std::string& prefix = "spangle_");
+
+/// Writes `content` to `path`; false when the file cannot be written.
+bool WriteStringToFile(const std::string& content, const std::string& path);
+
+}  // namespace spangle
+
+#endif  // SPANGLE_ENGINE_METRICS_EXPORT_H_

@@ -12,6 +12,20 @@
 
 namespace spangle {
 
+namespace {
+
+/// Holds the concurrent_shuffles gauge up while a stage materializes
+/// (exception-safe decrement for the serial path).
+struct GaugeGuard {
+  explicit GaugeGuard(std::atomic<uint64_t>& gauge) : gauge_(gauge) {
+    gauge_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~GaugeGuard() { gauge_.fetch_sub(1, std::memory_order_relaxed); }
+  std::atomic<uint64_t>& gauge_;
+};
+
+}  // namespace
+
 namespace internal {
 
 namespace {
@@ -168,6 +182,7 @@ void Scheduler::MaterializeShuffles(const PhysicalPlan& plan,
   if (serial || pending.size() == 1) {
     // Topological order is the plan order.
     metrics.RaisePeakConcurrentShuffles(1);
+    GaugeGuard gauge(metrics.concurrent_shuffles);
     for (int id : pending) plan.stages[id].node->Materialize();
     return;
   }
@@ -207,16 +222,19 @@ void Scheduler::MaterializeShuffles(const PhysicalPlan& plan,
         });
         if (failed) return;
         ++running;
+        metrics.concurrent_shuffles.fetch_add(1, std::memory_order_relaxed);
         metrics.RaisePeakConcurrentShuffles(static_cast<uint64_t>(running));
       }
       try {
         stage.node->Materialize();
         std::lock_guard<std::mutex> lock(mu);
         --running;
+        metrics.concurrent_shuffles.fetch_sub(1, std::memory_order_relaxed);
         done[id] = 1;
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu);
         --running;
+        metrics.concurrent_shuffles.fetch_sub(1, std::memory_order_relaxed);
         if (!failed) {
           failed = true;
           first_error = std::current_exception();

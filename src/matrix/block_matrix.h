@@ -67,6 +67,17 @@ class BlockMatrix {
     return array_.Explain(action);
   }
 
+  /// EXECUTES `action` over the tiles and returns the plan annotated
+  /// with actuals (see Rdd::ExplainAnalyze): per-node tile counts, bytes,
+  /// tile modes — e.g. how many partial products a Multiply reduced.
+  AnalyzedPlan ExplainAnalyzePlan(
+      const std::string& action = "collect") const {
+    return array_.ExplainAnalyzePlan(action);
+  }
+  std::string ExplainAnalyze(const std::string& action = "collect") const {
+    return array_.ExplainAnalyze(action);
+  }
+
   /// Number of stored (non-zero) entries.
   uint64_t NumNonZero() const { return array_.CountValid(); }
 

@@ -23,8 +23,83 @@ TEST(MetricsTest, ToStringMentionsCounters) {
   EngineMetrics m;
   m.stages_run = 3;
   const std::string s = m.ToString();
-  EXPECT_NE(s.find("stages=3"), std::string::npos);
+  EXPECT_NE(s.find("stages_run=3"), std::string::npos);
   EXPECT_NE(s.find("shuffle_bytes"), std::string::npos);
+}
+
+TEST(MetricsTest, EveryRegisteredMetricAppearsInToString) {
+  // The registry is the single source of truth: a metric registered in
+  // the constructor can never be missing from ToString (the drift the
+  // hand-listed pattern allowed).
+  EngineMetrics m;
+  const std::string s = m.ToString();
+  for (const MetricDef& def : m.registry().metrics()) {
+    EXPECT_NE(s.find(def.name), std::string::npos)
+        << "metric '" << def.name << "' missing from ToString";
+  }
+}
+
+TEST(MetricsTest, ResetClearsEveryRegisteredMetric) {
+  EngineMetrics m;
+  for (const MetricDef& def : m.registry().metrics()) {
+    if (def.value != nullptr) def.value->store(7);
+  }
+  m.task_duration_us.Observe(42.0);
+  m.chunk_density.Observe(0.5);
+  m.Reset();
+  for (const MetricDef& def : m.registry().metrics()) {
+    if (def.value != nullptr) {
+      EXPECT_EQ(def.value->load(), 0u) << def.name;
+    } else {
+      ASSERT_NE(def.histogram, nullptr) << def.name;
+      EXPECT_EQ(def.histogram->count(), 0u) << def.name;
+    }
+  }
+}
+
+TEST(MetricsTest, RegistryRejectsNoDuplicatesAndFindsByName) {
+  EngineMetrics m;
+  const MetricDef* def = m.registry().Find("shuffle_bytes");
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->value, &m.shuffle_bytes);
+  EXPECT_EQ(def->kind, MetricKind::kCounter);
+  EXPECT_EQ(m.registry().Find("no_such_metric"), nullptr);
+}
+
+TEST(MetricsTest, HistogramBucketsAreInclusiveUpperEdges) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);
+  h.Observe(1.0);    // inclusive: lands in the first bucket
+  h.Observe(5.0);
+  h.Observe(1000.0);  // overflow bucket
+  auto counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 1000.0);
+}
+
+TEST(MetricsTest, StageStatsRingRetainsMostRecent) {
+  EngineMetrics m;
+  const size_t kTotal = 9000;  // past the 8192 retention window
+  for (size_t i = 0; i < kTotal; ++i) {
+    StageStat s;
+    s.seq = i;
+    m.RecordStage(std::move(s));
+  }
+  auto stats = m.StageStats();
+  ASSERT_EQ(stats.size(), 8192u);
+  EXPECT_EQ(stats.front().seq, kTotal - 8192);
+  EXPECT_EQ(stats.back().seq, kTotal - 1);
+  const MetricDef* dropped = m.registry().Find("stage_stats_dropped");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->value->load(), kTotal - 8192);
+  m.Reset();
+  EXPECT_TRUE(m.StageStats().empty());
+  EXPECT_EQ(dropped->value->load(), 0u);
 }
 
 TEST(MetricsTest, StageAndTaskAccounting) {

@@ -1,0 +1,229 @@
+#ifndef SPANGLE_TESTS_OBSERVABILITY_JSON_CHECKER_H_
+#define SPANGLE_TESTS_OBSERVABILITY_JSON_CHECKER_H_
+
+#include <cctype>
+#include <string>
+
+namespace spangle {
+namespace testing {
+
+/// Minimal recursive-descent JSON validator for the exporter tests. No
+/// DOM, no external dependency: it only answers "is this well-formed
+/// RFC 8259 JSON?" so a stray comma or unescaped control character in
+/// DumpTrace / DumpMetricsJson fails loudly. On error, `*err` holds a
+/// message with the byte offset.
+class JsonChecker {
+ public:
+  static bool Valid(const std::string& text, std::string* err) {
+    JsonChecker c(text);
+    c.SkipWs();
+    if (!c.ParseValue()) {
+      if (err != nullptr) *err = c.err_ + " at offset " +
+                                 std::to_string(c.pos_);
+      return false;
+    }
+    c.SkipWs();
+    if (c.pos_ != text.size()) {
+      if (err != nullptr) {
+        *err = "trailing garbage at offset " + std::to_string(c.pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Fail(const std::string& why) {
+    if (err_.empty()) err_ = why;
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const size_t n = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, n, word) != 0) return Fail("bad literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseString() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return Fail("unescaped control char in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("truncated escape");
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return Fail("bad escape character");
+        }
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Fail("expected digit");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("expected fraction digit");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("expected exponent digit");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  bool ParseValue() {
+    if (++depth_ > 256) return Fail("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    bool ok = false;
+    switch (text_[pos_]) {
+      case '{':
+        ok = ParseObject();
+        break;
+      case '[':
+        ok = ParseArray();
+        break;
+      case '"':
+        ok = ParseString();
+        break;
+      case 't':
+        ok = Literal("true");
+        break;
+      case 'f':
+        ok = Literal("false");
+        break;
+      case 'n':
+        ok = Literal("null");
+        break;
+      default:
+        ok = ParseNumber();
+        break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool ParseObject() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!ParseString()) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      ++pos_;
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray() {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  std::string err_;
+};
+
+}  // namespace testing
+}  // namespace spangle
+
+#endif  // SPANGLE_TESTS_OBSERVABILITY_JSON_CHECKER_H_
