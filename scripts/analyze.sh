@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Static-analysis gate: clang-tidy over every translation unit in src/,
+# using the checks curated in .clang-tidy. Exits non-zero on any finding
+# (WarningsAsErrors: '*'), so CI can gate on it directly.
+#
+# Usage: scripts/analyze.sh [build-dir]
+#   build-dir defaults to build/; it must contain compile_commands.json
+#   (configured automatically — CMAKE_EXPORT_COMPILE_COMMANDS is ON).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+# Find clang-tidy, preferring an unversioned binary, else any versioned
+# one (Ubuntu installs clang-tidy-<N>).
+tidy="$(command -v clang-tidy || true)"
+if [[ -z "$tidy" ]]; then
+  for v in 20 19 18 17 16 15 14; do
+    if command -v "clang-tidy-$v" >/dev/null 2>&1; then
+      tidy="clang-tidy-$v"
+      break
+    fi
+  done
+fi
+if [[ -z "$tidy" ]]; then
+  echo "error: clang-tidy not found on PATH (install clang-tidy or" \
+       "clang-tidy-<N>)" >&2
+  exit 2
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "-- no compile_commands.json in $build_dir; configuring" >&2
+  cmake -B "$build_dir" -S "$repo_root" >/dev/null
+fi
+
+mapfile -t sources < <(find "$repo_root/src" -name '*.cc' | sort)
+echo "-- $tidy ($($tidy --version | sed -n 's/.*version /version /p' | head -1)):" \
+     "${#sources[@]} files"
+
+status=0
+for src in "${sources[@]}"; do
+  echo "-- tidy ${src#"$repo_root"/}"
+  "$tidy" -p "$build_dir" --quiet "$src" || status=1
+done
+
+if [[ $status -ne 0 ]]; then
+  echo "-- clang-tidy FAILED (fix the findings or NOLINT with a reason)" >&2
+else
+  echo "-- clang-tidy clean"
+fi
+exit $status

@@ -8,7 +8,9 @@ namespace spangle {
 namespace {
 
 LogLevel ParseEnvLevel() {
-  const char* env = std::getenv("SPANGLE_LOG_LEVEL");
+  // Called exactly once, from the LevelVar() static initializer, before
+  // any worker threads exist; no concurrent setenv can race this read.
+  const char* env = std::getenv("SPANGLE_LOG_LEVEL");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return LogLevel::kWarning;
   if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
   if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;

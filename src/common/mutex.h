@@ -1,0 +1,394 @@
+#ifndef SPANGLE_COMMON_MUTEX_H_
+#define SPANGLE_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#include "common/thread_annotations.h"
+
+// Annotated mutex wrappers plus a debug-mode lock-rank deadlock detector.
+//
+// Every engine mutex is a spangle::Mutex (or SharedMutex) constructed with
+// a rank from the engine-wide lock hierarchy below. Two complementary
+// guards hang off that:
+//
+//  1. Clang thread-safety analysis (-Wthread-safety, see
+//     thread_annotations.h): GUARDED_BY fields and REQUIRES/ACQUIRE/
+//     RELEASE preconditions are machine-checked at compile time under the
+//     SPANGLE_THREAD_SAFETY_ANALYSIS CMake path.
+//
+//  2. The lock-rank detector (this file): in debug builds each Lock()
+//     checks a thread-local stack of held ranks and aborts with both
+//     acquisition sites if locks are taken out of hierarchy order —
+//     turning a potential production deadlock (which needs the losing
+//     interleaving to fire) into a deterministic single-threaded test
+//     failure. Compiled out entirely in release builds
+//     (SPANGLE_LOCK_RANK_CHECKS=0): Mutex is then layout-identical to
+//     std::mutex and Lock()/Unlock() inline to lock()/unlock().
+
+// SPANGLE_LOCK_RANK_CHECKS is normally injected by CMake (option
+// SPANGLE_LOCK_RANK_CHECKS=AUTO|ON|OFF; AUTO = on except Release /
+// MinSizeRel builds). Fallback for non-CMake compiles: follow NDEBUG.
+#if !defined(SPANGLE_LOCK_RANK_CHECKS)
+#if defined(NDEBUG)
+#define SPANGLE_LOCK_RANK_CHECKS 0
+#else
+#define SPANGLE_LOCK_RANK_CHECKS 1
+#endif
+#endif
+
+namespace spangle {
+
+/// The engine-wide lock hierarchy, outermost (acquired first) to
+/// innermost. The invariant: while holding a lock of rank r, a thread may
+/// only acquire locks of *strictly lower* rank. Distinct mutexes may share
+/// a rank only if they are never held together (e.g. per-task gates).
+///
+///   rank | who                                   | held while calling into
+///   -----|---------------------------------------|------------------------
+///   64   | TaskGate::mu (context.cc)             | the task body: block
+///        |   one gate per task index; held across| store, profile hooks,
+///        |   fn(i) to gate speculation duplicates| metrics atomics
+///   56   | Scheduler materialization cv-mutex    | nothing (Materialize()
+///        |   (scheduler.cc, stage dependency     | runs outside the lock)
+///        |   waits)                              |
+///   48   | ShuffleNode::mu_ (engine.h)           | nothing
+///   40   | ExecutorPool::mu_ (batch/queue state, | nothing (task bodies
+///        |   speculation bookkeeping)            | run outside the lock)
+///   32   | BlockManager::mu_ (budget/LRU/spill   | spill/load codecs only
+///        |   maps, PutIfAbsent commit)           | (no engine locks)
+///   24   | RuntimeProfile::mu_ (node profiles)   | nothing
+///   20   | RuntimeProfile::samples_mu_           | metrics atomics only
+///   16   | Context::fault_mu_ (retry/chaos opts) | nothing
+///    8   | EngineMetrics::stage_mu_ (StageStat   | nothing
+///        |   retention ring)                     |
+///    0   | leaves (RunStage extras_mu, ad hoc)   | nothing
+///
+/// DESIGN.md §10 carries the same table with the full rationale.
+enum class LockRank : int {
+  kLeaf = 0,
+  kMetrics = 8,
+  kConfig = 16,
+  kProfileSamples = 20,
+  kProfile = 24,
+  kBlockManager = 32,
+  kExecutorPool = 40,
+  kShuffleNode = 48,
+  kScheduler = 56,
+  kTaskGate = 64,
+};
+
+/// Human-readable name for a rank ("kBlockManager"), for diagnostics.
+const char* LockRankName(LockRank rank);
+
+/// True when this build carries the lock-rank detector.
+inline constexpr bool kLockRankChecksEnabled = SPANGLE_LOCK_RANK_CHECKS != 0;
+
+#if SPANGLE_LOCK_RANK_CHECKS
+namespace lock_rank_internal {
+/// Checks the hierarchy and pushes onto the thread-local held-lock stack;
+/// aborts with both acquisition sites on an out-of-order acquisition.
+void OnAcquire(const void* mu, LockRank rank, const char* name,
+               const char* file, int line);
+/// Pops `mu` from the held-lock stack; aborts when it is not held.
+void OnRelease(const void* mu, const char* name);
+/// True when the calling thread holds `mu`.
+bool IsHeld(const void* mu);
+/// Number of locks the calling thread holds (test hook).
+int HeldCount();
+}  // namespace lock_rank_internal
+#endif
+
+/// Number of ranked locks the calling thread currently holds. Always 0
+/// when the detector is compiled out.
+int HeldLockCountForTest();
+
+/// Annotated exclusive mutex. Engine code uses the capitalized API
+/// (Lock/Unlock/TryLock) or MutexLock; the lowercase BasicLockable
+/// surface exists only so CondVar (std::condition_variable_any) can
+/// unlock/relock around waits — it goes through the same rank
+/// bookkeeping but is invisible to thread-safety analysis.
+class CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(LockRank rank = LockRank::kLeaf, const char* name = "mutex")
+#if SPANGLE_LOCK_RANK_CHECKS
+      : rank_(rank), name_(name) {
+  }
+#else
+  {
+    (void)rank;
+    (void)name;
+  }
+#endif
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock(const char* file = __builtin_FILE(),
+            int line = __builtin_LINE()) ACQUIRE() {
+#if SPANGLE_LOCK_RANK_CHECKS
+    lock_rank_internal::OnAcquire(this, rank_, name_, file, line);
+#else
+    (void)file;
+    (void)line;
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() RELEASE() {
+    // Bookkeeping first: an unlock of a mutex this thread does not hold
+    // dies in the detector before reaching undefined behavior below.
+#if SPANGLE_LOCK_RANK_CHECKS
+    lock_rank_internal::OnRelease(this, name_);
+#endif
+    mu_.unlock();
+  }
+
+  bool TryLock(const char* file = __builtin_FILE(),
+               int line = __builtin_LINE()) TRY_ACQUIRE(true) {
+    const bool ok = mu_.try_lock();
+#if SPANGLE_LOCK_RANK_CHECKS
+    if (ok) lock_rank_internal::OnAcquire(this, rank_, name_, file, line);
+#else
+    (void)file;
+    (void)line;
+#endif
+    return ok;
+  }
+
+  /// Runtime counterpart of REQUIRES(): aborts (debug only) when the
+  /// calling thread does not hold this mutex.
+  void AssertHeld() const ASSERT_CAPABILITY(this);
+
+#if SPANGLE_LOCK_RANK_CHECKS
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+#endif
+
+  // BasicLockable interface — for std::condition_variable_any (CondVar)
+  // only. Unannotated on purpose: the cv's internal unlock/relock is not
+  // a capability change the analysis should see (absl::CondVar's model).
+  void lock() NO_THREAD_SAFETY_ANALYSIS {
+#if SPANGLE_LOCK_RANK_CHECKS
+    lock_rank_internal::OnAcquire(this, rank_, name_, "(condvar-reacquire)",
+                                  0);
+#endif
+    mu_.lock();
+  }
+  void unlock() NO_THREAD_SAFETY_ANALYSIS {
+#if SPANGLE_LOCK_RANK_CHECKS
+    lock_rank_internal::OnRelease(this, name_);
+#endif
+    mu_.unlock();
+  }
+
+ private:
+  std::mutex mu_;
+#if SPANGLE_LOCK_RANK_CHECKS
+  const LockRank rank_;
+  const char* const name_;
+#endif
+};
+
+#if !SPANGLE_LOCK_RANK_CHECKS
+// The detector is compiled out, not just disabled: no rank/name members,
+// no thread-local bookkeeping, identical layout to the raw mutex.
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "release Mutex must carry no detector state");
+#endif
+
+/// Annotated reader/writer mutex. Shared (reader) acquisitions go through
+/// the same rank detector as exclusive ones: readers can deadlock writers
+/// just as well.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  explicit SharedMutex(LockRank rank = LockRank::kLeaf,
+                       const char* name = "shared_mutex")
+#if SPANGLE_LOCK_RANK_CHECKS
+      : rank_(rank), name_(name) {
+  }
+#else
+  {
+    (void)rank;
+    (void)name;
+  }
+#endif
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock(const char* file = __builtin_FILE(),
+            int line = __builtin_LINE()) ACQUIRE() {
+#if SPANGLE_LOCK_RANK_CHECKS
+    lock_rank_internal::OnAcquire(this, rank_, name_, file, line);
+#else
+    (void)file;
+    (void)line;
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() RELEASE() {
+#if SPANGLE_LOCK_RANK_CHECKS
+    lock_rank_internal::OnRelease(this, name_);
+#endif
+    mu_.unlock();
+  }
+
+  void ReaderLock(const char* file = __builtin_FILE(),
+                  int line = __builtin_LINE()) ACQUIRE_SHARED() {
+#if SPANGLE_LOCK_RANK_CHECKS
+    lock_rank_internal::OnAcquire(this, rank_, name_, file, line);
+#else
+    (void)file;
+    (void)line;
+#endif
+    mu_.lock_shared();
+  }
+
+  void ReaderUnlock() RELEASE_SHARED() {
+#if SPANGLE_LOCK_RANK_CHECKS
+    lock_rank_internal::OnRelease(this, name_);
+#endif
+    mu_.unlock_shared();
+  }
+
+#if SPANGLE_LOCK_RANK_CHECKS
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+#endif
+
+ private:
+  std::shared_mutex mu_;
+#if SPANGLE_LOCK_RANK_CHECKS
+  const LockRank rank_;
+  const char* const name_;
+#endif
+};
+
+/// RAII exclusive lock. Supports mid-scope Unlock()/Lock() (the executor
+/// pool's help-then-wait loop); the destructor releases only when held.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu, const char* file = __builtin_FILE(),
+                     int line = __builtin_LINE()) ACQUIRE(mu)
+      : mu_(mu) {
+    mu_->Lock(file, line);
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  ~MutexLock() RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  void Unlock() RELEASE() {
+    mu_->Unlock();
+    held_ = false;
+  }
+
+  void Lock(const char* file = __builtin_FILE(),
+            int line = __builtin_LINE()) ACQUIRE() {
+    mu_->Lock(file, line);
+    held_ = true;
+  }
+
+ private:
+  Mutex* const mu_;
+  bool held_ = true;
+};
+
+/// RAII shared (reader) lock on a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu, const char* file = __builtin_FILE(),
+                           int line = __builtin_LINE()) ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->ReaderLock(file, line);
+  }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+  ~ReaderMutexLock() RELEASE() { mu_->ReaderUnlock(); }
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII exclusive (writer) lock on a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu, const char* file = __builtin_FILE(),
+                           int line = __builtin_LINE()) ACQUIRE(mu)
+      : mu_(mu) {
+    mu_->Lock(file, line);
+  }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+  ~WriterMutexLock() RELEASE() { mu_->Unlock(); }
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable bound to spangle::Mutex. Wait methods REQUIRE the
+/// mutex: the analysis treats the capability as held across the wait (the
+/// internal unlock/relock goes through Mutex's unannotated lowercase
+/// surface, where the rank detector still sees it).
+///
+/// Predicate overloads are for predicates over *locals or unannotated
+/// fields* only — a predicate lambda reading a GUARDED_BY field trips the
+/// analysis (the lambda body carries no REQUIRES); use an explicit
+/// `while (!cond) cv.Wait(mu);` loop there instead, where the condition
+/// is checked in the annotated caller's scope.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) REQUIRES(mu) {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& d)
+      REQUIRES(mu) {
+    return cv_.wait_for(mu, d);
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& d,
+               Pred pred) REQUIRES(mu) {
+    return cv_.wait_for(mu, d, std::move(pred));
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace spangle
+
+#endif  // SPANGLE_COMMON_MUTEX_H_

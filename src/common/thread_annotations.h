@@ -1,0 +1,85 @@
+#ifndef SPANGLE_COMMON_THREAD_ANNOTATIONS_H_
+#define SPANGLE_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attributes (-Wthread-safety), no-ops on
+// every other compiler. The engine's locking discipline is expressed with
+// these and machine-checked at compile time under the
+// SPANGLE_THREAD_SAFETY_ANALYSIS CMake path (clang only, -Werror):
+//
+//   GUARDED_BY(mu)      on a field: every read/write must hold mu.
+//   PT_GUARDED_BY(mu)   on a pointer field: the pointee is guarded.
+//   REQUIRES(mu)        on a function: callers must already hold mu
+//                       (the "...Locked" helper convention).
+//   ACQUIRE/RELEASE     on lock/unlock methods of a capability type.
+//   EXCLUDES(mu)        on a function: callers must NOT hold mu
+//                       (self-deadlock guard on public entry points).
+//   SCOPED_CAPABILITY   on RAII lock holders (MutexLock).
+//
+// Spelled like the canonical Clang/Abseil macros so the conventions match
+// the upstream documentation:
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && !defined(SWIG)
+#define SPANGLE_TS_ATTRIBUTE(x) __attribute__((x))
+#else
+#define SPANGLE_TS_ATTRIBUTE(x)  // no-op
+#endif
+
+#define CAPABILITY(x) SPANGLE_TS_ATTRIBUTE(capability(x))
+
+#define SCOPED_CAPABILITY SPANGLE_TS_ATTRIBUTE(scoped_lockable)
+
+#define GUARDED_BY(x) SPANGLE_TS_ATTRIBUTE(guarded_by(x))
+
+#define PT_GUARDED_BY(x) SPANGLE_TS_ATTRIBUTE(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  SPANGLE_TS_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  SPANGLE_TS_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  SPANGLE_TS_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  SPANGLE_TS_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  SPANGLE_TS_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  SPANGLE_TS_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  SPANGLE_TS_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  SPANGLE_TS_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  SPANGLE_TS_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  SPANGLE_TS_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...)               \
+  SPANGLE_TS_ATTRIBUTE(      \
+      try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) \
+  SPANGLE_TS_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  SPANGLE_TS_ATTRIBUTE(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  SPANGLE_TS_ATTRIBUTE(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) \
+  SPANGLE_TS_ATTRIBUTE(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SPANGLE_TS_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // SPANGLE_COMMON_THREAD_ANNOTATIONS_H_

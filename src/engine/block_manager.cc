@@ -44,7 +44,10 @@ BlockManager::~BlockManager() {
     fs::remove_all(spill_dir_, ec);
     return;
   }
-  // User-provided directory: remove only the files we created.
+  // User-provided directory: remove only the files we created. Locked:
+  // a racing reader (e.g. a straggling speculative task) must not see
+  // blocks_ mid-teardown.
+  MutexLock lock(&mu_);
   for (auto& [node, parts] : blocks_) {
     for (auto& [p, b] : parts) {
       if (b.on_disk) fs::remove(b.path, ec);
@@ -147,7 +150,7 @@ void BlockManager::EvictToFit(uint64_t incoming, const BlockId& protect) {
 void BlockManager::Put(const BlockId& id, DataPtr data, uint64_t bytes,
                        StorageLevel level, SpillFn spill, LoadFn load,
                        bool recomputable) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   PutLocked(id, std::move(data), bytes, level, std::move(spill),
             std::move(load), recomputable);
 }
@@ -155,7 +158,7 @@ void BlockManager::Put(const BlockId& id, DataPtr data, uint64_t bytes,
 bool BlockManager::PutIfAbsent(const BlockId& id, DataPtr data, uint64_t bytes,
                                StorageLevel level, SpillFn spill, LoadFn load,
                                bool recomputable) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const Block* existing = Find(id);
   if (existing != nullptr &&
       (existing->data != nullptr || existing->on_disk)) {
@@ -190,7 +193,7 @@ void BlockManager::PutLocked(const BlockId& id, DataPtr data, uint64_t bytes,
 }
 
 BlockManager::GetResult BlockManager::Get(const BlockId& id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Block* b = Find(id);
   if (b == nullptr) return {};
   if (b->data != nullptr) {
@@ -211,13 +214,13 @@ BlockManager::GetResult BlockManager::Get(const BlockId& id) {
 }
 
 bool BlockManager::Contains(const BlockId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const Block* b = Find(id);
   return b != nullptr && (b->data != nullptr || b->on_disk);
 }
 
 bool BlockManager::ContainsAll(uint64_t node, int num_partitions) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto nit = blocks_.find(node);
   if (nit == blocks_.end()) return num_partitions == 0;
   for (int p = 0; p < num_partitions; ++p) {
@@ -244,14 +247,14 @@ void BlockManager::DropBlockLocked(const BlockId& id, Block& b) {
 }
 
 void BlockManager::DropBlock(const BlockId& id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Block* b = Find(id);
   if (b == nullptr) return;
   DropBlockLocked(id, *b);
 }
 
 void BlockManager::DropNode(uint64_t node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto nit = blocks_.find(node);
   if (nit == blocks_.end()) return;
   for (auto& [p, b] : nit->second) {
@@ -262,7 +265,7 @@ void BlockManager::DropNode(uint64_t node) {
 }
 
 void BlockManager::FailExecutor(int worker) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<BlockId> victims;
   for (auto& [node, parts] : blocks_) {
     for (auto& [p, b] : parts) {
@@ -276,12 +279,12 @@ void BlockManager::FailExecutor(int worker) {
 }
 
 uint64_t BlockManager::bytes_in_memory() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return bytes_in_memory_;
 }
 
 size_t BlockManager::num_resident_blocks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return lru_.size();
 }
 

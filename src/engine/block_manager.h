@@ -5,10 +5,11 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/metrics.h"
 #include "engine/storage_level.h"
 
@@ -75,7 +76,8 @@ class BlockManager {
   /// non-recomputable block (shuffle output) is pinned in memory.
   /// Replaces any previous payload under the same id.
   void Put(const BlockId& id, DataPtr data, uint64_t bytes, StorageLevel level,
-           SpillFn spill, LoadFn load, bool recomputable = true);
+           SpillFn spill, LoadFn load, bool recomputable = true)
+      EXCLUDES(mu_);
 
   /// Stores like Put, but keeps any payload already available (in memory
   /// or on disk) under the same id — the idempotent commit path used when
@@ -85,31 +87,31 @@ class BlockManager {
   /// so the caller knows its copy was the discarded loser.
   bool PutIfAbsent(const BlockId& id, DataPtr data, uint64_t bytes,
                    StorageLevel level, SpillFn spill, LoadFn load,
-                   bool recomputable = true);
+                   bool recomputable = true) EXCLUDES(mu_);
 
   /// Fetches a block: from memory (LRU touch), or from its spill file
   /// (counted as a disk read; re-admitted to memory unless DISK_ONLY).
   /// data == null means the caller must recompute from lineage.
-  GetResult Get(const BlockId& id);
+  GetResult Get(const BlockId& id) EXCLUDES(mu_);
 
   /// True when the block is available in memory or on disk.
-  bool Contains(const BlockId& id) const;
+  bool Contains(const BlockId& id) const EXCLUDES(mu_);
 
   /// True when all of `node`'s partitions [0, num_partitions) are
   /// available; shuffle nodes use this as their materialization check.
-  bool ContainsAll(uint64_t node, int num_partitions) const;
+  bool ContainsAll(uint64_t node, int num_partitions) const EXCLUDES(mu_);
 
   /// Fault injection: discards one block (memory + disk) as if its
   /// executor died. No-op when the block does not exist.
-  void DropBlock(const BlockId& id);
+  void DropBlock(const BlockId& id) EXCLUDES(mu_);
 
   /// Removes every block of `node` and forgets its history (unpersist;
   /// also called by the node's destructor).
-  void DropNode(uint64_t node);
+  void DropNode(uint64_t node) EXCLUDES(mu_);
 
   /// Fault injection: drops every block resident on `worker`, memory and
   /// executor-local disk alike.
-  void FailExecutor(int worker);
+  void FailExecutor(int worker) EXCLUDES(mu_);
 
   /// The simulated placement: partition i lives on worker i % workers.
   int ExecutorOf(const BlockId& id) const {
@@ -117,8 +119,8 @@ class BlockManager {
   }
 
   uint64_t memory_budget() const { return budget_; }
-  uint64_t bytes_in_memory() const;
-  size_t num_resident_blocks() const;
+  uint64_t bytes_in_memory() const EXCLUDES(mu_);
+  size_t num_resident_blocks() const EXCLUDES(mu_);
 
  private:
   struct Block {
@@ -136,34 +138,39 @@ class BlockManager {
     std::list<BlockId>::iterator lru_it;  // valid iff data != null
   };
 
-  // All private helpers assume mu_ is held.
+  // All private helpers require mu_ (machine-checked via REQUIRES).
   void PutLocked(const BlockId& id, DataPtr data, uint64_t bytes,
                  StorageLevel level, SpillFn spill, LoadFn load,
-                 bool recomputable);
-  Block* Find(const BlockId& id);
-  const Block* Find(const BlockId& id) const;
-  void InsertResident(const BlockId& id, Block& b, DataPtr data);
-  void ReleaseMemory(Block& b);
-  void EvictToFit(uint64_t incoming, const BlockId& protect);
-  void EvictBlock(const BlockId& id, Block& b);
-  void SpillBlock(const BlockId& id, Block& b);
-  void RemoveFile(Block& b);
-  void DropBlockLocked(const BlockId& id, Block& b);
-  std::string PathFor(const BlockId& id);
-  void UpdateGauges();
+                 bool recomputable) REQUIRES(mu_);
+  Block* Find(const BlockId& id) REQUIRES(mu_);
+  const Block* Find(const BlockId& id) const REQUIRES(mu_);
+  void InsertResident(const BlockId& id, Block& b, DataPtr data)
+      REQUIRES(mu_);
+  void ReleaseMemory(Block& b) REQUIRES(mu_);
+  void EvictToFit(uint64_t incoming, const BlockId& protect) REQUIRES(mu_);
+  void EvictBlock(const BlockId& id, Block& b) REQUIRES(mu_);
+  void SpillBlock(const BlockId& id, Block& b) REQUIRES(mu_);
+  void RemoveFile(Block& b) REQUIRES(mu_);
+  void DropBlockLocked(const BlockId& id, Block& b) REQUIRES(mu_);
+  std::string PathFor(const BlockId& id) REQUIRES(mu_);
+  void UpdateGauges() REQUIRES(mu_);
 
   const uint64_t budget_;
   const int num_workers_;
   EngineMetrics* metrics_;
-  std::string spill_dir_;
-  bool owns_spill_dir_ = false;
-  bool spill_dir_ready_ = false;
+  std::string spill_dir_;           // set in the constructor, then const
+  bool owns_spill_dir_ = false;     // set in the constructor, then const
+  bool spill_dir_ready_ GUARDED_BY(mu_) = false;  // set lazily by PathFor
 
-  mutable std::mutex mu_;
+  // mu_ is a leaf-adjacent lock (rank kBlockManager): while held, the
+  // only callouts are spill/load codecs, which take no engine locks.
+  mutable Mutex mu_{LockRank::kBlockManager, "BlockManager::mu_"};
   // node id -> partition -> block.
-  std::unordered_map<uint64_t, std::unordered_map<int, Block>> blocks_;
-  std::list<BlockId> lru_;  // front = least recently used resident block
-  uint64_t bytes_in_memory_ = 0;
+  std::unordered_map<uint64_t, std::unordered_map<int, Block>> blocks_
+      GUARDED_BY(mu_);
+  // front = least recently used resident block
+  std::list<BlockId> lru_ GUARDED_BY(mu_);
+  uint64_t bytes_in_memory_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace spangle

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/metrics_export.h"
 
 namespace spangle {
@@ -20,10 +20,15 @@ namespace {
 /// straggler sitting out an injected delay wakes as soon as the other
 /// attempt wins.
 struct TaskGate {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool fn_done = false;
-  bool winner_speculative = false;  // settled by the re-launched copy
+  // Rank kTaskGate (outermost): gate.mu is held across fn(i), whose body
+  // may take BlockManager / RuntimeProfile / metrics locks. Gates of
+  // different task indices share the rank because they are never nested
+  // (nested RunAll is CHECK-banned by the pool).
+  Mutex mu{LockRank::kTaskGate, "TaskGate::mu"};
+  CondVar cv;
+  bool fn_done GUARDED_BY(mu) = false;
+  // settled by the re-launched copy
+  bool winner_speculative GUARDED_BY(mu) = false;
 };
 
 }  // namespace
@@ -80,7 +85,7 @@ void Context::RunStage(const std::string& name, int n,
   // Primary per-index timing slots live in stat.tasks[0..n); retry and
   // speculative attempts are appended afterwards as extra trace lanes.
   TaskStat* slots = stat.tasks.data();
-  std::mutex extra_mu;
+  Mutex extra_mu{LockRank::kLeaf, "RunStage::extra_mu"};
   std::vector<TaskStat> extras;
 
   const int overhead = task_overhead_us_;
@@ -98,7 +103,11 @@ void Context::RunStage(const std::string& name, int n,
   const auto Finalize = [&] {
     stat.wall_us = pool_.NowMicros() - stat.start_us;
     if (profile != nullptr) profile->SampleCounters(pool_.NowMicros());
-    for (const TaskGate& g : gates) {
+    // Locked per gate: the batch barrier already orders these writes
+    // before us, but the lock keeps the guarded-field contract uniform
+    // (and the analysis checkable) on this read-side path too.
+    for (TaskGate& g : gates) {
+      MutexLock lock(&g.mu);
       if (g.fn_done && g.winner_speculative) ++stat.speculative_wins;
     }
     if (stat.speculative_wins > 0) {
@@ -172,20 +181,26 @@ void Context::RunStage(const std::string& name, int n,
         }
         if (delay > 0) {
           // Interruptible: a speculative loser sleeping out an injected
-          // delay yields the moment the other attempt wins.
-          std::unique_lock<std::mutex> lock(gate.mu);
-          gate.cv.wait_for(lock, std::chrono::microseconds(delay),
-                           [&gate] { return gate.fn_done; });
+          // delay yields the moment the other attempt wins. Explicit
+          // deadline loop (not a predicate lambda) so the fn_done reads
+          // stay in this scope, where the analysis sees gate.mu held.
+          const auto deadline = std::chrono::steady_clock::now() +
+                                std::chrono::microseconds(delay);
+          MutexLock lock(&gate.mu);
+          while (!gate.fn_done &&
+                 gate.cv.WaitUntil(gate.mu, deadline) !=
+                     std::cv_status::timeout) {
+          }
           if (gate.fn_done) return;  // discarded loser
         }
         {
-          std::unique_lock<std::mutex> lock(gate.mu);
+          MutexLock lock(&gate.mu);
           if (gate.fn_done) return;  // discarded loser
           fn(i);  // throws propagate with fn_done still false
           gate.fn_done = true;
           gate.winner_speculative = pool_attempt > 0;
         }
-        gate.cv.notify_all();
+        gate.cv.NotifyAll();
       });
     }
 
@@ -200,7 +215,7 @@ void Context::RunStage(const std::string& name, int n,
         // pool's completion wait).
         slots[real] = ts;
       } else {
-        std::lock_guard<std::mutex> lock(extra_mu);
+        MutexLock lock(&extra_mu);
         extras.push_back(ts);
       }
     };

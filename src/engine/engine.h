@@ -7,7 +7,6 @@
 #include <tuple>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -16,7 +15,9 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "engine/block_manager.h"
 #include "engine/executor_pool.h"
 #include "engine/fault.h"
@@ -134,22 +135,22 @@ class Context {
 
   /// Retry/speculation knobs; read at the start of every stage and job.
   void set_fault_options(const FaultToleranceOptions& opts) {
-    std::lock_guard<std::mutex> lock(fault_mu_);
+    MutexLock lock(&fault_mu_);
     fault_options_ = opts;
   }
   FaultToleranceOptions fault_options() const {
-    std::lock_guard<std::mutex> lock(fault_mu_);
+    MutexLock lock(&fault_mu_);
     return fault_options_;
   }
 
   /// Installs (or clears, with nullptr) the deterministic fault-injection
   /// hooks consulted before every task attempt. Testing only.
   void set_chaos_policy(std::shared_ptr<const ChaosPolicy> policy) {
-    std::lock_guard<std::mutex> lock(fault_mu_);
+    MutexLock lock(&fault_mu_);
     chaos_ = std::move(policy);
   }
   std::shared_ptr<const ChaosPolicy> chaos_policy() const {
-    std::lock_guard<std::mutex> lock(fault_mu_);
+    MutexLock lock(&fault_mu_);
     return chaos_;
   }
 
@@ -215,9 +216,11 @@ class Context {
   std::atomic<bool> serial_shuffles_{false};
   std::atomic<bool> profiling_{true};
 
-  mutable std::mutex fault_mu_;
-  FaultToleranceOptions fault_options_;
-  std::shared_ptr<const ChaosPolicy> chaos_;
+  // Rank kConfig: snapshot-style accessors only; nothing is acquired
+  // while it is held.
+  mutable Mutex fault_mu_{LockRank::kConfig, "Context::fault_mu_"};
+  FaultToleranceOptions fault_options_ GUARDED_BY(fault_mu_);
+  std::shared_ptr<const ChaosPolicy> chaos_ GUARDED_BY(fault_mu_);
 };
 
 namespace internal {
@@ -535,7 +538,7 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
   /// the shuffle before the next action (Spark's stage retry).
   bool IsMaterialized() const override {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!materialized_) return false;
     }
     return this->ctx()->block_manager().ContainsAll(this->id(),
@@ -550,7 +553,7 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
     // re-running it — Spark's stage rerun.
     int attempt;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       attempt = materialize_attempts_++;
     }
     if (attempt > 0) ctx->metrics().stage_reruns.fetch_add(1);
@@ -627,7 +630,7 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
                            std::move(output[r])),
                        out_level, /*recomputable=*/false);
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     materialized_ = true;
   }
 
@@ -648,9 +651,11 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
   std::shared_ptr<Partitioner<K>> partitioner_;
   Combiner combiner_;
 
-  mutable std::mutex mu_;
-  bool materialized_ = false;
-  int materialize_attempts_ = 0;
+  // Rank kShuffleNode: released before ContainsAll / RunStage, so no
+  // other engine lock is ever taken while it is held.
+  mutable Mutex mu_{LockRank::kShuffleNode, "ShuffleNode::mu_"};
+  bool materialized_ GUARDED_BY(mu_) = false;
+  int materialize_attempts_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace internal

@@ -45,10 +45,10 @@ ExecutorPool::ExecutorPool(int num_workers)
 
 ExecutorPool::~ExecutorPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (auto& t : workers_) t.join();
 }
 
@@ -78,10 +78,10 @@ ExecutorPool::BatchResult ExecutorPool::RunAll(
     batch->slots[i].launched = 1;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     active_.push_back(batch);
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   // Help drain our own batch (never another driver's: returning promptly
   // once our batch finishes matters more than global throughput here).
   // When speculating with worker threads available, the driver must NOT
@@ -97,26 +97,26 @@ ExecutorPool::BatchResult ExecutorPool::RunAll(
     }
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     while (batch->outstanding != 0) {
       if (!speculation.enabled) {
-        batch_done_.wait(lock, [&] { return batch->outstanding == 0; });
+        batch_done_.Wait(mu_, [&] { return batch->outstanding == 0; });
         break;
       }
       // Speculation: wake periodically and re-launch stragglers.
       const uint64_t tick =
           std::max<uint64_t>(speculation.check_interval_us, 50);
-      batch_done_.wait_for(lock, std::chrono::microseconds(tick),
-                           [&] { return batch->outstanding == 0; });
+      batch_done_.WaitFor(mu_, std::chrono::microseconds(tick),
+                          [&] { return batch->outstanding == 0; });
       if (batch->outstanding == 0) break;
       if (MaybeSpeculateLocked(*batch, speculation)) {
-        work_ready_.notify_all();
+        work_ready_.NotifyAll();
       }
-      lock.unlock();
+      lock.Unlock();
       while (RunOneTask(batch.get(),
                         /*speculative_only=*/!driver_runs_primaries)) {
       }
-      lock.lock();
+      lock.Lock();
     }
     for (auto it = active_.begin(); it != active_.end(); ++it) {
       if (it->get() == batch.get()) {
@@ -194,7 +194,7 @@ bool ExecutorPool::RunOneTask(Batch* only, bool speculative_only) {
   std::shared_ptr<Batch> batch;
   WorkItem item;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (only != nullptr) {
       if (!only->queue.empty()) {
         for (const auto& b : active_) {
@@ -242,7 +242,7 @@ bool ExecutorPool::RunOneTask(Batch* only, bool speculative_only) {
   timing.duration_us = NowMicros() - timing.start_us;
   if (batch->observer) batch->observer(timing);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     Slot& s = batch->slots[item.index];
     ++s.returned;
     if (s.returned == 1) s.first_duration_us = timing.duration_us;
@@ -263,7 +263,7 @@ bool ExecutorPool::RunOneTask(Batch* only, bool speculative_only) {
     // the driver after it takes mu_ at the barrier, never on a worker
     // racing the driver's reads of the exception contents.
     err = nullptr;
-    if (--batch->outstanding == 0) batch_done_.notify_all();
+    if (--batch->outstanding == 0) batch_done_.NotifyAll();
   }
   return true;
 }
@@ -272,9 +272,11 @@ void ExecutorPool::WorkerLoop(int lane) {
   tl_lane = lane;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock,
-                       [this] { return shutdown_ || AnyRunnableLocked(); });
+      // Explicit wait loop (not a predicate lambda): shutdown_ is
+      // GUARDED_BY(mu_) and AnyRunnableLocked REQUIRES(mu_), which the
+      // analysis can only see in this scope, where the lock is held.
+      MutexLock lock(&mu_);
+      while (!shutdown_ && !AnyRunnableLocked()) work_ready_.Wait(mu_);
       if (shutdown_) return;
     }
     while (RunOneTask(nullptr)) {

@@ -3,17 +3,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace spangle {
 
@@ -160,29 +160,36 @@ class ExecutorPool {
     int speculative_launches = 0;
   };
 
-  void WorkerLoop(int lane);
+  void WorkerLoop(int lane) EXCLUDES(mu_);
   /// Picks one runnable attempt — from `only` when given, else from any
   /// active batch — runs it, and returns true. False when nothing to run.
   /// With `speculative_only`, considers only re-launched copies (attempt
   /// > 0): the speculating driver must not occupy its lane with a
   /// primary attempt that could itself be the straggler.
-  bool RunOneTask(Batch* only, bool speculative_only = false);
-  bool AnyRunnableLocked() const;
+  bool RunOneTask(Batch* only, bool speculative_only = false) EXCLUDES(mu_);
+  bool AnyRunnableLocked() const REQUIRES(mu_);
   int LaneForThisThread();
   /// Re-enqueues a speculative copy of every straggler in `b`; returns
-  /// true when at least one was launched. Caller holds mu_.
-  bool MaybeSpeculateLocked(Batch& b, const SpeculationOptions& spec);
+  /// true when at least one was launched.
+  bool MaybeSpeculateLocked(Batch& b, const SpeculationOptions& spec)
+      REQUIRES(mu_);
 
   const int num_workers_;
   const std::chrono::steady_clock::time_point epoch_;
   std::vector<std::thread> workers_;
   std::atomic<int> next_driver_lane_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable batch_done_;
-  std::deque<std::shared_ptr<Batch>> active_;
-  bool shutdown_ = false;
+  // Rank kExecutorPool: task bodies run with mu_ RELEASED, so the lock
+  // is never held across user code or other engine locks. Batch/Slot
+  // contents (the structs above) are likewise guarded by mu_ — the
+  // analysis cannot express "inner-struct field guarded by the outer
+  // pool's mutex", so that part of the contract is enforced by the
+  // REQUIRES(...Locked) helpers and review.
+  mutable Mutex mu_{LockRank::kExecutorPool, "ExecutorPool::mu_"};
+  CondVar work_ready_;
+  CondVar batch_done_;
+  std::deque<std::shared_ptr<Batch>> active_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace spangle

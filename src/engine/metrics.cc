@@ -201,7 +201,7 @@ void EngineMetrics::RaisePeakConcurrentShuffles(uint64_t v) {
 }
 
 void EngineMetrics::RecordStage(StageStat stat) {
-  std::lock_guard<std::mutex> lock(stage_mu_);
+  MutexLock lock(&stage_mu_);
   while (stage_stats_.size() >= kMaxStageStats) {
     stage_stats_.pop_front();
     stage_stats_dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -210,7 +210,7 @@ void EngineMetrics::RecordStage(StageStat stat) {
 }
 
 std::vector<StageStat> EngineMetrics::StageStats() const {
-  std::lock_guard<std::mutex> lock(stage_mu_);
+  MutexLock lock(&stage_mu_);
   return std::vector<StageStat>(stage_stats_.begin(), stage_stats_.end());
 }
 
@@ -224,7 +224,7 @@ void EngineMetrics::Reset() {
       m.value->store(0, std::memory_order_relaxed);
     }
   }
-  std::lock_guard<std::mutex> lock(stage_mu_);
+  MutexLock lock(&stage_mu_);
   stage_stats_.clear();
   stage_stats_dropped_.store(0, std::memory_order_relaxed);
 }

@@ -5,9 +5,11 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace spangle {
 
@@ -245,10 +247,10 @@ class EngineMetrics {
   /// OLDEST record is dropped (counted in stage_stats_dropped), so a
   /// long-running context always keeps the most recent stages — the ones
   /// being debugged.
-  void RecordStage(StageStat stat);
+  void RecordStage(StageStat stat) EXCLUDES(stage_mu_);
 
   /// Snapshot of every retained stage record, in execution order.
-  std::vector<StageStat> StageStats() const;
+  std::vector<StageStat> StageStats() const EXCLUDES(stage_mu_);
 
   uint64_t stage_stats_dropped() const {
     return stage_stats_dropped_.load(std::memory_order_relaxed);
@@ -264,8 +266,9 @@ class EngineMetrics {
 
   MetricRegistry registry_;
 
-  mutable std::mutex stage_mu_;
-  std::deque<StageStat> stage_stats_;
+  // Innermost engine lock (rank kMetrics): nothing is acquired under it.
+  mutable Mutex stage_mu_{LockRank::kMetrics, "EngineMetrics::stage_mu_"};
+  std::deque<StageStat> stage_stats_ GUARDED_BY(stage_mu_);
   std::atomic<uint64_t> stage_stats_dropped_{0};
 };
 

@@ -3,6 +3,11 @@
 #include <cstdio>
 #include <sstream>
 
+// Lock-free by construction: every reader here consumes either atomic
+// counters or a value snapshot (EngineMetrics::StageStats() copies the
+// ring under EngineMetrics::stage_mu_ before returning), so no function
+// in this TU takes a lock or needs thread-safety annotations.
+
 namespace spangle {
 
 namespace {

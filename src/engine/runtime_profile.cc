@@ -136,7 +136,15 @@ uint64_t NodeProfileSnapshot::TotalDensityObservations() const {
 }
 
 NodeProfile* RuntimeProfile::GetOrCreate(uint64_t node_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  {
+    // Hot path: per-partition profile lookups of already-seen nodes only
+    // contend on a reader lock. The pointee outlives the lock (slots are
+    // only removed by Clear, which callers must not race with live tasks).
+    ReaderMutexLock lock(&mu_);
+    auto it = nodes_.find(node_id);
+    if (it != nodes_.end()) return it->second.get();
+  }
+  WriterMutexLock lock(&mu_);
   auto it = nodes_.find(node_id);
   if (it == nodes_.end()) {
     it = nodes_.emplace(node_id, std::make_unique<NodeProfile>()).first;
@@ -148,7 +156,7 @@ NodeProfileSnapshot RuntimeProfile::Snapshot(uint64_t node_id) const {
   NodeProfileSnapshot out;
   const NodeProfile* np = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     auto it = nodes_.find(node_id);
     if (it == nodes_.end()) return out;
     np = it->second.get();
@@ -174,10 +182,10 @@ NodeProfileSnapshot RuntimeProfile::Snapshot(uint64_t node_id) const {
 
 void RuntimeProfile::Clear() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    WriterMutexLock lock(&mu_);
     nodes_.clear();
   }
-  std::lock_guard<std::mutex> lock(samples_mu_);
+  MutexLock lock(&samples_mu_);
   samples_.clear();
 }
 
@@ -224,14 +232,14 @@ void RuntimeProfile::SampleCounters(uint64_t now_us) {
   s.shuffle_bytes = metrics_->shuffle_bytes.load(std::memory_order_relaxed);
   s.concurrent_shuffles =
       metrics_->concurrent_shuffles.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(samples_mu_);
+  MutexLock lock(&samples_mu_);
   while (samples_.size() >= kMaxCounterSamples) samples_.pop_front();
   samples_.push_back(s);
 }
 
 std::vector<RuntimeProfile::CounterSample> RuntimeProfile::CounterSamples()
     const {
-  std::lock_guard<std::mutex> lock(samples_mu_);
+  MutexLock lock(&samples_mu_);
   return std::vector<CounterSample>(samples_.begin(), samples_.end());
 }
 

@@ -7,11 +7,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/metrics.h"
 
 namespace spangle {
@@ -84,14 +85,16 @@ class RuntimeProfile {
   RuntimeProfile(const RuntimeProfile&) = delete;
   RuntimeProfile& operator=(const RuntimeProfile&) = delete;
 
-  /// The profile slot for `node_id`, created on first use.
-  NodeProfile* GetOrCreate(uint64_t node_id);
+  /// The profile slot for `node_id`, created on first use. Lookup of an
+  /// existing slot (the per-partition hot path) takes only a shared lock;
+  /// first use upgrades to an exclusive lock to insert.
+  NodeProfile* GetOrCreate(uint64_t node_id) EXCLUDES(mu_);
 
   /// Current values for `node_id`; zeros when the node never executed.
-  NodeProfileSnapshot Snapshot(uint64_t node_id) const;
+  NodeProfileSnapshot Snapshot(uint64_t node_id) const EXCLUDES(mu_);
 
   /// Drops every node profile and counter sample (metrics are untouched).
-  void Clear();
+  void Clear() EXCLUDES(mu_, samples_mu_);
 
   // Hook bodies, invoked via the prof:: free functions below from the
   // array layer. `np` may be null (instrumented code running outside an
@@ -113,8 +116,8 @@ class RuntimeProfile {
 
   /// Samples the gauge-like metrics at `now_us` (called by RunStage at
   /// stage start/end). Retention is a ring of the most recent samples.
-  void SampleCounters(uint64_t now_us);
-  std::vector<CounterSample> CounterSamples() const;
+  void SampleCounters(uint64_t now_us) EXCLUDES(samples_mu_);
+  std::vector<CounterSample> CounterSamples() const EXCLUDES(samples_mu_);
 
   EngineMetrics* metrics() const { return metrics_; }
 
@@ -123,11 +126,17 @@ class RuntimeProfile {
 
   EngineMetrics* metrics_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::unique_ptr<NodeProfile>> nodes_;
+  // Reader/writer: worker threads resolving an existing node's profile
+  // share the lock; inserts (first touch of a node) and Clear take it
+  // exclusively. Never held together with samples_mu_ — Clear acquires
+  // them strictly in sequence.
+  mutable SharedMutex mu_{LockRank::kProfile, "RuntimeProfile::mu_"};
+  std::unordered_map<uint64_t, std::unique_ptr<NodeProfile>> nodes_
+      GUARDED_BY(mu_);
 
-  mutable std::mutex samples_mu_;
-  std::deque<CounterSample> samples_;
+  mutable Mutex samples_mu_{LockRank::kProfileSamples,
+                            "RuntimeProfile::samples_mu_"};
+  std::deque<CounterSample> samples_ GUARDED_BY(samples_mu_);
 };
 
 /// Thread-local profiling hooks. Context::RunStage binds the context's

@@ -1,13 +1,12 @@
 #include "engine/scheduler.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "engine/engine.h"
 
 namespace spangle {
@@ -196,8 +195,10 @@ void Scheduler::MaterializeShuffles(const PhysicalPlan& plan,
   // the join the error is rethrown on the submitting thread, where
   // RunJob's recovery loop can re-plan.
   const uint64_t job = internal::CurrentJobId();
-  std::mutex mu;
-  std::condition_variable cv;
+  // Rank kScheduler: held only around the done/running/failed
+  // bookkeeping; Materialize() itself runs with the lock released.
+  Mutex mu{LockRank::kScheduler, "Scheduler::materialize_mu"};
+  CondVar cv;
   std::vector<char> done(plan.stages.size(), 0);
   for (const auto& s : plan.stages) {
     if (s.is_shuffle && s.materialized) done[s.id] = 1;
@@ -212,8 +213,8 @@ void Scheduler::MaterializeShuffles(const PhysicalPlan& plan,
       internal::SetThreadJobId(job);
       const PlanStage& stage = plan.stages[id];
       {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] {
+        MutexLock lock(&mu);
+        cv.Wait(mu, [&] {
           if (failed) return true;
           for (int dep : stage.deps) {
             if (!done[dep]) return false;
@@ -227,12 +228,12 @@ void Scheduler::MaterializeShuffles(const PhysicalPlan& plan,
       }
       try {
         stage.node->Materialize();
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(&mu);
         --running;
         metrics.concurrent_shuffles.fetch_sub(1, std::memory_order_relaxed);
         done[id] = 1;
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(&mu);
         --running;
         metrics.concurrent_shuffles.fetch_sub(1, std::memory_order_relaxed);
         if (!failed) {
@@ -240,7 +241,7 @@ void Scheduler::MaterializeShuffles(const PhysicalPlan& plan,
           first_error = std::current_exception();
         }
       }
-      cv.notify_all();
+      cv.NotifyAll();
     });
   }
   for (auto& t : threads) t.join();
