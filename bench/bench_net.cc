@@ -1,0 +1,169 @@
+// Net bench: what does moving the shuffle data plane onto executor
+// daemons cost?
+//
+//   1. Raw transport throughput: PutBlock/FetchBlock MB/s against one
+//      in-process daemon over loopback TCP (framing + codec + syscalls,
+//      no engine in the loop).
+//   2. Shuffle wall time: the same reduceByKey job under LOCAL (blocks
+//      in the driver's BlockManager) vs DISTRIBUTED (blocks pushed to /
+//      pulled from spangle_executord children over RPC).
+//
+// Results also land in BENCH_net.json for machines.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/engine.h"
+#include "net/executor_daemon.h"
+#include "net/rpc_client.h"
+
+namespace spangle {
+namespace {
+
+using bench::PrintCell;
+using bench::PrintEnd;
+using bench::PrintHeader;
+using bench::TimeSeconds;
+
+struct TransportResult {
+  double put_mb_s = 0;
+  double fetch_mb_s = 0;
+};
+
+/// Streams `count` blocks of `block_bytes` each into an in-process
+/// daemon, then reads them all back.
+TransportResult TransportThroughput(size_t block_bytes, int count) {
+  net::ExecutorDaemonOptions opts;
+  net::ExecutorDaemon daemon(opts);
+  if (!daemon.Start().ok()) return {};
+  net::RpcClient client(daemon.port());
+
+  const std::string payload(block_bytes, 'x');
+  const double mb =
+      static_cast<double>(block_bytes) * count / (1024.0 * 1024.0);
+
+  const double put_s = TimeSeconds([&] {
+    for (int i = 0; i < count; ++i) {
+      net::PutBlockRequest put;
+      put.node = 1;
+      put.partition = i;
+      put.bytes = payload;
+      (void)client.TypedCall<net::PutBlockRequest, net::PutBlockResponse>(put);
+    }
+  });
+  const double fetch_s = TimeSeconds([&] {
+    for (int i = 0; i < count; ++i) {
+      net::FetchBlockRequest fetch;
+      fetch.node = 1;
+      fetch.partition = i;
+      (void)client
+          .TypedCall<net::FetchBlockRequest, net::FetchBlockResponse>(fetch);
+    }
+  });
+  daemon.Stop();
+  TransportResult r;
+  r.put_mb_s = put_s > 0 ? mb / put_s : 0;
+  r.fetch_mb_s = fetch_s > 0 ? mb / fetch_s : 0;
+  return r;
+}
+
+/// One reduceByKey over `n` int pairs; returns wall seconds and leaves
+/// the remote-fetch count in the context metrics.
+double ShuffleOnce(Context* ctx, int n, int keys) {
+  return TimeSeconds([&] {
+    std::vector<int> data(n);
+    for (int i = 0; i < n; ++i) data[i] = i;
+    auto pairs = ctx->Parallelize(std::move(data)).Map([keys](const int& v) {
+      return std::pair<int, int>(v % keys, v);
+    });
+    PairRdd<int, int>(pairs)
+        .ReduceByKey([](const int& a, const int& b) { return a + b; })
+        .Count();
+  });
+}
+
+}  // namespace
+}  // namespace spangle
+
+int main() {
+  using namespace spangle;  // NOLINT(google-build-using-namespace)
+
+  // --- 1. Raw transport ---
+  PrintHeader("Net 1: loopback transport throughput",
+              {"block", "put MB/s", "fetch MB/s"});
+  const std::pair<size_t, int> shapes[] = {
+      {64 * 1024, 256}, {1024 * 1024, 64}, {8 * 1024 * 1024, 16}};
+  TransportResult big{};
+  for (const auto& [bytes, count] : shapes) {
+    const TransportResult r = TransportThroughput(bytes, count);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%zuKiB", bytes / 1024);
+    PrintCell(std::string(label));
+    char cell[32];
+    std::snprintf(cell, sizeof(cell), "%.1f", r.put_mb_s);
+    PrintCell(std::string(cell));
+    std::snprintf(cell, sizeof(cell), "%.1f", r.fetch_mb_s);
+    PrintCell(std::string(cell));
+    PrintEnd();
+    big = r;  // keep the largest-block numbers for the JSON record
+  }
+
+  // --- 2. LOCAL vs DISTRIBUTED shuffle ---
+  constexpr int kRecords = 2'000'000;
+  constexpr int kKeys = 4096;
+  constexpr int kWorkers = 4;
+  constexpr int kPartitions = 8;
+
+  Context local(kWorkers, kPartitions);
+  ShuffleOnce(&local, kRecords / 10, kKeys);  // warmup
+  const double local_s = ShuffleOnce(&local, kRecords, kKeys);
+
+  DeploymentOptions deploy;
+  deploy.mode = DeploymentMode::kDistributed;
+  deploy.distributed.num_executors = 2;
+  Context dist(kWorkers, kPartitions, 0, {}, deploy);
+  ShuffleOnce(&dist, kRecords / 10, kKeys);  // warmup
+  dist.metrics().Reset();
+  const double dist_s = ShuffleOnce(&dist, kRecords, kKeys);
+  const uint64_t remote_fetches = dist.metrics().remote_shuffle_fetches.load();
+  const uint64_t rpc_bytes = dist.metrics().rpc_bytes_sent.load() +
+                             dist.metrics().rpc_bytes_received.load();
+
+  PrintHeader("Net 2: reduceByKey shuffle, local vs remote data plane",
+              {"mode", "time", "remote fetches"});
+  PrintCell(std::string("LOCAL"));
+  PrintCell(local_s);
+  PrintCell(std::string("0"));
+  PrintEnd();
+  PrintCell(std::string("DISTRIBUTED"));
+  PrintCell(dist_s);
+  PrintCell(std::to_string(remote_fetches));
+  PrintEnd();
+  const double overhead_pct =
+      local_s > 0 ? (dist_s - local_s) / local_s * 100.0 : 0.0;
+  std::printf("remote data plane overhead: %+.1f%% (%.1f MiB over RPC)\n",
+              overhead_pct,
+              static_cast<double>(rpc_bytes) / (1024.0 * 1024.0));
+
+  FILE* f = std::fopen("BENCH_net.json", "w");
+  if (f != nullptr) {
+    std::fprintf(
+        f,
+        "{\"bench\":\"net_shuffle_transport\",\"records\":%d,\"keys\":%d,"
+        "\"workers\":%d,\"partitions\":%d,"
+        "\"transport_put_mb_s\":%.1f,\"transport_fetch_mb_s\":%.1f,"
+        "\"local_seconds\":%.6f,\"distributed_seconds\":%.6f,"
+        "\"overhead_pct\":%.2f,\"remote_fetches\":%llu,"
+        "\"rpc_bytes\":%llu}\n",
+        kRecords, kKeys, kWorkers, kPartitions, big.put_mb_s, big.fetch_mb_s,
+        local_s, dist_s, overhead_pct,
+        static_cast<unsigned long long>(remote_fetches),
+        static_cast<unsigned long long>(rpc_bytes));
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Static-analysis gate: clang-tidy over every translation unit in src/,
-# using the checks curated in .clang-tidy. Exits non-zero on any finding
-# (WarningsAsErrors: '*'), so CI can gate on it directly.
+# tests/, and bench/, using the checks curated in .clang-tidy (tests/ and
+# bench/ layer targeted exceptions for gtest/bench idioms on top via
+# InheritParentConfig — see tests/.clang-tidy, bench/.clang-tidy). Exits
+# non-zero on any finding (WarningsAsErrors: '*'), so CI can gate on it
+# directly.
 #
 # Usage: scripts/analyze.sh [build-dir]
 #   build-dir defaults to build/; it must contain compile_commands.json
@@ -33,7 +36,9 @@ if [[ ! -f "$build_dir/compile_commands.json" ]]; then
   cmake -B "$build_dir" -S "$repo_root" >/dev/null
 fi
 
-mapfile -t sources < <(find "$repo_root/src" -name '*.cc' | sort)
+mapfile -t sources < <(
+  find "$repo_root/src" "$repo_root/tests" "$repo_root/bench" \
+       -name '*.cc' | sort)
 echo "-- $tidy ($($tidy --version | sed -n 's/.*version /version /p' | head -1)):" \
      "${#sources[@]} files"
 

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Chaos stress harness: runs the seeded chaos suite (ctest -L chaos) 20
 # times per sanitizer, rotating the fault-injection seed every run, under
-# both AddressSanitizer and ThreadSanitizer builds. Any failure prints
-# the exact seed so the run is reproducible with
+# both AddressSanitizer and ThreadSanitizer builds, then a distributed
+# chaos loop that SIGKILLs real spangle_executord daemons mid-job
+# (ctest -L net -R Distributed), rotating which daemon dies via the same
+# seed. Any failure prints the exact seed so the run is reproducible with
 #   SPANGLE_CHAOS_SEED=<seed> ctest --test-dir build-<san> -L chaos
 #
 # Usage: scripts/stress.sh [base_seed]   (default base seed: 1234)
@@ -28,6 +30,21 @@ for SAN in address thread; do
         ctest --test-dir "$BUILD" -L chaos --output-on-failure; then
       echo "FAILED: sanitizer=$SAN seed=$SEED" >&2
       echo "reproduce: SPANGLE_CHAOS_SEED=$SEED ctest --test-dir $BUILD -L chaos --output-on-failure" >&2
+      FAILED=1
+    fi
+  done
+
+  # Distributed chaos: the DistributedChaosTest cases fork real daemon
+  # processes and SIGKILL one mid-job; the seed picks which executor
+  # dies, so rotating it covers every kill target.
+  DIST_ROUNDS="${SPANGLE_DIST_STRESS_ROUNDS:-10}"
+  for ((i = 0; i < DIST_ROUNDS; ++i)); do
+    SEED=$((BASE_SEED + i))
+    echo "=== [$SAN] distributed chaos round $((i + 1))/$DIST_ROUNDS seed=$SEED ==="
+    if ! SPANGLE_CHAOS_SEED="$SEED" \
+        ctest --test-dir "$BUILD" -L net -R Distributed --output-on-failure; then
+      echo "FAILED: sanitizer=$SAN seed=$SEED (distributed)" >&2
+      echo "reproduce: SPANGLE_CHAOS_SEED=$SEED ctest --test-dir $BUILD -L net -R Distributed --output-on-failure" >&2
       FAILED=1
     fi
   done

@@ -14,6 +14,8 @@ const char* LockRankName(LockRank rank) {
       return "kLeaf";
     case LockRank::kMetrics:
       return "kMetrics";
+    case LockRank::kNetClient:
+      return "kNetClient";
     case LockRank::kConfig:
       return "kConfig";
     case LockRank::kProfileSamples:
@@ -24,8 +26,12 @@ const char* LockRankName(LockRank rank) {
       return "kBlockManager";
     case LockRank::kExecutorPool:
       return "kExecutorPool";
+    case LockRank::kNetFleet:
+      return "kNetFleet";
     case LockRank::kShuffleNode:
       return "kShuffleNode";
+    case LockRank::kNetServer:
+      return "kNetServer";
     case LockRank::kScheduler:
       return "kScheduler";
     case LockRank::kTaskGate:

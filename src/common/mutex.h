@@ -55,7 +55,11 @@ namespace spangle {
 ///   56   | Scheduler materialization cv-mutex    | nothing (Materialize()
 ///        |   (scheduler.cc, stage dependency     | runs outside the lock)
 ///        |   waits)                              |
+///   50   | RpcServer::mu_ (rpc_server.cc,        | nothing (handlers run
+///        |   connection/thread bookkeeping)      | outside the lock)
 ///   48   | ShuffleNode::mu_ (engine.h)           | nothing
+///   46   | ExecutorFleet::mu_ (executor_fleet.cc,| RpcClient calls (rank
+///        |   daemon slots, spawn/restart)        | kNetClient=12)
 ///   40   | ExecutorPool::mu_ (batch/queue state, | nothing (task bodies
 ///        |   speculation bookkeeping)            | run outside the lock)
 ///   32   | BlockManager::mu_ (budget/LRU/spill   | spill/load codecs only
@@ -63,6 +67,8 @@ namespace spangle {
 ///   24   | RuntimeProfile::mu_ (node profiles)   | nothing
 ///   20   | RuntimeProfile::samples_mu_           | metrics atomics only
 ///   16   | Context::fault_mu_ (retry/chaos opts) | nothing
+///   12   | RpcClient::mu_ (call serialization)   | socket I/O + metrics
+///        |                                       | atomics only
 ///    8   | EngineMetrics::stage_mu_ (StageStat   | nothing
 ///        |   retention ring)                     |
 ///    0   | leaves (RunStage extras_mu, ad hoc)   | nothing
@@ -71,12 +77,15 @@ namespace spangle {
 enum class LockRank : int {
   kLeaf = 0,
   kMetrics = 8,
+  kNetClient = 12,
   kConfig = 16,
   kProfileSamples = 20,
   kProfile = 24,
   kBlockManager = 32,
   kExecutorPool = 40,
+  kNetFleet = 46,
   kShuffleNode = 48,
+  kNetServer = 50,
   kScheduler = 56,
   kTaskGate = 64,
 };

@@ -8,6 +8,7 @@
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "engine/metrics_export.h"
+#include "net/executor_fleet.h"
 
 namespace spangle {
 
@@ -34,12 +35,34 @@ struct TaskGate {
 }  // namespace
 
 Context::Context(int num_workers, int default_parallelism,
-                 int task_overhead_us, StorageOptions storage)
+                 int task_overhead_us, StorageOptions storage,
+                 DeploymentOptions deploy)
     : pool_(num_workers),
       block_manager_(storage, num_workers, &metrics_),
       default_parallelism_(default_parallelism > 0 ? default_parallelism
                                                    : 2 * num_workers),
-      task_overhead_us_(task_overhead_us) {}
+      task_overhead_us_(task_overhead_us) {
+  if (deploy.mode == DeploymentMode::kDistributed) {
+    fleet_ = std::make_unique<net::ExecutorFleet>(deploy.distributed,
+                                                  &metrics_);
+    const Status st = fleet_->Start();
+    // A context that cannot reach its executors is unusable; failing
+    // loudly at construction beats every later job hanging on RPCs.
+    SPANGLE_CHECK(st.ok()) << "executor fleet start failed: "
+                           << st.ToString();
+    remote_shuffle_ = std::make_unique<net::RemoteShuffleFetcher>(
+        fleet_.get(), &metrics_);
+  }
+}
+
+Context::~Context() {
+  if (fleet_ != nullptr) fleet_->Shutdown();
+}
+
+void Context::FailExecutor(int worker) {
+  block_manager_.FailExecutor(worker);
+  if (fleet_ != nullptr) fleet_->FailExecutor(worker % fleet_->num_executors());
+}
 
 void Context::RunStage(int n, const std::function<void(int)>& fn) {
   RunStage("stage", n, fn, /*stage_attempt=*/0);
@@ -150,15 +173,18 @@ void Context::RunStage(const std::string& name, int n,
     stat.shuffle_bytes = acc.shuffle_bytes.load(std::memory_order_relaxed);
     stat.shuffle_records =
         acc.shuffle_records.load(std::memory_order_relaxed);
+    stat.remote_fetch_us =
+        acc.remote_fetch_us.load(std::memory_order_relaxed);
     stat.tasks.insert(stat.tasks.end(), extras.begin(), extras.end());
   };
 
   for (int round = 0;; ++round) {
     std::vector<ExecutorPool::Task> tasks;
     tasks.reserve(pending.size());
+    net::ExecutorFleet* const fleet = fleet_.get();
     for (const int i : pending) {
       tasks.emplace_back([this, &fn, &acc, &gates, &attempt_base, &chaos,
-                          &name, stage_attempt, overhead, profile,
+                          &name, stage_attempt, overhead, profile, fleet,
                           i](int pool_attempt) {
         EngineMetrics::ScopedStageAccumulator scope(&acc);
         prof::ScopedThreadProfile profile_scope(profile);
@@ -169,7 +195,10 @@ void Context::RunStage(const std::string& name, int n,
           const ChaosTaskInfo info{name, stage_attempt, i, attempt};
           if (chaos->fail_executor) {
             const int w = chaos->fail_executor(info);
-            if (w >= 0) block_manager_.FailExecutor(w);
+            // Routed through Context::FailExecutor: in DISTRIBUTED mode
+            // this SIGKILLs a real daemon, making the chaos suite a
+            // genuine distributed-failure test.
+            if (w >= 0) FailExecutor(w);
           }
           if (chaos->delay_us) delay += chaos->delay_us(info);
           if (chaos->fail_task && chaos->fail_task(info)) {
@@ -178,6 +207,16 @@ void Context::RunStage(const std::string& name, int n,
             }
             throw TaskKilledError(name, i, attempt);
           }
+        }
+        if (fleet != nullptr) {
+          // Control-plane dispatch: a liveness/accounting roundtrip on
+          // the task's assigned daemon before the body runs in the
+          // driver (C++ closures do not serialize; see DESIGN.md §11).
+          // A dead daemon becomes a retryable failure — the fleet has
+          // already restarted a replacement by the time the retry round
+          // re-dispatches.
+          const Status st = fleet->DispatchTask(name, i, attempt);
+          if (!st.ok()) throw ExecutorLostError(name, i, st.ToString());
         }
         if (delay > 0) {
           // Interruptible: a speculative loser sleeping out an injected

@@ -28,6 +28,8 @@
 #include "engine/size_estimator.h"
 #include "engine/spill_codec.h"
 #include "engine/storage_level.h"
+#include "net/deployment.h"
+#include "net/remote_shuffle.h"
 
 namespace spangle {
 
@@ -56,9 +58,14 @@ class Context {
   /// real cluster's per-task scheduling latency (Spark pays ~ms per
   /// task, which is why tiny chunks lose in the paper's Fig. 8).
   /// `storage` configures the block store (memory budget, spill dir).
-  /// The Context must outlive every Rdd created from it.
+  /// `deploy` selects LOCAL (default, single-process — every pre-net test
+  /// and bench runs unchanged) or DISTRIBUTED, which spawns
+  /// spangle_executord daemons and moves the shuffle data plane onto
+  /// them. The Context must outlive every Rdd created from it.
   explicit Context(int num_workers = 4, int default_parallelism = 0,
-                   int task_overhead_us = 0, StorageOptions storage = {});
+                   int task_overhead_us = 0, StorageOptions storage = {},
+                   DeploymentOptions deploy = {});
+  ~Context();
 
   int num_workers() const { return pool_.num_workers(); }
   int default_parallelism() const { return default_parallelism_; }
@@ -84,8 +91,19 @@ class Context {
   /// Fault injection: drops every cached/spilled block resident on
   /// `worker`, as if that executor process died. Cached partitions
   /// recompute from lineage on next access; lost shuffle outputs
-  /// re-materialize before the next action.
-  void FailExecutor(int worker) { block_manager_.FailExecutor(worker); }
+  /// re-materialize before the next action. In DISTRIBUTED mode this
+  /// additionally SIGKILLs the daemon owning worker % num_executors — a
+  /// real process death, not a simulation.
+  void FailExecutor(int worker);
+
+  /// True when this context runs against executor daemons.
+  bool distributed() const { return fleet_ != nullptr; }
+  /// The daemon fleet (null in LOCAL mode).
+  net::ExecutorFleet* fleet() { return fleet_.get(); }
+  /// The remote shuffle data plane (null in LOCAL mode).
+  net::RemoteShuffleFetcher* remote_shuffle() const {
+    return remote_shuffle_.get();
+  }
 
   /// Distributes `data` over `num_partitions` partitions (round-robin
   /// blocks, preserving order). The RDD analogue of sc.parallelize.
@@ -208,6 +226,10 @@ class Context {
   BlockManager block_manager_;  // after metrics_: holds a pointer to it
   RuntimeProfile profile_{&metrics_};  // after metrics_ likewise
   Scheduler scheduler_{this};
+  // DISTRIBUTED mode only (null otherwise); after metrics_, which both
+  // reference. The dtor shuts the fleet down before the members above go.
+  std::unique_ptr<net::ExecutorFleet> fleet_;
+  std::unique_ptr<net::RemoteShuffleFetcher> remote_shuffle_;
   int default_parallelism_;
   int task_overhead_us_;
   std::atomic<uint64_t> next_node_id_{0};
@@ -534,12 +556,19 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
   bool IsShuffle() const override { return true; }
 
   /// Materialized = every output block is still available (in memory or
-  /// spilled). Executor failures make this false again, which re-runs
-  /// the shuffle before the next action (Spark's stage retry).
+  /// spilled; on its owner daemon in DISTRIBUTED mode). Executor failures
+  /// make this false again, which re-runs the shuffle before the next
+  /// action (Spark's stage retry).
   bool IsMaterialized() const override {
     {
       MutexLock lock(&mu_);
       if (!materialized_) return false;
+    }
+    if constexpr (spill::kSpillable<Record>) {
+      if (this->ctx()->distributed()) {
+        return this->ctx()->remote_shuffle()->ContainsAll(this->id(),
+                                                          num_partitions());
+      }
     }
     return this->ctx()->block_manager().ContainsAll(this->id(),
                                                     num_partitions());
@@ -617,6 +646,24 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
       }
     }, attempt);
     ctx->metrics().shuffles.fetch_add(1);
+    if constexpr (spill::kSpillable<Record>) {
+      if (ctx->distributed()) {
+        // DISTRIBUTED data plane: each output partition is spill-codec
+        // encoded and shipped to its owner daemon; nothing stays in the
+        // driver. A double store failure (owner down AND its restarted
+        // replacement failing) means the fleet is broken, not a block
+        // loss — lineage cannot route around a fleet with no daemons.
+        for (int r = 0; r < n_out; ++r) {
+          const Status st = ctx->remote_shuffle()->StoreEncoded(
+              this->id(), r, spill::EncodePartition(output[r]));
+          SPANGLE_CHECK(st.ok())
+              << "shuffle store to executor fleet failed: " << st.ToString();
+        }
+        MutexLock lock(&mu_);
+        materialized_ = true;
+        return;
+      }
+    }
     // Output blocks live in the block store like any cached partition:
     // accounted against the budget, spillable to disk when the record
     // type allows it, pinned in memory otherwise (they cannot be
@@ -636,6 +683,17 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
 
  protected:
   std::vector<Record> ComputePartition(int i) override {
+    if constexpr (spill::kSpillable<Record>) {
+      if (this->ctx()->distributed()) {
+        auto bytes = this->ctx()->remote_shuffle()->FetchEncoded(this->id(), i);
+        if (!bytes.has_value()) {
+          // The owner daemon died (or restarted empty) after this job was
+          // planned. Same recovery as a local fetch failure below.
+          throw ShuffleBlockLostError({this->id()});
+        }
+        return spill::DecodePartition<Record>(bytes->data(), bytes->size());
+      }
+    }
     auto r = this->ctx()->block_manager().Get({this->id(), i});
     if (r.data == nullptr) {
       // Fetch failure: this shuffle's output was dropped after the job

@@ -68,17 +68,21 @@ ExecutorPool::BatchResult ExecutorPool::RunAll(
   BatchResult result;
   if (tasks.empty()) return result;
   const int n = static_cast<int>(tasks.size());
-  auto batch = std::make_shared<Batch>();
+  auto batch = std::make_shared<Batch>(&mu_);
   batch->tasks = std::move(tasks);
   batch->observer = observer;
-  batch->slots.resize(n);
-  batch->outstanding = static_cast<size_t>(n);
-  for (int i = 0; i < n; ++i) {
-    batch->queue.push_back({i, 0});
-    batch->slots[i].launched = 1;
-  }
   {
+    // Guarded state is populated under the lock it is guarded by, even
+    // though the batch is not yet visible to workers — publication and
+    // initialization share one critical section.
     MutexLock lock(&mu_);
+    batch->mu->AssertHeld();
+    batch->slots.resize(n);
+    batch->outstanding = static_cast<size_t>(n);
+    for (int i = 0; i < n; ++i) {
+      batch->queue.push_back({i, 0});
+      batch->slots[i].launched = 1;
+    }
     active_.push_back(batch);
   }
   work_ready_.NotifyAll();
@@ -98,16 +102,21 @@ ExecutorPool::BatchResult ExecutorPool::RunAll(
   }
   {
     MutexLock lock(&mu_);
+    batch->mu->AssertHeld();
     while (batch->outstanding != 0) {
       if (!speculation.enabled) {
-        batch_done_.Wait(mu_, [&] { return batch->outstanding == 0; });
+        // Explicit wait loop, not a predicate lambda: outstanding is
+        // guarded and the analysis cannot see the lock inside a lambda
+        // body (same idiom as WorkerLoop).
+        while (batch->outstanding != 0) batch_done_.Wait(mu_);
         break;
       }
-      // Speculation: wake periodically and re-launch stragglers.
+      // Speculation: wake periodically and re-launch stragglers. The
+      // predicate-less WaitFor may wake spuriously; the enclosing loop
+      // re-checks outstanding either way.
       const uint64_t tick =
           std::max<uint64_t>(speculation.check_interval_us, 50);
-      batch_done_.WaitFor(mu_, std::chrono::microseconds(tick),
-                          [&] { return batch->outstanding == 0; });
+      batch_done_.WaitFor(mu_, std::chrono::microseconds(tick));
       if (batch->outstanding == 0) break;
       if (MaybeSpeculateLocked(*batch, speculation)) {
         work_ready_.NotifyAll();
@@ -149,6 +158,7 @@ void ExecutorPool::RunAll(std::vector<std::function<void()>> tasks,
 
 bool ExecutorPool::MaybeSpeculateLocked(Batch& b,
                                         const SpeculationOptions& spec) {
+  b.mu->AssertHeld();
   const int n = static_cast<int>(b.slots.size());
   std::vector<uint64_t> durations;
   durations.reserve(n);
@@ -185,6 +195,7 @@ bool ExecutorPool::MaybeSpeculateLocked(Batch& b,
 
 bool ExecutorPool::AnyRunnableLocked() const {
   for (const auto& b : active_) {
+    b->mu->AssertHeld();
     if (!b->queue.empty()) return true;
   }
   return false;
@@ -196,6 +207,7 @@ bool ExecutorPool::RunOneTask(Batch* only, bool speculative_only) {
   {
     MutexLock lock(&mu_);
     if (only != nullptr) {
+      only->mu->AssertHeld();
       if (!only->queue.empty()) {
         for (const auto& b : active_) {
           if (b.get() == only) {
@@ -206,6 +218,7 @@ bool ExecutorPool::RunOneTask(Batch* only, bool speculative_only) {
       }
     } else {
       for (const auto& b : active_) {
+        b->mu->AssertHeld();
         if (!b->queue.empty()) {
           batch = b;
           break;
@@ -213,6 +226,7 @@ bool ExecutorPool::RunOneTask(Batch* only, bool speculative_only) {
       }
     }
     if (batch == nullptr) return false;
+    batch->mu->AssertHeld();
     if (speculative_only) {
       auto it = batch->queue.begin();
       while (it != batch->queue.end() && it->attempt == 0) ++it;
@@ -243,6 +257,7 @@ bool ExecutorPool::RunOneTask(Batch* only, bool speculative_only) {
   if (batch->observer) batch->observer(timing);
   {
     MutexLock lock(&mu_);
+    batch->mu->AssertHeld();
     Slot& s = batch->slots[item.index];
     ++s.returned;
     if (s.returned == 1) s.first_duration_us = timing.duration_us;

@@ -139,7 +139,10 @@ class ExecutorPool {
     int attempt = 0;
   };
 
-  /// Per-task bookkeeping across attempts; guarded by mu_.
+  /// Per-task bookkeeping across attempts. Guarded by the owning pool's
+  /// mu_, reached only through Batch::slots (which carries the
+  /// GUARDED_BY); the analysis cannot re-state the capability on fields
+  /// of an element type, so Slot itself stays unannotated.
   struct Slot {
     int launched = 0;             // attempts queued so far (1 or 2)
     int returned = 0;             // attempts that came back
@@ -152,12 +155,24 @@ class ExecutorPool {
   };
 
   struct Batch {
+    explicit Batch(Mutex* pool_mu) : mu(pool_mu) {}
+
+    /// The owning pool's mu_ — gives the analysis a name for "this
+    /// batch's guarded state". Scopes that hold the pool lock re-state
+    /// it per batch with mu->AssertHeld() (the analysis cannot infer
+    /// that batch->mu aliases the pool's mu_ on its own).
+    Mutex* const mu;
+
+    // Written once before the batch is published to active_, immutable
+    // afterward: task bodies and observers run with mu_ released, so
+    // these two must NOT be guarded.
     std::vector<Task> tasks;  // invoked by index; callable repeatedly
     TaskObserver observer;
-    std::deque<WorkItem> queue;  // attempts not yet picked up
-    std::vector<Slot> slots;
-    size_t outstanding = 0;  // queued + running attempts
-    int speculative_launches = 0;
+
+    std::deque<WorkItem> queue GUARDED_BY(mu);  // attempts not picked up
+    std::vector<Slot> slots GUARDED_BY(mu);
+    size_t outstanding GUARDED_BY(mu) = 0;  // queued + running attempts
+    int speculative_launches GUARDED_BY(mu) = 0;
   };
 
   void WorkerLoop(int lane) EXCLUDES(mu_);
@@ -180,11 +195,12 @@ class ExecutorPool {
   std::atomic<int> next_driver_lane_;
 
   // Rank kExecutorPool: task bodies run with mu_ RELEASED, so the lock
-  // is never held across user code or other engine locks. Batch/Slot
-  // contents (the structs above) are likewise guarded by mu_ — the
-  // analysis cannot express "inner-struct field guarded by the outer
-  // pool's mutex", so that part of the contract is enforced by the
-  // REQUIRES(...Locked) helpers and review.
+  // is never held across user code or other engine locks. Batch state is
+  // annotated through Batch::mu (a pointer to this mu_): each locked
+  // scope asserts the alias with batch->mu->AssertHeld(), which is also
+  // a runtime check under SPANGLE_LOCK_RANK_CHECKS. Slot fields cannot
+  // carry the capability (element type of a guarded vector); they are
+  // covered by the TSan suites (storage | scheduler | chaos | net).
   mutable Mutex mu_{LockRank::kExecutorPool, "ExecutorPool::mu_"};
   CondVar work_ready_;
   CondVar batch_done_;

@@ -90,6 +90,7 @@ std::string StageStat::ToString() const {
     os << " shuffled=" << HumanBytes(shuffle_bytes) << " ("
        << shuffle_records << " records)";
   }
+  if (remote_fetch_us > 0) os << " remote_fetch=" << remote_fetch_us << "us";
   return os.str();
 }
 
@@ -153,6 +154,24 @@ EngineMetrics::EngineMetrics()
   registry_.RegisterHistogram("task_duration_us", "us",
                               "Distribution of task durations",
                               &task_duration_us);
+  counter("rpc_bytes_sent", "bytes", "Bytes sent over the RPC transport",
+          &rpc_bytes_sent);
+  counter("rpc_bytes_received", "bytes",
+          "Bytes received over the RPC transport", &rpc_bytes_received);
+  counter("rpc_roundtrips", "count", "Completed RPC request/response pairs",
+          &rpc_roundtrips);
+  counter("remote_shuffle_fetches", "count",
+          "Shuffle blocks fetched from executor daemons",
+          &remote_shuffle_fetches);
+  counter("executor_restarts", "count",
+          "Executor daemons respawned after a failure", &executor_restarts);
+  counter("heartbeat_misses", "count",
+          "Heartbeat probes an executor daemon failed to answer",
+          &heartbeat_misses);
+  registry_.RegisterScalar(MetricKind::kTimer, "remote_fetch_time_us", "us",
+                           "Time tasks spent waiting on remote shuffle "
+                           "fetches",
+                           &remote_fetch_time_us);
   counter("mode_transitions", "count",
           "Chunk storage-mode conversions (dense/sparse/super-sparse)",
           &mode_transitions);
@@ -190,6 +209,13 @@ void EngineMetrics::AddShuffleRecords(uint64_t n) {
   shuffle_records.fetch_add(n, std::memory_order_relaxed);
   if (tl_stage_acc != nullptr) {
     tl_stage_acc->shuffle_records.fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+void EngineMetrics::AddRemoteFetchUs(uint64_t us) {
+  remote_fetch_time_us.fetch_add(us, std::memory_order_relaxed);
+  if (tl_stage_acc != nullptr) {
+    tl_stage_acc->remote_fetch_us.fetch_add(us, std::memory_order_relaxed);
   }
 }
 

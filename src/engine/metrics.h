@@ -61,6 +61,10 @@ struct StageStat {
   uint64_t shuffle_bytes = 0;
   uint64_t shuffle_records = 0;
 
+  // Time this stage's tasks spent blocked fetching shuffle blocks from
+  // executor daemons (zero in LOCAL mode).
+  uint64_t remote_fetch_us = 0;
+
   // Per-task detail for trace export; the first num_tasks entries are the
   // primary attempts (slot per task), with retry/speculative attempts
   // appended after them (attempt > 0 ⇒ an extra lane in the trace).
@@ -208,6 +212,18 @@ class EngineMetrics {
   std::atomic<uint64_t> task_time_us{0};
   Histogram task_duration_us;
 
+  // Distributed mode (net layer): RPC wire volume, roundtrips, shuffle
+  // blocks pulled from executor daemons, daemon replacements after a
+  // crash/kill, and heartbeat probes that went unanswered. All zero in
+  // LOCAL mode.
+  std::atomic<uint64_t> rpc_bytes_sent{0};
+  std::atomic<uint64_t> rpc_bytes_received{0};
+  std::atomic<uint64_t> rpc_roundtrips{0};
+  std::atomic<uint64_t> remote_shuffle_fetches{0};
+  std::atomic<uint64_t> executor_restarts{0};
+  std::atomic<uint64_t> heartbeat_misses{0};
+  std::atomic<uint64_t> remote_fetch_time_us{0};
+
   // Array-layer structure: chunk storage-mode conversions (dense ↔
   // sparse ↔ super-sparse), the density of chunks built during execution,
   // and the density of bitmasks produced by MaskRdd combinators — the
@@ -223,6 +239,10 @@ class EngineMetrics {
   void AddShuffleBytes(uint64_t bytes);
   void AddShuffleRecords(uint64_t n);
 
+  /// Credits remote-fetch wait time globally and to the calling task's
+  /// stage (same attribution contract as AddShuffleBytes).
+  void AddRemoteFetchUs(uint64_t us);
+
   /// Raises peak_concurrent_shuffles to at least `v`.
   void RaisePeakConcurrentShuffles(uint64_t v);
 
@@ -231,6 +251,7 @@ class EngineMetrics {
   struct StageAccumulator {
     std::atomic<uint64_t> shuffle_bytes{0};
     std::atomic<uint64_t> shuffle_records{0};
+    std::atomic<uint64_t> remote_fetch_us{0};
   };
   class ScopedStageAccumulator {
    public:

@@ -166,6 +166,38 @@ std::vector<T> ReadPartitionFile(const std::string& path) {
   return out;
 }
 
+/// Encodes one partition into a contiguous byte string (uint32 record
+/// count, then the records back to back). The wire form shuffle blocks
+/// travel in between driver and executor daemons; unlike the spill-file
+/// format it needs no per-record length prefix because DecodePartition
+/// walks records with the same codec that wrote them.
+template <typename T>
+std::string EncodePartition(const std::vector<T>& records) {
+  std::string out;
+  const uint32_t n = static_cast<uint32_t>(records.size());
+  out.append(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const T& rec : records) Encode(rec, &out);
+  return out;
+}
+
+/// Inverse of EncodePartition. CHECK-fails on malformed input: the bytes
+/// come from a daemon this driver itself encoded them for, so corruption
+/// is an engine bug (frame/message parsing guards the untrusted layers).
+template <typename T>
+std::vector<T> DecodePartition(const char* data, size_t size) {
+  uint32_t n = 0;
+  SPANGLE_CHECK_GE(size, sizeof(n)) << "truncated partition encoding";
+  std::memcpy(&n, data, sizeof(n));
+  size_t consumed = sizeof(n);
+  std::vector<T> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    out.push_back(Decode<T>(data + consumed, size - consumed, &consumed));
+  }
+  SPANGLE_CHECK_EQ(consumed, size) << "trailing bytes in partition encoding";
+  return out;
+}
+
 }  // namespace spill
 }  // namespace spangle
 

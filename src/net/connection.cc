@@ -1,0 +1,46 @@
+#include "net/connection.h"
+
+namespace spangle {
+namespace net {
+
+Status Connection::Send(MessageType type, const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::OutOfRange("frame payload " +
+                              std::to_string(payload.size()) +
+                              " bytes exceeds limit");
+  }
+  // One header write + one payload write: the payload (a shuffle block)
+  // can be megabytes, so it is not copied into a combined buffer.
+  std::string header;
+  header.reserve(kFrameHeaderBytes);
+  AppendFrameHeader(type, static_cast<uint32_t>(payload.size()), &header);
+  SPANGLE_RETURN_NOT_OK(socket_.SendAll(header.data(), header.size()));
+  if (!payload.empty()) {
+    SPANGLE_RETURN_NOT_OK(socket_.SendAll(payload.data(), payload.size()));
+  }
+  if (counters_.sent != nullptr) {
+    counters_.sent->fetch_add(kFrameHeaderBytes + payload.size(),
+                              std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status Connection::Recv(MessageType* type, std::string* payload) {
+  char header[kFrameHeaderBytes];
+  SPANGLE_RETURN_NOT_OK(socket_.RecvAll(header, sizeof(header)));
+  auto parsed = ParseFrameHeader(header);
+  SPANGLE_RETURN_NOT_OK(parsed.status());
+  payload->resize(parsed->payload_len);
+  if (parsed->payload_len > 0) {
+    SPANGLE_RETURN_NOT_OK(socket_.RecvAll(payload->data(), payload->size()));
+  }
+  *type = parsed->type;
+  if (counters_.received != nullptr) {
+    counters_.received->fetch_add(kFrameHeaderBytes + parsed->payload_len,
+                                  std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace spangle

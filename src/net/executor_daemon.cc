@@ -1,0 +1,173 @@
+#include "net/executor_daemon.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "engine/storage_level.h"
+
+namespace spangle {
+namespace net {
+
+namespace {
+
+StorageOptions DaemonStorage(uint64_t budget) {
+  StorageOptions options;
+  options.memory_budget_bytes = budget;
+  return options;
+}
+
+}  // namespace
+
+ExecutorDaemon::ExecutorDaemon(const ExecutorDaemonOptions& options)
+    : executor_id_(options.executor_id),
+      requested_port_(options.port),
+      // One local "worker": the daemon IS the executor, so FailExecutor
+      // semantics inside the shard are meaningless — process death is the
+      // failure model here.
+      blocks_(DaemonStorage(options.memory_budget_bytes), /*num_workers=*/1,
+              &metrics_) {}
+
+ExecutorDaemon::~ExecutorDaemon() { Stop(); }
+
+Status ExecutorDaemon::Start() {
+  return server_.Start(
+      requested_port_,
+      [this](MessageType req_type, const std::string& req_payload,
+             MessageType* resp_type, std::string* resp_payload) {
+        return Handle(req_type, req_payload, resp_type, resp_payload);
+      });
+}
+
+void ExecutorDaemon::Wait() {
+  {
+    MutexLock l(&mu_);
+    while (!stopping_) stop_cv_.Wait(mu_);
+  }
+  // Let the Shutdown response frame reach the driver before the server
+  // tears the connection down under it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server_.Stop();
+}
+
+void ExecutorDaemon::Stop() {
+  {
+    MutexLock l(&mu_);
+    stopping_ = true;
+  }
+  stop_cv_.NotifyAll();
+  server_.Stop();
+}
+
+Status ExecutorDaemon::Handle(MessageType req_type,
+                              const std::string& req_payload,
+                              MessageType* resp_type,
+                              std::string* resp_payload) {
+  switch (req_type) {
+    case MessageType::kPutBlockRequest: {
+      auto req = PutBlockRequest::Parse(req_payload.data(),
+                                        req_payload.size());
+      SPANGLE_RETURN_NOT_OK(req.status());
+      const uint64_t bytes = req->bytes.size();
+      auto payload =
+          std::make_shared<const std::string>(std::move(req->bytes));
+      // Pinned: encoded shuffle output with no spill codec and no lineage
+      // on this side — losing it must mean the process died.
+      blocks_.Put(BlockId{req->node, req->partition}, std::move(payload),
+                  bytes, StorageLevel::kMemoryOnly, nullptr, nullptr,
+                  /*recomputable=*/false);
+      *resp_type = PutBlockResponse::kType;
+      PutBlockResponse().AppendTo(resp_payload);
+      return Status::OK();
+    }
+    case MessageType::kFetchBlockRequest: {
+      auto req = FetchBlockRequest::Parse(req_payload.data(),
+                                          req_payload.size());
+      SPANGLE_RETURN_NOT_OK(req.status());
+      const auto got = blocks_.Get(BlockId{req->node, req->partition});
+      FetchBlockResponse resp;
+      if (got.data != nullptr) {
+        resp.found = true;
+        resp.bytes =
+            *std::static_pointer_cast<const std::string>(got.data);
+      }
+      *resp_type = FetchBlockResponse::kType;
+      resp.AppendTo(resp_payload);
+      return Status::OK();
+    }
+    case MessageType::kProbeBlockRequest: {
+      auto req = ProbeBlockRequest::Parse(req_payload.data(),
+                                          req_payload.size());
+      SPANGLE_RETURN_NOT_OK(req.status());
+      ProbeBlockResponse resp;
+      resp.found = blocks_.Contains(BlockId{req->node, req->partition});
+      *resp_type = ProbeBlockResponse::kType;
+      resp.AppendTo(resp_payload);
+      return Status::OK();
+    }
+    case MessageType::kDispatchTaskRequest: {
+      auto req = DispatchTaskRequest::Parse(req_payload.data(),
+                                            req_payload.size());
+      SPANGLE_RETURN_NOT_OK(req.status());
+      DispatchTaskResponse resp;
+      if (req->task_kind == "noop") {
+        // Liveness/accounting roundtrip; the task body runs in the driver.
+      } else if (req->task_kind == "echo") {
+        resp.result = req->payload;
+      } else if (req->task_kind == "sleep_us") {
+        errno = 0;
+        char* end = nullptr;
+        const long us = std::strtol(req->payload.c_str(), &end, 10);
+        if (errno != 0 || end == req->payload.c_str() || us < 0 ||
+            us > 10'000'000) {
+          return Status::InvalidArgument("sleep_us: bad duration '" +
+                                         req->payload + "'");
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+      } else {
+        return Status::InvalidArgument("unknown task kind '" +
+                                       req->task_kind + "'");
+      }
+      tasks_run_.fetch_add(1, std::memory_order_relaxed);
+      *resp_type = DispatchTaskResponse::kType;
+      resp.AppendTo(resp_payload);
+      return Status::OK();
+    }
+    case MessageType::kHeartbeatRequest: {
+      auto req = HeartbeatRequest::Parse(req_payload.data(),
+                                         req_payload.size());
+      SPANGLE_RETURN_NOT_OK(req.status());
+      HeartbeatResponse resp;
+      resp.seq = req->seq;
+      resp.blocks_held = blocks_.num_resident_blocks();
+      resp.bytes_in_memory = blocks_.bytes_in_memory();
+      resp.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+      *resp_type = HeartbeatResponse::kType;
+      resp.AppendTo(resp_payload);
+      return Status::OK();
+    }
+    case MessageType::kShutdownRequest: {
+      auto req = ShutdownRequest::Parse(req_payload.data(),
+                                        req_payload.size());
+      SPANGLE_RETURN_NOT_OK(req.status());
+      {
+        MutexLock l(&mu_);
+        stopping_ = true;
+      }
+      stop_cv_.NotifyAll();
+      *resp_type = ShutdownResponse::kType;
+      ShutdownResponse().AppendTo(resp_payload);
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument(
+          std::string("executor daemon cannot serve ") +
+          MessageTypeName(req_type));
+  }
+}
+
+}  // namespace net
+}  // namespace spangle

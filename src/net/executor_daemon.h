@@ -1,0 +1,71 @@
+#ifndef SPANGLE_NET_EXECUTOR_DAEMON_H_
+#define SPANGLE_NET_EXECUTOR_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "engine/block_manager.h"
+#include "engine/metrics.h"
+#include "net/message.h"
+#include "net/rpc_server.h"
+
+namespace spangle {
+namespace net {
+
+struct ExecutorDaemonOptions {
+  uint16_t port = 0;  // 0 = ephemeral; port() reports the bound port
+  int executor_id = 0;
+  uint64_t memory_budget_bytes = 0;  // 0 = unlimited
+};
+
+/// One executor's serving side: a BlockManager shard behind the RPC
+/// server. The spangle_executord binary hosts one of these per process;
+/// tests may also run one in-process. Blocks arrive already encoded (the
+/// driver runs the spill codec before PutBlock), so the daemon stores
+/// opaque byte strings pinned in memory — when the process dies, its
+/// shard of the shuffle genuinely disappears and the driver must recover
+/// through lineage.
+class ExecutorDaemon {
+ public:
+  explicit ExecutorDaemon(const ExecutorDaemonOptions& options);
+  ~ExecutorDaemon();
+
+  ExecutorDaemon(const ExecutorDaemon&) = delete;
+  ExecutorDaemon& operator=(const ExecutorDaemon&) = delete;
+
+  Status Start();
+  uint16_t port() const { return server_.port(); }
+
+  /// Blocks until a Shutdown RPC arrives, then stops the server. The
+  /// daemon main() is Start() + Wait().
+  void Wait();
+
+  /// Stops serving without waiting for a Shutdown RPC (tests, ~dtor).
+  void Stop();
+
+  const EngineMetrics& metrics() const { return metrics_; }
+
+ private:
+  Status Handle(MessageType req_type, const std::string& req_payload,
+                MessageType* resp_type, std::string* resp_payload);
+
+  const int executor_id_;
+  const uint16_t requested_port_;
+
+  EngineMetrics metrics_;
+  BlockManager blocks_;
+  RpcServer server_;
+  std::atomic<uint64_t> tasks_run_{0};
+
+  Mutex mu_{LockRank::kLeaf, "ExecutorDaemon::mu_"};
+  CondVar stop_cv_;
+  bool stopping_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace net
+}  // namespace spangle
+
+#endif  // SPANGLE_NET_EXECUTOR_DAEMON_H_

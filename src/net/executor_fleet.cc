@@ -1,0 +1,390 @@
+#include "net/executor_fleet.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace spangle {
+namespace net {
+
+namespace {
+
+/// Reads the daemon's announce line ("SPANGLE_EXECUTORD PORT=<p> ...")
+/// from the child's stdout pipe, with an overall timeout. Returns 0 on
+/// timeout/EOF/garbage.
+uint16_t ReadAnnouncedPort(int fd, int timeout_ms) {
+  std::string line;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (line.find('\n') == std::string::npos) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return 0;
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return 0;
+    }
+    if (pr == 0) return 0;  // timeout
+    char buf[256];
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r <= 0) return 0;  // EOF: the child died before announcing
+    line.append(buf, static_cast<size_t>(r));
+  }
+  const size_t at = line.find("PORT=");
+  if (at == std::string::npos) return 0;
+  const unsigned long port = std::strtoul(line.c_str() + at + 5, nullptr, 10);
+  if (port == 0 || port > 65535) return 0;
+  return static_cast<uint16_t>(port);
+}
+
+/// Reaps `pid`: polls for a voluntary exit up to grace_ms, then SIGKILLs
+/// and waits. Safe on already-dead pids.
+void ReapChild(pid_t pid, int grace_ms) {
+  if (pid <= 0) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(grace_ms);
+  int wstatus = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const pid_t r = ::waitpid(pid, &wstatus, WNOHANG);
+    if (r == pid || (r < 0 && errno == ECHILD)) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, &wstatus, 0);
+}
+
+}  // namespace
+
+ExecutorFleet::ExecutorFleet(const DistributedOptions& options,
+                             EngineMetrics* metrics)
+    : options_(options),
+      num_executors_(options.num_executors),
+      metrics_(metrics) {
+  SPANGLE_CHECK(num_executors_ > 0);
+  SPANGLE_CHECK(metrics_ != nullptr);
+}
+
+ExecutorFleet::~ExecutorFleet() { Shutdown(); }
+
+std::string ExecutorFleet::FindExecutordBinary() {
+  if (const char* env = std::getenv("SPANGLE_EXECUTORD");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  char exe[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (n <= 0) return "";
+  exe[n] = '\0';
+  std::string dir(exe);
+  const size_t slash = dir.rfind('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+  // Candidate layouts: next to the caller (installed), the build tree's
+  // tools/ dir seen from tests/ or tests/<sub>/, and from the build root.
+  const std::string candidates[] = {
+      dir + "/spangle_executord",
+      dir + "/../tools/spangle_executord",
+      dir + "/../../tools/spangle_executord",
+      dir + "/tools/spangle_executord",
+  };
+  for (const auto& c : candidates) {
+    if (::access(c.c_str(), X_OK) == 0) return c;
+  }
+  return "";
+}
+
+RpcClientCounters ExecutorFleet::Counters() const {
+  RpcClientCounters c;
+  c.bytes_sent = &metrics_->rpc_bytes_sent;
+  c.bytes_received = &metrics_->rpc_bytes_received;
+  c.roundtrips = &metrics_->rpc_roundtrips;
+  return c;
+}
+
+Status ExecutorFleet::Start() {
+  binary_ = options_.executord_path.empty() ? FindExecutordBinary()
+                                            : options_.executord_path;
+  if (binary_.empty()) {
+    return Status::NotFound(
+        "spangle_executord binary not found (set SPANGLE_EXECUTORD or "
+        "DistributedOptions::executord_path)");
+  }
+  {
+    MutexLock l(&mu_);
+    if (started_) return Status::FailedPrecondition("fleet already started");
+    slots_.resize(num_executors_);
+    for (int w = 0; w < num_executors_; ++w) {
+      const Status st = SpawnLocked(w);
+      if (!st.ok()) {
+        for (int k = 0; k < w; ++k) KillLocked(k);
+        slots_.clear();
+        return st;
+      }
+    }
+    started_ = true;
+  }
+  if (options_.heartbeat_interval_ms > 0) {
+    heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
+  }
+  return Status::OK();
+}
+
+Status ExecutorFleet::SpawnLocked(int w) {
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    return Status::IOError(std::string("pipe: ") + std::strerror(errno));
+  }
+  // argv is fully built before fork: only async-signal-safe calls are
+  // allowed in the child.
+  std::vector<std::string> args = {
+      binary_,
+      "--port=0",
+      "--executor-id=" + std::to_string(w),
+      "--memory-budget=" + std::to_string(options_.executor_memory_budget),
+  };
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (auto& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    return Status::IOError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: stdout -> announce pipe, then exec.
+    ::dup2(pipefd[1], STDOUT_FILENO);
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    ::execv(binary_.c_str(), argv.data());
+    _exit(127);
+  }
+  ::close(pipefd[1]);
+  const uint16_t port = ReadAnnouncedPort(pipefd[0], options_.spawn_timeout_ms);
+  ::close(pipefd[0]);
+  if (port == 0) {
+    ::kill(pid, SIGKILL);
+    int wstatus = 0;
+    ::waitpid(pid, &wstatus, 0);
+    return Status::IOError("executor " + std::to_string(w) +
+                           " did not announce a port within " +
+                           std::to_string(options_.spawn_timeout_ms) + "ms");
+  }
+  auto client = std::make_shared<RpcClient>(port, Counters());
+  const Status st = client->Connect();
+  if (!st.ok()) {
+    ::kill(pid, SIGKILL);
+    int wstatus = 0;
+    ::waitpid(pid, &wstatus, 0);
+    return st;
+  }
+  slots_[w] = Slot{pid, port, std::move(client), 0};
+  return Status::OK();
+}
+
+void ExecutorFleet::KillLocked(int w) {
+  Slot& s = slots_[w];
+  if (s.client != nullptr) s.client->Abort();
+  if (s.pid > 0) {
+    ::kill(s.pid, SIGKILL);
+    int wstatus = 0;
+    ::waitpid(s.pid, &wstatus, 0);
+  }
+  s = Slot{};
+}
+
+void ExecutorFleet::Shutdown() {
+  heartbeat_stop_.store(true, std::memory_order_relaxed);
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+
+  std::vector<Slot> slots;
+  {
+    MutexLock l(&mu_);
+    if (!started_ || shutdown_) return;
+    shutdown_ = true;
+    slots = slots_;
+  }
+  // Best-effort graceful stop; a dead daemon just fails the RPC.
+  for (auto& s : slots) {
+    if (s.client == nullptr) continue;
+    (void)s.client->TypedCall<ShutdownRequest, ShutdownResponse>(
+        ShutdownRequest());
+  }
+  for (auto& s : slots) ReapChild(s.pid, /*grace_ms=*/2000);
+  MutexLock l(&mu_);
+  slots_.clear();
+}
+
+pid_t ExecutorFleet::executor_pid(int w) {
+  MutexLock l(&mu_);
+  if (w < 0 || w >= static_cast<int>(slots_.size())) return -1;
+  return slots_[w].pid;
+}
+
+std::shared_ptr<RpcClient> ExecutorFleet::ClientFor(int w, pid_t* pid_out) {
+  MutexLock l(&mu_);
+  if (w < 0 || w >= static_cast<int>(slots_.size())) return nullptr;
+  if (pid_out != nullptr) *pid_out = slots_[w].pid;
+  return slots_[w].client;
+}
+
+void ExecutorFleet::ReportFailure(int w, pid_t expected_pid) {
+  MutexLock l(&mu_);
+  if (shutdown_ || w < 0 || w >= static_cast<int>(slots_.size())) return;
+  Slot& s = slots_[w];
+  // pid guard: a concurrent report already replaced this daemon.
+  if (s.pid != expected_pid || expected_pid <= 0) return;
+  KillLocked(w);
+  if (!options_.restart_on_failure) return;
+  const Status st = SpawnLocked(w);
+  if (st.ok()) {
+    metrics_->executor_restarts.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    SPANGLE_LOG(Warning) << "executor " << w
+                         << " restart failed: " << st.ToString();
+  }
+}
+
+Status ExecutorFleet::DispatchTask(const std::string& stage, int task,
+                                   int attempt) {
+  const int w = task % num_executors_;
+  pid_t pid = -1;
+  auto client = ClientFor(w, &pid);
+  if (client == nullptr) {
+    return Status::IOError("executor " + std::to_string(w) + " is down");
+  }
+  DispatchTaskRequest req;
+  req.stage = stage;
+  req.task = task;
+  req.attempt = attempt;
+  auto resp = client->TypedCall<DispatchTaskRequest, DispatchTaskResponse>(req);
+  if (!resp.ok()) {
+    ReportFailure(w, pid);
+    return resp.status();
+  }
+  return Status::OK();
+}
+
+Status ExecutorFleet::PutBlock(uint64_t node, int partition,
+                               const std::string& bytes) {
+  const int w = partition % num_executors_;
+  PutBlockRequest req;
+  req.node = node;
+  req.partition = partition;
+  req.bytes = bytes;
+  Status last = Status::OK();
+  // Two attempts: the second lands on the restarted replacement daemon.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    pid_t pid = -1;
+    auto client = ClientFor(w, &pid);
+    if (client == nullptr) {
+      return Status::IOError("executor " + std::to_string(w) + " is down");
+    }
+    auto resp = client->TypedCall<PutBlockRequest, PutBlockResponse>(req);
+    if (resp.ok()) return Status::OK();
+    last = resp.status();
+    ReportFailure(w, pid);
+  }
+  return last;
+}
+
+Result<FetchBlockResponse> ExecutorFleet::FetchBlock(uint64_t node,
+                                                     int partition) {
+  const int w = partition % num_executors_;
+  pid_t pid = -1;
+  auto client = ClientFor(w, &pid);
+  FetchBlockRequest req;
+  req.node = node;
+  req.partition = partition;
+  if (client != nullptr) {
+    auto resp = client->TypedCall<FetchBlockRequest, FetchBlockResponse>(req);
+    if (resp.ok()) return resp;
+    ReportFailure(w, pid);
+  }
+  // A daemon that died holding the block and one that restarted without
+  // it are the same to the caller: the block is lost, lineage re-plans.
+  FetchBlockResponse lost;
+  lost.found = false;
+  return lost;
+}
+
+bool ExecutorFleet::ProbeBlock(uint64_t node, int partition) {
+  const int w = partition % num_executors_;
+  pid_t pid = -1;
+  auto client = ClientFor(w, &pid);
+  if (client == nullptr) return false;
+  ProbeBlockRequest req;
+  req.node = node;
+  req.partition = partition;
+  auto resp = client->TypedCall<ProbeBlockRequest, ProbeBlockResponse>(req);
+  if (!resp.ok()) {
+    ReportFailure(w, pid);
+    return false;
+  }
+  return resp->found;
+}
+
+Result<HeartbeatResponse> ExecutorFleet::Heartbeat(int w) {
+  static std::atomic<uint64_t> seq{0};
+  pid_t pid = -1;
+  auto client = ClientFor(w, &pid);
+  if (client == nullptr) {
+    return Status::IOError("executor " + std::to_string(w) + " is down");
+  }
+  HeartbeatRequest req;
+  req.seq = seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto resp = client->TypedCall<HeartbeatRequest, HeartbeatResponse>(req);
+  if (resp.ok()) {
+    MutexLock l(&mu_);
+    if (w < static_cast<int>(slots_.size())) slots_[w].heartbeat_misses = 0;
+    return resp;
+  }
+  metrics_->heartbeat_misses.fetch_add(1, std::memory_order_relaxed);
+  bool fail = false;
+  {
+    MutexLock l(&mu_);
+    if (!shutdown_ && w < static_cast<int>(slots_.size()) &&
+        slots_[w].pid == pid) {
+      fail = ++slots_[w].heartbeat_misses >= options_.heartbeat_miss_limit;
+    }
+  }
+  if (fail) ReportFailure(w, pid);
+  return resp.status();
+}
+
+void ExecutorFleet::FailExecutor(int w) {
+  pid_t pid = -1;
+  {
+    MutexLock l(&mu_);
+    if (shutdown_ || w < 0 || w >= static_cast<int>(slots_.size())) return;
+    pid = slots_[w].pid;
+  }
+  if (pid > 0) ::kill(pid, SIGKILL);
+  ReportFailure(w, pid);
+}
+
+void ExecutorFleet::HeartbeatLoop() {
+  const auto interval =
+      std::chrono::milliseconds(options_.heartbeat_interval_ms);
+  while (!heartbeat_stop_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(interval);
+    if (heartbeat_stop_.load(std::memory_order_relaxed)) return;
+    for (int w = 0; w < num_executors_; ++w) (void)Heartbeat(w);
+  }
+}
+
+}  // namespace net
+}  // namespace spangle

@@ -1,0 +1,124 @@
+#ifndef SPANGLE_NET_EXECUTOR_FLEET_H_
+#define SPANGLE_NET_EXECUTOR_FLEET_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "engine/metrics.h"
+#include "net/deployment.h"
+#include "net/rpc_client.h"
+
+namespace spangle {
+namespace net {
+
+/// The driver's view of its executor daemons: spawns spangle_executord
+/// child processes, keeps one RpcClient per daemon, restarts daemons that
+/// die, and exposes the block RPCs the shuffle path needs. Partition p is
+/// owned by daemon p % num_executors().
+///
+/// mu_ has rank kNetFleet (46): it may be held while calling into an
+/// RpcClient (rank kNetClient=12), and is safely acquirable from task
+/// bodies holding a TaskGate (64). Spawn/restart runs under mu_ — daemon
+/// churn is rare and must serialize anyway.
+class ExecutorFleet {
+ public:
+  ExecutorFleet(const DistributedOptions& options, EngineMetrics* metrics);
+  ~ExecutorFleet();
+
+  ExecutorFleet(const ExecutorFleet&) = delete;
+  ExecutorFleet& operator=(const ExecutorFleet&) = delete;
+
+  /// Spawns every daemon and connects to each. Fails if any daemon does
+  /// not announce its port within spawn_timeout_ms.
+  Status Start() EXCLUDES(mu_);
+
+  /// Sends Shutdown to every live daemon (best effort), then reaps the
+  /// children (SIGKILL after a grace period). Idempotent.
+  void Shutdown() EXCLUDES(mu_);
+
+  int num_executors() const { return num_executors_; }
+
+  /// pid of executor w's current daemon process, or -1 when down.
+  pid_t executor_pid(int w) EXCLUDES(mu_);
+
+  /// Liveness/accounting roundtrip before a task body runs in the driver.
+  /// A dead daemon surfaces as a non-OK Status; the daemon is reported
+  /// failed (and restarted) before returning, so the caller's retry finds
+  /// a replacement.
+  Status DispatchTask(const std::string& stage, int task, int attempt)
+      EXCLUDES(mu_);
+
+  /// Stores one encoded shuffle partition on its owner daemon. Retries
+  /// once against the restarted replacement on failure.
+  Status PutBlock(uint64_t node, int partition, const std::string& bytes)
+      EXCLUDES(mu_);
+
+  /// Fetches a block from its owner. found=false means the daemon is
+  /// alive but no longer has the block (it was restarted): the caller
+  /// raises ShuffleBlockLostError and lineage re-plans.
+  Result<FetchBlockResponse> FetchBlock(uint64_t node, int partition)
+      EXCLUDES(mu_);
+
+  /// True when the owner daemon holds the block. Any RPC failure counts
+  /// as "not held" — the block is unreachable either way.
+  bool ProbeBlock(uint64_t node, int partition) EXCLUDES(mu_);
+
+  /// One heartbeat probe of executor w. A miss is counted and, past
+  /// heartbeat_miss_limit consecutive misses, fails the daemon.
+  Result<HeartbeatResponse> Heartbeat(int w) EXCLUDES(mu_);
+
+  /// Chaos hook: SIGKILL executor w's daemon — its blocks are genuinely
+  /// gone — then restart a replacement (empty) daemon if configured.
+  void FailExecutor(int w) EXCLUDES(mu_);
+
+  /// Finds the spangle_executord binary: $SPANGLE_EXECUTORD, else paths
+  /// relative to /proc/self/exe. Empty string when not found.
+  static std::string FindExecutordBinary();
+
+ private:
+  struct Slot {
+    pid_t pid = -1;
+    uint16_t port = 0;
+    // shared_ptr so RPCs can run on a slot's client outside mu_ while a
+    // concurrent restart swaps the slot's client pointer.
+    std::shared_ptr<RpcClient> client;
+    int heartbeat_misses = 0;
+  };
+
+  Status SpawnLocked(int w) REQUIRES(mu_);
+  void KillLocked(int w) REQUIRES(mu_);
+  /// Serialized failure handling: kills/restarts slot w only when its pid
+  /// still equals expected_pid, so concurrent reports of one death spawn
+  /// one replacement.
+  void ReportFailure(int w, pid_t expected_pid) EXCLUDES(mu_);
+  std::shared_ptr<RpcClient> ClientFor(int w, pid_t* pid_out) EXCLUDES(mu_);
+  RpcClientCounters Counters() const;
+  void HeartbeatLoop();
+
+  const DistributedOptions options_;
+  const int num_executors_;
+  EngineMetrics* const metrics_;
+  std::string binary_;
+
+  Mutex mu_{LockRank::kNetFleet, "ExecutorFleet::mu_"};
+  std::vector<Slot> slots_ GUARDED_BY(mu_);
+  bool started_ GUARDED_BY(mu_) = false;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+
+  std::atomic<bool> heartbeat_stop_{false};
+  std::thread heartbeat_thread_;
+};
+
+}  // namespace net
+}  // namespace spangle
+
+#endif  // SPANGLE_NET_EXECUTOR_FLEET_H_

@@ -1,0 +1,364 @@
+#include "net/message.h"
+
+#include <cstring>
+
+namespace spangle {
+namespace net {
+
+namespace {
+
+// Little-endian field writers/readers. The reader is bounds-checked and
+// Status-returning: message payloads arrive from another process, so a
+// short or corrupt buffer must surface as an error, never UB or a CHECK.
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutI32(int32_t v, std::string* out) {
+  PutU32(static_cast<uint32_t>(v), out);
+}
+
+void PutBytes(const std::string& v, std::string* out) {
+  PutU32(static_cast<uint32_t>(v.size()), out);
+  out->append(v);
+}
+
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  Status ReadU8(uint8_t* v) {
+    SPANGLE_RETURN_NOT_OK(Need(1));
+    *v = static_cast<uint8_t>(data_[pos_]);
+    pos_ += 1;
+    return Status::OK();
+  }
+
+  Status ReadU32(uint32_t* v) {
+    SPANGLE_RETURN_NOT_OK(Need(4));
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    *v = out;
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  Status ReadU64(uint64_t* v) {
+    SPANGLE_RETURN_NOT_OK(Need(8));
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    *v = out;
+    pos_ += 8;
+    return Status::OK();
+  }
+
+  Status ReadI32(int32_t* v) {
+    uint32_t raw = 0;
+    SPANGLE_RETURN_NOT_OK(ReadU32(&raw));
+    *v = static_cast<int32_t>(raw);
+    return Status::OK();
+  }
+
+  Status ReadBool(bool* v) {
+    uint8_t raw = 0;
+    SPANGLE_RETURN_NOT_OK(ReadU8(&raw));
+    if (raw > 1) {
+      return Status::InvalidArgument("malformed message: bool byte " +
+                                     std::to_string(raw));
+    }
+    *v = raw != 0;
+    return Status::OK();
+  }
+
+  Status ReadBytes(std::string* v) {
+    uint32_t n = 0;
+    SPANGLE_RETURN_NOT_OK(ReadU32(&n));
+    SPANGLE_RETURN_NOT_OK(Need(n));
+    v->assign(data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  /// Strict decoders reject trailing bytes: a framing bug that splices
+  /// two payloads together must not half-parse as success.
+  Status Done() const {
+    if (pos_ != size_) {
+      return Status::InvalidArgument(
+          "malformed message: " + std::to_string(size_ - pos_) +
+          " trailing byte(s)");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Need(size_t n) const {
+    if (size_ - pos_ < n) {
+      return Status::InvalidArgument("malformed message: truncated (need " +
+                                     std::to_string(n) + " bytes at offset " +
+                                     std::to_string(pos_) + " of " +
+                                     std::to_string(size_) + ")");
+    }
+    return Status::OK();
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool IsValidMessageType(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(MessageType::kError) &&
+         raw <= static_cast<uint8_t>(MessageType::kShutdownResponse);
+}
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kError:
+      return "Error";
+    case MessageType::kDispatchTaskRequest:
+      return "DispatchTaskRequest";
+    case MessageType::kDispatchTaskResponse:
+      return "DispatchTaskResponse";
+    case MessageType::kPutBlockRequest:
+      return "PutBlockRequest";
+    case MessageType::kPutBlockResponse:
+      return "PutBlockResponse";
+    case MessageType::kFetchBlockRequest:
+      return "FetchBlockRequest";
+    case MessageType::kFetchBlockResponse:
+      return "FetchBlockResponse";
+    case MessageType::kProbeBlockRequest:
+      return "ProbeBlockRequest";
+    case MessageType::kProbeBlockResponse:
+      return "ProbeBlockResponse";
+    case MessageType::kHeartbeatRequest:
+      return "HeartbeatRequest";
+    case MessageType::kHeartbeatResponse:
+      return "HeartbeatResponse";
+    case MessageType::kShutdownRequest:
+      return "ShutdownRequest";
+    case MessageType::kShutdownResponse:
+      return "ShutdownResponse";
+  }
+  return "unknown";
+}
+
+ErrorResponse ErrorResponse::FromStatus(const Status& status) {
+  ErrorResponse e;
+  e.code = static_cast<uint8_t>(status.code());
+  e.message = status.ok() ? "" : status.message();
+  return e;
+}
+
+Status ErrorResponse::ToStatus() const {
+  // An OK code inside an error frame is itself a protocol violation.
+  if (code == 0 || code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Status::Internal("peer sent error frame with bad code " +
+                            std::to_string(code) + ": " + message);
+  }
+  return Status(static_cast<StatusCode>(code), message);
+}
+
+void ErrorResponse::AppendTo(std::string* out) const {
+  PutU8(code, out);
+  PutBytes(message, out);
+}
+
+Result<ErrorResponse> ErrorResponse::Parse(const char* data, size_t size) {
+  Reader r(data, size);
+  ErrorResponse m;
+  SPANGLE_RETURN_NOT_OK(r.ReadU8(&m.code));
+  SPANGLE_RETURN_NOT_OK(r.ReadBytes(&m.message));
+  SPANGLE_RETURN_NOT_OK(r.Done());
+  return m;
+}
+
+void DispatchTaskRequest::AppendTo(std::string* out) const {
+  PutBytes(stage, out);
+  PutI32(task, out);
+  PutI32(attempt, out);
+  PutBytes(task_kind, out);
+  PutBytes(payload, out);
+}
+
+Result<DispatchTaskRequest> DispatchTaskRequest::Parse(const char* data,
+                                                       size_t size) {
+  Reader r(data, size);
+  DispatchTaskRequest m;
+  SPANGLE_RETURN_NOT_OK(r.ReadBytes(&m.stage));
+  SPANGLE_RETURN_NOT_OK(r.ReadI32(&m.task));
+  SPANGLE_RETURN_NOT_OK(r.ReadI32(&m.attempt));
+  SPANGLE_RETURN_NOT_OK(r.ReadBytes(&m.task_kind));
+  SPANGLE_RETURN_NOT_OK(r.ReadBytes(&m.payload));
+  SPANGLE_RETURN_NOT_OK(r.Done());
+  return m;
+}
+
+void DispatchTaskResponse::AppendTo(std::string* out) const {
+  PutBytes(result, out);
+}
+
+Result<DispatchTaskResponse> DispatchTaskResponse::Parse(const char* data,
+                                                         size_t size) {
+  Reader r(data, size);
+  DispatchTaskResponse m;
+  SPANGLE_RETURN_NOT_OK(r.ReadBytes(&m.result));
+  SPANGLE_RETURN_NOT_OK(r.Done());
+  return m;
+}
+
+void PutBlockRequest::AppendTo(std::string* out) const {
+  PutU64(node, out);
+  PutI32(partition, out);
+  PutBytes(bytes, out);
+}
+
+Result<PutBlockRequest> PutBlockRequest::Parse(const char* data,
+                                               size_t size) {
+  Reader r(data, size);
+  PutBlockRequest m;
+  SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.node));
+  SPANGLE_RETURN_NOT_OK(r.ReadI32(&m.partition));
+  SPANGLE_RETURN_NOT_OK(r.ReadBytes(&m.bytes));
+  SPANGLE_RETURN_NOT_OK(r.Done());
+  return m;
+}
+
+void PutBlockResponse::AppendTo(std::string* out) const { (void)out; }
+
+Result<PutBlockResponse> PutBlockResponse::Parse(const char* data,
+                                                 size_t size) {
+  Reader r(data, size);
+  SPANGLE_RETURN_NOT_OK(r.Done());
+  return PutBlockResponse{};
+}
+
+void FetchBlockRequest::AppendTo(std::string* out) const {
+  PutU64(node, out);
+  PutI32(partition, out);
+}
+
+Result<FetchBlockRequest> FetchBlockRequest::Parse(const char* data,
+                                                   size_t size) {
+  Reader r(data, size);
+  FetchBlockRequest m;
+  SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.node));
+  SPANGLE_RETURN_NOT_OK(r.ReadI32(&m.partition));
+  SPANGLE_RETURN_NOT_OK(r.Done());
+  return m;
+}
+
+void FetchBlockResponse::AppendTo(std::string* out) const {
+  PutU8(found ? 1 : 0, out);
+  PutBytes(bytes, out);
+}
+
+Result<FetchBlockResponse> FetchBlockResponse::Parse(const char* data,
+                                                     size_t size) {
+  Reader r(data, size);
+  FetchBlockResponse m;
+  SPANGLE_RETURN_NOT_OK(r.ReadBool(&m.found));
+  SPANGLE_RETURN_NOT_OK(r.ReadBytes(&m.bytes));
+  SPANGLE_RETURN_NOT_OK(r.Done());
+  return m;
+}
+
+void ProbeBlockRequest::AppendTo(std::string* out) const {
+  PutU64(node, out);
+  PutI32(partition, out);
+}
+
+Result<ProbeBlockRequest> ProbeBlockRequest::Parse(const char* data,
+                                                   size_t size) {
+  Reader r(data, size);
+  ProbeBlockRequest m;
+  SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.node));
+  SPANGLE_RETURN_NOT_OK(r.ReadI32(&m.partition));
+  SPANGLE_RETURN_NOT_OK(r.Done());
+  return m;
+}
+
+void ProbeBlockResponse::AppendTo(std::string* out) const {
+  PutU8(found ? 1 : 0, out);
+}
+
+Result<ProbeBlockResponse> ProbeBlockResponse::Parse(const char* data,
+                                                     size_t size) {
+  Reader r(data, size);
+  ProbeBlockResponse m;
+  SPANGLE_RETURN_NOT_OK(r.ReadBool(&m.found));
+  SPANGLE_RETURN_NOT_OK(r.Done());
+  return m;
+}
+
+void HeartbeatRequest::AppendTo(std::string* out) const { PutU64(seq, out); }
+
+Result<HeartbeatRequest> HeartbeatRequest::Parse(const char* data,
+                                                 size_t size) {
+  Reader r(data, size);
+  HeartbeatRequest m;
+  SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.seq));
+  SPANGLE_RETURN_NOT_OK(r.Done());
+  return m;
+}
+
+void HeartbeatResponse::AppendTo(std::string* out) const {
+  PutU64(seq, out);
+  PutU64(blocks_held, out);
+  PutU64(bytes_in_memory, out);
+  PutU64(tasks_run, out);
+}
+
+Result<HeartbeatResponse> HeartbeatResponse::Parse(const char* data,
+                                                   size_t size) {
+  Reader r(data, size);
+  HeartbeatResponse m;
+  SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.seq));
+  SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.blocks_held));
+  SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.bytes_in_memory));
+  SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.tasks_run));
+  SPANGLE_RETURN_NOT_OK(r.Done());
+  return m;
+}
+
+void ShutdownRequest::AppendTo(std::string* out) const { (void)out; }
+
+Result<ShutdownRequest> ShutdownRequest::Parse(const char* data,
+                                               size_t size) {
+  Reader r(data, size);
+  SPANGLE_RETURN_NOT_OK(r.Done());
+  return ShutdownRequest{};
+}
+
+void ShutdownResponse::AppendTo(std::string* out) const { (void)out; }
+
+Result<ShutdownResponse> ShutdownResponse::Parse(const char* data,
+                                                 size_t size) {
+  Reader r(data, size);
+  SPANGLE_RETURN_NOT_OK(r.Done());
+  return ShutdownResponse{};
+}
+
+}  // namespace net
+}  // namespace spangle

@@ -1,0 +1,189 @@
+#ifndef SPANGLE_NET_MESSAGE_H_
+#define SPANGLE_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace spangle {
+namespace net {
+
+/// Wire message kinds. Every RPC is one request frame answered by exactly
+/// one response frame; kError may answer any request (it carries a Status
+/// the client re-raises). Values are part of the wire format — append
+/// only, never renumber.
+enum class MessageType : uint8_t {
+  kError = 1,
+  kDispatchTaskRequest = 2,
+  kDispatchTaskResponse = 3,
+  kPutBlockRequest = 4,
+  kPutBlockResponse = 5,
+  kFetchBlockRequest = 6,
+  kFetchBlockResponse = 7,
+  kProbeBlockRequest = 8,
+  kProbeBlockResponse = 9,
+  kHeartbeatRequest = 10,
+  kHeartbeatResponse = 11,
+  kShutdownRequest = 12,
+  kShutdownResponse = 13,
+};
+
+/// True when `raw` names a defined MessageType; the frame decoder rejects
+/// frames whose type byte fails this, so garbage streams die early.
+bool IsValidMessageType(uint8_t raw);
+
+/// Human-readable name ("DispatchTaskRequest"), for diagnostics.
+const char* MessageTypeName(MessageType type);
+
+// Message payload encodings are flat little-endian fields in declaration
+// order; strings/bytes carry a uint32 length prefix. Every struct has
+//   void AppendTo(std::string* out) const;          // encode
+//   static Result<T> Parse(const char* d, size_t n) // strict decode
+// Parse is bounds-checked and rejects trailing bytes — malformed input
+// is a Status, never a crash, because the bytes cross a process boundary
+// (unlike spill files, which are trusted engine-local state).
+
+/// Failure response: a serialized Status. Sent in place of the expected
+/// response type when the server-side handler fails.
+struct ErrorResponse {
+  static constexpr MessageType kType = MessageType::kError;
+
+  uint8_t code = 0;  // StatusCode, validated on parse
+  std::string message;
+
+  static ErrorResponse FromStatus(const Status& status);
+  Status ToStatus() const;
+
+  void AppendTo(std::string* out) const;
+  static Result<ErrorResponse> Parse(const char* data, size_t size);
+};
+
+/// Driver -> executor: account one task attempt on its assigned daemon.
+/// `task_kind` selects a registered server-side body ("noop", "echo",
+/// "sleep_us"); the RPC doubles as the liveness probe that turns a dead
+/// daemon into a retryable ExecutorLostError (see DESIGN.md §11).
+struct DispatchTaskRequest {
+  static constexpr MessageType kType = MessageType::kDispatchTaskRequest;
+
+  std::string stage;
+  int32_t task = 0;
+  int32_t attempt = 0;
+  std::string task_kind = "noop";
+  std::string payload;
+
+  void AppendTo(std::string* out) const;
+  static Result<DispatchTaskRequest> Parse(const char* data, size_t size);
+};
+
+struct DispatchTaskResponse {
+  static constexpr MessageType kType = MessageType::kDispatchTaskResponse;
+
+  std::string result;
+
+  void AppendTo(std::string* out) const;
+  static Result<DispatchTaskResponse> Parse(const char* data, size_t size);
+};
+
+/// Driver -> executor: store one encoded shuffle partition on the daemon
+/// that owns it (partition % num_executors).
+struct PutBlockRequest {
+  static constexpr MessageType kType = MessageType::kPutBlockRequest;
+
+  uint64_t node = 0;
+  int32_t partition = 0;
+  std::string bytes;  // spill-codec encoding of the partition
+
+  void AppendTo(std::string* out) const;
+  static Result<PutBlockRequest> Parse(const char* data, size_t size);
+};
+
+struct PutBlockResponse {
+  static constexpr MessageType kType = MessageType::kPutBlockResponse;
+
+  void AppendTo(std::string* out) const;
+  static Result<PutBlockResponse> Parse(const char* data, size_t size);
+};
+
+struct FetchBlockRequest {
+  static constexpr MessageType kType = MessageType::kFetchBlockRequest;
+
+  uint64_t node = 0;
+  int32_t partition = 0;
+
+  void AppendTo(std::string* out) const;
+  static Result<FetchBlockRequest> Parse(const char* data, size_t size);
+};
+
+/// found=false is a normal response (the block was lost with a daemon
+/// restart, not a protocol failure): the driver converts it into
+/// ShuffleBlockLostError and lineage re-plans.
+struct FetchBlockResponse {
+  static constexpr MessageType kType = MessageType::kFetchBlockResponse;
+
+  bool found = false;
+  std::string bytes;
+
+  void AppendTo(std::string* out) const;
+  static Result<FetchBlockResponse> Parse(const char* data, size_t size);
+};
+
+struct ProbeBlockRequest {
+  static constexpr MessageType kType = MessageType::kProbeBlockRequest;
+
+  uint64_t node = 0;
+  int32_t partition = 0;
+
+  void AppendTo(std::string* out) const;
+  static Result<ProbeBlockRequest> Parse(const char* data, size_t size);
+};
+
+struct ProbeBlockResponse {
+  static constexpr MessageType kType = MessageType::kProbeBlockResponse;
+
+  bool found = false;
+
+  void AppendTo(std::string* out) const;
+  static Result<ProbeBlockResponse> Parse(const char* data, size_t size);
+};
+
+struct HeartbeatRequest {
+  static constexpr MessageType kType = MessageType::kHeartbeatRequest;
+
+  uint64_t seq = 0;
+
+  void AppendTo(std::string* out) const;
+  static Result<HeartbeatRequest> Parse(const char* data, size_t size);
+};
+
+struct HeartbeatResponse {
+  static constexpr MessageType kType = MessageType::kHeartbeatResponse;
+
+  uint64_t seq = 0;
+  uint64_t blocks_held = 0;
+  uint64_t bytes_in_memory = 0;
+  uint64_t tasks_run = 0;
+
+  void AppendTo(std::string* out) const;
+  static Result<HeartbeatResponse> Parse(const char* data, size_t size);
+};
+
+struct ShutdownRequest {
+  static constexpr MessageType kType = MessageType::kShutdownRequest;
+
+  void AppendTo(std::string* out) const;
+  static Result<ShutdownRequest> Parse(const char* data, size_t size);
+};
+
+struct ShutdownResponse {
+  static constexpr MessageType kType = MessageType::kShutdownResponse;
+
+  void AppendTo(std::string* out) const;
+  static Result<ShutdownResponse> Parse(const char* data, size_t size);
+};
+
+}  // namespace net
+}  // namespace spangle
+
+#endif  // SPANGLE_NET_MESSAGE_H_

@@ -1,0 +1,49 @@
+#ifndef SPANGLE_NET_REMOTE_SHUFFLE_H_
+#define SPANGLE_NET_REMOTE_SHUFFLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace spangle {
+
+class EngineMetrics;
+
+namespace net {
+
+class ExecutorFleet;
+
+/// The shuffle data plane in DISTRIBUTED mode: ShuffleNode hands encoded
+/// partitions here instead of the driver's BlockManager. Blocks live
+/// only on the daemons, so a killed daemon genuinely loses its shard and
+/// the reader path reports the loss for lineage recovery. Thread safe
+/// (stateless over the fleet).
+class RemoteShuffleFetcher {
+ public:
+  RemoteShuffleFetcher(ExecutorFleet* fleet, EngineMetrics* metrics);
+
+  /// Stores one encoded partition on its owner daemon.
+  Status StoreEncoded(uint64_t node, int partition, const std::string& bytes);
+
+  /// Fetches one partition's encoding. nullopt = the block is gone
+  /// (daemon died/restarted): the caller raises ShuffleBlockLostError.
+  /// Fetch wall time is credited to remote_fetch_time_us and the calling
+  /// task's stage.
+  std::optional<std::string> FetchEncoded(uint64_t node, int partition);
+
+  /// True when every partition [0, num_partitions) is still held by its
+  /// owner daemon — the DISTRIBUTED materialization check.
+  bool ContainsAll(uint64_t node, int num_partitions);
+
+ private:
+  ExecutorFleet* const fleet_;
+  EngineMetrics* const metrics_;
+};
+
+}  // namespace net
+}  // namespace spangle
+
+#endif  // SPANGLE_NET_REMOTE_SHUFFLE_H_

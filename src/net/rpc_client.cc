@@ -1,0 +1,82 @@
+#include "net/rpc_client.h"
+
+#include <sys/socket.h>
+
+#include <utility>
+
+namespace spangle {
+namespace net {
+
+Status RpcClient::Connect() {
+  MutexLock l(&mu_);
+  if (conn_.valid()) return Status::OK();
+  return ConnectLocked();
+}
+
+Status RpcClient::ConnectLocked() {
+  auto socket = Socket::ConnectLoopback(port_);
+  SPANGLE_RETURN_NOT_OK(socket.status());
+  conn_ = Connection(std::move(*socket),
+                     ByteCounters{counters_.bytes_sent,
+                                  counters_.bytes_received});
+  fd_shadow_.store(conn_.socket().fd(), std::memory_order_release);
+  return Status::OK();
+}
+
+void RpcClient::DropConnectionLocked() {
+  fd_shadow_.store(-1, std::memory_order_release);
+  conn_ = Connection();
+}
+
+Result<std::string> RpcClient::Call(MessageType request_type,
+                                    const std::string& request_payload,
+                                    MessageType expected_response_type) {
+  MutexLock l(&mu_);
+  if (!conn_.valid()) {
+    SPANGLE_RETURN_NOT_OK(ConnectLocked());
+  }
+  Status st = conn_.Send(request_type, request_payload);
+  if (!st.ok()) {
+    DropConnectionLocked();
+    return st;
+  }
+  MessageType resp_type;
+  std::string resp_payload;
+  st = conn_.Recv(&resp_type, &resp_payload);
+  if (!st.ok()) {
+    DropConnectionLocked();
+    return st;
+  }
+  if (resp_type == MessageType::kError) {
+    auto err = ErrorResponse::Parse(resp_payload.data(), resp_payload.size());
+    SPANGLE_RETURN_NOT_OK(err.status());
+    // A typed error reply is an application failure, not a transport one:
+    // the stream stays framed, keep the connection.
+    return err->ToStatus();
+  }
+  if (resp_type != expected_response_type) {
+    // Unexpected type means the request/response pairing is off; the
+    // stream can no longer be trusted.
+    DropConnectionLocked();
+    return Status::Internal(
+        std::string("rpc: expected ") +
+        MessageTypeName(expected_response_type) + " reply, got " +
+        MessageTypeName(resp_type));
+  }
+  if (counters_.roundtrips != nullptr) {
+    counters_.roundtrips->fetch_add(1, std::memory_order_relaxed);
+  }
+  return resp_payload;
+}
+
+void RpcClient::Abort() {
+  // Deliberately lock-free: the thread we are unblocking holds mu_. The
+  // fd shadow can briefly lag a reconnect, but Abort is only used against
+  // daemons known to be dead, where a stray shutdown on the replacement
+  // connection just forces one extra reconnect.
+  const int fd = fd_shadow_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+}  // namespace net
+}  // namespace spangle

@@ -1,0 +1,88 @@
+#ifndef SPANGLE_NET_RPC_CLIENT_H_
+#define SPANGLE_NET_RPC_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "net/connection.h"
+#include "net/message.h"
+#include "net/socket.h"
+
+namespace spangle {
+namespace net {
+
+/// Metric sinks the client credits per call; the driver points these at
+/// its EngineMetrics atomics.
+struct RpcClientCounters {
+  std::atomic<uint64_t>* bytes_sent = nullptr;
+  std::atomic<uint64_t>* bytes_received = nullptr;
+  std::atomic<uint64_t>* roundtrips = nullptr;
+};
+
+/// Blocking RPC client for one executor daemon: a single persistent
+/// connection, calls serialized under mu_ (rank kNetClient — callers may
+/// hold fleet rank kNetFleet above it). A transport error drops the
+/// connection; the next Call() reconnects, so a restarted daemon on the
+/// same port is picked up transparently. Abort() unblocks an in-flight
+/// call from another thread (used when a daemon is killed under us).
+class RpcClient {
+ public:
+  explicit RpcClient(uint16_t port, RpcClientCounters counters = {})
+      : port_(port), counters_(counters) {}
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  /// Eagerly opens the connection (Call() also connects lazily).
+  Status Connect() EXCLUDES(mu_);
+
+  bool connected() EXCLUDES(mu_) {
+    MutexLock l(&mu_);
+    return conn_.valid();
+  }
+
+  /// One request/response roundtrip. A kError reply parses into its
+  /// carried Status; any other unexpected response type is an Internal
+  /// error (and drops the connection — the stream may be desynced).
+  Result<std::string> Call(MessageType request_type,
+                           const std::string& request_payload,
+                           MessageType expected_response_type) EXCLUDES(mu_);
+
+  /// Typed wrapper: encodes `req`, calls, parses `Resp` from the reply.
+  template <typename Req, typename Resp>
+  Result<Resp> TypedCall(const Req& req) EXCLUDES(mu_) {
+    std::string payload;
+    req.AppendTo(&payload);
+    auto reply = Call(Req::kType, payload, Resp::kType);
+    SPANGLE_RETURN_NOT_OK(reply.status());
+    return Resp::Parse(reply->data(), reply->size());
+  }
+
+  /// Shuts down the in-flight connection's socket from any thread,
+  /// failing the blocked Call(). Does not take mu_ (the blocked caller
+  /// holds it); uses an atomic shadow of the connection's fd.
+  void Abort();
+
+ private:
+  const uint16_t port_;
+  const RpcClientCounters counters_;
+
+  Mutex mu_{LockRank::kNetClient, "RpcClient::mu_"};
+  Connection conn_ GUARDED_BY(mu_);
+  // fd of conn_'s socket, mirrored for Abort(); -1 when disconnected.
+  std::atomic<int> fd_shadow_{-1};
+
+  Status ConnectLocked() REQUIRES(mu_);
+  void DropConnectionLocked() REQUIRES(mu_);
+};
+
+}  // namespace net
+}  // namespace spangle
+
+#endif  // SPANGLE_NET_RPC_CLIENT_H_
