@@ -1,0 +1,178 @@
+#include "codec/chunk_frame.h"
+
+#include <cstring>
+
+#include "codec/hash.h"
+#include "common/logging.h"
+
+namespace spangle {
+namespace codec {
+
+namespace {
+
+constexpr size_t kHashFieldOffset = 12;
+
+void PutU16(uint16_t v, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+T ReadLE(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+bool ValidSectionKind(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(SectionKind::kKeys) &&
+         raw <= static_cast<uint8_t>(SectionKind::kRecords);
+}
+
+bool ValidSectionEncoding(uint8_t raw) {
+  return raw <= static_cast<uint8_t>(SectionEncoding::kBitpacked);
+}
+
+}  // namespace
+
+uint64_t ComputeFrameHash(const char* data, size_t size) {
+  SPANGLE_DCHECK(size >= kFrameHeaderBytes);
+  // Chained over [0, 12) — magic, version, counts — then everything
+  // after the hash field, so the digest commits to the whole frame
+  // except its own storage.
+  const uint64_t head = Hash64(data, kHashFieldOffset);
+  return Hash64(data + kFrameHeaderBytes, size - kFrameHeaderBytes, head);
+}
+
+Result<uint64_t> PeekFrameHash(const char* data, size_t size) {
+  if (size < kFrameHeaderBytes) {
+    return Status::InvalidArgument("buffer too short for a chunk frame");
+  }
+  return ReadLE<uint64_t>(data + kHashFieldOffset);
+}
+
+FrameBuilder::FrameBuilder(uint32_t record_count, int num_sections)
+    : num_sections_(num_sections) {
+  SPANGLE_CHECK_GE(num_sections, 0);
+  SPANGLE_CHECK_LE(static_cast<size_t>(num_sections), kMaxFrameSections);
+  bytes_.append(kFrameMagic, sizeof(kFrameMagic));
+  bytes_.push_back(static_cast<char>(kFrameVersion));
+  bytes_.push_back(static_cast<char>(num_sections));
+  PutU16(0, &bytes_);  // flags
+  PutU32(record_count, &bytes_);
+  PutU64(0, &bytes_);  // content hash, patched by Finish
+  // Section table placeholder; kinds/encodings/sizes patched as sections
+  // are declared and closed.
+  bytes_.append(static_cast<size_t>(num_sections) * kSectionDescBytes, '\0');
+}
+
+void FrameBuilder::BeginSection(SectionKind kind, SectionEncoding encoding) {
+  SPANGLE_CHECK_EQ(begun_, ended_) << "previous section still open";
+  SPANGLE_CHECK_LT(begun_, num_sections_) << "more sections than declared";
+  char* entry = bytes_.data() + kFrameHeaderBytes +
+                static_cast<size_t>(begun_) * kSectionDescBytes;
+  entry[0] = static_cast<char>(kind);
+  entry[1] = static_cast<char>(encoding);
+  ++begun_;
+  section_start_ = bytes_.size();
+}
+
+void FrameBuilder::EndSection() {
+  SPANGLE_CHECK_EQ(begun_, ended_ + 1) << "no open section";
+  const uint64_t n = bytes_.size() - section_start_;
+  char* entry = bytes_.data() + kFrameHeaderBytes +
+                static_cast<size_t>(ended_) * kSectionDescBytes;
+  std::memcpy(entry + 8, &n, sizeof(n));
+  ++ended_;
+}
+
+std::string FrameBuilder::Finish(uint64_t* content_hash) {
+  SPANGLE_CHECK_EQ(ended_, num_sections_) << "undeclared or open sections";
+  const uint64_t hash = ComputeFrameHash(bytes_.data(), bytes_.size());
+  std::memcpy(bytes_.data() + kHashFieldOffset, &hash, sizeof(hash));
+  if (content_hash != nullptr) *content_hash = hash;
+  return std::move(bytes_);
+}
+
+Result<FrameView> FrameView::Parse(const char* data, size_t size,
+                                   bool verify_hash) {
+  if (size < kFrameHeaderBytes) {
+    return Status::InvalidArgument("chunk frame truncated: " +
+                                   std::to_string(size) + " bytes");
+  }
+  if (std::memcmp(data, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return Status::InvalidArgument("bad chunk frame magic");
+  }
+  const auto version = static_cast<uint8_t>(data[4]);
+  if (version != kFrameVersion) {
+    return Status::InvalidArgument("unsupported chunk frame version " +
+                                   std::to_string(version));
+  }
+  const auto num_sections = static_cast<uint8_t>(data[5]);
+  if (num_sections > kMaxFrameSections) {
+    return Status::InvalidArgument("chunk frame declares " +
+                                   std::to_string(num_sections) +
+                                   " sections (max " +
+                                   std::to_string(kMaxFrameSections) + ")");
+  }
+  if (ReadLE<uint16_t>(data + 6) != 0) {
+    return Status::InvalidArgument("chunk frame has unknown flags set");
+  }
+  FrameView view;
+  view.record_count_ = ReadLE<uint32_t>(data + 8);
+  view.content_hash_ = ReadLE<uint64_t>(data + kHashFieldOffset);
+  const size_t table_bytes =
+      static_cast<size_t>(num_sections) * kSectionDescBytes;
+  if (size - kFrameHeaderBytes < table_bytes) {
+    return Status::InvalidArgument("chunk frame section table truncated");
+  }
+  size_t offset = kFrameHeaderBytes + table_bytes;
+  view.sections_.reserve(num_sections);
+  for (uint8_t i = 0; i < num_sections; ++i) {
+    const char* entry =
+        data + kFrameHeaderBytes + static_cast<size_t>(i) * kSectionDescBytes;
+    const auto kind = static_cast<uint8_t>(entry[0]);
+    const auto encoding = static_cast<uint8_t>(entry[1]);
+    if (!ValidSectionKind(kind) || !ValidSectionEncoding(encoding)) {
+      return Status::InvalidArgument("chunk frame section " +
+                                     std::to_string(i) +
+                                     " has unknown kind/encoding");
+    }
+    if (ReadLE<uint16_t>(entry + 2) != 0 || ReadLE<uint32_t>(entry + 4) != 0) {
+      return Status::InvalidArgument("chunk frame section " +
+                                     std::to_string(i) +
+                                     " has nonzero reserved fields");
+    }
+    Section s;
+    s.desc.kind = static_cast<SectionKind>(kind);
+    s.desc.encoding = static_cast<SectionEncoding>(encoding);
+    s.desc.bytes = ReadLE<uint64_t>(entry + 8);
+    if (s.desc.bytes > size - offset) {
+      return Status::InvalidArgument("chunk frame section " +
+                                     std::to_string(i) +
+                                     " overruns the buffer");
+    }
+    s.data = data + offset;
+    offset += s.desc.bytes;
+    view.sections_.push_back(s);
+  }
+  if (offset != size) {
+    return Status::InvalidArgument("trailing bytes after chunk frame "
+                                   "sections");
+  }
+  if (verify_hash && ComputeFrameHash(data, size) != view.content_hash_) {
+    return Status::IOError("chunk frame content hash mismatch (corrupt "
+                           "frame)");
+  }
+  return view;
+}
+
+}  // namespace codec
+}  // namespace spangle

@@ -1,0 +1,50 @@
+#ifndef SPANGLE_CODEC_FRAME_BUFFER_H_
+#define SPANGLE_CODEC_FRAME_BUFFER_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "codec/mmap_file.h"
+
+namespace spangle {
+namespace codec {
+
+/// An encoded chunk frame held either as owned heap bytes (fresh off the
+/// wire / encoder) or as a file-backed mmap (spill readback). The two
+/// cases expose identical data()/size(), so daemon block storage and the
+/// RPC fetch path never re-encode or copy — the distinction only matters
+/// to BlockManager accounting: owned bytes count against the memory
+/// budget, mapped bytes are reported separately (the OS can drop and
+/// re-fault them, so evicting a mapped frame frees nothing).
+class FrameBuffer {
+ public:
+  explicit FrameBuffer(std::string owned) : owned_(std::move(owned)) {}
+  explicit FrameBuffer(MappedFile mapped)
+      : mapped_(std::move(mapped)), is_mapped_(true) {}
+
+  const char* data() const {
+    return is_mapped_ ? mapped_.data() : owned_.data();
+  }
+  size_t size() const {
+    return is_mapped_ ? mapped_.size() : owned_.size();
+  }
+  bool mapped() const { return is_mapped_; }
+
+  /// The bytes as a string: zero-cost move for owned buffers, a copy for
+  /// mapped ones (the RPC response path, which must own what it sends).
+  std::string ToString() const& { return {data(), size()}; }
+  std::string ToString() && {
+    return is_mapped_ ? std::string(data(), size()) : std::move(owned_);
+  }
+
+ private:
+  std::string owned_;
+  MappedFile mapped_;
+  bool is_mapped_ = false;
+};
+
+}  // namespace codec
+}  // namespace spangle
+
+#endif  // SPANGLE_CODEC_FRAME_BUFFER_H_

@@ -1,0 +1,23 @@
+#ifndef SPANGLE_CODEC_HASH_H_
+#define SPANGLE_CODEC_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spangle {
+namespace codec {
+
+/// 64-bit content hash (the XXH64 construction): fast enough to run over
+/// every encoded shuffle frame, with avalanche good enough that any
+/// single-byte wire corruption flips the digest. NOT cryptographic — the
+/// content address authenticates nothing, it only identifies bytes and
+/// detects accidental corruption.
+///
+/// `seed` chains two ranges without concatenating them:
+/// Hash64(b, nb, Hash64(a, na)) commits to both buffers and their split.
+uint64_t Hash64(const void* data, size_t size, uint64_t seed = 0);
+
+}  // namespace codec
+}  // namespace spangle
+
+#endif  // SPANGLE_CODEC_HASH_H_

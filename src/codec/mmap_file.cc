@@ -1,0 +1,89 @@
+#include "codec/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+namespace spangle {
+namespace codec {
+
+Result<MappedFile> MappedFile::Map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("cannot stat " + path + ": " +
+                           std::strerror(err));
+  }
+  const auto size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    // mmap of length 0 is an error; an empty file is a valid (empty)
+    // mapping.
+    ::close(fd);
+    return MappedFile(nullptr, 0);
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping keeps the file contents reachable after close(2).
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return Status::IOError("cannot mmap " + path + ": " +
+                           std::strerror(errno));
+  }
+  return MappedFile(static_cast<const char*>(addr), size);
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<char*>(data_), size_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::string bytes(static_cast<size_t>(size), '\0');
+  if (size > 0 && !in.read(bytes.data(), size)) {
+    return Status::IOError("short read from " + path);
+  }
+  return bytes;
+}
+
+Result<uint64_t> WriteWholeFile(const char* data, size_t size,
+                                const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot create " + path);
+  out.write(data, static_cast<std::streamsize>(size));
+  if (!out) return Status::IOError("write failed: " + path);
+  return static_cast<uint64_t>(size);
+}
+
+Result<uint64_t> WriteWholeFile(const std::string& bytes,
+                                const std::string& path) {
+  return WriteWholeFile(bytes.data(), bytes.size(), path);
+}
+
+}  // namespace codec
+}  // namespace spangle

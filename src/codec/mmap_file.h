@@ -1,0 +1,62 @@
+#ifndef SPANGLE_CODEC_MMAP_FILE_H_
+#define SPANGLE_CODEC_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace spangle {
+namespace codec {
+
+/// Read-only memory mapping of a whole file. Spill-file readback decodes
+/// straight out of the mapping — no intermediate copy of the encoded
+/// bytes — and a FrameBuffer can keep the mapping alive as a block
+/// payload whose bytes are file-backed rather than owned (BlockManager
+/// accounts them as mapped, outside the memory budget, because the OS
+/// can reclaim them at will).
+///
+/// Movable, not copyable; unmaps on destruction.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. IOError when the file cannot be opened,
+  /// statted, or mapped — callers fall back to the streaming read
+  /// (ReadWholeFile), so an mmap-less platform degrades, not breaks.
+  static Result<MappedFile> Map(const std::string& path);
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr || size_ == 0; }
+
+ private:
+  MappedFile(const char* data, size_t size) : data_(data), size_(size) {}
+
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Streaming fallback: reads the whole file into an owned string.
+Result<std::string> ReadWholeFile(const std::string& path);
+
+/// Writes `size` bytes to `path`, truncating; returns the byte count.
+Result<uint64_t> WriteWholeFile(const char* data, size_t size,
+                                const std::string& path);
+Result<uint64_t> WriteWholeFile(const std::string& bytes,
+                                const std::string& path);
+
+}  // namespace codec
+}  // namespace spangle
+
+#endif  // SPANGLE_CODEC_MMAP_FILE_H_

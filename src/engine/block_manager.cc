@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <vector>
@@ -83,6 +84,7 @@ std::string BlockManager::PathFor(const BlockId& id) {
 
 void BlockManager::UpdateGauges() {
   metrics_->bytes_cached.store(bytes_in_memory_);
+  metrics_->bytes_mapped.store(bytes_mapped_);
   if (bytes_in_memory_ > metrics_->memory_high_water.load()) {
     metrics_->memory_high_water.store(bytes_in_memory_);
   }
@@ -92,14 +94,21 @@ void BlockManager::InsertResident(const BlockId& id, Block& b, DataPtr data) {
   b.data = std::move(data);
   b.lost = false;
   b.lru_it = lru_.insert(lru_.end(), id);
-  bytes_in_memory_ += b.bytes;
+  // Only the owned portion counts against the budget; file-backed or
+  // shared bytes are tracked in the separate mapped gauge.
+  const uint64_t unowned = std::min(b.unowned_bytes, b.bytes);
+  bytes_in_memory_ += b.bytes - unowned;
+  bytes_mapped_ += unowned;
   UpdateGauges();
 }
 
 void BlockManager::ReleaseMemory(Block& b) {
   if (b.data == nullptr) return;
   lru_.erase(b.lru_it);
-  bytes_in_memory_ -= b.bytes;
+  const uint64_t unowned = std::min(b.unowned_bytes, b.bytes);
+  bytes_in_memory_ -= b.bytes - unowned;
+  bytes_mapped_ -= unowned;
+  b.unowned_bytes = 0;
   b.data = nullptr;
   UpdateGauges();
 }
@@ -143,44 +152,76 @@ void BlockManager::EvictToFit(uint64_t incoming, const BlockId& protect) {
     // shuffle output) is pinned: losing it would be unrecoverable
     // mid-action.
     if (!vb->recomputable && vb->spill == nullptr) continue;
+    // A fully unowned payload (mmap readback / dedup-shared) charges
+    // nothing against the budget, so evicting it frees nothing.
+    if (vb->unowned_bytes >= vb->bytes) continue;
     EvictBlock(victim, *vb);
   }
 }
 
 void BlockManager::Put(const BlockId& id, DataPtr data, uint64_t bytes,
                        StorageLevel level, SpillFn spill, LoadFn load,
-                       bool recomputable) {
+                       bool recomputable, uint64_t content_hash) {
   MutexLock lock(&mu_);
   PutLocked(id, std::move(data), bytes, level, std::move(spill),
-            std::move(load), recomputable);
+            std::move(load), recomputable, content_hash, /*unowned_bytes=*/0);
 }
 
 bool BlockManager::PutIfAbsent(const BlockId& id, DataPtr data, uint64_t bytes,
                                StorageLevel level, SpillFn spill, LoadFn load,
-                               bool recomputable) {
+                               bool recomputable, uint64_t content_hash) {
   MutexLock lock(&mu_);
   const Block* existing = Find(id);
   if (existing != nullptr &&
       (existing->data != nullptr || existing->on_disk)) {
-    return false;  // a usable payload is already committed: keep it
+    // A usable payload is already committed: keep it. When both commits
+    // carry the same content address this is a counted dedup — the
+    // speculation-loser / retried-task / raced-job case.
+    if (content_hash != 0 && existing->content_hash == content_hash) {
+      metrics_->shuffle_block_dedup_hits.fetch_add(1);
+    }
+    return false;
+  }
+  if (content_hash != 0) {
+    // Content-addressed commit: identical bytes may already be stored
+    // under a different id (an identically re-planned stage). Share that
+    // payload instead of storing a second copy; the new id's bytes are
+    // accounted as unowned.
+    auto cit = content_index_.find(content_hash);
+    if (cit != content_index_.end() && !(cit->second == id)) {
+      Block* src = Find(cit->second);
+      if (src != nullptr && src->data != nullptr &&
+          src->content_hash == content_hash) {
+        metrics_->shuffle_block_dedup_hits.fetch_add(1);
+        PutLocked(id, src->data, bytes, level, std::move(spill),
+                  std::move(load), recomputable, content_hash,
+                  /*unowned_bytes=*/bytes);
+        return false;  // the caller's copy was discarded
+      }
+      content_index_.erase(cit);  // stale: block gone or rewritten
+    }
   }
   PutLocked(id, std::move(data), bytes, level, std::move(spill),
-            std::move(load), recomputable);
+            std::move(load), recomputable, content_hash, /*unowned_bytes=*/0);
   return true;
 }
 
 void BlockManager::PutLocked(const BlockId& id, DataPtr data, uint64_t bytes,
                              StorageLevel level, SpillFn spill, LoadFn load,
-                             bool recomputable) {
+                             bool recomputable, uint64_t content_hash,
+                             uint64_t unowned_bytes) {
   Block& b = blocks_[id.node][id.partition];
   ReleaseMemory(b);  // replacing: drop the old payload's accounting
   RemoveFile(b);     // a stale spill file no longer matches the payload
   b.bytes = bytes;
+  b.unowned_bytes = unowned_bytes;
+  b.content_hash = content_hash;
   b.level = level;
   b.recomputable = recomputable;
   b.spill = std::move(spill);
   b.load = std::move(load);
   b.lost = false;
+  if (content_hash != 0) content_index_[content_hash] = id;
   if (level == StorageLevel::kDiskOnly && b.spill != nullptr) {
     b.path = PathFor(id);
     const uint64_t written = b.spill(data.get(), b.path);
@@ -188,7 +229,7 @@ void BlockManager::PutLocked(const BlockId& id, DataPtr data, uint64_t bytes,
     metrics_->spilled_bytes.fetch_add(written);
     return;  // never resident
   }
-  EvictToFit(bytes, id);
+  EvictToFit(bytes - std::min(unowned_bytes, bytes), id);
   InsertResident(id, b, std::move(data));
 }
 
@@ -202,13 +243,16 @@ BlockManager::GetResult BlockManager::Get(const BlockId& id) {
     return {b->data, false};
   }
   if (b->on_disk && b->load != nullptr) {
-    DataPtr loaded = b->load(b->path);
+    Loaded loaded = b->load(b->path);
     metrics_->disk_reads.fetch_add(1);
     if (b->level != StorageLevel::kDiskOnly) {
-      EvictToFit(b->bytes, id);
-      InsertResident(id, *b, loaded);
+      // Re-admit: only the owned portion of the payload competes for
+      // budget (mmap-backed bytes stay with the file).
+      b->unowned_bytes = std::min(loaded.mapped_bytes, b->bytes);
+      EvictToFit(b->bytes - b->unowned_bytes, id);
+      InsertResident(id, *b, loaded.data);
     }
-    return {std::move(loaded), false};
+    return {std::move(loaded.data), false};
   }
   return {nullptr, b->lost};
 }
@@ -217,6 +261,13 @@ bool BlockManager::Contains(const BlockId& id) const {
   MutexLock lock(&mu_);
   const Block* b = Find(id);
   return b != nullptr && (b->data != nullptr || b->on_disk);
+}
+
+uint64_t BlockManager::ContentHashOf(const BlockId& id) const {
+  MutexLock lock(&mu_);
+  const Block* b = Find(id);
+  if (b == nullptr || (b->data == nullptr && !b->on_disk)) return 0;
+  return b->content_hash;
 }
 
 bool BlockManager::ContainsAll(uint64_t node, int num_partitions) const {
@@ -281,6 +332,11 @@ void BlockManager::FailExecutor(int worker) {
 uint64_t BlockManager::bytes_in_memory() const {
   MutexLock lock(&mu_);
   return bytes_in_memory_;
+}
+
+uint64_t BlockManager::bytes_mapped() const {
+  MutexLock lock(&mu_);
+  return bytes_mapped_;
 }
 
 size_t BlockManager::num_resident_blocks() const {

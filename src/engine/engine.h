@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <tuple>
 #include <functional>
@@ -14,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "codec/columnar.h"
 #include "common/logging.h"
 #include "common/mutex.h"
 #include "common/random.h"
@@ -247,6 +249,28 @@ class Context {
 
 namespace internal {
 
+/// Encodes one partition into a chunk frame and credits the codec
+/// counters: raw (record-format) vs encoded bytes, and encode time.
+/// Every engine encode — shuffle materialization in both modes and
+/// cache spills — funnels through here so the compression ratio the
+/// metrics report covers all codec traffic.
+template <typename T>
+codec::EncodedFrame EncodePartitionTimed(EngineMetrics& metrics,
+                                         const std::vector<T>& records) {
+  const auto start = std::chrono::steady_clock::now();
+  codec::EncodedFrame frame = codec::EncodePartitionFrame(records);
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  metrics.codec_encode_time_us.fetch_add(static_cast<uint64_t>(us),
+                                         std::memory_order_relaxed);
+  metrics.codec_bytes_raw.fetch_add(frame.raw_bytes,
+                                    std::memory_order_relaxed);
+  metrics.codec_bytes_encoded.fetch_add(frame.bytes.size(),
+                                        std::memory_order_relaxed);
+  return frame;
+}
+
 /// Untyped lineage-DAG vertex: partition count + parents + shuffle hooks.
 class NodeBase {
  public:
@@ -353,19 +377,30 @@ class Node : public NodeBase {
   /// (speculative attempts, task retries, partial shuffle reruns), the
   /// first committed payload wins and the loser is discarded — the
   /// commit is idempotent, so duplicated work never changes state.
+  /// `content_hash` is the partition's chunk-frame content address when
+  /// the caller already encoded it (shuffle outputs); 0 leaves the block
+  /// unhashed, outside the dedup index.
   void StoreBlock(int i, PartitionPtr data, StorageLevel level,
-                  bool recomputable) {
+                  bool recomputable, uint64_t content_hash = 0) {
     const uint64_t bytes = EstimateSize(*data);
     ctx()->block_manager().PutIfAbsent({id(), i}, std::move(data), bytes,
                                        level, MakeSpillFn(), MakeLoadFn(),
-                                       recomputable);
+                                       recomputable, content_hash);
   }
 
-  static BlockManager::SpillFn MakeSpillFn() {
+  /// Spills encode through the chunk-frame codec (same bytes a shuffle
+  /// block has on the wire) and credit the codec counters; non-static so
+  /// the closure can reach this context's metrics.
+  BlockManager::SpillFn MakeSpillFn() {
     if constexpr (spill::kSpillable<T>) {
-      return [](const void* data, const std::string& path) -> uint64_t {
-        return spill::WritePartitionFile<T>(
-            *static_cast<const std::vector<T>*>(data), path);
+      EngineMetrics* metrics = &ctx()->metrics();
+      return [metrics](const void* data, const std::string& path) -> uint64_t {
+        const codec::EncodedFrame frame = EncodePartitionTimed(
+            *metrics, *static_cast<const std::vector<T>*>(data));
+        auto written = codec::WriteWholeFile(frame.bytes, path);
+        SPANGLE_CHECK(written.ok())
+            << "spill write failed: " << written.status().ToString();
+        return *written;
       };
     } else {
       return nullptr;
@@ -375,6 +410,9 @@ class Node : public NodeBase {
   static BlockManager::LoadFn MakeLoadFn() {
     if constexpr (spill::kSpillable<T>) {
       return [](const std::string& path) -> BlockManager::DataPtr {
+        // Decodes straight out of a transient mmap of the frame file
+        // (ReadPartitionFile) into owned vectors, so the re-admitted
+        // payload has no mapped bytes.
         return std::make_shared<const std::vector<T>>(
             spill::ReadPartitionFile<T>(path));
       };
@@ -648,14 +686,18 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
     ctx->metrics().shuffles.fetch_add(1);
     if constexpr (spill::kSpillable<Record>) {
       if (ctx->distributed()) {
-        // DISTRIBUTED data plane: each output partition is spill-codec
-        // encoded and shipped to its owner daemon; nothing stays in the
-        // driver. A double store failure (owner down AND its restarted
-        // replacement failing) means the fleet is broken, not a block
-        // loss — lineage cannot route around a fleet with no daemons.
+        // DISTRIBUTED data plane: each output partition becomes one
+        // chunk frame shipped verbatim to its owner daemon; nothing
+        // stays in the driver. The frame's content hash travels with it
+        // (daemon-side dedup + receipt validation). A double store
+        // failure (owner down AND its restarted replacement failing)
+        // means the fleet is broken, not a block loss — lineage cannot
+        // route around a fleet with no daemons.
         for (int r = 0; r < n_out; ++r) {
+          codec::EncodedFrame frame =
+              EncodePartitionTimed(ctx->metrics(), output[r]);
           const Status st = ctx->remote_shuffle()->StoreEncoded(
-              this->id(), r, spill::EncodePartition(output[r]));
+              this->id(), r, std::move(frame.bytes), frame.content_hash);
           SPANGLE_CHECK(st.ok())
               << "shuffle store to executor fleet failed: " << st.ToString();
         }
@@ -663,19 +705,31 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
         materialized_ = true;
         return;
       }
-    }
-    // Output blocks live in the block store like any cached partition:
-    // accounted against the budget, spillable to disk when the record
-    // type allows it, pinned in memory otherwise (they cannot be
-    // recomputed partition-by-partition mid-action).
-    const StorageLevel out_level = spill::kSpillable<Record>
-                                       ? StorageLevel::kMemoryAndDisk
-                                       : StorageLevel::kMemoryOnly;
-    for (int r = 0; r < n_out; ++r) {
-      this->StoreBlock(r,
-                       std::make_shared<const std::vector<Record>>(
-                           std::move(output[r])),
-                       out_level, /*recomputable=*/false);
+      // LOCAL: output blocks live in the block store like any cached
+      // partition — accounted against the budget, spillable to disk.
+      // Each partition is encoded once to compute its content address,
+      // so a later re-materialization (partial stage rerun, identically
+      // re-planned stage) commits as a counted dedup hit instead of a
+      // second copy.
+      for (int r = 0; r < n_out; ++r) {
+        const codec::EncodedFrame frame =
+            EncodePartitionTimed(ctx->metrics(), output[r]);
+        this->StoreBlock(r,
+                         std::make_shared<const std::vector<Record>>(
+                             std::move(output[r])),
+                         StorageLevel::kMemoryAndDisk,
+                         /*recomputable=*/false, frame.content_hash);
+      }
+    } else {
+      // Unspillable record type: pinned in memory (cannot spill, cannot
+      // be recomputed partition-by-partition mid-action) and unhashed
+      // (no byte codec to address the content with).
+      for (int r = 0; r < n_out; ++r) {
+        this->StoreBlock(r,
+                         std::make_shared<const std::vector<Record>>(
+                             std::move(output[r])),
+                         StorageLevel::kMemoryOnly, /*recomputable=*/false);
+      }
     }
     MutexLock lock(&mu_);
     materialized_ = true;
@@ -688,10 +742,20 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
         auto bytes = this->ctx()->remote_shuffle()->FetchEncoded(this->id(), i);
         if (!bytes.has_value()) {
           // The owner daemon died (or restarted empty) after this job was
-          // planned. Same recovery as a local fetch failure below.
+          // planned — or the fetched frame failed content-hash validation
+          // (wire corruption). Same recovery as a local fetch failure
+          // below.
           throw ShuffleBlockLostError({this->id()});
         }
-        return spill::DecodePartition<Record>(bytes->data(), bytes->size());
+        auto records = codec::DecodePartitionFrame<Record>(bytes->data(),
+                                                           bytes->size());
+        if (!records.ok()) {
+          // A structurally corrupt frame that still hash-validated can
+          // only come from a damaged daemon store; treat it as a lost
+          // block so lineage re-materializes instead of crashing.
+          throw ShuffleBlockLostError({this->id()});
+        }
+        return *std::move(records);
       }
     }
     auto r = this->ctx()->block_manager().Get({this->id(), i});

@@ -81,7 +81,7 @@ ExecutorPool::BatchResult ExecutorPool::RunAll(
     batch->outstanding = static_cast<size_t>(n);
     for (int i = 0; i < n; ++i) {
       batch->queue.push_back({i, 0});
-      batch->slots[i].launched = 1;
+      batch->slot(i).launched = 1;
     }
     active_.push_back(batch);
   }
@@ -135,7 +135,7 @@ ExecutorPool::BatchResult ExecutorPool::RunAll(
     }
     result.tasks.resize(n);
     for (int i = 0; i < n; ++i) {
-      Slot& s = batch->slots[i];
+      Slot& s = batch->slot(i);
       result.tasks[i] = {std::move(s.status), std::move(s.error), s.launched};
     }
     result.speculative_launches = batch->speculative_launches;
@@ -162,7 +162,8 @@ bool ExecutorPool::MaybeSpeculateLocked(Batch& b,
   const int n = static_cast<int>(b.slots.size());
   std::vector<uint64_t> durations;
   durations.reserve(n);
-  for (const Slot& s : b.slots) {
+  for (int i = 0; i < n; ++i) {
+    const Slot& s = b.slot(i);
     if (s.returned > 0) durations.push_back(s.first_duration_us);
   }
   const int completed = static_cast<int>(durations.size());
@@ -177,7 +178,7 @@ bool ExecutorPool::MaybeSpeculateLocked(Batch& b,
   const uint64_t now = NowMicros();
   bool launched_any = false;
   for (int i = 0; i < n; ++i) {
-    Slot& s = b.slots[i];
+    Slot& s = b.slot(i);
     if (s.returned > 0 || s.speculated || s.launched != 1 ||
         s.first_start_us == 0) {
       continue;
@@ -237,7 +238,7 @@ bool ExecutorPool::RunOneTask(Batch* only, bool speculative_only) {
       item = batch->queue.front();
       batch->queue.pop_front();
     }
-    Slot& s = batch->slots[item.index];
+    Slot& s = batch->slot(item.index);
     if (s.first_start_us == 0) s.first_start_us = NowMicros();
   }
   TaskTiming timing;
@@ -258,7 +259,7 @@ bool ExecutorPool::RunOneTask(Batch* only, bool speculative_only) {
   {
     MutexLock lock(&mu_);
     batch->mu->AssertHeld();
-    Slot& s = batch->slots[item.index];
+    Slot& s = batch->slot(item.index);
     ++s.returned;
     if (s.returned == 1) s.first_duration_us = timing.duration_us;
     if (err == nullptr) {

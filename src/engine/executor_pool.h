@@ -140,9 +140,10 @@ class ExecutorPool {
   };
 
   /// Per-task bookkeeping across attempts. Guarded by the owning pool's
-  /// mu_, reached only through Batch::slots (which carries the
-  /// GUARDED_BY); the analysis cannot re-state the capability on fields
-  /// of an element type, so Slot itself stays unannotated.
+  /// mu_, reached only through Batch::slot(i) (REQUIRES(mu) +
+  /// runtime AssertHeld); the analysis cannot re-state the capability on
+  /// fields of an element type, so Slot itself stays unannotated — see
+  /// Batch::slot for the full capability story.
   struct Slot {
     int launched = 0;             // attempts queued so far (1 or 2)
     int returned = 0;             // attempts that came back
@@ -173,6 +174,22 @@ class ExecutorPool {
     std::vector<Slot> slots GUARDED_BY(mu);
     size_t outstanding GUARDED_BY(mu) = 0;  // queued + running attempts
     int speculative_launches GUARDED_BY(mu) = 0;
+
+    /// The only sanctioned way to reach a Slot. GUARDED_BY attaches a
+    /// capability to a *member*; the Slots inside `slots` are elements
+    /// of a member, one indirection past where the analysis stops — it
+    /// checks access to the vector, then loses track of the references
+    /// handed out, so Slot fields cannot carry the annotation at all.
+    /// This accessor closes the gap: REQUIRES(mu) makes every caller
+    /// prove it holds the pool lock at compile time, and AssertHeld()
+    /// re-checks at runtime (under SPANGLE_LOCK_RANK_CHECKS), catching
+    /// a reference that escaped a locked scope and was dereferenced
+    /// after unlock — exactly the bug class the static analysis cannot
+    /// see here.
+    Slot& slot(size_t i) REQUIRES(mu) {
+      mu->AssertHeld();
+      return slots[i];
+    }
   };
 
   void WorkerLoop(int lane) EXCLUDES(mu_);
@@ -199,8 +216,10 @@ class ExecutorPool {
   // annotated through Batch::mu (a pointer to this mu_): each locked
   // scope asserts the alias with batch->mu->AssertHeld(), which is also
   // a runtime check under SPANGLE_LOCK_RANK_CHECKS. Slot fields cannot
-  // carry the capability (element type of a guarded vector); they are
-  // covered by the TSan suites (storage | scheduler | chaos | net).
+  // carry the capability (element type of a guarded vector), so every
+  // Slot access goes through Batch::slot(i), which demands the lock
+  // statically (REQUIRES) and asserts it at runtime; the TSan suites
+  // (storage | scheduler | chaos | net | codec) cover what remains.
   mutable Mutex mu_{LockRank::kExecutorPool, "ExecutorPool::mu_"};
   CondVar work_ready_;
   CondVar batch_done_;

@@ -149,6 +149,21 @@ EngineMetrics::EngineMetrics()
   counter("spilled_bytes", "bytes", "Bytes written to spill files",
           &spilled_bytes);
   counter("disk_reads", "count", "Blocks read back from disk", &disk_reads);
+  gauge("bytes_mapped", "bytes",
+        "Resident block bytes that are file-backed (mmap), not owned",
+        &bytes_mapped);
+  counter("shuffle_block_dedup_hits", "count",
+          "Shuffle block commits deduplicated by content hash",
+          &shuffle_block_dedup_hits);
+  counter("codec_bytes_raw", "bytes",
+          "Record-format bytes before chunk-frame encoding",
+          &codec_bytes_raw);
+  counter("codec_bytes_encoded", "bytes",
+          "Chunk-frame bytes after encoding", &codec_bytes_encoded);
+  registry_.RegisterScalar(MetricKind::kTimer, "codec_encode_time_us", "us",
+                           "Time spent encoding partitions into chunk "
+                           "frames",
+                           &codec_encode_time_us);
   registry_.RegisterScalar(MetricKind::kTimer, "task_time_us", "us",
                            "Accumulated task execution time", &task_time_us);
   registry_.RegisterHistogram("task_duration_us", "us",

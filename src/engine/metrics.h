@@ -206,6 +206,20 @@ class EngineMetrics {
   std::atomic<uint64_t> evictions{0};          // blocks evicted under budget
   std::atomic<uint64_t> spilled_bytes{0};      // bytes written to spill files
   std::atomic<uint64_t> disk_reads{0};         // blocks read back from disk
+  std::atomic<uint64_t> bytes_mapped{0};       // gauge: resident block bytes
+                                               // that are file-backed (mmap)
+                                               // rather than owned — outside
+                                               // the memory budget
+  std::atomic<uint64_t> shuffle_block_dedup_hits{0};  // content-addressed
+                                                      // commits folded into an
+                                                      // identical stored block
+
+  // Chunk-frame codec: raw (record-format) vs encoded bytes across every
+  // partition encode, and the time spent encoding. The raw/encoded ratio
+  // is the columnar compression win; both count the same partitions.
+  std::atomic<uint64_t> codec_bytes_raw{0};
+  std::atomic<uint64_t> codec_bytes_encoded{0};
+  std::atomic<uint64_t> codec_encode_time_us{0};
 
   // Execution time: accumulated task CPU-occupancy time across all
   // stages (timer), plus a log-scale distribution of task durations.

@@ -275,6 +275,16 @@ std::string AnalyzedPlan::ToString() const {
      << " chunks_built=" << totals.TotalChunksBuilt()
      << " mode_transitions=" << totals.TotalModeTransitions() << "\n";
   AppendArrayStats(os, "  ", totals);
+  if (codec_bytes_raw > 0 || shuffle_block_dedup_hits > 0) {
+    os << "codec: raw=" << HumanBytes(codec_bytes_raw)
+       << " encoded=" << HumanBytes(codec_bytes_encoded) << " ("
+       << (codec_bytes_raw > 0
+               ? static_cast<double>(codec_bytes_encoded) /
+                     static_cast<double>(codec_bytes_raw)
+               : 0.0)
+       << "x) encode=" << HumanUs(codec_encode_time_us)
+       << " dedup_hits=" << shuffle_block_dedup_hits << "\n";
+  }
   if (!stages.empty()) {
     os << "stages:\n";
     for (const StageStat& s : stages) os << "  " << s.ToString() << "\n";
@@ -320,6 +330,14 @@ ProfiledRun::ProfiledRun(Context* ctx,
     max_stage_seq_before_ = stats.back().seq;
   }
   stages_before_ = ctx_->metrics().stages_run.load(std::memory_order_relaxed);
+  codec_raw_before_ =
+      ctx_->metrics().codec_bytes_raw.load(std::memory_order_relaxed);
+  codec_encoded_before_ =
+      ctx_->metrics().codec_bytes_encoded.load(std::memory_order_relaxed);
+  codec_time_before_ =
+      ctx_->metrics().codec_encode_time_us.load(std::memory_order_relaxed);
+  dedup_hits_before_ = ctx_->metrics().shuffle_block_dedup_hits.load(
+      std::memory_order_relaxed);
   start_us_ = ctx_->NowMicros();
 }
 
@@ -330,6 +348,19 @@ AnalyzedPlan ProfiledRun::Finish() {
   plan.stages_run =
       ctx_->metrics().stages_run.load(std::memory_order_relaxed) -
       stages_before_;
+  plan.codec_bytes_raw =
+      ctx_->metrics().codec_bytes_raw.load(std::memory_order_relaxed) -
+      codec_raw_before_;
+  plan.codec_bytes_encoded =
+      ctx_->metrics().codec_bytes_encoded.load(std::memory_order_relaxed) -
+      codec_encoded_before_;
+  plan.codec_encode_time_us =
+      ctx_->metrics().codec_encode_time_us.load(std::memory_order_relaxed) -
+      codec_time_before_;
+  plan.shuffle_block_dedup_hits =
+      ctx_->metrics().shuffle_block_dedup_hits.load(
+          std::memory_order_relaxed) -
+      dedup_hits_before_;
   for (AnalyzedNode& an : nodes_) {
     const NodeProfileSnapshot after = ctx_->profile().Snapshot(an.node_id);
     an.actuals = after - an.actuals;

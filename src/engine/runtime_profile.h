@@ -290,6 +290,13 @@ struct AnalyzedPlan {
   std::string action;
   uint64_t wall_us = 0;
   uint64_t stages_run = 0;
+  // Chunk-frame codec activity during this run (snapshot diffs of the
+  // global counters): record-format vs encoded bytes, encode time, and
+  // shuffle block commits deduplicated by content hash.
+  uint64_t codec_bytes_raw = 0;
+  uint64_t codec_bytes_encoded = 0;
+  uint64_t codec_encode_time_us = 0;
+  uint64_t shuffle_block_dedup_hits = 0;
   NodeProfileSnapshot totals;      // sum over non-reused nodes
   std::vector<AnalyzedNode> nodes;  // preorder, roots first
   std::vector<StageStat> stages;    // stages executed during the run
@@ -322,6 +329,10 @@ class ProfiledRun {
   uint64_t stages_before_ = 0;
   uint64_t max_stage_seq_before_ = 0;
   bool any_stage_before_ = false;
+  uint64_t codec_raw_before_ = 0;
+  uint64_t codec_encoded_before_ = 0;
+  uint64_t codec_time_before_ = 0;
+  uint64_t dedup_hits_before_ = 0;
 };
 
 }  // namespace spangle

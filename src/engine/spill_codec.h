@@ -2,200 +2,63 @@
 #define SPANGLE_ENGINE_SPILL_CODEC_H_
 
 #include <cstdint>
-#include <cstring>
-#include <fstream>
 #include <string>
-#include <type_traits>
-#include <utility>
 #include <vector>
 
-#include "common/logging.h"
+#include "codec/columnar.h"
+#include "codec/frame_file.h"
+#include "codec/record_codec.h"
 
 namespace spangle {
 namespace spill {
 
-/// Types carrying their own binary codec: AppendTo(std::string*) plus a
-/// static FromBytes(data, size, *consumed) returning a Result. Chunk,
-/// Bitmask and VecBlock all satisfy this.
-template <typename T>
-concept HasByteCodec = requires(const T& t, std::string* out, const char* d,
-                                size_t n, size_t* c) {
-  { t.AppendTo(out) };
-  { T::FromBytes(d, n, c).ok() } -> std::convertible_to<bool>;
-};
+/// Compatibility shim: the spill codec now lives in src/codec/. The
+/// spillability trait and the record-at-a-time machinery moved verbatim
+/// to codec/record_codec.h; the partition-level entry points below keep
+/// their signatures but now read and write versioned columnar chunk
+/// frames (codec/chunk_frame.h) instead of bare record streams —
+/// spill files and shuffle wire blocks share one self-describing,
+/// content-addressed format.
 
-template <typename T>
-struct SpillableTrait
-    : std::bool_constant<std::is_trivially_copyable_v<T> || HasByteCodec<T>> {
-};
-template <>
-struct SpillableTrait<std::string> : std::true_type {};
-template <typename A, typename B>
-struct SpillableTrait<std::pair<A, B>>
-    : std::bool_constant<SpillableTrait<A>::value && SpillableTrait<B>::value> {
-};
-template <typename E>
-struct SpillableTrait<std::vector<E>> : SpillableTrait<E> {};
+using codec::HasByteCodec;
+using codec::kSpillable;
+using codec::SpillableTrait;
 
-/// True when a std::vector<T> partition can be written to a spill file
-/// and read back bit-exactly. Storage levels that touch disk require
-/// this; for other types they degrade to MEMORY_ONLY (recompute).
-template <typename T>
-inline constexpr bool kSpillable = SpillableTrait<T>::value;
+using codec::Decode;
+using codec::Encode;
 
-namespace detail {
-template <typename T>
-struct IsPair : std::false_type {};
-template <typename A, typename B>
-struct IsPair<std::pair<A, B>> : std::true_type {};
-template <typename T>
-struct IsVector : std::false_type {};
-template <typename E>
-struct IsVector<std::vector<E>> : std::true_type {};
-}  // namespace detail
-
-/// Appends one record's binary encoding to `out`. The inverse of
-/// Decode<T>; record framing (length prefixes between records) is the
-/// caller's job. The if-constexpr ladder must stay in sync with Decode.
-template <typename T>
-void Encode(const T& v, std::string* out) {
-  static_assert(kSpillable<T>, "record type has no spill codec");
-  if constexpr (std::is_same_v<T, std::string>) {
-    const uint32_t n = static_cast<uint32_t>(v.size());
-    out->append(reinterpret_cast<const char*>(&n), sizeof(n));
-    out->append(v);
-  } else if constexpr (detail::IsPair<T>::value) {
-    Encode(v.first, out);
-    Encode(v.second, out);
-  } else if constexpr (detail::IsVector<T>::value) {
-    const uint32_t n = static_cast<uint32_t>(v.size());
-    out->append(reinterpret_cast<const char*>(&n), sizeof(n));
-    for (const auto& e : v) Encode(e, out);
-  } else if constexpr (std::is_trivially_copyable_v<T>) {
-    out->append(reinterpret_cast<const char*>(&v), sizeof(T));
-  } else {
-    v.AppendTo(out);
-  }
-}
-
-/// Decodes one record from data[0, size); adds the bytes read to
-/// *consumed. CHECK-fails on malformed input (spill files are
-/// engine-written, so corruption is a bug, not user error).
-template <typename T>
-T Decode(const char* data, size_t size, size_t* consumed) {
-  static_assert(kSpillable<T>, "record type has no spill codec");
-  if constexpr (std::is_same_v<T, std::string>) {
-    uint32_t n = 0;
-    SPANGLE_CHECK_GE(size, sizeof(n)) << "truncated spill record";
-    std::memcpy(&n, data, sizeof(n));
-    SPANGLE_CHECK_GE(size - sizeof(n), n) << "truncated spill record";
-    *consumed += sizeof(n) + n;
-    return std::string(data + sizeof(n), n);
-  } else if constexpr (detail::IsPair<T>::value) {
-    size_t used = 0;
-    auto first = Decode<typename T::first_type>(data, size, &used);
-    size_t used2 = 0;
-    auto second =
-        Decode<typename T::second_type>(data + used, size - used, &used2);
-    *consumed += used + used2;
-    return T(std::move(first), std::move(second));
-  } else if constexpr (detail::IsVector<T>::value) {
-    uint32_t n = 0;
-    SPANGLE_CHECK_GE(size, sizeof(n)) << "truncated spill record";
-    std::memcpy(&n, data, sizeof(n));
-    size_t used = sizeof(n);
-    T out;
-    out.reserve(n);
-    for (uint32_t i = 0; i < n; ++i) {
-      out.push_back(
-          Decode<typename T::value_type>(data + used, size - used, &used));
-    }
-    *consumed += used;
-    return out;
-  } else if constexpr (std::is_trivially_copyable_v<T>) {
-    SPANGLE_CHECK_GE(size, sizeof(T)) << "truncated spill record";
-    T v;
-    std::memcpy(&v, data, sizeof(T));
-    *consumed += sizeof(T);
-    return v;
-  } else {
-    size_t used = 0;
-    auto r = T::FromBytes(data, size, &used);
-    SPANGLE_CHECK(r.ok()) << "corrupt spill record: " << r.status().ToString();
-    *consumed += used;
-    return std::move(*r);
-  }
-}
-
-/// Writes one partition to `path` in the disk_persist.h format (uint32
-/// length prefix per record). Returns the bytes written.
+/// Writes one partition to `path` as a chunk frame; returns bytes
+/// written.
 template <typename T>
 uint64_t WritePartitionFile(const std::vector<T>& records,
                             const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  SPANGLE_CHECK(static_cast<bool>(out)) << "cannot create spill file " << path;
-  std::string buf;
-  uint64_t total = 0;
-  for (const T& rec : records) {
-    buf.clear();
-    Encode(rec, &buf);
-    const uint32_t len = static_cast<uint32_t>(buf.size());
-    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
-    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-    total += sizeof(len) + buf.size();
-  }
-  SPANGLE_CHECK(static_cast<bool>(out)) << "spill write failed: " << path;
-  return total;
+  return codec::WritePartitionFile(records, path);
 }
 
-/// Reads a partition back from a spill file written by WritePartitionFile.
+/// Reads a partition back from a frame spill file, via mmap when
+/// available.
 template <typename T>
 std::vector<T> ReadPartitionFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  SPANGLE_CHECK(static_cast<bool>(in)) << "cannot open spill file " << path;
-  std::vector<T> out;
-  uint32_t len = 0;
-  std::string buf;
-  while (in.read(reinterpret_cast<char*>(&len), sizeof(len))) {
-    buf.resize(len);
-    in.read(buf.data(), len);
-    SPANGLE_CHECK(static_cast<bool>(in)) << "truncated spill file " << path;
-    size_t consumed = 0;
-    out.push_back(Decode<T>(buf.data(), buf.size(), &consumed));
-  }
-  return out;
+  return codec::ReadPartitionFile<T>(path);
 }
 
-/// Encodes one partition into a contiguous byte string (uint32 record
-/// count, then the records back to back). The wire form shuffle blocks
-/// travel in between driver and executor daemons; unlike the spill-file
-/// format it needs no per-record length prefix because DecodePartition
-/// walks records with the same codec that wrote them.
+/// Encodes one partition into a chunk frame's bytes. Callers that also
+/// need the content hash or raw-size accounting should use
+/// codec::EncodePartitionFrame directly.
 template <typename T>
 std::string EncodePartition(const std::vector<T>& records) {
-  std::string out;
-  const uint32_t n = static_cast<uint32_t>(records.size());
-  out.append(reinterpret_cast<const char*>(&n), sizeof(n));
-  for (const T& rec : records) Encode(rec, &out);
-  return out;
+  return codec::EncodePartitionFrame(records).bytes;
 }
 
-/// Inverse of EncodePartition. CHECK-fails on malformed input: the bytes
-/// come from a daemon this driver itself encoded them for, so corruption
-/// is an engine bug (frame/message parsing guards the untrusted layers).
+/// Inverse of EncodePartition. CHECK-fails on malformed input; paths
+/// that receive frames from the network use codec::DecodePartitionFrame
+/// and turn decode errors into retryable fetch failures instead.
 template <typename T>
 std::vector<T> DecodePartition(const char* data, size_t size) {
-  uint32_t n = 0;
-  SPANGLE_CHECK_GE(size, sizeof(n)) << "truncated partition encoding";
-  std::memcpy(&n, data, sizeof(n));
-  size_t consumed = sizeof(n);
-  std::vector<T> out;
-  out.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    out.push_back(Decode<T>(data + consumed, size - consumed, &consumed));
-  }
-  SPANGLE_CHECK_EQ(consumed, size) << "trailing bytes in partition encoding";
-  return out;
+  auto records = codec::DecodePartitionFrame<T>(data, size);
+  SPANGLE_CHECK(records.ok())
+      << "corrupt partition frame: " << records.status().ToString();
+  return *std::move(records);
 }
 
 }  // namespace spill

@@ -7,6 +7,10 @@
 #include <thread>
 #include <utility>
 
+#include "codec/chunk_frame.h"
+#include "codec/frame_buffer.h"
+#include "codec/frame_file.h"
+#include "codec/mmap_file.h"
 #include "engine/storage_level.h"
 
 namespace spangle {
@@ -18,6 +22,27 @@ StorageOptions DaemonStorage(uint64_t budget) {
   StorageOptions options;
   options.memory_budget_bytes = budget;
   return options;
+}
+
+// Daemon blocks are opaque chunk frames (codec::FrameBuffer). The spill
+// codec writes the frame bytes verbatim; readback maps the file, so a
+// spilled-and-refetched block costs no owned memory (BlockManager
+// accounts the mapping as unowned bytes).
+uint64_t SpillFrameBuffer(const void* data, const std::string& path) {
+  const auto* buf = static_cast<const codec::FrameBuffer*>(data);
+  auto written = codec::WriteWholeFile(buf->data(), buf->size(), path);
+  SPANGLE_CHECK(written.ok())
+      << "daemon spill write failed: " << written.status().ToString();
+  return *written;
+}
+
+BlockManager::Loaded LoadFrameBuffer(const std::string& path) {
+  auto buf = codec::ReadFrameFile(path);
+  SPANGLE_CHECK(buf.ok()) << "daemon cannot read spill file " << path << ": "
+                          << buf.status().ToString();
+  const uint64_t mapped = buf->mapped() ? buf->size() : 0;
+  return {std::make_shared<const codec::FrameBuffer>(*std::move(buf)),
+          mapped};
 }
 
 }  // namespace
@@ -71,28 +96,57 @@ Status ExecutorDaemon::Handle(MessageType req_type,
       auto req = PutBlockRequest::Parse(req_payload.data(),
                                         req_payload.size());
       SPANGLE_RETURN_NOT_OK(req.status());
+      const BlockId id{req->node, req->partition};
+      // Receipt validation: re-hash the frame and compare against the
+      // sender's content address. A mismatch means the bytes were
+      // corrupted between the driver's encoder and here; refusing the
+      // store turns silent corruption into a retryable RPC error.
+      if (req->content_hash != 0) {
+        if (req->bytes.size() < codec::kFrameHeaderBytes ||
+            codec::ComputeFrameHash(req->bytes.data(), req->bytes.size()) !=
+                req->content_hash) {
+          return Status::IOError(
+              "PutBlock: frame content hash mismatch (corrupted in flight)");
+        }
+      }
       const uint64_t bytes = req->bytes.size();
-      auto payload =
-          std::make_shared<const std::string>(std::move(req->bytes));
-      // Pinned: encoded shuffle output with no spill codec and no lineage
-      // on this side — losing it must mean the process died.
-      blocks_.Put(BlockId{req->node, req->partition}, std::move(payload),
-                  bytes, StorageLevel::kMemoryOnly, nullptr, nullptr,
-                  /*recomputable=*/false);
+      auto payload = std::make_shared<const codec::FrameBuffer>(
+          codec::FrameBuffer(std::move(req->bytes)));
+      PutBlockResponse out;
+      if (req->content_hash != 0 &&
+          blocks_.ContentHashOf(id) == req->content_hash) {
+        // The daemon already holds an identical payload (duplicate
+        // store from a task retry or speculation loser): keep it, count
+        // the dedup, and tell the driver its copy was discarded.
+        out.deduped = !blocks_.PutIfAbsent(
+            id, std::move(payload), bytes, StorageLevel::kMemoryAndDisk,
+            SpillFrameBuffer, LoadFrameBuffer,
+            /*recomputable=*/false, req->content_hash);
+      } else {
+        // Frames spill verbatim and map back, so a memory-pressured
+        // daemon pushes shuffle blocks to disk instead of dying.
+        blocks_.Put(id, std::move(payload), bytes,
+                    StorageLevel::kMemoryAndDisk, SpillFrameBuffer,
+                    LoadFrameBuffer, /*recomputable=*/false,
+                    req->content_hash);
+      }
       *resp_type = PutBlockResponse::kType;
-      PutBlockResponse().AppendTo(resp_payload);
+      out.AppendTo(resp_payload);
       return Status::OK();
     }
     case MessageType::kFetchBlockRequest: {
       auto req = FetchBlockRequest::Parse(req_payload.data(),
                                           req_payload.size());
       SPANGLE_RETURN_NOT_OK(req.status());
-      const auto got = blocks_.Get(BlockId{req->node, req->partition});
+      const BlockId id{req->node, req->partition};
+      const auto got = blocks_.Get(id);
       FetchBlockResponse resp;
       if (got.data != nullptr) {
         resp.found = true;
         resp.bytes =
-            *std::static_pointer_cast<const std::string>(got.data);
+            std::static_pointer_cast<const codec::FrameBuffer>(got.data)
+                ->ToString();
+        resp.content_hash = blocks_.ContentHashOf(id);
       }
       *resp_type = FetchBlockResponse::kType;
       resp.AppendTo(resp_payload);

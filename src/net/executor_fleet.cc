@@ -278,15 +278,20 @@ Status ExecutorFleet::DispatchTask(const std::string& stage, int task,
   return Status::OK();
 }
 
-Status ExecutorFleet::PutBlock(uint64_t node, int partition,
-                               const std::string& bytes) {
+Result<PutBlockResponse> ExecutorFleet::PutBlock(uint64_t node, int partition,
+                                                 const std::string& bytes,
+                                                 uint64_t content_hash) {
   const int w = partition % num_executors_;
   PutBlockRequest req;
   req.node = node;
   req.partition = partition;
   req.bytes = bytes;
+  req.content_hash = content_hash;
   Status last = Status::OK();
   // Two attempts: the second lands on the restarted replacement daemon.
+  // A hash-validation refusal (the daemon received corrupted bytes)
+  // retries the same way — the frame is re-sent from the driver's good
+  // copy.
   for (int attempt = 0; attempt < 2; ++attempt) {
     pid_t pid = -1;
     auto client = ClientFor(w, &pid);
@@ -294,9 +299,15 @@ Status ExecutorFleet::PutBlock(uint64_t node, int partition,
       return Status::IOError("executor " + std::to_string(w) + " is down");
     }
     auto resp = client->TypedCall<PutBlockRequest, PutBlockResponse>(req);
-    if (resp.ok()) return Status::OK();
+    if (resp.ok()) return resp;
     last = resp.status();
-    ReportFailure(w, pid);
+    // A hash-validation refusal means the daemon is healthy and its
+    // blocks are intact — only the bytes in flight were damaged. Resend
+    // without declaring the daemon dead (a restart would lose its whole
+    // shard over one corrupt frame).
+    if (last.message().find("content hash mismatch") == std::string::npos) {
+      ReportFailure(w, pid);
+    }
   }
   return last;
 }

@@ -57,10 +57,15 @@ class ExecutorFleet {
   Status DispatchTask(const std::string& stage, int task, int attempt)
       EXCLUDES(mu_);
 
-  /// Stores one encoded shuffle partition on its owner daemon. Retries
-  /// once against the restarted replacement on failure.
-  Status PutBlock(uint64_t node, int partition, const std::string& bytes)
-      EXCLUDES(mu_);
+  /// Stores one encoded shuffle partition (a chunk frame, carried
+  /// verbatim) on its owner daemon. `content_hash` lets the daemon
+  /// validate the frame on receipt and dedup identical re-stores; the
+  /// response's `deduped` reports whether an identical payload was
+  /// already held. Retries once against the restarted replacement on
+  /// failure (including hash-validation refusals).
+  Result<PutBlockResponse> PutBlock(uint64_t node, int partition,
+                                    const std::string& bytes,
+                                    uint64_t content_hash) EXCLUDES(mu_);
 
   /// Fetches a block from its owner. found=false means the daemon is
   /// alive but no longer has the block (it was restarted): the caller

@@ -232,6 +232,7 @@ void PutBlockRequest::AppendTo(std::string* out) const {
   PutU64(node, out);
   PutI32(partition, out);
   PutBytes(bytes, out);
+  PutU64(content_hash, out);
 }
 
 Result<PutBlockRequest> PutBlockRequest::Parse(const char* data,
@@ -241,17 +242,22 @@ Result<PutBlockRequest> PutBlockRequest::Parse(const char* data,
   SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.node));
   SPANGLE_RETURN_NOT_OK(r.ReadI32(&m.partition));
   SPANGLE_RETURN_NOT_OK(r.ReadBytes(&m.bytes));
+  SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.content_hash));
   SPANGLE_RETURN_NOT_OK(r.Done());
   return m;
 }
 
-void PutBlockResponse::AppendTo(std::string* out) const { (void)out; }
+void PutBlockResponse::AppendTo(std::string* out) const {
+  PutU8(deduped ? 1 : 0, out);
+}
 
 Result<PutBlockResponse> PutBlockResponse::Parse(const char* data,
                                                  size_t size) {
   Reader r(data, size);
+  PutBlockResponse m;
+  SPANGLE_RETURN_NOT_OK(r.ReadBool(&m.deduped));
   SPANGLE_RETURN_NOT_OK(r.Done());
-  return PutBlockResponse{};
+  return m;
 }
 
 void FetchBlockRequest::AppendTo(std::string* out) const {
@@ -272,6 +278,7 @@ Result<FetchBlockRequest> FetchBlockRequest::Parse(const char* data,
 void FetchBlockResponse::AppendTo(std::string* out) const {
   PutU8(found ? 1 : 0, out);
   PutBytes(bytes, out);
+  PutU64(content_hash, out);
 }
 
 Result<FetchBlockResponse> FetchBlockResponse::Parse(const char* data,
@@ -280,6 +287,7 @@ Result<FetchBlockResponse> FetchBlockResponse::Parse(const char* data,
   FetchBlockResponse m;
   SPANGLE_RETURN_NOT_OK(r.ReadBool(&m.found));
   SPANGLE_RETURN_NOT_OK(r.ReadBytes(&m.bytes));
+  SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.content_hash));
   SPANGLE_RETURN_NOT_OK(r.Done());
   return m;
 }

@@ -87,20 +87,30 @@ struct DispatchTaskResponse {
 };
 
 /// Driver -> executor: store one encoded shuffle partition on the daemon
-/// that owns it (partition % num_executors).
+/// that owns it (partition % num_executors). `bytes` is a chunk frame
+/// carried verbatim (never re-encoded at the RPC boundary); the sender's
+/// `content_hash` lets the daemon validate the frame on receipt — a
+/// mismatch means the bytes were corrupted in flight and the store is
+/// refused (the driver retries). 0 = unhashed, validation skipped.
 struct PutBlockRequest {
   static constexpr MessageType kType = MessageType::kPutBlockRequest;
 
   uint64_t node = 0;
   int32_t partition = 0;
-  std::string bytes;  // spill-codec encoding of the partition
+  std::string bytes;  // chunk-frame encoding of the partition
+  uint64_t content_hash = 0;
 
   void AppendTo(std::string* out) const;
   static Result<PutBlockRequest> Parse(const char* data, size_t size);
 };
 
+/// deduped=true: the daemon already held an identical payload (same
+/// block, same content hash) and kept it — the sender's bytes were
+/// discarded. The driver counts these as shuffle_block_dedup_hits.
 struct PutBlockResponse {
   static constexpr MessageType kType = MessageType::kPutBlockResponse;
+
+  bool deduped = false;
 
   void AppendTo(std::string* out) const;
   static Result<PutBlockResponse> Parse(const char* data, size_t size);
@@ -118,12 +128,16 @@ struct FetchBlockRequest {
 
 /// found=false is a normal response (the block was lost with a daemon
 /// restart, not a protocol failure): the driver converts it into
-/// ShuffleBlockLostError and lineage re-plans.
+/// ShuffleBlockLostError and lineage re-plans. `content_hash` echoes the
+/// hash the block was stored under (0 = unhashed); the driver re-hashes
+/// the received frame and treats a mismatch — wire corruption — as a
+/// lost block, which is retryable, instead of crashing on bad bytes.
 struct FetchBlockResponse {
   static constexpr MessageType kType = MessageType::kFetchBlockResponse;
 
   bool found = false;
   std::string bytes;
+  uint64_t content_hash = 0;
 
   void AppendTo(std::string* out) const;
   static Result<FetchBlockResponse> Parse(const char* data, size_t size);

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "codec/chunk_frame.h"
 #include "common/logging.h"
 #include "engine/metrics.h"
 #include "net/executor_fleet.h"
@@ -18,8 +19,15 @@ RemoteShuffleFetcher::RemoteShuffleFetcher(ExecutorFleet* fleet,
 }
 
 Status RemoteShuffleFetcher::StoreEncoded(uint64_t node, int partition,
-                                          const std::string& bytes) {
-  return fleet_->PutBlock(node, partition, bytes);
+                                          const std::string& bytes,
+                                          uint64_t content_hash) {
+  auto resp = fleet_->PutBlock(node, partition, bytes, content_hash);
+  SPANGLE_RETURN_NOT_OK(resp.status());
+  if (resp->deduped) {
+    metrics_->shuffle_block_dedup_hits.fetch_add(1,
+                                                 std::memory_order_relaxed);
+  }
+  return Status::OK();
 }
 
 std::optional<std::string> RemoteShuffleFetcher::FetchEncoded(uint64_t node,
@@ -31,6 +39,18 @@ std::optional<std::string> RemoteShuffleFetcher::FetchEncoded(uint64_t node,
                       .count();
   metrics_->AddRemoteFetchUs(static_cast<uint64_t>(us));
   if (!resp.ok() || !resp->found) return std::nullopt;
+  // Receipt validation: re-hash the received frame and compare against
+  // the hash the block was stored under. A mismatch is wire corruption —
+  // surfaced as a lost (retryable) block, never decoded.
+  if (resp->content_hash != 0 &&
+      (resp->bytes.size() < codec::kFrameHeaderBytes ||
+       codec::ComputeFrameHash(resp->bytes.data(), resp->bytes.size()) !=
+           resp->content_hash)) {
+    SPANGLE_LOG(Warning) << "shuffle block (" << node << ", " << partition
+                         << ") failed content-hash validation; treating as "
+                            "lost";
+    return std::nullopt;
+  }
   metrics_->remote_shuffle_fetches.fetch_add(1, std::memory_order_relaxed);
   return std::move(resp->bytes);
 }

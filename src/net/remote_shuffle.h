@@ -25,13 +25,18 @@ class RemoteShuffleFetcher {
  public:
   RemoteShuffleFetcher(ExecutorFleet* fleet, EngineMetrics* metrics);
 
-  /// Stores one encoded partition on its owner daemon.
-  Status StoreEncoded(uint64_t node, int partition, const std::string& bytes);
+  /// Stores one encoded partition (a chunk frame) on its owner daemon.
+  /// `content_hash` is the frame's content address: the daemon validates
+  /// the bytes on receipt, and a daemon that already holds an identical
+  /// payload reports a dedup, counted in shuffle_block_dedup_hits.
+  Status StoreEncoded(uint64_t node, int partition, const std::string& bytes,
+                      uint64_t content_hash);
 
   /// Fetches one partition's encoding. nullopt = the block is gone
-  /// (daemon died/restarted): the caller raises ShuffleBlockLostError.
-  /// Fetch wall time is credited to remote_fetch_time_us and the calling
-  /// task's stage.
+  /// (daemon died/restarted) OR the received frame failed content-hash
+  /// validation (wire corruption) — both are retryable losses the caller
+  /// raises as ShuffleBlockLostError. Fetch wall time is credited to
+  /// remote_fetch_time_us and the calling task's stage.
   std::optional<std::string> FetchEncoded(uint64_t node, int partition);
 
   /// True when every partition [0, num_partitions) is still held by its

@@ -231,6 +231,33 @@ TEST(DistributedChaosTest, HeartbeatNoticesSilentDeath) {
   EXPECT_EQ(CountByBucket(&dist, 200, 7), CountByBucket(&local, 200, 7));
 }
 
+TEST(DistributedModeTest, ReplannedStageDedupsByContentHash) {
+  // Kill daemon 0 mid-job: its shuffle shard is gone, the stage re-plans
+  // and re-materializes EVERY partition — but the partitions daemon 1
+  // still holds are content-identical, so their re-stores must fold into
+  // the existing blocks as counted dedup hits (PutIfAbsent by content
+  // hash), not second copies.
+  Context local(2, 4);
+  const auto want = CountByBucket(&local, 1000, 17);
+
+  Context dist(2, 4, 0, {}, Distributed(2));
+  auto policy = std::make_shared<ChaosPolicy>();
+  policy->fail_executor = [](const ChaosTaskInfo& t) -> int {
+    if (t.stage != "collect") return -1;
+    if (t.task != 0 || t.attempt != 0 || t.stage_attempt != 0) return -1;
+    return 0;
+  };
+  dist.set_chaos_policy(policy);
+  const auto got = CountByBucket(&dist, 1000, 17);
+  EXPECT_EQ(got, want) << "recovery must stay bit-identical to LOCAL";
+  EXPECT_GE(dist.metrics().stage_reruns.load(), 1u);
+  EXPECT_GT(dist.metrics().shuffle_block_dedup_hits.load(), 0u)
+      << "re-stored partitions surviving on daemon 1 must dedup by "
+         "content hash";
+  // The fault-free twin never stores a partition twice.
+  EXPECT_EQ(local.metrics().shuffle_block_dedup_hits.load(), 0u);
+}
+
 TEST(DistributedModeTest, RemoteFetchTimeShowsUpInStageStats) {
   Context dist(2, 4, 0, {}, Distributed(2));
   (void)CountByBucket(&dist, 1000, 17);

@@ -73,11 +73,16 @@ TEST(MessageCodec, BlockMessagesRoundTrip) {
   put.node = 0xdeadbeefcafef00dULL;
   put.partition = 42;
   put.bytes = std::string(100000, '\x7f');
+  put.content_hash = 0x0123456789abcdefULL;
   const PutBlockRequest got = RoundTrip(put);
   EXPECT_EQ(got.node, put.node);
   EXPECT_EQ(got.partition, 42);
   EXPECT_EQ(got.bytes, put.bytes);
-  RoundTrip(PutBlockResponse());
+  EXPECT_EQ(got.content_hash, put.content_hash);
+  EXPECT_FALSE(RoundTrip(PutBlockResponse()).deduped);
+  PutBlockResponse deduped;
+  deduped.deduped = true;
+  EXPECT_TRUE(RoundTrip(deduped).deduped);
 
   FetchBlockRequest fetch;
   fetch.node = 3;
@@ -87,10 +92,13 @@ TEST(MessageCodec, BlockMessagesRoundTrip) {
   FetchBlockResponse found;
   found.found = true;
   found.bytes = "block-bytes";
+  found.content_hash = 0xfeedfacefeedfaceULL;
   EXPECT_TRUE(RoundTrip(found).found);
   EXPECT_EQ(RoundTrip(found).bytes, "block-bytes");
+  EXPECT_EQ(RoundTrip(found).content_hash, found.content_hash);
   FetchBlockResponse missing;
   EXPECT_FALSE(RoundTrip(missing).found);
+  EXPECT_EQ(RoundTrip(missing).content_hash, 0u);
 
   ProbeBlockRequest probe;
   probe.node = 9;
@@ -156,10 +164,12 @@ TEST(MessageCodec, TruncationsAndTrailingBytesFail) {
   put.node = 1;
   put.partition = 2;
   put.bytes = "abcdef";
+  put.content_hash = 0x1122334455667788ULL;
   ExpectAllTruncationsFail(put);
   FetchBlockResponse fetch;
   fetch.found = true;
   fetch.bytes = "abc";
+  fetch.content_hash = 99;
   ExpectAllTruncationsFail(fetch);
   HeartbeatResponse hb;
   hb.seq = 1;
