@@ -16,10 +16,16 @@
 //      encode/decode throughput and encoded bytes at 1% / 10% / 90%
 //      payload density, plus the end-to-end shuffle overhead of the
 //      frame path in DISTRIBUTED mode. Written to BENCH_codec.json.
+//   7. Multi-tenant serving: JobServer throughput and per-job latency
+//      (p50/p99 of submit -> done) for 1 / 4 / 16 concurrent sessions,
+//      with the lineage-digest result cache on vs off. Written to
+//      BENCH_serving.json.
 
 #include <algorithm>
 #include <cstdio>
 #include <functional>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -29,6 +35,7 @@
 #include "common/bytes.h"
 #include "common/random.h"
 #include "engine/engine.h"
+#include "engine/job_server.h"
 #include "matrix/block_matrix.h"
 #include "ml/pagerank.h"
 #include "workload/graph_gen.h"
@@ -449,6 +456,127 @@ void CodecAblation() {
   }
 }
 
+void ServingAblation() {
+  // Every tenant draws its jobs from a shared pool of digest-declared
+  // plans, so with the cache on repeats (within and across sessions) are
+  // served without re-execution; with it off every job runs the engine.
+  constexpr int kJobsEach = 12;
+  constexpr int kPlanPool = 6;
+  const int session_counts[3] = {1, 4, 16};
+
+  auto build_plan = [](Context* ctx, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<uint64_t> data(8000);
+    for (auto& v : data) v = rng.NextBounded(uint64_t{1} << 20);
+    auto rdd = ctx->Parallelize(std::move(data), 4).WithDigestSeed(seed);
+    return ToPair<uint64_t, uint64_t>(rdd.Map([](const uint64_t& x) {
+             return std::make_pair(x % 64, x);
+           }))
+        // Commutative + associative so every run is bit-identical.
+        .ReduceByKey([](const uint64_t& a, const uint64_t& b) { return a + b; })
+        .AsRdd()
+        .Map([](const std::pair<uint64_t, uint64_t>& kv) {
+          return kv.first * 1000003u + kv.second;
+        });
+  };
+
+  PrintHeader("Ablation 7: multi-tenant serving (JobServer)",
+              {"sessions", "cache", "jobs/s", "p50 ms", "p99 ms", "hits"});
+  struct Row {
+    int sessions;
+    bool cache_on;
+    double jobs_per_s, p50_ms, p99_ms;
+    uint64_t hits;
+  };
+  std::vector<Row> rows;
+  for (const int n_sessions : session_counts) {
+    for (const bool cache_on : {false, true}) {
+      Context ctx(4);
+      JobServer::Options opts;
+      opts.dispatcher_threads = 4;
+      opts.result_cache_bytes = cache_on ? (64u << 20) : 0;
+      JobServer server(&ctx, opts);
+      std::vector<JobServer::SessionId> sessions(n_sessions);
+      for (int s = 0; s < n_sessions; ++s) sessions[s] = server.OpenSession();
+
+      std::vector<std::vector<JobServer::JobId>> ids(n_sessions);
+      const double secs = TimeSeconds([&] {
+        std::vector<std::thread> submitters;
+        submitters.reserve(n_sessions);
+        for (int s = 0; s < n_sessions; ++s) {
+          submitters.emplace_back([&, s] {
+            for (int k = 0; k < kJobsEach; ++k) {
+              const uint64_t seed = 0xab1a7e + (s + k) % kPlanPool;
+              auto job =
+                  server.SubmitCollect(sessions[s], build_plan(&ctx, seed));
+              if (job.ok()) ids[s].push_back(*job);
+            }
+          });
+        }
+        for (auto& t : submitters) t.join();
+        server.WaitAll();
+      });
+
+      std::vector<double> latency_ms;
+      for (const auto& per_session : ids) {
+        for (const JobServer::JobId id : per_session) {
+          const auto info = server.Info(id);
+          latency_ms.push_back(
+              static_cast<double>(info.wait_us + info.run_us) / 1000.0);
+        }
+      }
+      std::sort(latency_ms.begin(), latency_ms.end());
+      auto pct = [&](double p) {
+        if (latency_ms.empty()) return 0.0;
+        const size_t i = static_cast<size_t>(
+            p * static_cast<double>(latency_ms.size() - 1) + 0.5);
+        return latency_ms[i];
+      };
+      Row row;
+      row.sessions = n_sessions;
+      row.cache_on = cache_on;
+      row.jobs_per_s =
+          secs > 0 ? static_cast<double>(latency_ms.size()) / secs : 0.0;
+      row.p50_ms = pct(0.50);
+      row.p99_ms = pct(0.99);
+      row.hits = ctx.metrics().result_cache_hits.load();
+      rows.push_back(row);
+
+      PrintCell(std::to_string(n_sessions));
+      PrintCell(std::string(cache_on ? "on" : "off"));
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", row.jobs_per_s);
+      PrintCell(std::string(buf));
+      std::snprintf(buf, sizeof(buf), "%.2f", row.p50_ms);
+      PrintCell(std::string(buf));
+      std::snprintf(buf, sizeof(buf), "%.2f", row.p99_ms);
+      PrintCell(std::string(buf));
+      PrintCell(std::to_string(row.hits));
+      PrintEnd();
+    }
+  }
+
+  FILE* f = std::fopen("BENCH_serving.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\"bench\":\"multi_tenant_serving\",\"jobs_per_session\":%d,"
+                 "\"plan_pool\":%d,\"dispatchers\":4,\"rows\":[",
+                 kJobsEach, kPlanPool);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f,
+                   "%s{\"sessions\":%d,\"cache\":%s,\"jobs_per_second\":%.2f,"
+                   "\"latency_p50_ms\":%.3f,\"latency_p99_ms\":%.3f,"
+                   "\"result_cache_hits\":%llu}",
+                   i > 0 ? "," : "", rows[i].sessions,
+                   rows[i].cache_on ? "true" : "false", rows[i].jobs_per_s,
+                   rows[i].p50_ms, rows[i].p99_ms,
+                   static_cast<unsigned long long>(rows[i].hits));
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+  }
+}
+
 }  // namespace
 }  // namespace spangle
 
@@ -460,5 +588,6 @@ int main() {
   spangle::SchedulerAblation();
   spangle::ObservabilityAblation();
   spangle::CodecAblation();
+  spangle::ServingAblation();
   return 0;
 }

@@ -4,7 +4,11 @@
 # both AddressSanitizer and ThreadSanitizer builds, then a distributed
 # chaos loop that SIGKILLs real spangle_executord daemons mid-job
 # (ctest -L net -R Distributed), rotating which daemon dies via the same
-# seed. Any failure prints the exact seed so the run is reproducible with
+# seed, and finally a serving loop (ctest -L serving) that rotates the
+# seed through the multi-tenant chaos barrage and the result-cache
+# property suite (random DAGs + mid-job executor kills while several
+# sessions are in flight). Any failure prints the exact seed so the run
+# is reproducible with
 #   SPANGLE_CHAOS_SEED=<seed> ctest --test-dir build-<san> -L chaos
 #
 # Usage: scripts/stress.sh [base_seed]   (default base seed: 1234)
@@ -45,6 +49,21 @@ for SAN in address thread; do
         ctest --test-dir "$BUILD" -L net -R Distributed --output-on-failure; then
       echo "FAILED: sanitizer=$SAN seed=$SEED (distributed)" >&2
       echo "reproduce: SPANGLE_CHAOS_SEED=$SEED ctest --test-dir $BUILD -L net -R Distributed --output-on-failure" >&2
+      FAILED=1
+    fi
+  done
+
+  # Serving barrage: rotate the seed through the multi-tenant suite —
+  # the chaos cases re-pick which plans race the executor kill, and the
+  # result-cache property tests re-draw their random DAG grid.
+  SERVE_ROUNDS="${SPANGLE_SERVE_STRESS_ROUNDS:-10}"
+  for ((i = 0; i < SERVE_ROUNDS; ++i)); do
+    SEED=$((BASE_SEED + i))
+    echo "=== [$SAN] serving round $((i + 1))/$SERVE_ROUNDS seed=$SEED ==="
+    if ! SPANGLE_CHAOS_SEED="$SEED" \
+        ctest --test-dir "$BUILD" -L serving --output-on-failure; then
+      echo "FAILED: sanitizer=$SAN seed=$SEED (serving)" >&2
+      echo "reproduce: SPANGLE_CHAOS_SEED=$SEED ctest --test-dir $BUILD -L serving --output-on-failure" >&2
       FAILED=1
     fi
   done

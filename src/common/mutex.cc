@@ -12,6 +12,8 @@ const char* LockRankName(LockRank rank) {
   switch (rank) {
     case LockRank::kLeaf:
       return "kLeaf";
+    case LockRank::kResultCache:
+      return "kResultCache";
     case LockRank::kMetrics:
       return "kMetrics";
     case LockRank::kNetClient:
@@ -34,6 +36,10 @@ const char* LockRankName(LockRank rank) {
       return "kNetServer";
     case LockRank::kScheduler:
       return "kScheduler";
+    case LockRank::kSessionQueue:
+      return "kSessionQueue";
+    case LockRank::kJobServer:
+      return "kJobServer";
     case LockRank::kTaskGate:
       return "kTaskGate";
   }

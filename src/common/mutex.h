@@ -52,6 +52,12 @@ namespace spangle {
 ///   64   | TaskGate::mu (context.cc)             | the task body: block
 ///        |   one gate per task index; held across| store, profile hooks,
 ///        |   fn(i) to gate speculation duplicates| metrics atomics
+///   60   | JobServer::mu_ (job_server.cc,        | session queues (rank
+///        |   session registry, admission         | kSessionQueue=58) and
+///        |   accounting, dispatch fairness state)| metrics atomics
+///   58   | Session::queue_mu_ (job_server.cc,    | metrics atomics only
+///        |   one per session: pending-job FIFO + |
+///        |   per-tenant stats)                   |
 ///   56   | Scheduler materialization cv-mutex    | nothing (Materialize()
 ///        |   (scheduler.cc, stage dependency     | runs outside the lock)
 ///        |   waits)                              |
@@ -71,11 +77,14 @@ namespace spangle {
 ///        |                                       | atomics only
 ///    8   | EngineMetrics::stage_mu_ (StageStat   | nothing
 ///        |   retention ring)                     |
+///    4   | ResultCache::mu_ (result_cache.cc,    | metrics atomics only
+///        |   digest->payload LRU)                |
 ///    0   | leaves (RunStage extras_mu, ad hoc)   | nothing
 ///
 /// DESIGN.md §10 carries the same table with the full rationale.
 enum class LockRank : int {
   kLeaf = 0,
+  kResultCache = 4,
   kMetrics = 8,
   kNetClient = 12,
   kConfig = 16,
@@ -87,6 +96,8 @@ enum class LockRank : int {
   kShuffleNode = 48,
   kNetServer = 50,
   kScheduler = 56,
+  kSessionQueue = 58,
+  kJobServer = 60,
   kTaskGate = 64,
 };
 

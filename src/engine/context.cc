@@ -4,7 +4,9 @@
 #include <chrono>
 #include <cstdio>
 #include <thread>
+#include <unordered_map>
 
+#include "codec/hash.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "engine/metrics_export.h"
@@ -23,8 +25,11 @@ namespace {
 struct TaskGate {
   // Rank kTaskGate (outermost): gate.mu is held across fn(i), whose body
   // may take BlockManager / RuntimeProfile / metrics locks. Gates of
-  // different task indices share the rank because they are never nested
-  // (nested RunAll is CHECK-banned by the pool).
+  // different task indices share the rank because they are never nested:
+  // the pool now tolerates nested RunAll (per-batch state), but a nested
+  // *stage* would acquire a second gate under this one, and same-rank
+  // acquisitions abort in the lock-rank detector — so RunStage-inside-a-
+  // task stays banned, by the detector instead of a pool CHECK.
   Mutex mu{LockRank::kTaskGate, "TaskGate::mu"};
   CondVar cv;
   bool fn_done GUARDED_BY(mu) = false;
@@ -321,7 +326,12 @@ void Context::RunStage(const std::string& name, int n,
 
 void Context::RunJob(internal::NodeBase* root, const std::string& action,
                      int n, const std::function<void(int)>& fn) {
-  internal::ScopedJobId job(next_job_id_.fetch_add(1) + 1);
+  // Runs under the caller's job id when one is bound (the JobServer's
+  // dispatchers bind one id per served job so every StageStat of that
+  // job carries the same tenant-attributable id), else mints its own.
+  const uint64_t ambient = internal::CurrentJobId();
+  internal::ScopedJobId job(ambient != 0 ? ambient
+                                         : next_job_id_.fetch_add(1) + 1);
   const FaultToleranceOptions opts = fault_options();
   const int max_attempts = std::max(1, opts.max_job_attempts);
   for (int attempt = 0;; ++attempt) {
@@ -471,5 +481,48 @@ std::string Context::MetricsPrometheus() const {
 bool Context::DumpMetricsPrometheus(const std::string& path) const {
   return WriteStringToFile(MetricsPrometheus(), path);
 }
+
+namespace internal {
+
+namespace {
+
+// Postorder digest walk, memoized per call so diamond lineages hash each
+// node once. 0 is the "not cacheable" sentinel and propagates upward.
+uint64_t DigestWalk(const NodeBase* n,
+                    std::unordered_map<const NodeBase*, uint64_t>& memo) {
+  const auto it = memo.find(n);
+  if (it != memo.end()) return it->second;
+  uint64_t h = codec::Hash64(n->name().data(), n->name().size());
+  const uint64_t fields[3] = {static_cast<uint64_t>(n->num_partitions()),
+                              n->IsShuffle() ? 1u : 0u, n->digest_seed()};
+  h = codec::Hash64(fields, sizeof(fields), h);
+  const std::vector<NodeBase*> parents = n->Parents();
+  // A source node's content is exactly its declared seed; undeclared
+  // sources poison the whole digest (see the header contract).
+  bool opaque = parents.empty() && n->digest_seed() == 0;
+  for (const NodeBase* p : parents) {
+    const uint64_t pd = DigestWalk(p, memo);
+    if (pd == 0) {
+      opaque = true;
+      break;
+    }
+    h = codec::Hash64(&pd, sizeof(pd), h);
+  }
+  // Reserve 0 for "opaque": an (astronomically unlikely) zero hash of a
+  // cacheable plan is remapped rather than silently disabling its cache.
+  const uint64_t out = opaque ? 0 : (h == 0 ? 1 : h);
+  memo.emplace(n, out);
+  return out;
+}
+
+}  // namespace
+
+uint64_t LineageDigest(const NodeBase* node) {
+  if (node == nullptr) return 0;
+  std::unordered_map<const NodeBase*, uint64_t> memo;
+  return DigestWalk(node, memo);
+}
+
+}  // namespace internal
 
 }  // namespace spangle

@@ -219,6 +219,12 @@ class Context {
 
   uint64_t NextNodeId() { return next_node_id_.fetch_add(1); }
 
+  /// Mints a fresh job id (same sequence RunJob draws from). The
+  /// JobServer binds one id per served job with internal::ScopedJobId so
+  /// every StageStat a job produces carries the same tenant-attributable
+  /// id; RunJob reuses an ambient id instead of minting its own.
+  uint64_t NextJobId() { return next_job_id_.fetch_add(1) + 1; }
+
   /// Microseconds since context creation — the trace/timing epoch.
   uint64_t NowMicros() const { return pool_.NowMicros(); }
 
@@ -292,11 +298,36 @@ class NodeBase {
   uint64_t id() const { return id_; }
   const std::string& name() const { return name_; }
 
+  /// Content seed for LineageDigest (below). 0 — the default — marks the
+  /// node content-opaque: C++ closures cannot be hashed, so a plan only
+  /// participates in digest-keyed result caching when the caller has
+  /// *declared* its content by seeding every source node (and salting any
+  /// operator whose lambda differs between structurally identical plans).
+  uint64_t digest_seed() const {
+    return digest_seed_.load(std::memory_order_relaxed);
+  }
+  void set_digest_seed(uint64_t seed) {
+    digest_seed_.store(seed, std::memory_order_relaxed);
+  }
+
  private:
   Context* ctx_;
   uint64_t id_;
   std::string name_;
+  std::atomic<uint64_t> digest_seed_{0};
 };
+
+/// Structural content digest of the lineage DAG rooted at `node`: a
+/// chained XXH64 over each node's operator name, partition count,
+/// shuffle-ness, digest seed, and its parents' digests (postorder, so
+/// the root digest commits to the whole DAG). Returns 0 — "not
+/// cacheable" — unless every *source* (parentless) node carries a
+/// nonzero digest seed: without declared source identity, two plans
+/// with identical shape but different data or lambdas would collide.
+/// Equal digests are the serving layer's cache key (see JobServer);
+/// unequal digests never alias. Deterministic across processes for the
+/// same plan shape and seeds (node ids do not participate).
+uint64_t LineageDigest(const NodeBase* node);
 
 /// Typed node: computes one partition at a time. Persistence goes through
 /// the context's BlockManager: cached partitions are accounted, LRU
@@ -916,6 +947,21 @@ class Rdd {
     return *this;
   }
 
+  /// Declares this node's content identity for the lineage-digest result
+  /// cache (JobServer): seed every source RDD (and salt any operator
+  /// whose lambda differs between structurally identical plans) and
+  /// identical sub-plans submitted by different sessions share one
+  /// cached result. See internal::LineageDigest for the contract.
+  Rdd<T>& WithDigestSeed(uint64_t seed) {
+    node_->set_digest_seed(seed);
+    return *this;
+  }
+
+  /// This plan's digest (0 = not cacheable; some source is unseeded).
+  uint64_t LineageDigest() const {
+    return internal::LineageDigest(node_.get());
+  }
+
   // ---- Introspection ----
 
   /// Human-readable staged physical plan for running `action` on this
@@ -1041,6 +1087,13 @@ class PairRdd {
     rdd_.Cache(level);
     return *this;
   }
+
+  /// See Rdd::WithDigestSeed / internal::LineageDigest.
+  PairRdd<K, V>& WithDigestSeed(uint64_t seed) {
+    rdd_.WithDigestSeed(seed);
+    return *this;
+  }
+  uint64_t LineageDigest() const { return rdd_.LineageDigest(); }
 
   /// Staged physical plan dump (see Rdd::Explain).
   std::string Explain(const std::string& action = "collect") const {

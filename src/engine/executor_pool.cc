@@ -9,9 +9,12 @@ namespace spangle {
 
 namespace {
 
-// Set while the current thread is executing a task body; RunAll CHECKs it
-// so a nested stage barrier fails loudly instead of deadlocking.
-thread_local bool tl_in_task = false;
+// Depth of task bodies currently executing on this thread. 0 = a plain
+// driver/worker thread; >0 = inside a task. RunAll consults it so a
+// nested submission (a task that itself runs a batch — e.g. a served job
+// whose stage interleaves with another job's stages on the shared pool)
+// drains its own batch inline instead of parking a lane on the barrier.
+thread_local int tl_task_depth = 0;
 
 // Lane id of the current thread (worker threads get theirs at spawn,
 // driver threads on their first RunAll). -1 = not yet assigned.
@@ -60,11 +63,15 @@ int ExecutorPool::LaneForThisThread() {
 ExecutorPool::BatchResult ExecutorPool::RunAll(
     std::vector<Task> tasks, const TaskObserver& observer,
     const SpeculationOptions& speculation) {
-  SPANGLE_CHECK(!tl_in_task)
-      << "ExecutorPool::RunAll called from inside a task (lane "
-      << tl_lane << "): a stage cannot launch a nested stage — restructure "
-      << "the computation so stages are submitted from the driver or a "
-      << "scheduler thread";
+  // A nested call (RunAll from inside a task body) is legal: each batch
+  // carries its own queue/barrier state, so the nested caller drains its
+  // own batch inline and returns. It must run primaries itself — every
+  // worker lane may be occupied by the batches that got us here, so the
+  // only lane guaranteed to make progress on the nested batch is this
+  // one. (Speculation's drive-from-the-monitor trick is therefore
+  // disabled at depth: with the driver consuming primaries the batch
+  // cannot stall waiting for a lane.)
+  const bool nested = tl_task_depth > 0;
   BatchResult result;
   if (tasks.empty()) return result;
   const int n = static_cast<int>(tasks.size());
@@ -95,7 +102,7 @@ ExecutorPool::BatchResult ExecutorPool::RunAll(
   // (the straggling originals may occupy every worker lane, so the
   // copies' only guaranteed lane is this driver).
   const bool driver_runs_primaries =
-      !speculation.enabled || num_workers_ == 1;
+      nested || !speculation.enabled || num_workers_ == 1;
   if (driver_runs_primaries) {
     while (RunOneTask(batch.get())) {
     }
@@ -247,13 +254,14 @@ bool ExecutorPool::RunOneTask(Batch* only, bool speculative_only) {
   timing.lane = LaneForThisThread();
   timing.start_us = NowMicros();
   std::exception_ptr err;
-  tl_in_task = true;
+  ++tl_task_depth;  // depth, not a flag: nested batches restore the outer
+                    // task's state when they unwind
   try {
     batch->tasks[item.index](item.attempt);
   } catch (...) {
     err = std::current_exception();
   }
-  tl_in_task = false;
+  --tl_task_depth;
   timing.duration_us = NowMicros() - timing.start_us;
   if (batch->observer) batch->observer(timing);
   {

@@ -49,12 +49,17 @@ struct TaskTiming {
 /// outlives RunAll.
 ///
 /// Multiple driver threads may call RunAll() concurrently (the DAG
-/// scheduler materializes independent shuffle stages in parallel): each
+/// scheduler materializes independent shuffle stages in parallel, and the
+/// JobServer's dispatchers interleave stages of different jobs): each
 /// call is an independent batch, workers drain tasks from every active
-/// batch, and each caller returns when its own batch completes. What is
-/// NOT allowed is calling RunAll() from *inside a task* — that would nest
-/// a stage barrier inside a task and, before the guard, deadlocked
-/// silently; it now CHECK-fails with the offending lane.
+/// batch, and each caller returns when its own batch completes. RunAll()
+/// from *inside a task* is also legal: all batch state is per-batch, and
+/// a nested caller always drains its own batch inline (it never waits for
+/// a lane — every lane may be busy with the batches that got it here), so
+/// the nested barrier cannot deadlock. This used to CHECK-fail under the
+/// one-batch-in-flight assumption. Nested *stages* (Context::RunStage
+/// from inside a task) remain banned by the lock-rank detector: task
+/// gates share a rank and same-rank acquisitions never nest.
 class ExecutorPool {
  public:
   /// One task: invoked as task(attempt). May be invoked more than once

@@ -187,6 +187,29 @@ EngineMetrics::EngineMetrics()
                            "Time tasks spent waiting on remote shuffle "
                            "fetches",
                            &remote_fetch_time_us);
+  counter("jobs_submitted", "count",
+          "Jobs accepted by the JobServer across all sessions",
+          &jobs_submitted);
+  counter("jobs_served", "count",
+          "Jobs the JobServer ran to completion (ok or failed)",
+          &jobs_served);
+  counter("admission_queued", "count",
+          "Jobs whose admission was deferred for BlockManager headroom",
+          &admission_queued);
+  counter("admission_rejected", "count",
+          "Jobs rejected because their estimate can never fit the budget",
+          &admission_rejected);
+  counter("result_cache_hits", "count",
+          "Served jobs answered from the lineage-digest result cache",
+          &result_cache_hits);
+  counter("result_cache_misses", "count",
+          "Cacheable jobs that missed the result cache and computed",
+          &result_cache_misses);
+  counter("result_cache_evictions", "count",
+          "Result-cache entries evicted under the cache budget",
+          &result_cache_evictions);
+  gauge("result_cache_bytes", "bytes",
+        "Payload bytes resident in the result cache", &result_cache_bytes);
   counter("mode_transitions", "count",
           "Chunk storage-mode conversions (dense/sparse/super-sparse)",
           &mode_transitions);

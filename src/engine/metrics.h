@@ -238,6 +238,21 @@ class EngineMetrics {
   std::atomic<uint64_t> heartbeat_misses{0};
   std::atomic<uint64_t> remote_fetch_time_us{0};
 
+  // Multi-tenant serving (JobServer): jobs accepted per session, jobs
+  // whose admission was deferred because their memory estimate exceeded
+  // the BlockManager headroom (counted once per deferred job), jobs
+  // rejected outright because the estimate can never fit the budget, and
+  // the shared lineage-digest result cache's hit/miss/eviction traffic.
+  // All zero when no JobServer is attached to the context.
+  std::atomic<uint64_t> jobs_submitted{0};
+  std::atomic<uint64_t> jobs_served{0};  // completed (ok or failed)
+  std::atomic<uint64_t> admission_queued{0};
+  std::atomic<uint64_t> admission_rejected{0};
+  std::atomic<uint64_t> result_cache_hits{0};
+  std::atomic<uint64_t> result_cache_misses{0};
+  std::atomic<uint64_t> result_cache_evictions{0};
+  std::atomic<uint64_t> result_cache_bytes{0};  // gauge: cached payload bytes
+
   // Array-layer structure: chunk storage-mode conversions (dense ↔
   // sparse ↔ super-sparse), the density of chunks built during execution,
   // and the density of bitmasks produced by MaskRdd combinators — the

@@ -1,0 +1,64 @@
+#include "engine/result_cache.h"
+
+#include <utility>
+
+namespace spangle {
+
+std::optional<ResultCache::Entry> ResultCache::Get(uint64_t digest) {
+  if (digest == 0) return std::nullopt;
+  MutexLock lock(&mu_);
+  const auto it = index_.find(digest);
+  if (it == index_.end()) {
+    if (metrics_ != nullptr) metrics_->result_cache_misses.fetch_add(1);
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to front
+  if (metrics_ != nullptr) metrics_->result_cache_hits.fetch_add(1);
+  return it->second->entry;
+}
+
+void ResultCache::Put(uint64_t digest, Entry entry) {
+  if (digest == 0 || entry.bytes > budget_) return;
+  MutexLock lock(&mu_);
+  if (index_.count(digest) != 0) return;  // first-wins
+  while (bytes_ + entry.bytes > budget_ && !lru_.empty()) EvictLruLocked();
+  bytes_ += entry.bytes;
+  lru_.push_front(Node{digest, std::move(entry)});
+  index_.emplace(digest, lru_.begin());
+  UpdateGaugeLocked();
+}
+
+void ResultCache::Clear() {
+  MutexLock lock(&mu_);
+  while (!lru_.empty()) EvictLruLocked();
+  UpdateGaugeLocked();
+}
+
+uint64_t ResultCache::bytes() const {
+  MutexLock lock(&mu_);
+  return bytes_;
+}
+
+size_t ResultCache::entries() const {
+  MutexLock lock(&mu_);
+  return lru_.size();
+}
+
+void ResultCache::EvictLruLocked() {
+  const Node& victim = lru_.back();
+  bytes_ -= victim.entry.bytes;
+  index_.erase(victim.digest);
+  lru_.pop_back();
+  if (metrics_ != nullptr) {
+    metrics_->result_cache_evictions.fetch_add(1);
+  }
+  UpdateGaugeLocked();
+}
+
+void ResultCache::UpdateGaugeLocked() {
+  if (metrics_ != nullptr) {
+    metrics_->result_cache_bytes.store(bytes_, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace spangle

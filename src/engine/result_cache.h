@@ -1,0 +1,85 @@
+#ifndef SPANGLE_ENGINE_RESULT_CACHE_H_
+#define SPANGLE_ENGINE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "engine/metrics.h"
+
+namespace spangle {
+
+/// Shared result cache keyed by lineage digest (internal::LineageDigest):
+/// when two sessions submit digest-equal plans, the second is served the
+/// first's materialized payload instead of recomputing. Entries are held
+/// as type-erased shared_ptrs — the digest covers the full plan including
+/// the record type's producing operators, so digest-equal implies
+/// type-equal and the caller's static_pointer_cast back is sound.
+///
+/// Eviction is LRU under a byte budget. An entry larger than the whole
+/// budget is never admitted (it would evict everything for one tenant's
+/// oversized result). Digest 0 is the "not cacheable" sentinel and is
+/// rejected outright.
+///
+/// Thread-safe. ResultCache::mu_ sits at rank kResultCache — near the
+/// bottom of the hierarchy — so Get/Put are callable while holding any
+/// serving or engine lock; only metrics atomics are touched while held.
+class ResultCache {
+ public:
+  struct Entry {
+    std::shared_ptr<const void> data;
+    uint64_t bytes = 0;
+  };
+
+  /// `metrics` may be null (standalone tests); the cache then keeps only
+  /// its internal accounting.
+  ResultCache(uint64_t budget_bytes, EngineMetrics* metrics)
+      : budget_(budget_bytes), metrics_(metrics) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+  ~ResultCache() { Clear(); }
+
+  /// Lookup; refreshes recency on hit. Counts result_cache_hits /
+  /// result_cache_misses.
+  std::optional<Entry> Get(uint64_t digest) EXCLUDES(mu_);
+
+  /// First-wins insert: a concurrent racer that lost the recompute race
+  /// leaves the incumbent entry (and its recency) untouched. Evicts LRU
+  /// entries until the new entry fits the budget.
+  void Put(uint64_t digest, Entry entry) EXCLUDES(mu_);
+
+  /// Drops every entry (each counts as an eviction).
+  void Clear() EXCLUDES(mu_);
+
+  uint64_t budget_bytes() const { return budget_; }
+  uint64_t bytes() const EXCLUDES(mu_);
+  size_t entries() const EXCLUDES(mu_);
+
+ private:
+  struct Node {
+    uint64_t digest = 0;
+    Entry entry;
+  };
+
+  void EvictLruLocked() REQUIRES(mu_);
+  void UpdateGaugeLocked() REQUIRES(mu_);
+
+  const uint64_t budget_;
+  EngineMetrics* const metrics_;
+
+  mutable Mutex mu_{LockRank::kResultCache, "ResultCache::mu_"};
+  std::list<Node> lru_ GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<uint64_t, std::list<Node>::iterator> index_
+      GUARDED_BY(mu_);
+  uint64_t bytes_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace spangle
+
+#endif  // SPANGLE_ENGINE_RESULT_CACHE_H_

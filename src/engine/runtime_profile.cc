@@ -285,6 +285,13 @@ std::string AnalyzedPlan::ToString() const {
        << "x) encode=" << HumanUs(codec_encode_time_us)
        << " dedup_hits=" << shuffle_block_dedup_hits << "\n";
   }
+  if (result_cache_hits > 0 || result_cache_misses > 0 ||
+      admission_queued > 0 || admission_rejected > 0) {
+    os << "serving: result_cache_hits=" << result_cache_hits
+       << " result_cache_misses=" << result_cache_misses
+       << " admission_queued=" << admission_queued
+       << " admission_rejected=" << admission_rejected << "\n";
+  }
   if (!stages.empty()) {
     os << "stages:\n";
     for (const StageStat& s : stages) os << "  " << s.ToString() << "\n";
@@ -338,6 +345,14 @@ ProfiledRun::ProfiledRun(Context* ctx,
       ctx_->metrics().codec_encode_time_us.load(std::memory_order_relaxed);
   dedup_hits_before_ = ctx_->metrics().shuffle_block_dedup_hits.load(
       std::memory_order_relaxed);
+  cache_hits_before_ =
+      ctx_->metrics().result_cache_hits.load(std::memory_order_relaxed);
+  cache_misses_before_ =
+      ctx_->metrics().result_cache_misses.load(std::memory_order_relaxed);
+  adm_queued_before_ =
+      ctx_->metrics().admission_queued.load(std::memory_order_relaxed);
+  adm_rejected_before_ =
+      ctx_->metrics().admission_rejected.load(std::memory_order_relaxed);
   start_us_ = ctx_->NowMicros();
 }
 
@@ -361,6 +376,18 @@ AnalyzedPlan ProfiledRun::Finish() {
       ctx_->metrics().shuffle_block_dedup_hits.load(
           std::memory_order_relaxed) -
       dedup_hits_before_;
+  plan.result_cache_hits =
+      ctx_->metrics().result_cache_hits.load(std::memory_order_relaxed) -
+      cache_hits_before_;
+  plan.result_cache_misses =
+      ctx_->metrics().result_cache_misses.load(std::memory_order_relaxed) -
+      cache_misses_before_;
+  plan.admission_queued =
+      ctx_->metrics().admission_queued.load(std::memory_order_relaxed) -
+      adm_queued_before_;
+  plan.admission_rejected =
+      ctx_->metrics().admission_rejected.load(std::memory_order_relaxed) -
+      adm_rejected_before_;
   for (AnalyzedNode& an : nodes_) {
     const NodeProfileSnapshot after = ctx_->profile().Snapshot(an.node_id);
     an.actuals = after - an.actuals;

@@ -297,6 +297,13 @@ struct AnalyzedPlan {
   uint64_t codec_bytes_encoded = 0;
   uint64_t codec_encode_time_us = 0;
   uint64_t shuffle_block_dedup_hits = 0;
+  // Serving-layer activity during this run (snapshot diffs): result-cache
+  // traffic and admission decisions made by an attached JobServer. All
+  // zero when nothing was served while the run was open.
+  uint64_t result_cache_hits = 0;
+  uint64_t result_cache_misses = 0;
+  uint64_t admission_queued = 0;
+  uint64_t admission_rejected = 0;
   NodeProfileSnapshot totals;      // sum over non-reused nodes
   std::vector<AnalyzedNode> nodes;  // preorder, roots first
   std::vector<StageStat> stages;    // stages executed during the run
@@ -333,6 +340,10 @@ class ProfiledRun {
   uint64_t codec_encoded_before_ = 0;
   uint64_t codec_time_before_ = 0;
   uint64_t dedup_hits_before_ = 0;
+  uint64_t cache_hits_before_ = 0;
+  uint64_t cache_misses_before_ = 0;
+  uint64_t adm_queued_before_ = 0;
+  uint64_t adm_rejected_before_ = 0;
 };
 
 }  // namespace spangle

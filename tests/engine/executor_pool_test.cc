@@ -130,19 +130,94 @@ TEST(ExecutorPoolTest, ObserverReportsEveryTaskWithSaneTimings) {
   }
 }
 
-TEST(ExecutorPoolDeathTest, NestedRunAllInsideTaskChecks) {
-  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
-  // Submitting a stage from inside a task used to deadlock silently
-  // (the task waits on a barrier only its own lane could drain). It must
-  // CHECK-fail with a diagnosable message instead.
-  EXPECT_DEATH(
-      {
-        ExecutorPool pool(1);
-        std::vector<std::function<void()>> tasks;
-        tasks.emplace_back([&pool] { pool.RunAll({[] {}}); });
-        pool.RunAll(std::move(tasks));
-      },
-      "RunAll called from inside a task");
+TEST(ExecutorPoolTest, NestedRunAllInsideTaskCompletes) {
+  // Regression: submitting a batch from inside a task used to CHECK-fail
+  // (and before the CHECK, deadlocked — the task waited on a barrier only
+  // its own lane could drain). Batch state is now per-batch and a nested
+  // caller drains its own batch inline, so this must simply complete —
+  // even on a pool of 1, where the driver lane is the only lane.
+  ExecutorPool pool(1);
+  std::atomic<int> inner_ran{0};
+  std::vector<std::function<void()>> outer;
+  outer.emplace_back([&pool, &inner_ran] {
+    std::vector<std::function<void()>> inner;
+    for (int i = 0; i < 5; ++i) {
+      inner.emplace_back([&inner_ran] { inner_ran.fetch_add(1); });
+    }
+    pool.RunAll(std::move(inner));
+    // Nested barrier semantics: the inner batch is done before the
+    // nested RunAll returns, while the outer task is still in flight.
+    EXPECT_EQ(inner_ran.load(), 5);
+  });
+  pool.RunAll(std::move(outer));
+  EXPECT_EQ(inner_ran.load(), 5);
+}
+
+TEST(ExecutorPoolTest, ConcurrentNestedRunAllFromEveryLane) {
+  // Every task of the outer batch nests its own inner batch, so nested
+  // submissions outnumber lanes and interleave with each other and with
+  // the outer batch on the shared queue.
+  ExecutorPool pool(4);
+  static constexpr int kOuter = 12;
+  static constexpr int kInner = 9;
+  std::atomic<int> inner_total{0};
+  std::vector<std::function<void()>> outer;
+  for (int t = 0; t < kOuter; ++t) {
+    outer.emplace_back([&pool, &inner_total] {
+      std::vector<std::function<void()>> inner;
+      std::atomic<int> mine{0};
+      for (int i = 0; i < kInner; ++i) {
+        inner.emplace_back([&inner_total, &mine] {
+          inner_total.fetch_add(1);
+          mine.fetch_add(1);
+        });
+      }
+      pool.RunAll(std::move(inner));
+      EXPECT_EQ(mine.load(), kInner) << "nested barrier returned early";
+    });
+  }
+  pool.RunAll(std::move(outer));
+  EXPECT_EQ(inner_total.load(), kOuter * kInner);
+}
+
+TEST(ExecutorPoolTest, DoublyNestedRunAllUnwindsDepthCorrectly) {
+  // A flag (instead of a depth counter) would be cleared by the first
+  // nested batch to finish, letting a deeper nesting wrongly park on the
+  // barrier. Three levels prove the depth bookkeeping restores state.
+  ExecutorPool pool(2);
+  std::atomic<int> leaf_ran{0};
+  std::vector<std::function<void()>> outer;
+  outer.emplace_back([&pool, &leaf_ran] {
+    pool.RunAll({[&pool, &leaf_ran] {
+      pool.RunAll({[&leaf_ran] { leaf_ran.fetch_add(1); },
+                   [&leaf_ran] { leaf_ran.fetch_add(1); }});
+    }});
+    // Back at depth 1: this second nested batch must also self-drain.
+    pool.RunAll({[&leaf_ran] { leaf_ran.fetch_add(1); }});
+  });
+  pool.RunAll(std::move(outer));
+  EXPECT_EQ(leaf_ran.load(), 3);
+}
+
+TEST(ExecutorPoolTest, NestedRunAllErrorStaysInItsOwnBatch) {
+  // An exception in a nested batch surfaces from the *nested* RunAll (the
+  // legacy overload rethrows) and must not poison the outer batch.
+  ExecutorPool pool(2);
+  std::atomic<bool> inner_threw{false};
+  std::vector<ExecutorPool::Task> outer;
+  outer.emplace_back([&pool, &inner_threw](int) {
+    std::vector<std::function<void()>> inner;
+    inner.emplace_back([] { throw std::runtime_error("nested boom"); });
+    try {
+      pool.RunAll(std::move(inner));
+    } catch (const std::runtime_error& e) {
+      inner_threw.store(std::string(e.what()) == "nested boom");
+    }
+  });
+  outer.emplace_back([](int) {});
+  const ExecutorPool::BatchResult res = pool.RunAll(std::move(outer));
+  EXPECT_TRUE(res.ok()) << "outer batch poisoned by nested error";
+  EXPECT_TRUE(inner_threw.load());
 }
 
 TEST(ExecutorPoolTest, RunAllPropagatesWorkDoneBeforeReturn) {

@@ -164,6 +164,73 @@ TEST(LockRankDeathTest, ReaderInversionDies) {
       "lock-rank violation");
 }
 
+TEST(LockRankTest, ServingHierarchyNestsInOrder) {
+  // The serving layer's sanctioned nesting: server lock over a session
+  // queue lock, with metrics/cache leaves below. (Job execution itself
+  // runs with no server lock held — see DESIGN.md §10.)
+  Mutex server(LockRank::kJobServer, "job_server_like");
+  Mutex queue(LockRank::kSessionQueue, "session_queue_like");
+  Mutex cache(LockRank::kResultCache, "result_cache_like");
+  MutexLock l1(&server);
+  MutexLock l2(&queue);
+  MutexLock l3(&cache);
+  EXPECT_EQ(HeldLockCountForTest(), 3);
+}
+
+TEST(LockRankDeathTest, SessionQueueOverJobServerDies) {
+  // A submit path that took its session's queue lock first and then
+  // reached back into the server would invert the serving hierarchy.
+  EXPECT_DEATH(
+      {
+        Mutex server(LockRank::kJobServer, "job_server_like");
+        Mutex queue(LockRank::kSessionQueue, "session_queue_like");
+        MutexLock l1(&queue);
+        MutexLock l2(&server);  // rank 60 under rank 58: inversion
+      },
+      "lock-rank violation.*job_server_like.*session_queue_like");
+}
+
+TEST(LockRankDeathTest, SchedulerOverJobServerDies) {
+  // Job execution must never call back into the server with engine locks
+  // held: the server sits *above* the scheduler in the hierarchy.
+  EXPECT_DEATH(
+      {
+        Mutex server(LockRank::kJobServer, "job_server_like");
+        Mutex sched(LockRank::kScheduler, "scheduler_like");
+        MutexLock l1(&sched);
+        MutexLock l2(&server);  // rank 60 under rank 56: inversion
+      },
+      "lock-rank violation.*job_server_like.*scheduler_like");
+}
+
+TEST(LockRankDeathTest, ResultCacheOverMetricsDies) {
+  // The cache is leaf-like (rank 4): holding it while taking the metrics
+  // StageStat lock would put a lock *above* it that its own users nest
+  // below, so the detector bans it.
+  EXPECT_DEATH(
+      {
+        Mutex cache(LockRank::kResultCache, "result_cache_like");
+        Mutex metrics(LockRank::kMetrics, "metrics_like");
+        MutexLock l1(&cache);
+        MutexLock l2(&metrics);  // rank 8 under rank 4: inversion
+      },
+      "lock-rank violation.*metrics_like.*result_cache_like");
+}
+
+TEST(LockRankDeathTest, NestedTaskGateDies) {
+  // Why nested stages stay banned even though the pool now tolerates
+  // nested RunAll: a RunStage inside a task would acquire a second
+  // per-task gate at the same (outermost) rank under the first.
+  EXPECT_DEATH(
+      {
+        Mutex outer_gate(LockRank::kTaskGate, "task_gate_outer");
+        Mutex inner_gate(LockRank::kTaskGate, "task_gate_inner");
+        MutexLock l1(&outer_gate);
+        MutexLock l2(&inner_gate);
+      },
+      "lock-rank violation.*task_gate_inner.*task_gate_outer");
+}
+
 TEST(LockRankTest, DiagnosticListsFullHeldStack) {
   // The report names every held lock, outermost first, with its site.
   EXPECT_DEATH(

@@ -1,0 +1,249 @@
+// Property suite for lineage digests and the shared result cache, over
+// randomized plan DAGs on a seed grid (SPANGLE_CHAOS_SEED rotates the
+// base seed in scripts/stress.sh):
+//
+//  - digest determinism: rebuilding a plan from the same seed yields the
+//    same nonzero digest; distinct seeds never collide across the grid;
+//  - digest-equal plans served twice hit the cache with bit-identical
+//    bytes;
+//  - eviction then resubmission recomputes and round-trips to the same
+//    bytes;
+//  - plans with an undeclared (seedless) source are digest-0 and bypass
+//    the cache entirely.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/job_server.h"
+#include "engine/result_cache.h"
+
+namespace spangle {
+namespace {
+
+uint64_t BaseSeed() {
+  const char* env = std::getenv("SPANGLE_CHAOS_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 1234;
+}
+
+/// Random plan over Rdd<uint64_t>: a digest-declared source plus 1-4
+/// rng-chosen operators. Every derived node also declares a digest seed
+/// keyed on (plan seed, step, op) — the digest hashes names and
+/// structure, not closures, so the declared seed is what distinguishes
+/// e.g. two differently-parameterized maps.
+Rdd<uint64_t> RandomPlan(Context* ctx, uint64_t seed) {
+  Rng rng(seed);
+  const int n = 64 + static_cast<int>(rng.NextBounded(64));
+  std::vector<uint64_t> data(n);
+  for (auto& v : data) v = rng.NextBounded(1 << 16);
+  auto rdd = ctx->Parallelize(data, 4).WithDigestSeed(MixSeeds(seed, 1));
+  const int depth = 1 + static_cast<int>(rng.NextBounded(4));
+  for (int step = 0; step < depth; ++step) {
+    const uint64_t op = rng.NextBounded(4);
+    const uint64_t op_seed = MixSeeds(seed, 1000 + step * 8 + op);
+    switch (op) {
+      case 0:
+        rdd = rdd.Map([](const uint64_t& x) { return x * 3 + 1; })
+                  .WithDigestSeed(op_seed);
+        break;
+      case 1:
+        rdd = rdd.Map([](const uint64_t& x) { return x ^ 0x9e37; })
+                  .WithDigestSeed(op_seed);
+        break;
+      case 2:
+        rdd = rdd.Filter([](const uint64_t& x) { return x % 3 != 0; })
+                  .WithDigestSeed(op_seed);
+        break;
+      default:
+        rdd = ToPair<uint64_t, uint64_t>(
+                  rdd.Map([](const uint64_t& x) {
+                    return std::make_pair(x % 8, x);
+                  }))
+                  .ReduceByKey(
+                      [](const uint64_t& a, const uint64_t& b) {
+                        return a + b;
+                      })
+                  .AsRdd()
+                  .Map([](const std::pair<uint64_t, uint64_t>& kv) {
+                    return kv.first * 65599u + kv.second;
+                  })
+                  .WithDigestSeed(op_seed);
+        break;
+    }
+  }
+  return rdd;
+}
+
+TEST(ResultCachePropertyTest, DigestsDeterministicAndCollisionFree) {
+  Context ctx(4);
+  std::unordered_map<uint64_t, uint64_t> digest_to_seed;
+  for (int k = 0; k < 24; ++k) {
+    const uint64_t seed = MixSeeds(BaseSeed(), k);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const uint64_t d1 = RandomPlan(&ctx, seed).LineageDigest();
+    const uint64_t d2 = RandomPlan(&ctx, seed).LineageDigest();
+    EXPECT_NE(d1, 0u) << "a fully-declared plan must be cacheable";
+    EXPECT_EQ(d1, d2) << "rebuilding the same plan must reproduce the digest";
+    const auto [it, inserted] = digest_to_seed.emplace(d1, seed);
+    EXPECT_TRUE(inserted) << "digest collision between seeds " << it->second
+                          << " and " << seed;
+  }
+}
+
+TEST(ResultCachePropertyTest, DigestEqualPlansHitWithIdenticalBytes) {
+  const uint64_t base = MixSeeds(BaseSeed(), 0xCAFE);
+  Context ctx(4);
+  JobServer::Options opts;
+  opts.dispatcher_threads = 2;
+  opts.result_cache_bytes = 32u << 20;
+  JobServer server(&ctx, opts);
+  const auto s1 = server.OpenSession();
+  const auto s2 = server.OpenSession();
+
+  for (int k = 0; k < 8; ++k) {
+    const uint64_t seed = MixSeeds(base, k);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const auto want = RandomPlan(&ctx, seed).Collect();
+
+    auto first = server.SubmitCollect(s1, RandomPlan(&ctx, seed));
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(server.Wait(*first).ok());
+    auto second = server.SubmitCollect(s2, RandomPlan(&ctx, seed));
+    ASSERT_TRUE(second.ok());
+    ASSERT_TRUE(server.Wait(*second).ok());
+
+    EXPECT_TRUE(server.Info(*second).cache_hit);
+    auto got1 = server.Collect<uint64_t>(*first);
+    auto got2 = server.Collect<uint64_t>(*second);
+    ASSERT_TRUE(got1.ok() && got2.ok());
+    EXPECT_EQ(**got1, want) << "served result must match direct Collect";
+    EXPECT_EQ(**got2, want) << "cache hit must be bit-identical";
+  }
+  EXPECT_EQ(ctx.metrics().result_cache_hits.load(), 8u);
+}
+
+/// Fixed-shape plan (seed varies only the data): its payload is exactly
+/// 160 records, so the eviction test can size the cache budget to hold a
+/// known number of entries regardless of the rotating base seed.
+Rdd<uint64_t> FixedSizePlan(Context* ctx, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> data(160);
+  for (auto& v : data) v = rng.NextBounded(1 << 16);
+  return ctx->Parallelize(data, 4)
+      .WithDigestSeed(MixSeeds(seed, 1))
+      .Map([](const uint64_t& x) { return x * 5 + 3; });
+}
+
+TEST(ResultCachePropertyTest, EvictionThenRecomputeRoundTrips) {
+  const uint64_t base = MixSeeds(BaseSeed(), 0xE71C);
+  Context ctx(4);
+  JobServer::Options opts;
+  opts.dispatcher_threads = 1;
+  // Each FixedSizePlan payload is ~1.3 KB (160 records), so this budget
+  // holds two entries: cycling six plans must evict, and resubmitting an
+  // evicted plan must recompute.
+  opts.result_cache_bytes = 3000;
+  JobServer server(&ctx, opts);
+  const auto session = server.OpenSession();
+
+  constexpr int kPlans = 6;
+  std::map<int, std::vector<uint64_t>> want;
+  auto serve = [&](int p) {
+    auto job =
+        server.SubmitCollect(session, FixedSizePlan(&ctx, MixSeeds(base, p)));
+    EXPECT_TRUE(job.ok());
+    EXPECT_TRUE(server.Wait(*job).ok());
+    auto got = server.Collect<uint64_t>(*job);
+    EXPECT_TRUE(got.ok());
+    return **got;
+  };
+  for (int p = 0; p < kPlans; ++p) want[p] = serve(p);
+  EXPECT_GT(ctx.metrics().result_cache_evictions.load(), 0u)
+      << "cycling plans past the budget must evict";
+  EXPECT_LE(server.result_cache()->bytes(),
+            server.result_cache()->budget_bytes());
+
+  // Second sweep: some hit, some were evicted and recompute; all bytes
+  // must round-trip unchanged either way.
+  for (int p = 0; p < kPlans; ++p) {
+    SCOPED_TRACE("plan=" + std::to_string(p));
+    EXPECT_EQ(serve(p), want[p]);
+  }
+  EXPECT_GT(ctx.metrics().result_cache_misses.load(),
+            static_cast<uint64_t>(kPlans))
+      << "at least one second-sweep plan must have recomputed";
+}
+
+TEST(ResultCachePropertyTest, SeedlessSourceNeverCaches) {
+  Context ctx(2);
+  JobServer::Options opts;
+  opts.result_cache_bytes = 4u << 20;
+  JobServer server(&ctx, opts);
+  const auto session = server.OpenSession();
+
+  std::vector<uint64_t> data(64, 7);
+  for (int k = 0; k < 3; ++k) {
+    // Same plan shape every time, but the source never declares content:
+    // digest 0, cache bypassed, every run recomputes.
+    auto plan = ctx.Parallelize(data, 2).Map(
+        [](const uint64_t& x) { return x + 1; });
+    EXPECT_EQ(plan.LineageDigest(), 0u);
+    auto job = server.SubmitCollect(session, plan);
+    ASSERT_TRUE(job.ok());
+    ASSERT_TRUE(server.Wait(*job).ok());
+    EXPECT_FALSE(server.Info(*job).cache_hit);
+  }
+  EXPECT_EQ(ctx.metrics().result_cache_hits.load(), 0u);
+  EXPECT_EQ(ctx.metrics().result_cache_misses.load(), 0u);
+  EXPECT_EQ(server.result_cache()->entries(), 0u);
+}
+
+TEST(ResultCachePropertyTest, LruFirstWinsAndOversizeRejection) {
+  // Direct unit properties of the cache structure itself.
+  ResultCache cache(1000, nullptr);
+  auto entry = [](uint64_t tag, uint64_t bytes) {
+    ResultCache::Entry e;
+    e.data = std::shared_ptr<const void>(new uint64_t(tag),
+                                         [](const void* p) {
+                                           delete static_cast<const uint64_t*>(p);
+                                         });
+    e.bytes = bytes;
+    return e;
+  };
+  cache.Put(1, entry(1, 400));
+  cache.Put(2, entry(2, 400));
+  EXPECT_EQ(cache.entries(), 2u);
+
+  // First-wins: a duplicate insert must not replace the incumbent.
+  cache.Put(1, entry(99, 400));
+  auto got = cache.Get(1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*static_cast<const uint64_t*>(got->data.get()), 1u);
+
+  // Digest 1 was just touched, so inserting 500 bytes evicts digest 2.
+  cache.Put(3, entry(3, 500));
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+  EXPECT_LE(cache.bytes(), cache.budget_bytes());
+
+  // An entry over the whole budget is never admitted.
+  cache.Put(4, entry(4, 2000));
+  EXPECT_FALSE(cache.Get(4).has_value());
+  // Digest 0 is the not-cacheable sentinel.
+  cache.Put(0, entry(0, 10));
+  EXPECT_FALSE(cache.Get(0).has_value());
+}
+
+}  // namespace
+}  // namespace spangle

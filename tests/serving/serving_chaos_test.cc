@@ -1,0 +1,207 @@
+// Chaos barrage for the serving layer: three tenants run concurrently
+// while an executor dies mid-job (ChaosPolicy keyed on the victim's
+// shuffle stage, so only one tenant's job is hit). Checked in LOCAL and
+// DISTRIBUTED mode with a differential oracle: every tenant's payload
+// must be bit-identical to its fault-free serial twin, recovery must be
+// visible in the retry/rerun counters, and the re-planned stages must
+// carry only the affected tenant's engine job id.
+//
+// Seeds derive from SPANGLE_CHAOS_SEED (default 1234), same contract as
+// tests/chaos/.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/job_server.h"
+
+namespace spangle {
+namespace {
+
+uint64_t BaseSeed() {
+  const char* env = std::getenv("SPANGLE_CHAOS_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 1234;
+}
+
+DeploymentOptions Distributed(int num_executors) {
+  DeploymentOptions d;
+  d.mode = DeploymentMode::kDistributed;
+  d.distributed.num_executors = num_executors;
+  return d;
+}
+
+/// The victim tenant's plan: the only one in the barrage with a shuffle,
+/// so a chaos predicate keyed on "reduceByKey" stages hits exactly it.
+Rdd<uint64_t> VictimPlan(Context* ctx, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<uint64_t, uint64_t>> pairs(320);
+  for (auto& p : pairs) {
+    p = {rng.NextBounded(24), rng.NextBounded(1 << 16)};
+  }
+  return ToPair<uint64_t, uint64_t>(ctx->Parallelize(pairs, 8))
+      .ReduceByKey([](const uint64_t& a, const uint64_t& b) { return a + b; })
+      .AsRdd()
+      .Map([](const std::pair<uint64_t, uint64_t>& kv) {
+        return kv.first * 1000003u + kv.second;
+      });
+}
+
+/// Bystander tenants: map-only plans, no shuffle stage, untouched by the
+/// chaos predicate.
+Rdd<uint64_t> BystanderPlan(Context* ctx, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> data(240);
+  for (auto& v : data) v = rng.NextBounded(1 << 16);
+  return ctx->Parallelize(data, 6).Map(
+      [](const uint64_t& x) { return x * 7 + 11; });
+}
+
+/// One barrage: three sessions submit concurrently while the policy
+/// kills an executor on the victim's first shuffle attempt.
+void RunServingChaosBarrage(bool distributed) {
+  const uint64_t seed = MixSeeds(BaseSeed(), distributed ? 77 : 7);
+  SCOPED_TRACE(std::string(distributed ? "DISTRIBUTED" : "LOCAL") +
+               " seed=" + std::to_string(seed) +
+               " (SPANGLE_CHAOS_SEED=" + std::to_string(BaseSeed()) + ")");
+
+  // Fault-free serial twins.
+  std::vector<std::vector<uint64_t>> want(3);
+  {
+    Context serial(4);
+    want[0] = VictimPlan(&serial, seed).Collect();
+    want[1] = BystanderPlan(&serial, MixSeeds(seed, 1)).Collect();
+    want[2] = BystanderPlan(&serial, MixSeeds(seed, 2)).Collect();
+  }
+
+  Context ctx(4, 0, 0, StorageOptions{},
+              distributed ? Distributed(2) : DeploymentOptions{});
+  // Mid-job executor death after the shuffle materialized: when collect
+  // task 1 starts, worker 1 dies — taking the victim's reduce partition 1
+  // (resident on worker 1) with it, which forces a lineage re-plan of the
+  // shuffle stage. Bystander collects also trip the predicate, but they
+  // have no materialized state on worker 1, so the kill is only *felt* by
+  // the victim. Gated on attempt/stage_attempt 0 so recovery converges;
+  // in DISTRIBUTED mode each trip SIGKILLs a live daemon.
+  auto policy = std::make_shared<ChaosPolicy>();
+  policy->fail_executor = [](const ChaosTaskInfo& t) -> int {
+    return (t.stage == "collect" && t.task == 1 && t.attempt == 0 &&
+            t.stage_attempt == 0)
+               ? 1
+               : -1;
+  };
+  ctx.set_chaos_policy(policy);
+
+  JobServer::Options opts;
+  opts.dispatcher_threads = 3;
+  JobServer server(&ctx, opts);
+  std::vector<JobServer::SessionId> sessions;
+  for (int s = 0; s < 3; ++s) {
+    JobServer::SessionOptions so;
+    so.name = "tenant-" + std::to_string(s);
+    sessions.push_back(server.OpenSession(so));
+  }
+
+  // All three jobs in flight together (3 dispatchers, no admission cap).
+  std::vector<JobServer::JobId> jobs;
+  auto j0 = server.SubmitCollect(sessions[0], VictimPlan(&ctx, seed));
+  auto j1 =
+      server.SubmitCollect(sessions[1], BystanderPlan(&ctx, MixSeeds(seed, 1)));
+  auto j2 =
+      server.SubmitCollect(sessions[2], BystanderPlan(&ctx, MixSeeds(seed, 2)));
+  ASSERT_TRUE(j0.ok() && j1.ok() && j2.ok());
+  jobs = {*j0, *j1, *j2};
+  server.WaitAll();
+
+  for (int s = 0; s < 3; ++s) {
+    const Status st = server.Wait(jobs[s]);
+    ASSERT_TRUE(st.ok()) << "tenant " << s << ": " << st.ToString();
+    auto got = server.Collect<uint64_t>(jobs[s]);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(**got, want[s])
+        << "tenant " << s << " must be bit-identical to its serial twin";
+  }
+
+  // Chaos actually fired, and recovery stayed scoped to the victim: every
+  // shuffle stage record (including re-runs) carries the victim's engine
+  // job id, never a bystander's.
+  EXPECT_GE(ctx.metrics().task_retries.load() +
+                ctx.metrics().stage_reruns.load() +
+                ctx.metrics().executor_restarts.load(),
+            1u)
+      << "the executor kill must have been injected and recovered";
+  const auto victim_ids = server.Stats(sessions[0]).engine_job_ids;
+  ASSERT_EQ(victim_ids.size(), 1u);
+  std::unordered_set<uint64_t> bystander_ids;
+  for (int s = 1; s < 3; ++s) {
+    for (const uint64_t id : server.Stats(sessions[s]).engine_job_ids) {
+      bystander_ids.insert(id);
+    }
+  }
+  bool saw_shuffle_stage = false;
+  for (const auto& stage : ctx.metrics().StageStats()) {
+    if (stage.name.find("reduceByKey") == std::string::npos) continue;
+    saw_shuffle_stage = true;
+    EXPECT_EQ(stage.job_id, victim_ids[0])
+        << "re-planned stage " << stage.name << " leaked into another tenant";
+    EXPECT_EQ(bystander_ids.count(stage.job_id), 0u);
+  }
+  EXPECT_TRUE(saw_shuffle_stage);
+}
+
+TEST(ServingChaosTest, ExecutorDeathMidJobLocalMode) {
+  RunServingChaosBarrage(/*distributed=*/false);
+}
+
+TEST(ServingChaosTest, ExecutorDeathMidJobDistributedMode) {
+  RunServingChaosBarrage(/*distributed=*/true);
+}
+
+TEST(ServingChaosTest, DirectFailExecutorWhileServingConcurrentJobs) {
+  // A raw Context::FailExecutor from outside (no ChaosPolicy) while
+  // several long jobs are in flight: everything still completes and
+  // matches the serial twins — the serving layer adds no new failure
+  // coupling between tenants.
+  const uint64_t seed = MixSeeds(BaseSeed(), 4242);
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  std::vector<std::vector<uint64_t>> want(3);
+  {
+    Context serial(4);
+    for (int s = 0; s < 3; ++s) {
+      want[s] = BystanderPlan(&serial, MixSeeds(seed, s)).Collect();
+    }
+  }
+
+  Context ctx(4);
+  JobServer::Options opts;
+  opts.dispatcher_threads = 3;
+  JobServer server(&ctx, opts);
+  std::vector<JobServer::JobId> jobs;
+  std::vector<JobServer::SessionId> sessions;
+  for (int s = 0; s < 3; ++s) {
+    sessions.push_back(server.OpenSession());
+    auto job =
+        server.SubmitCollect(sessions[s], BystanderPlan(&ctx, MixSeeds(seed, s)));
+    ASSERT_TRUE(job.ok());
+    jobs.push_back(*job);
+  }
+  ctx.FailExecutor(static_cast<int>(seed % 4));
+  server.WaitAll();
+  for (int s = 0; s < 3; ++s) {
+    ASSERT_TRUE(server.Wait(jobs[s]).ok());
+    auto got = server.Collect<uint64_t>(jobs[s]);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(**got, want[s]) << "tenant " << s;
+  }
+}
+
+}  // namespace
+}  // namespace spangle

@@ -1,0 +1,169 @@
+// Concurrency stress: many tenants submitting from their own threads
+// against one budgeted Context, with the result cache on and duplicated
+// plans in the mix. The oracle is differential — every served job's
+// payload must be bit-identical to the same plan evaluated serially on a
+// quiet context. Runs under ASan/TSan in CI (label: serving).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/job_server.h"
+
+namespace spangle {
+namespace {
+
+/// One tenant workload, fully determined by (session, k): a seeded
+/// source (digest-declared), a map, and — on every third job — a
+/// reduceByKey shuffle. Sessions s and s^1 share plans for even k, so
+/// concurrent digest-equal submissions race on the result cache.
+struct PlanSpec {
+  uint64_t seed = 0;
+  bool shuffle = false;
+};
+
+PlanSpec SpecFor(int session, int k) {
+  PlanSpec spec;
+  const int owner = (k % 2 == 0) ? (session & ~1) : session;
+  spec.seed = MixSeeds(0x5eed, static_cast<uint64_t>(owner) * 31 + k);
+  spec.shuffle = (k % 3 == 0);
+  return spec;
+}
+
+Rdd<uint64_t> BuildPlan(Context* ctx, const PlanSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<uint64_t> data(160);
+  for (auto& v : data) v = rng.NextBounded(1 << 20);
+  auto rdd = ctx->Parallelize(data, 4).WithDigestSeed(spec.seed);
+  if (spec.shuffle) {
+    return ToPair<uint64_t, uint64_t>(
+               rdd.Map([](const uint64_t& x) {
+                 return std::make_pair(x % 16, x);
+               }))
+        // Commutative + associative, so any reduce order is bit-identical.
+        .ReduceByKey([](const uint64_t& a, const uint64_t& b) {
+          return a + b;
+        })
+        .AsRdd()
+        .Map([](const std::pair<uint64_t, uint64_t>& kv) {
+          return kv.first * 1000003u + kv.second;
+        });
+  }
+  return rdd.Map([](const uint64_t& x) { return x * 3 + 1; });
+}
+
+TEST(ServingStressTest, ConcurrentSessionsBitIdenticalToSerial) {
+  constexpr int kSessions = 8;
+  constexpr int kJobsEach = 6;
+
+  // Serial oracle on a quiet, unbudgeted context.
+  std::map<std::pair<int, int>, std::vector<uint64_t>> want;
+  {
+    Context serial(4);
+    for (int s = 0; s < kSessions; ++s) {
+      for (int k = 0; k < kJobsEach; ++k) {
+        want[{s, k}] = BuildPlan(&serial, SpecFor(s, k)).Collect();
+      }
+    }
+  }
+
+  StorageOptions storage;
+  storage.memory_budget_bytes = 64u << 20;
+  Context ctx(4, 0, 0, storage);
+  JobServer::Options opts;
+  opts.dispatcher_threads = 4;
+  opts.result_cache_bytes = 8u << 20;
+  opts.default_estimate_bytes = 1u << 20;
+  JobServer server(&ctx, opts);
+
+  std::vector<JobServer::SessionId> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    JobServer::SessionOptions so;
+    so.name = "tenant-" + std::to_string(s);
+    so.weight = 1 + s % 3;
+    sessions.push_back(server.OpenSession(so));
+  }
+
+  // True concurrent submission: one submitter thread per tenant.
+  std::vector<std::vector<JobServer::JobId>> job_ids(kSessions);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int k = 0; k < kJobsEach; ++k) {
+        auto plan = BuildPlan(&ctx, SpecFor(s, k));
+        auto job = server.SubmitCollect(sessions[s], plan);
+        ASSERT_TRUE(job.ok()) << job.status().ToString();
+        job_ids[s].push_back(*job);
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  server.WaitAll();
+
+  for (int s = 0; s < kSessions; ++s) {
+    for (int k = 0; k < kJobsEach; ++k) {
+      auto got = server.Collect<uint64_t>(job_ids[s][k]);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(**got, (want[{s, k}]))
+          << "tenant " << s << " job " << k
+          << " diverged from its serial twin";
+    }
+  }
+
+  EXPECT_EQ(ctx.metrics().jobs_served.load(),
+            static_cast<uint64_t>(kSessions * kJobsEach));
+  EXPECT_EQ(ctx.metrics().admission_rejected.load(), 0u);
+  EXPECT_EQ(server.committed_bytes(), 0u);
+  // Even-k plans are shared between session pairs, so reuse must have
+  // fired (either as a cache hit or as a first-wins recompute race —
+  // hits are guaranteed only when the twin submits after the insert).
+  EXPECT_GT(ctx.metrics().result_cache_misses.load(), 0u);
+}
+
+TEST(ServingStressTest, RepeatedRoundsHitTheCacheDeterministically) {
+  // Round two resubmits round one's exact plans after a full drain: every
+  // cacheable job must hit, and payloads must be byte-identical.
+  Context ctx(4);
+  JobServer::Options opts;
+  opts.dispatcher_threads = 2;
+  opts.result_cache_bytes = 16u << 20;
+  JobServer server(&ctx, opts);
+  const auto session = server.OpenSession();
+
+  constexpr int kPlans = 5;
+  std::vector<std::vector<uint64_t>> first_round(kPlans);
+  for (int round = 0; round < 2; ++round) {
+    std::vector<JobServer::JobId> jobs;
+    for (int p = 0; p < kPlans; ++p) {
+      auto plan = BuildPlan(&ctx, SpecFor(0, p));
+      auto job = server.SubmitCollect(session, plan);
+      ASSERT_TRUE(job.ok());
+      jobs.push_back(*job);
+    }
+    server.WaitAll();
+    for (int p = 0; p < kPlans; ++p) {
+      auto got = server.Collect<uint64_t>(jobs[p]);
+      ASSERT_TRUE(got.ok());
+      if (round == 0) {
+        first_round[p] = **got;
+      } else {
+        EXPECT_EQ(**got, first_round[p]) << "plan " << p;
+        EXPECT_TRUE(server.Info(jobs[p]).cache_hit) << "plan " << p;
+      }
+    }
+  }
+  EXPECT_EQ(ctx.metrics().result_cache_hits.load(),
+            static_cast<uint64_t>(kPlans));
+  EXPECT_EQ(server.Stats(session).cache_hits, static_cast<uint64_t>(kPlans));
+}
+
+}  // namespace
+}  // namespace spangle
