@@ -20,9 +20,14 @@
 //      (p50/p99 of submit -> done) for 1 / 4 / 16 concurrent sessions,
 //      with the lineage-digest result cache on vs off. Written to
 //      BENCH_serving.json.
+//   8. Distributed tracing overhead: a shuffle-heavy pipeline with span
+//      recording + trace-header stamping on vs off, in LOCAL and
+//      DISTRIBUTED (2-daemon) mode. Always-on tracing must stay under
+//      3% or it ships disabled. Written to BENCH_tracing.json.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <thread>
@@ -38,6 +43,7 @@
 #include "engine/job_server.h"
 #include "matrix/block_matrix.h"
 #include "ml/pagerank.h"
+#include "net/executor_fleet.h"
 #include "workload/graph_gen.h"
 #include "ops/aggregator.h"
 #include "ops/operators.h"
@@ -323,6 +329,114 @@ void ObservabilityAblation() {
   }
 }
 
+void TracingAblation() {
+  // Shuffle-heavy wordcount: every rep issues a full put/fetch data-plane
+  // round, so the per-RPC trace stamp + daemon span recording cost is on
+  // the hot path. In LOCAL mode the only cost left is binding job/stage
+  // trace contexts, which bounds the fixed floor.
+  // Big enough that a run takes ~10ms: the tracing cost is a handful of
+  // atomics per task plus one stamp per RPC, so on a sub-millisecond
+  // workload scheduler jitter swamps the ratio being measured.
+  constexpr int kRecords = 600000;
+  constexpr int kBuckets = 64;
+  constexpr int kReps = 9;
+
+  struct Mode {
+    const char* name;
+    bool distributed;
+  };
+  static const Mode kModes[] = {{"local", false}, {"distributed", true}};
+
+  PrintHeader("Ablation 8: distributed tracing overhead",
+              {"mode", "tracing off", "tracing on", "overhead", "spans"});
+
+  struct Row {
+    const char* mode;
+    double off_s, on_s;
+    uint64_t spans;
+  };
+  std::vector<Row> rows;
+  for (const Mode& mode : kModes) {
+    DeploymentOptions deploy;
+    if (mode.distributed) {
+      deploy.mode = DeploymentMode::kDistributed;
+      deploy.distributed.num_executors = 2;
+    }
+    Context ctx(4, 8, 0, {}, deploy);
+
+    auto run_once = [&] {
+      std::vector<int> data(kRecords);
+      for (int i = 0; i < kRecords; ++i) data[i] = i;
+      auto counts = PairRdd<int, int>(ctx.Parallelize(std::move(data))
+                                          .Map([](const int& v) {
+                                            return std::pair<int, int>(
+                                                v % kBuckets, 1);
+                                          }))
+                        .ReduceByKey(
+                            [](const int& a, const int& b) { return a + b; });
+      if (counts.Collect().size() != static_cast<size_t>(kBuckets)) {
+        std::abort();
+      }
+    };
+
+    // Same interleaved-rep discipline as Ablation 5: alternating on/off
+    // exposes both configurations to identical allocator/cache drift.
+    ctx.set_tracing_enabled(false);
+    run_once();  // warmup
+    ctx.set_tracing_enabled(true);
+    run_once();  // warmup
+    double off = -1.0, on = -1.0;
+    for (int r = 0; r < kReps; ++r) {
+      ctx.set_tracing_enabled(false);
+      const double t_off = TimeSeconds(run_once);
+      ctx.set_tracing_enabled(true);
+      const double t_on = TimeSeconds(run_once);
+      if (off < 0.0 || t_off < off) off = t_off;
+      if (on < 0.0 || t_on < on) on = t_on;
+    }
+
+    uint64_t spans = ctx.trace_spans().Snapshot().size();
+    if (ctx.fleet() != nullptr) {
+      ctx.fleet()->ScrapeAll();
+      spans += ctx.fleet()->CollectedSpans().size();
+    }
+    rows.push_back({mode.name, off, on, spans});
+
+    const double overhead = off > 0 ? (on - off) / off * 100.0 : 0.0;
+    PrintCell(std::string(mode.name));
+    PrintCell(off);
+    PrintCell(on);
+    char pct[32];
+    std::snprintf(pct, sizeof(pct), "%+.2f%%", overhead);
+    PrintCell(std::string(pct));
+    PrintCell(std::to_string(spans));
+    PrintEnd();
+  }
+
+  FILE* f = std::fopen("BENCH_tracing.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\"bench\":\"tracing_overhead\",\"reps\":%d,"
+                 "\"gate_overhead_pct\":3.0,\"rows\":[",
+                 kReps);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const double overhead =
+          rows[i].off_s > 0
+              ? (rows[i].on_s - rows[i].off_s) / rows[i].off_s * 100.0
+              : 0.0;
+      std::fprintf(f,
+                   "%s{\"mode\":\"%s\",\"off_seconds\":%.6f,"
+                   "\"on_seconds\":%.6f,\"overhead_pct\":%.3f,"
+                   "\"spans_recorded\":%llu,\"pass\":%s}",
+                   i > 0 ? "," : "", rows[i].mode, rows[i].off_s, rows[i].on_s,
+                   overhead, static_cast<unsigned long long>(rows[i].spans),
+                   overhead < 3.0 ? "true" : "false");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+  }
+}
+
 void CodecAblation() {
   using Record = std::pair<int64_t, double>;
   constexpr size_t kRecords = 200000;
@@ -589,5 +703,6 @@ int main() {
   spangle::ObservabilityAblation();
   spangle::CodecAblation();
   spangle::ServingAblation();
+  spangle::TracingAblation();
   return 0;
 }

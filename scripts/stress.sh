@@ -53,6 +53,24 @@ for SAN in address thread; do
     fi
   done
 
+  # Observability under chaos: the trace-propagation suite runs its own
+  # mid-job daemon SIGKILL while the stats pull plane scrapes spans, so
+  # looping it under the sanitizers hammers the scrape/kill/restart
+  # races (span drain vs ReportFailure vs heartbeat clock-offset
+  # updates). Seed rotation varies kill timing through the chaos hooks.
+  SCRAPE_ROUNDS="${SPANGLE_SCRAPE_STRESS_ROUNDS:-10}"
+  for ((i = 0; i < SCRAPE_ROUNDS; ++i)); do
+    SEED=$((BASE_SEED + i))
+    echo "=== [$SAN] trace/scrape round $((i + 1))/$SCRAPE_ROUNDS seed=$SEED ==="
+    if ! SPANGLE_CHAOS_SEED="$SEED" \
+        ctest --test-dir "$BUILD" -L observability \
+        -R "TracePropagationTest|FleetStatsTest" --output-on-failure; then
+      echo "FAILED: sanitizer=$SAN seed=$SEED (trace/scrape)" >&2
+      echo "reproduce: SPANGLE_CHAOS_SEED=$SEED ctest --test-dir $BUILD -L observability -R 'TracePropagationTest|FleetStatsTest' --output-on-failure" >&2
+      FAILED=1
+    fi
+  done
+
   # Serving barrage: rotate the seed through the multi-tenant suite —
   # the chaos cases re-pick which plans race the executor kill, and the
   # result-cache property tests re-draw their random DAG grid.

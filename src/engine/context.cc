@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <iterator>
 #include <thread>
 #include <unordered_map>
 
@@ -47,9 +48,14 @@ Context::Context(int num_workers, int default_parallelism,
       default_parallelism_(default_parallelism > 0 ? default_parallelism
                                                    : 2 * num_workers),
       task_overhead_us_(task_overhead_us) {
+  trace_spans_.set_enabled(deploy.distributed.tracing);
   if (deploy.mode == DeploymentMode::kDistributed) {
-    fleet_ = std::make_unique<net::ExecutorFleet>(deploy.distributed,
-                                                  &metrics_);
+    // The fleet stamps trace headers from the calling thread's context,
+    // mints client span ids from trace_spans_, and uses the pool clock as
+    // the trace epoch so client spans align with stage/task events.
+    fleet_ = std::make_unique<net::ExecutorFleet>(
+        deploy.distributed, &metrics_, &trace_spans_,
+        [this] { return pool_.NowMicros(); });
     const Status st = fleet_->Start();
     // A context that cannot reach its executors is unusable; failing
     // loudly at construction beats every later job hanging on RPCs.
@@ -95,6 +101,17 @@ void Context::RunStage(const std::string& name, int n,
   stat.num_tasks = n;
   stat.tasks.resize(static_cast<size_t>(std::max(n, 0)));
   EngineMetrics::StageAccumulator acc;
+
+  // Trace identity for this stage: inherit the ambient context (bound by
+  // RunJob or a scheduler driver thread), falling back to the job id as
+  // the trace id so stages reached without RunJob still trace. Each task
+  // rebinds with a freshly minted span id, which is what the fleet stamps
+  // as parent_span_id on the RPCs that task issues.
+  TraceContext stage_trace;
+  if (trace_spans_.enabled()) {
+    stage_trace = trace::Current();
+    if (stage_trace.trace_id == 0) stage_trace.trace_id = stat.job_id;
+  }
 
   ExecutorPool::SpeculationOptions spec;
   spec.enabled = opts.speculation;
@@ -189,10 +206,18 @@ void Context::RunStage(const std::string& name, int n,
     net::ExecutorFleet* const fleet = fleet_.get();
     for (const int i : pending) {
       tasks.emplace_back([this, &fn, &acc, &gates, &attempt_base, &chaos,
-                          &name, stage_attempt, overhead, profile, fleet,
-                          i](int pool_attempt) {
+                          &name, &stage_trace, stage_attempt, overhead,
+                          profile, fleet, i](int pool_attempt) {
         EngineMetrics::ScopedStageAccumulator scope(&acc);
         prof::ScopedThreadProfile profile_scope(profile);
+        // Per-task trace context: the DispatchTask/Put/Fetch RPCs this
+        // task issues parent under the task's span id.
+        TraceContext task_trace = stage_trace;
+        if (task_trace.trace_id != 0) {
+          task_trace.parent_span_id = stage_trace.span_id;
+          task_trace.span_id = trace_spans_.NextSpanId();
+        }
+        trace::ScopedContext trace_scope(task_trace);
         TaskGate& gate = gates[static_cast<size_t>(i)];
         const int attempt = attempt_base[static_cast<size_t>(i)] + pool_attempt;
         uint64_t delay = static_cast<uint64_t>(overhead > 0 ? overhead : 0);
@@ -330,8 +355,19 @@ void Context::RunJob(internal::NodeBase* root, const std::string& action,
   // dispatchers bind one id per served job so every StageStat of that
   // job carries the same tenant-attributable id), else mints its own.
   const uint64_t ambient = internal::CurrentJobId();
-  internal::ScopedJobId job(ambient != 0 ? ambient
-                                         : next_job_id_.fetch_add(1) + 1);
+  const uint64_t job_id =
+      ambient != 0 ? ambient : next_job_id_.fetch_add(1) + 1;
+  internal::ScopedJobId job(job_id);
+  // Job-root trace span: trace_id is the job id (unique per context), so
+  // every stage, task, client RPC and daemon serve span of this job
+  // shares one trace. Untouched when tracing is off or the caller already
+  // bound a context.
+  TraceContext job_trace = trace::Current();
+  if (trace_spans_.enabled() && job_trace.trace_id == 0) {
+    job_trace.trace_id = job_id;
+    job_trace.span_id = trace_spans_.NextSpanId();
+  }
+  trace::ScopedContext trace_scope(job_trace);
   const FaultToleranceOptions opts = fault_options();
   const int max_attempts = std::max(1, opts.max_job_attempts);
   for (int attempt = 0;; ++attempt) {
@@ -376,8 +412,15 @@ void Context::EnsureShuffleDependencies(
   // Materialize-only job (no result stage). Runs under the caller's job
   // id when one is active (e.g. called from RunJob), else under its own.
   const bool in_job = internal::CurrentJobId() != 0;
-  internal::ScopedJobId job(in_job ? internal::CurrentJobId()
-                                   : next_job_id_.fetch_add(1) + 1);
+  const uint64_t job_id =
+      in_job ? internal::CurrentJobId() : next_job_id_.fetch_add(1) + 1;
+  internal::ScopedJobId job(job_id);
+  TraceContext job_trace = trace::Current();
+  if (trace_spans_.enabled() && job_trace.trace_id == 0) {
+    job_trace.trace_id = job_id;
+    job_trace.span_id = trace_spans_.NextSpanId();
+  }
+  trace::ScopedContext trace_scope(job_trace);
   const FaultToleranceOptions opts = fault_options();
   const int max_attempts = std::max(1, opts.max_job_attempts);
   for (int attempt = 0;; ++attempt) {
@@ -463,19 +506,41 @@ bool Context::DumpTrace(const std::string& path) const {
                    static_cast<unsigned long long>(cs.concurrent_shuffles));
     }
   }
+  // Distributed-tracing lanes: one final scrape pulls any spans still
+  // sitting in daemon rings, then the driver's client RPC spans and every
+  // collected daemon serve span (clock-offset adjusted at collection
+  // time) render as extra pid lanes with flow arrows tying a driver span
+  // to the daemon work it triggered.
+  if (fleet_ != nullptr) fleet_->ScrapeAll();
+  std::vector<TraceSpan> rpc_spans = trace_spans_.Snapshot();
+  if (fleet_ != nullptr) {
+    std::vector<TraceSpan> daemon_spans = fleet_->CollectedSpans();
+    rpc_spans.insert(rpc_spans.end(),
+                     std::make_move_iterator(daemon_spans.begin()),
+                     std::make_move_iterator(daemon_spans.end()));
+  }
+  trace::WriteSpanEvents(f, rpc_spans);
   std::fputs("\n]}\n", f);
   const bool ok = std::fclose(f) == 0;
   return ok;
 }
 
-std::string Context::MetricsJson() const { return spangle::MetricsJson(metrics_); }
+std::string Context::MetricsJson() const {
+  if (fleet_ == nullptr) return spangle::MetricsJson(metrics_);
+  // Refresh the daemon snapshots so the export reflects "now", not the
+  // last heartbeat round, then emit the fleet-labeled variant.
+  fleet_->ScrapeAll();
+  return spangle::MetricsJson(metrics_, fleet_->ExecutorStats());
+}
 
 bool Context::DumpMetricsJson(const std::string& path) const {
   return WriteStringToFile(MetricsJson(), path);
 }
 
 std::string Context::MetricsPrometheus() const {
-  return spangle::MetricsPrometheus(metrics_);
+  if (fleet_ == nullptr) return spangle::MetricsPrometheus(metrics_);
+  fleet_->ScrapeAll();
+  return spangle::MetricsPrometheus(metrics_, fleet_->ExecutorStats());
 }
 
 bool Context::DumpMetricsPrometheus(const std::string& path) const {

@@ -30,6 +30,7 @@
 #include "engine/size_estimator.h"
 #include "engine/spill_codec.h"
 #include "engine/storage_level.h"
+#include "engine/trace.h"
 #include "net/deployment.h"
 #include "net/remote_shuffle.h"
 
@@ -89,6 +90,17 @@ class Context {
   bool profiling_enabled() const {
     return profiling_.load(std::memory_order_relaxed);
   }
+
+  /// Distributed tracing (on by default; see DESIGN.md §14). When on,
+  /// RunJob/RunStage bind (trace_id, span_id) contexts on their threads,
+  /// fleet RPCs stamp trace headers onto requests, and daemons record
+  /// serve-side spans that DumpTrace merges back into one timeline.
+  /// Turning it off reduces every stamp to one atomic load; daemon-side
+  /// recording follows the trace_id==0 header automatically.
+  void set_tracing_enabled(bool enabled) { trace_spans_.set_enabled(enabled); }
+  bool tracing_enabled() const { return trace_spans_.enabled(); }
+  /// The driver-side span ring (client RPC spans + job/stage roots).
+  SpanRecorder& trace_spans() { return trace_spans_; }
 
   /// Fault injection: drops every cached/spilled block resident on
   /// `worker`, as if that executor process died. Cached partitions
@@ -234,6 +246,8 @@ class Context {
   BlockManager block_manager_;  // after metrics_: holds a pointer to it
   RuntimeProfile profile_{&metrics_};  // after metrics_ likewise
   Scheduler scheduler_{this};
+  // Driver-side span ring; before fleet_, which holds a pointer to it.
+  SpanRecorder trace_spans_;
   // DISTRIBUTED mode only (null otherwise); after metrics_, which both
   // reference. The dtor shuts the fleet down before the members above go.
   std::unique_ptr<net::ExecutorFleet> fleet_;

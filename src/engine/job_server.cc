@@ -162,6 +162,15 @@ JobServer::SessionStats JobServer::Stats(SessionId session) const {
   out.wait_us = s->wait_us;
   out.run_us = s->run_us;
   out.engine_job_ids = s->engine_job_ids;
+  out.wait_p50_us = s->wait_hist.Percentile(0.50);
+  out.wait_p95_us = s->wait_hist.Percentile(0.95);
+  out.wait_p99_us = s->wait_hist.Percentile(0.99);
+  out.run_p50_us = s->run_hist.Percentile(0.50);
+  out.run_p95_us = s->run_hist.Percentile(0.95);
+  out.run_p99_us = s->run_hist.Percentile(0.99);
+  out.e2e_p50_us = s->e2e_hist.Percentile(0.50);
+  out.e2e_p95_us = s->e2e_hist.Percentile(0.95);
+  out.e2e_p99_us = s->e2e_hist.Percentile(0.99);
   return out;
 }
 
@@ -277,8 +286,11 @@ void JobServer::DispatcherLoop() {
       ++running_;
       dispatch_log_.emplace_back(job->session, job->id);
       Session* s = SessionLocked(job->session);
+      const uint64_t wait = job->dispatch_us - job->submit_us;
+      ctx_->metrics().job_queue_wait_us.Observe(static_cast<double>(wait));
+      s->wait_hist.Observe(static_cast<double>(wait));
       MutexLock qlock(&s->queue_mu);
-      s->wait_us += job->dispatch_us - job->submit_us;
+      s->wait_us += wait;
     }
     ExecuteJob(job);
   }
@@ -340,6 +352,12 @@ void JobServer::ExecuteJob(Job* job) {
     s->run_us += job->done_us - job->dispatch_us;
     if (engine_job_id != 0) s->engine_job_ids.push_back(engine_job_id);
   }
+  const uint64_t run = job->done_us - job->dispatch_us;
+  const uint64_t e2e = job->done_us - job->submit_us;
+  ctx_->metrics().job_run_us.Observe(static_cast<double>(run));
+  ctx_->metrics().job_e2e_us.Observe(static_cast<double>(e2e));
+  s->run_hist.Observe(static_cast<double>(run));
+  s->e2e_hist.Observe(static_cast<double>(e2e));
   ctx_->metrics().jobs_served.fetch_add(1);
   work_cv_.NotifyAll();  // freed headroom: re-scan deferred jobs
   done_cv_.NotifyAll();

@@ -112,6 +112,14 @@ class JobServer {
     uint64_t deferred = 0;    // jobs that waited on admission at least once
     uint64_t wait_us = 0;     // total submit → dispatch
     uint64_t run_us = 0;      // total dispatch → completion
+    // Latency percentile estimates (us) over this session's finished
+    // jobs, from per-session fixed-bucket histograms (EngineMetrics::
+    // LatencyBoundsUs edges; see Histogram::Percentile). wait = submit →
+    // dispatch, run = dispatch → done, e2e = submit → done. Cache hits
+    // count too — a hit's run time is the cache lookup.
+    double wait_p50_us = 0, wait_p95_us = 0, wait_p99_us = 0;
+    double run_p50_us = 0, run_p95_us = 0, run_p99_us = 0;
+    double e2e_p50_us = 0, e2e_p95_us = 0, e2e_p99_us = 0;
     /// Engine job ids this session's jobs ran under — joins per-tenant
     /// cost against StageStat::job_id in DumpTrace. Cache hits run no
     /// engine job and contribute no id.
@@ -270,6 +278,13 @@ class JobServer {
     uint64_t wait_us GUARDED_BY(queue_mu) = 0;
     uint64_t run_us GUARDED_BY(queue_mu) = 0;
     std::vector<uint64_t> engine_job_ids GUARDED_BY(queue_mu);
+
+    // Internally atomic (no guard): per-session latency distributions
+    // behind the SessionStats percentiles. The context-wide copies live
+    // in EngineMetrics (job_queue_wait_us / job_run_us / job_e2e_us).
+    Histogram wait_hist{EngineMetrics::LatencyBoundsUs()};
+    Histogram run_hist{EngineMetrics::LatencyBoundsUs()};
+    Histogram e2e_hist{EngineMetrics::LatencyBoundsUs()};
   };
 
   void DispatcherLoop();

@@ -100,8 +100,54 @@ const std::vector<double>& EngineMetrics::DensityBounds() {
   return kBounds;
 }
 
+const std::vector<double>& EngineMetrics::RttBoundsUs() {
+  static const std::vector<double> kBounds = {
+      50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000, 250000};
+  return kBounds;
+}
+
+double Histogram::PercentileFromCounts(const std::vector<double>& bounds,
+                                       const std::vector<uint64_t>& counts,
+                                       double q) {
+  uint64_t total = 0;
+  for (const uint64_t c : counts) total += c;
+  if (total == 0 || bounds.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (1-based, ceil).
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    const uint64_t prev = cumulative;
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // The open overflow bucket has no upper edge; clamp to the last
+    // bound (consistent with Prometheus-style le="+Inf" reporting).
+    if (b >= bounds.size()) return bounds.back();
+    const double lower = b == 0 ? 0.0 : bounds[b - 1];
+    const double upper = bounds[b];
+    const uint64_t in_bucket = counts[b];
+    if (in_bucket == 0) return upper;
+    const double frac =
+        (rank - static_cast<double>(prev)) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * (frac < 0.0 ? 0.0 : frac);
+  }
+  return bounds.back();
+}
+
+const std::vector<double>& EngineMetrics::LatencyBoundsUs() {
+  static const std::vector<double> kBounds = {
+      100,    1000,    5000,    10000,    50000,     100000,
+      500000, 1000000, 5000000, 10000000, 60000000};
+  return kBounds;
+}
+
 EngineMetrics::EngineMetrics()
     : task_duration_us(TaskDurationBounds()),
+      heartbeat_rtt_us(RttBoundsUs()),
+      job_queue_wait_us(LatencyBoundsUs()),
+      job_run_us(LatencyBoundsUs()),
+      job_e2e_us(LatencyBoundsUs()),
       chunk_density(DensityBounds()),
       mask_density(DensityBounds()) {
   const auto counter = [this](const char* name, const char* unit,
@@ -183,6 +229,10 @@ EngineMetrics::EngineMetrics()
   counter("heartbeat_misses", "count",
           "Heartbeat probes an executor daemon failed to answer",
           &heartbeat_misses);
+  registry_.RegisterHistogram("heartbeat_rtt_us", "us",
+                              "Heartbeat round-trip time to executor "
+                              "daemons (feeds clock-offset estimation)",
+                              &heartbeat_rtt_us);
   registry_.RegisterScalar(MetricKind::kTimer, "remote_fetch_time_us", "us",
                            "Time tasks spent waiting on remote shuffle "
                            "fetches",
@@ -210,6 +260,15 @@ EngineMetrics::EngineMetrics()
           &result_cache_evictions);
   gauge("result_cache_bytes", "bytes",
         "Payload bytes resident in the result cache", &result_cache_bytes);
+  registry_.RegisterHistogram("job_queue_wait_us", "us",
+                              "Time served jobs sat queued before dispatch",
+                              &job_queue_wait_us);
+  registry_.RegisterHistogram("job_run_us", "us",
+                              "Execution time of served jobs",
+                              &job_run_us);
+  registry_.RegisterHistogram("job_e2e_us", "us",
+                              "Submit-to-done latency of served jobs",
+                              &job_e2e_us);
   counter("mode_transitions", "count",
           "Chunk storage-mode conversions (dense/sparse/super-sparse)",
           &mode_transitions);

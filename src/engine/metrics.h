@@ -117,6 +117,17 @@ class Histogram {
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
 
+  /// Estimated q-quantile (0 < q <= 1) by linear interpolation inside the
+  /// bucket holding the target rank; observations in the open overflow
+  /// bucket clamp to the last bound. 0 with no observations. The static
+  /// variant works on externally diffed bucket counts (per-query scoping).
+  double Percentile(double q) const {
+    return PercentileFromCounts(bounds_, BucketCounts(), q);
+  }
+  static double PercentileFromCounts(const std::vector<double>& bounds,
+                                     const std::vector<uint64_t>& counts,
+                                     double q);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<uint64_t>> bucket_counts_;
@@ -169,6 +180,14 @@ class EngineMetrics {
   /// Inclusive upper edges for density-style histograms (fraction of
   /// valid cells in a chunk / set bits in a bitmask, 0..1).
   static const std::vector<double>& DensityBounds();
+
+  /// Log-scale upper edges for heartbeat round-trip times (microseconds,
+  /// loopback RPC scale).
+  static const std::vector<double>& RttBoundsUs();
+
+  /// Log-scale upper edges for serving-side job latencies (microseconds,
+  /// queue wait through end-to-end).
+  static const std::vector<double>& LatencyBoundsUs();
 
   EngineMetrics();
 
@@ -238,6 +257,11 @@ class EngineMetrics {
   std::atomic<uint64_t> heartbeat_misses{0};
   std::atomic<uint64_t> remote_fetch_time_us{0};
 
+  // Heartbeat round-trip time to executor daemons. Beyond health, the
+  // RTT feeds the per-daemon clock-offset estimate (the RTT-midpoint
+  // method) that aligns daemon span timestamps in merged traces.
+  Histogram heartbeat_rtt_us;
+
   // Multi-tenant serving (JobServer): jobs accepted per session, jobs
   // whose admission was deferred because their memory estimate exceeded
   // the BlockManager headroom (counted once per deferred job), jobs
@@ -252,6 +276,14 @@ class EngineMetrics {
   std::atomic<uint64_t> result_cache_misses{0};
   std::atomic<uint64_t> result_cache_evictions{0};
   std::atomic<uint64_t> result_cache_bytes{0};  // gauge: cached payload bytes
+
+  // Serving latency distributions across every session: time a job sat
+  // queued before dispatch, time executing, and submit-to-done. The
+  // JobServer also keeps per-session copies for the ExplainAnalyze
+  // `serving:` percentiles.
+  Histogram job_queue_wait_us;
+  Histogram job_run_us;
+  Histogram job_e2e_us;
 
   // Array-layer structure: chunk storage-mode conversions (dense ↔
   // sparse ↔ super-sparse), the density of chunks built during execution,

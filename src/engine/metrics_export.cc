@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 // Lock-free by construction: every reader here consumes either atomic
 // counters or a value snapshot (EngineMetrics::StageStats() copies the
@@ -50,8 +53,12 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-std::string MetricsJson(const EngineMetrics& metrics) {
-  std::ostringstream os;
+namespace {
+
+/// The body shared by both MetricsJson overloads: everything inside the
+/// outer object except the optional "fleet" array and the closing brace.
+void AppendMetricsJsonBody(const EngineMetrics& metrics,
+                           std::ostringstream& os) {
   os << "{\"metrics\":[";
   bool first = true;
   for (const MetricDef& m : metrics.registry().metrics()) {
@@ -81,7 +88,45 @@ std::string MetricsJson(const EngineMetrics& metrics) {
     os << "}";
   }
   os << "],\"stage_stats\":{\"retained\":" << metrics.StageStats().size()
-     << ",\"dropped\":" << metrics.stage_stats_dropped() << "}}";
+     << ",\"dropped\":" << metrics.stage_stats_dropped() << "}";
+}
+
+}  // namespace
+
+std::string MetricsJson(const EngineMetrics& metrics) {
+  std::ostringstream os;
+  AppendMetricsJsonBody(metrics, os);
+  os << "}";
+  return os.str();
+}
+
+std::string MetricsJson(const EngineMetrics& metrics,
+                        const std::vector<FleetExecutorStats>& fleet) {
+  std::ostringstream os;
+  AppendMetricsJsonBody(metrics, os);
+  os << ",\"fleet\":[";
+  bool first_exec = true;
+  for (const FleetExecutorStats& e : fleet) {
+    if (!first_exec) os << ",";
+    first_exec = false;
+    os << "{\"executor\":" << e.executor
+       << ",\"scraped\":" << (e.scraped ? "true" : "false")
+       << ",\"blocks_held\":" << e.blocks_held
+       << ",\"bytes_in_memory\":" << e.bytes_in_memory
+       << ",\"tasks_run\":" << e.tasks_run
+       << ",\"spans_dropped\":" << e.spans_dropped
+       << ",\"clock_offset_us\":" << e.clock_offset_us
+       << ",\"restarts\":" << e.restarts << ",\"metrics\":[";
+    for (size_t i = 0; i < e.metric_names.size(); ++i) {
+      if (i > 0) os << ",";
+      const MetricKind kind = static_cast<MetricKind>(e.metric_kinds[i]);
+      os << "{\"name\":\"" << JsonEscape(e.metric_names[i])
+         << "\",\"kind\":\"" << MetricKindName(kind)
+         << "\",\"value\":" << e.metric_values[i] << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
   return os.str();
 }
 
@@ -125,6 +170,99 @@ std::string MetricsPrometheus(const EngineMetrics& metrics,
       os << "# TYPE " << name << " " << (gauge ? "gauge" : "counter")
          << "\n";
       os << name << " " << m.value->load(std::memory_order_relaxed) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsPrometheus(const EngineMetrics& metrics,
+                              const std::vector<FleetExecutorStats>& fleet,
+                              const std::string& prefix) {
+  std::ostringstream os;
+  os << MetricsPrometheus(metrics, prefix);
+
+  // Driver-side per-executor families. All series of a family are grouped
+  // under one # HELP/# TYPE pair, as the exposition format requires.
+  struct Family {
+    const char* name;
+    const char* type;
+    const char* help;
+    uint64_t (*value)(const FleetExecutorStats&);
+  };
+  static const Family kFamilies[] = {
+      {"executor_blocks_held", "gauge",
+       "Blocks resident on the executor daemon (last heartbeat/scrape)",
+       [](const FleetExecutorStats& e) { return e.blocks_held; }},
+      {"executor_bytes_in_memory", "gauge",
+       "Bytes resident in the executor daemon's block store",
+       [](const FleetExecutorStats& e) { return e.bytes_in_memory; }},
+      {"executor_tasks_run", "counter",
+       "Tasks dispatched to the executor daemon since it started",
+       [](const FleetExecutorStats& e) { return e.tasks_run; }},
+      {"executor_spans_dropped", "counter",
+       "Trace spans the executor daemon dropped to span-ring overflow",
+       [](const FleetExecutorStats& e) { return e.spans_dropped; }},
+      // Named apart from the registry-wide spangle_executor_restarts
+      // counter (total across slots): one family name may not carry two
+      // TYPE lines in a single exposition.
+      {"executor_slot_restarts", "counter",
+       "Times this executor slot's daemon was respawned after a failure",
+       [](const FleetExecutorStats& e) { return e.restarts; }},
+  };
+  for (const Family& fam : kFamilies) {
+    const std::string name = prefix + fam.name;
+    os << "# HELP " << name << " " << fam.help << "\n";
+    os << "# TYPE " << name << " " << fam.type << "\n";
+    for (const FleetExecutorStats& e : fleet) {
+      os << name << "{executor=\"" << e.executor << "\"} " << fam.value(e)
+         << "\n";
+    }
+  }
+  // Clock offset is signed (daemon epoch minus driver epoch), so it gets
+  // its own emission instead of squeezing through the uint64 accessor.
+  {
+    const std::string name = prefix + "executor_clock_offset_us";
+    os << "# HELP " << name
+       << " Estimated daemon clock offset vs the driver trace epoch"
+       << "\n";
+    os << "# TYPE " << name << " gauge\n";
+    for (const FleetExecutorStats& e : fleet) {
+      os << name << "{executor=\"" << e.executor << "\"} "
+         << e.clock_offset_us << "\n";
+    }
+  }
+
+  // Scraped daemon-registry scalars, pivoted so every metric name becomes
+  // one family with an executor="N" series per daemon (the scrapes all
+  // come from the same binary, but a family is emitted as long as at
+  // least one daemon reported it).
+  std::vector<std::string> order;
+  struct Pivot {
+    uint8_t kind = 0;
+    std::vector<std::pair<int, uint64_t>> series;
+  };
+  std::unordered_map<std::string, Pivot> pivot;
+  for (const FleetExecutorStats& e : fleet) {
+    for (size_t i = 0; i < e.metric_names.size(); ++i) {
+      auto it = pivot.find(e.metric_names[i]);
+      if (it == pivot.end()) {
+        order.push_back(e.metric_names[i]);
+        it = pivot.emplace(e.metric_names[i], Pivot{}).first;
+        it->second.kind = e.metric_kinds[i];
+      }
+      it->second.series.emplace_back(e.executor, e.metric_values[i]);
+    }
+  }
+  for (const std::string& metric : order) {
+    const Pivot& p = pivot[metric];
+    const std::string name = prefix + "executor_daemon_" + metric;
+    // Timers (and the flattened histogram _count/_sum pairs) export as
+    // counters, matching the single-process exposition.
+    const bool gauge = p.kind == static_cast<uint8_t>(MetricKind::kGauge);
+    os << "# HELP " << name << " Executor daemon metric " << metric << "\n";
+    os << "# TYPE " << name << " " << (gauge ? "gauge" : "counter") << "\n";
+    for (const auto& [executor, value] : p.series) {
+      os << name << "{executor=\"" << executor << "\"} " << value << "\n";
     }
   }
   return os.str();

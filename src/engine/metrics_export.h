@@ -2,8 +2,10 @@
 #define SPANGLE_ENGINE_METRICS_EXPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "engine/metrics.h"
+#include "engine/trace.h"
 
 namespace spangle {
 
@@ -21,11 +23,27 @@ std::string JsonEscape(const std::string& s);
 /// open overflow bucket (JSON has no +Inf literal).
 std::string MetricsJson(const EngineMetrics& metrics);
 
+/// Fleet-aware variant: appends a "fleet" array with one object per
+/// executor (heartbeat gauges, clock offset, restart count, and the
+/// scraped scalar snapshot of the daemon's own registry). Distributed
+/// contexts export through this overload after a ScrapeAll().
+std::string MetricsJson(const EngineMetrics& metrics,
+                        const std::vector<FleetExecutorStats>& fleet);
+
 /// Prometheus text exposition format (version 0.0.4): one HELP/TYPE pair
 /// per metric, `prefix` prepended to every name. Timers export as
 /// counters; histograms emit cumulative _bucket{le=...} series plus _sum
 /// and _count, per the Prometheus histogram convention.
 std::string MetricsPrometheus(const EngineMetrics& metrics,
+                              const std::string& prefix = "spangle_");
+
+/// Fleet-aware variant: additionally emits per-executor families labeled
+/// executor="N" — the driver-side gauges as `<prefix>executor_*` and each
+/// scraped daemon registry scalar as `<prefix>executor_daemon_<name>`.
+/// Series of one family are grouped under a single # TYPE line, per the
+/// exposition format (the lint test enforces this).
+std::string MetricsPrometheus(const EngineMetrics& metrics,
+                              const std::vector<FleetExecutorStats>& fleet,
                               const std::string& prefix = "spangle_");
 
 /// Writes `content` to `path`; false when the file cannot be written.

@@ -286,11 +286,31 @@ std::string AnalyzedPlan::ToString() const {
        << " dedup_hits=" << shuffle_block_dedup_hits << "\n";
   }
   if (result_cache_hits > 0 || result_cache_misses > 0 ||
-      admission_queued > 0 || admission_rejected > 0) {
+      admission_queued > 0 || admission_rejected > 0 || jobs_served > 0) {
     os << "serving: result_cache_hits=" << result_cache_hits
        << " result_cache_misses=" << result_cache_misses
        << " admission_queued=" << admission_queued
-       << " admission_rejected=" << admission_rejected << "\n";
+       << " admission_rejected=" << admission_rejected;
+    if (jobs_served > 0) {
+      const auto p = [](double us) {
+        return HumanUs(static_cast<uint64_t>(us));
+      };
+      os << " jobs_served=" << jobs_served << " wait_p50/p95/p99="
+         << p(job_wait_p50_us) << "/" << p(job_wait_p95_us) << "/"
+         << p(job_wait_p99_us) << " run_p50/p95/p99=" << p(job_run_p50_us)
+         << "/" << p(job_run_p95_us) << "/" << p(job_run_p99_us)
+         << " e2e_p50/p95/p99=" << p(job_e2e_p50_us) << "/"
+         << p(job_e2e_p95_us) << "/" << p(job_e2e_p99_us);
+    }
+    os << "\n";
+  }
+  if (rpc_roundtrips > 0 || executor_restarts > 0 || heartbeat_misses > 0) {
+    os << "fleet: rpc_roundtrips=" << rpc_roundtrips
+       << " sent=" << HumanBytes(rpc_bytes_sent)
+       << " received=" << HumanBytes(rpc_bytes_received)
+       << " remote_fetches=" << remote_shuffle_fetches
+       << " restarts=" << executor_restarts
+       << " heartbeat_misses=" << heartbeat_misses << "\n";
   }
   if (!stages.empty()) {
     os << "stages:\n";
@@ -353,6 +373,23 @@ ProfiledRun::ProfiledRun(Context* ctx,
       ctx_->metrics().admission_queued.load(std::memory_order_relaxed);
   adm_rejected_before_ =
       ctx_->metrics().admission_rejected.load(std::memory_order_relaxed);
+  jobs_served_before_ =
+      ctx_->metrics().jobs_served.load(std::memory_order_relaxed);
+  wait_buckets_before_ = ctx_->metrics().job_queue_wait_us.BucketCounts();
+  run_buckets_before_ = ctx_->metrics().job_run_us.BucketCounts();
+  e2e_buckets_before_ = ctx_->metrics().job_e2e_us.BucketCounts();
+  rpc_roundtrips_before_ =
+      ctx_->metrics().rpc_roundtrips.load(std::memory_order_relaxed);
+  rpc_sent_before_ =
+      ctx_->metrics().rpc_bytes_sent.load(std::memory_order_relaxed);
+  rpc_received_before_ =
+      ctx_->metrics().rpc_bytes_received.load(std::memory_order_relaxed);
+  remote_fetches_before_ =
+      ctx_->metrics().remote_shuffle_fetches.load(std::memory_order_relaxed);
+  restarts_before_ =
+      ctx_->metrics().executor_restarts.load(std::memory_order_relaxed);
+  hb_misses_before_ =
+      ctx_->metrics().heartbeat_misses.load(std::memory_order_relaxed);
   start_us_ = ctx_->NowMicros();
 }
 
@@ -388,6 +425,54 @@ AnalyzedPlan ProfiledRun::Finish() {
   plan.admission_rejected =
       ctx_->metrics().admission_rejected.load(std::memory_order_relaxed) -
       adm_rejected_before_;
+  plan.jobs_served =
+      ctx_->metrics().jobs_served.load(std::memory_order_relaxed) -
+      jobs_served_before_;
+  if (plan.jobs_served > 0) {
+    // Percentiles over only this run's jobs: diff the cumulative bucket
+    // counts, then interpolate on the diff.
+    const auto diff = [](std::vector<uint64_t> after,
+                         const std::vector<uint64_t>& before) {
+      for (size_t i = 0; i < after.size() && i < before.size(); ++i) {
+        after[i] -= before[i];
+      }
+      return after;
+    };
+    const auto& bounds = EngineMetrics::LatencyBoundsUs();
+    const auto wait = diff(
+        ctx_->metrics().job_queue_wait_us.BucketCounts(), wait_buckets_before_);
+    const auto run =
+        diff(ctx_->metrics().job_run_us.BucketCounts(), run_buckets_before_);
+    const auto e2e =
+        diff(ctx_->metrics().job_e2e_us.BucketCounts(), e2e_buckets_before_);
+    plan.job_wait_p50_us = Histogram::PercentileFromCounts(bounds, wait, 0.50);
+    plan.job_wait_p95_us = Histogram::PercentileFromCounts(bounds, wait, 0.95);
+    plan.job_wait_p99_us = Histogram::PercentileFromCounts(bounds, wait, 0.99);
+    plan.job_run_p50_us = Histogram::PercentileFromCounts(bounds, run, 0.50);
+    plan.job_run_p95_us = Histogram::PercentileFromCounts(bounds, run, 0.95);
+    plan.job_run_p99_us = Histogram::PercentileFromCounts(bounds, run, 0.99);
+    plan.job_e2e_p50_us = Histogram::PercentileFromCounts(bounds, e2e, 0.50);
+    plan.job_e2e_p95_us = Histogram::PercentileFromCounts(bounds, e2e, 0.95);
+    plan.job_e2e_p99_us = Histogram::PercentileFromCounts(bounds, e2e, 0.99);
+  }
+  plan.rpc_roundtrips =
+      ctx_->metrics().rpc_roundtrips.load(std::memory_order_relaxed) -
+      rpc_roundtrips_before_;
+  plan.rpc_bytes_sent =
+      ctx_->metrics().rpc_bytes_sent.load(std::memory_order_relaxed) -
+      rpc_sent_before_;
+  plan.rpc_bytes_received =
+      ctx_->metrics().rpc_bytes_received.load(std::memory_order_relaxed) -
+      rpc_received_before_;
+  plan.remote_shuffle_fetches =
+      ctx_->metrics().remote_shuffle_fetches.load(std::memory_order_relaxed) -
+      remote_fetches_before_;
+  plan.executor_restarts =
+      ctx_->metrics().executor_restarts.load(std::memory_order_relaxed) -
+      restarts_before_;
+  plan.heartbeat_misses =
+      ctx_->metrics().heartbeat_misses.load(std::memory_order_relaxed) -
+      hb_misses_before_;
   for (AnalyzedNode& an : nodes_) {
     const NodeProfileSnapshot after = ctx_->profile().Snapshot(an.node_id);
     an.actuals = after - an.actuals;

@@ -304,6 +304,23 @@ struct AnalyzedPlan {
   uint64_t result_cache_misses = 0;
   uint64_t admission_queued = 0;
   uint64_t admission_rejected = 0;
+  // Served-job latency percentiles (us) over jobs finished during this
+  // run, estimated from the serving histograms' bucket diffs (wait =
+  // submit → dispatch, run = dispatch → done, e2e = submit → done). All
+  // zero when no JobServer completed a job while the run was open.
+  uint64_t jobs_served = 0;
+  double job_wait_p50_us = 0, job_wait_p95_us = 0, job_wait_p99_us = 0;
+  double job_run_p50_us = 0, job_run_p95_us = 0, job_run_p99_us = 0;
+  double job_e2e_p50_us = 0, job_e2e_p95_us = 0, job_e2e_p99_us = 0;
+  // Fleet/RPC activity during this run (snapshot diffs): RPC roundtrips
+  // and bytes on the wire, remote shuffle fetches, daemon restarts, and
+  // heartbeat misses. All zero in LOCAL mode.
+  uint64_t rpc_roundtrips = 0;
+  uint64_t rpc_bytes_sent = 0;
+  uint64_t rpc_bytes_received = 0;
+  uint64_t remote_shuffle_fetches = 0;
+  uint64_t executor_restarts = 0;
+  uint64_t heartbeat_misses = 0;
   NodeProfileSnapshot totals;      // sum over non-reused nodes
   std::vector<AnalyzedNode> nodes;  // preorder, roots first
   std::vector<StageStat> stages;    // stages executed during the run
@@ -344,6 +361,16 @@ class ProfiledRun {
   uint64_t cache_misses_before_ = 0;
   uint64_t adm_queued_before_ = 0;
   uint64_t adm_rejected_before_ = 0;
+  uint64_t jobs_served_before_ = 0;
+  std::vector<uint64_t> wait_buckets_before_;
+  std::vector<uint64_t> run_buckets_before_;
+  std::vector<uint64_t> e2e_buckets_before_;
+  uint64_t rpc_roundtrips_before_ = 0;
+  uint64_t rpc_sent_before_ = 0;
+  uint64_t rpc_received_before_ = 0;
+  uint64_t remote_fetches_before_ = 0;
+  uint64_t restarts_before_ = 0;
+  uint64_t hb_misses_before_ = 0;
 };
 
 }  // namespace spangle

@@ -195,6 +195,10 @@ void Scheduler::MaterializeShuffles(const PhysicalPlan& plan,
   // the join the error is rethrown on the submitting thread, where
   // RunJob's recovery loop can re-plan.
   const uint64_t job = internal::CurrentJobId();
+  // Per-stage driver threads inherit the submitter's identity: the job id
+  // (tenant attribution in StageStats) and the trace context (so the
+  // stages they run stamp the same trace_id onto fleet RPCs).
+  const TraceContext submitter_trace = trace::Current();
   // Rank kScheduler: held only around the done/running/failed
   // bookkeeping; Materialize() itself runs with the lock released.
   Mutex mu{LockRank::kScheduler, "Scheduler::materialize_mu"};
@@ -211,6 +215,7 @@ void Scheduler::MaterializeShuffles(const PhysicalPlan& plan,
   for (int id : pending) {
     threads.emplace_back([&, id] {
       internal::SetThreadJobId(job);
+      trace::SetThreadContext(submitter_trace);
       const PlanStage& stage = plan.stages[id];
       {
         MutexLock lock(&mu);

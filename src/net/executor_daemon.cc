@@ -54,9 +54,39 @@ ExecutorDaemon::ExecutorDaemon(const ExecutorDaemonOptions& options)
       // semantics inside the shard are meaningless — process death is the
       // failure model here.
       blocks_(DaemonStorage(options.memory_budget_bytes), /*num_workers=*/1,
-              &metrics_) {}
+              &metrics_),
+      // Span ids minted here carry the executor id in the high bits so
+      // they never collide with the driver's (base 0) within a trace.
+      spans_(SpanRecorder::kDefaultCapacity,
+             (static_cast<uint64_t>(options.executor_id) + 1) << 48),
+      start_time_(std::chrono::steady_clock::now()) {
+  spans_.set_enabled(options.tracing);
+}
 
 ExecutorDaemon::~ExecutorDaemon() { Stop(); }
+
+uint64_t ExecutorDaemon::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+}
+
+void ExecutorDaemon::RecordSpan(uint64_t trace_id, const char* name,
+                                uint64_t start_us, uint64_t span_id,
+                                uint64_t parent_span_id) {
+  if (trace_id == 0) return;
+  TraceSpan span;
+  span.trace_id = trace_id;
+  span.span_id = span_id;
+  span.parent_span_id = parent_span_id;
+  span.name = name;
+  span.start_us = start_us;
+  const uint64_t now = NowMicros();
+  span.duration_us = now > start_us ? now - start_us : 0;
+  span.executor = executor_id_;
+  spans_.Record(std::move(span));
+}
 
 Status ExecutorDaemon::Start() {
   return server_.Start(
@@ -93,21 +123,28 @@ Status ExecutorDaemon::Handle(MessageType req_type,
                               std::string* resp_payload) {
   switch (req_type) {
     case MessageType::kPutBlockRequest: {
+      const uint64_t serve_start = NowMicros();
       auto req = PutBlockRequest::Parse(req_payload.data(),
                                         req_payload.size());
       SPANGLE_RETURN_NOT_OK(req.status());
+      const uint64_t serve_span =
+          req->trace.trace_id != 0 ? spans_.NextSpanId() : 0;
       const BlockId id{req->node, req->partition};
       // Receipt validation: re-hash the frame and compare against the
       // sender's content address. A mismatch means the bytes were
       // corrupted between the driver's encoder and here; refusing the
       // store turns silent corruption into a retryable RPC error.
       if (req->content_hash != 0) {
+        const uint64_t verify_start = NowMicros();
         if (req->bytes.size() < codec::kFrameHeaderBytes ||
             codec::ComputeFrameHash(req->bytes.data(), req->bytes.size()) !=
                 req->content_hash) {
           return Status::IOError(
               "PutBlock: frame content hash mismatch (corrupted in flight)");
         }
+        RecordSpan(req->trace.trace_id, "hash_verify", verify_start,
+                   req->trace.trace_id != 0 ? spans_.NextSpanId() : 0,
+                   serve_span);
       }
       const uint64_t bytes = req->bytes.size();
       auto payload = std::make_shared<const codec::FrameBuffer>(
@@ -132,9 +169,12 @@ Status ExecutorDaemon::Handle(MessageType req_type,
       }
       *resp_type = PutBlockResponse::kType;
       out.AppendTo(resp_payload);
+      RecordSpan(req->trace.trace_id, "serve_put", serve_start, serve_span,
+                 req->trace.span_id);
       return Status::OK();
     }
     case MessageType::kFetchBlockRequest: {
+      const uint64_t serve_start = NowMicros();
       auto req = FetchBlockRequest::Parse(req_payload.data(),
                                           req_payload.size());
       SPANGLE_RETURN_NOT_OK(req.status());
@@ -150,6 +190,9 @@ Status ExecutorDaemon::Handle(MessageType req_type,
       }
       *resp_type = FetchBlockResponse::kType;
       resp.AppendTo(resp_payload);
+      RecordSpan(req->trace.trace_id, "serve_fetch", serve_start,
+                 req->trace.trace_id != 0 ? spans_.NextSpanId() : 0,
+                 req->trace.span_id);
       return Status::OK();
     }
     case MessageType::kProbeBlockRequest: {
@@ -163,6 +206,7 @@ Status ExecutorDaemon::Handle(MessageType req_type,
       return Status::OK();
     }
     case MessageType::kDispatchTaskRequest: {
+      const uint64_t serve_start = NowMicros();
       auto req = DispatchTaskRequest::Parse(req_payload.data(),
                                             req_payload.size());
       SPANGLE_RETURN_NOT_OK(req.status());
@@ -188,6 +232,9 @@ Status ExecutorDaemon::Handle(MessageType req_type,
       tasks_run_.fetch_add(1, std::memory_order_relaxed);
       *resp_type = DispatchTaskResponse::kType;
       resp.AppendTo(resp_payload);
+      RecordSpan(req->trace.trace_id, "serve_task", serve_start,
+                 req->trace.trace_id != 0 ? spans_.NextSpanId() : 0,
+                 req->trace.span_id);
       return Status::OK();
     }
     case MessageType::kHeartbeatRequest: {
@@ -199,7 +246,45 @@ Status ExecutorDaemon::Handle(MessageType req_type,
       resp.blocks_held = blocks_.num_resident_blocks();
       resp.bytes_in_memory = blocks_.bytes_in_memory();
       resp.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+      resp.now_us = NowMicros();
       *resp_type = HeartbeatResponse::kType;
+      resp.AppendTo(resp_payload);
+      return Status::OK();
+    }
+    case MessageType::kStatsRequest: {
+      auto req = StatsRequest::Parse(req_payload.data(), req_payload.size());
+      SPANGLE_RETURN_NOT_OK(req.status());
+      StatsResponse resp;
+      resp.now_us = NowMicros();
+      resp.blocks_held = blocks_.num_resident_blocks();
+      resp.bytes_in_memory = blocks_.bytes_in_memory();
+      resp.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+      resp.spans_dropped = spans_.dropped();
+      // Flatten the registry: scalars verbatim, histograms as
+      // <name>_count / <name>_sum counters (the driver labels them with
+      // executor="N", so bucket detail would triple the payload for
+      // little insight at fleet granularity).
+      for (const MetricDef& def : metrics_.registry().metrics()) {
+        if (def.kind == MetricKind::kHistogram) {
+          resp.metrics.push_back(
+              {def.name + "_count", 0, def.histogram->count()});
+          resp.metrics.push_back(
+              {def.name + "_sum", 0,
+               static_cast<uint64_t>(def.histogram->sum())});
+        } else {
+          resp.metrics.push_back(
+              {def.name, static_cast<uint8_t>(def.kind),
+               def.value->load(std::memory_order_relaxed)});
+        }
+      }
+      const std::vector<TraceSpan> spans =
+          req->drain_spans ? spans_.Drain() : spans_.Snapshot();
+      resp.spans.reserve(spans.size());
+      for (const TraceSpan& s : spans) {
+        resp.spans.push_back({s.trace_id, s.span_id, s.parent_span_id,
+                              s.name, s.start_us, s.duration_us});
+      }
+      *resp_type = StatsResponse::kType;
       resp.AppendTo(resp_payload);
       return Status::OK();
     }

@@ -2,6 +2,7 @@
 #define SPANGLE_NET_EXECUTOR_DAEMON_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -9,6 +10,7 @@
 #include "common/status.h"
 #include "engine/block_manager.h"
 #include "engine/metrics.h"
+#include "engine/trace.h"
 #include "net/message.h"
 #include "net/rpc_server.h"
 
@@ -19,6 +21,7 @@ struct ExecutorDaemonOptions {
   uint16_t port = 0;  // 0 = ephemeral; port() reports the bound port
   int executor_id = 0;
   uint64_t memory_budget_bytes = 0;  // 0 = unlimited
+  bool tracing = true;  // record serve-side spans for traced requests
 };
 
 /// One executor's serving side: a BlockManager shard behind the RPC
@@ -48,9 +51,22 @@ class ExecutorDaemon {
 
   const EngineMetrics& metrics() const { return metrics_; }
 
+  /// Microseconds since daemon construction — the epoch every serve span
+  /// and the StatsResponse/HeartbeatResponse `now_us` report on.
+  uint64_t NowMicros() const;
+
+  /// The serve-side span ring (tests peek at it in-process).
+  SpanRecorder& spans() { return spans_; }
+
  private:
   Status Handle(MessageType req_type, const std::string& req_payload,
                 MessageType* resp_type, std::string* resp_payload);
+
+  /// Records a finished span; no-op when trace_id == 0 (untraced
+  /// request). Serve spans parent under the driver's client span id;
+  /// daemon-internal sub-spans parent under their serve span.
+  void RecordSpan(uint64_t trace_id, const char* name, uint64_t start_us,
+                  uint64_t span_id, uint64_t parent_span_id);
 
   const int executor_id_;
   const uint16_t requested_port_;
@@ -58,7 +74,9 @@ class ExecutorDaemon {
   EngineMetrics metrics_;
   BlockManager blocks_;
   RpcServer server_;
+  SpanRecorder spans_;
   std::atomic<uint64_t> tasks_run_{0};
+  const std::chrono::steady_clock::time_point start_time_;
 
   Mutex mu_{LockRank::kLeaf, "ExecutorDaemon::mu_"};
   CondVar stop_cv_;

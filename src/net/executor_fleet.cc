@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "engine/scheduler.h"
 
 namespace spangle {
 namespace net {
@@ -68,12 +69,68 @@ void ReapChild(pid_t pid, int grace_ms) {
 }  // namespace
 
 ExecutorFleet::ExecutorFleet(const DistributedOptions& options,
-                             EngineMetrics* metrics)
+                             EngineMetrics* metrics, SpanRecorder* spans,
+                             std::function<uint64_t()> now_us)
     : options_(options),
       num_executors_(options.num_executors),
-      metrics_(metrics) {
+      metrics_(metrics),
+      spans_(spans),
+      now_us_(std::move(now_us)),
+      fleet_epoch_(std::chrono::steady_clock::now()) {
   SPANGLE_CHECK(num_executors_ > 0);
   SPANGLE_CHECK(metrics_ != nullptr);
+  MutexLock l(&stats_mu_);
+  stats_.resize(num_executors_);
+  for (int w = 0; w < num_executors_; ++w) stats_[w].executor = w;
+}
+
+uint64_t ExecutorFleet::NowUs() const {
+  if (now_us_) return now_us_();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - fleet_epoch_)
+          .count());
+}
+
+uint64_t ExecutorFleet::StampTrace(TraceHeader* trace) {
+  if (spans_ != nullptr && spans_->enabled()) {
+    TraceContext tc = trace::Current();
+    if (tc.trace_id == 0) {
+      // Threads that bind a job id but no trace context (e.g. shuffle
+      // materialization bodies running outside RunStage's task wrapper)
+      // still trace: the job id doubles as the trace id, parented at the
+      // root.
+      tc = TraceContext{};
+      tc.trace_id = internal::CurrentJobId();
+    }
+    if (tc.trace_id != 0) {
+      trace->trace_id = tc.trace_id;
+      trace->span_id = spans_->NextSpanId();
+      trace->parent_span_id = tc.span_id;
+    }
+  }
+  return NowUs();
+}
+
+void ExecutorFleet::RecordClientSpan(const TraceHeader& trace,
+                                     const char* name, uint64_t start_us) {
+  if (trace.trace_id == 0 || spans_ == nullptr) return;
+  TraceSpan span;
+  span.trace_id = trace.trace_id;
+  span.span_id = trace.span_id;
+  span.parent_span_id = trace.parent_span_id;
+  span.name = name;
+  span.start_us = start_us;
+  const uint64_t now = NowUs();
+  span.duration_us = now > start_us ? now - start_us : 0;
+  span.executor = -1;
+  spans_->Record(std::move(span));
+}
+
+void ExecutorFleet::UpdateClockOffsetLocked(int w, uint64_t daemon_now_us,
+                                            uint64_t mid_us) {
+  stats_[w].clock_offset_us =
+      static_cast<int64_t>(daemon_now_us) - static_cast<int64_t>(mid_us);
 }
 
 ExecutorFleet::~ExecutorFleet() { Shutdown(); }
@@ -152,6 +209,7 @@ Status ExecutorFleet::SpawnLocked(int w) {
       "--port=0",
       "--executor-id=" + std::to_string(w),
       "--memory-budget=" + std::to_string(options_.executor_memory_budget),
+      std::string("--tracing=") + (options_.tracing ? "1" : "0"),
   };
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);
@@ -252,6 +310,8 @@ void ExecutorFleet::ReportFailure(int w, pid_t expected_pid) {
   const Status st = SpawnLocked(w);
   if (st.ok()) {
     metrics_->executor_restarts.fetch_add(1, std::memory_order_relaxed);
+    MutexLock sl(&stats_mu_);
+    stats_[w].restarts++;
   } else {
     SPANGLE_LOG(Warning) << "executor " << w
                          << " restart failed: " << st.ToString();
@@ -270,7 +330,9 @@ Status ExecutorFleet::DispatchTask(const std::string& stage, int task,
   req.stage = stage;
   req.task = task;
   req.attempt = attempt;
+  const uint64_t start = StampTrace(&req.trace);
   auto resp = client->TypedCall<DispatchTaskRequest, DispatchTaskResponse>(req);
+  RecordClientSpan(req.trace, "dispatch_task", start);
   if (!resp.ok()) {
     ReportFailure(w, pid);
     return resp.status();
@@ -287,6 +349,7 @@ Result<PutBlockResponse> ExecutorFleet::PutBlock(uint64_t node, int partition,
   req.partition = partition;
   req.bytes = bytes;
   req.content_hash = content_hash;
+  const uint64_t start = StampTrace(&req.trace);
   Status last = Status::OK();
   // Two attempts: the second lands on the restarted replacement daemon.
   // A hash-validation refusal (the daemon received corrupted bytes)
@@ -299,7 +362,10 @@ Result<PutBlockResponse> ExecutorFleet::PutBlock(uint64_t node, int partition,
       return Status::IOError("executor " + std::to_string(w) + " is down");
     }
     auto resp = client->TypedCall<PutBlockRequest, PutBlockResponse>(req);
-    if (resp.ok()) return resp;
+    if (resp.ok()) {
+      RecordClientSpan(req.trace, "put_block", start);
+      return resp;
+    }
     last = resp.status();
     // A hash-validation refusal means the daemon is healthy and its
     // blocks are intact — only the bytes in flight were damaged. Resend
@@ -321,7 +387,9 @@ Result<FetchBlockResponse> ExecutorFleet::FetchBlock(uint64_t node,
   req.node = node;
   req.partition = partition;
   if (client != nullptr) {
+    const uint64_t start = StampTrace(&req.trace);
     auto resp = client->TypedCall<FetchBlockRequest, FetchBlockResponse>(req);
+    RecordClientSpan(req.trace, "fetch_block", start);
     if (resp.ok()) return resp;
     ReportFailure(w, pid);
   }
@@ -357,10 +425,23 @@ Result<HeartbeatResponse> ExecutorFleet::Heartbeat(int w) {
   }
   HeartbeatRequest req;
   req.seq = seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t t0 = NowUs();
   auto resp = client->TypedCall<HeartbeatRequest, HeartbeatResponse>(req);
+  const uint64_t t1 = NowUs();
   if (resp.ok()) {
-    MutexLock l(&mu_);
-    if (w < static_cast<int>(slots_.size())) slots_[w].heartbeat_misses = 0;
+    {
+      MutexLock l(&mu_);
+      if (w < static_cast<int>(slots_.size())) slots_[w].heartbeat_misses = 0;
+    }
+    metrics_->heartbeat_rtt_us.Observe(static_cast<double>(t1 - t0));
+    // Surface the daemon gauges (they used to be dropped here) and
+    // refresh the clock-offset estimate from the RTT midpoint.
+    MutexLock sl(&stats_mu_);
+    FleetExecutorStats& st = stats_[w];
+    st.blocks_held = resp->blocks_held;
+    st.bytes_in_memory = resp->bytes_in_memory;
+    st.tasks_run = resp->tasks_run;
+    UpdateClockOffsetLocked(w, resp->now_us, t0 + (t1 - t0) / 2);
     return resp;
   }
   metrics_->heartbeat_misses.fetch_add(1, std::memory_order_relaxed);
@@ -394,7 +475,79 @@ void ExecutorFleet::HeartbeatLoop() {
     std::this_thread::sleep_for(interval);
     if (heartbeat_stop_.load(std::memory_order_relaxed)) return;
     for (int w = 0; w < num_executors_; ++w) (void)Heartbeat(w);
+    // Piggyback the stats pull on the heartbeat cadence: draining the
+    // daemon span rings mid-job is what keeps a later SIGKILL from
+    // erasing the victim's spans.
+    ScrapeAll();
   }
+}
+
+Status ExecutorFleet::ScrapeStats(int w) {
+  pid_t pid = -1;
+  auto client = ClientFor(w, &pid);
+  if (client == nullptr) {
+    return Status::IOError("executor " + std::to_string(w) + " is down");
+  }
+  StatsRequest req;
+  const uint64_t t0 = NowUs();
+  auto resp = client->TypedCall<StatsRequest, StatsResponse>(req);
+  const uint64_t t1 = NowUs();
+  if (!resp.ok()) return resp.status();
+
+  MutexLock sl(&stats_mu_);
+  FleetExecutorStats& st = stats_[w];
+  st.scraped = true;
+  st.blocks_held = resp->blocks_held;
+  st.bytes_in_memory = resp->bytes_in_memory;
+  st.tasks_run = resp->tasks_run;
+  st.spans_dropped = resp->spans_dropped;
+  UpdateClockOffsetLocked(w, resp->now_us, t0 + (t1 - t0) / 2);
+  st.metric_names.clear();
+  st.metric_kinds.clear();
+  st.metric_values.clear();
+  st.metric_names.reserve(resp->metrics.size());
+  st.metric_kinds.reserve(resp->metrics.size());
+  st.metric_values.reserve(resp->metrics.size());
+  for (const StatsMetric& m : resp->metrics) {
+    st.metric_names.push_back(m.name);
+    st.metric_kinds.push_back(m.kind);
+    st.metric_values.push_back(m.value);
+  }
+  // Accumulate drained spans driver-side, shifted onto the driver epoch
+  // with the offset just estimated; they now outlive the daemon.
+  for (const StatsSpan& s : resp->spans) {
+    if (collected_spans_.size() >= kMaxCollectedSpans) {
+      collected_spans_.pop_front();
+      collected_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    TraceSpan span;
+    span.trace_id = s.trace_id;
+    span.span_id = s.span_id;
+    span.parent_span_id = s.parent_span_id;
+    span.name = s.name;
+    const int64_t aligned =
+        static_cast<int64_t>(s.start_us) - st.clock_offset_us;
+    span.start_us = aligned > 0 ? static_cast<uint64_t>(aligned) : 0;
+    span.duration_us = s.duration_us;
+    span.executor = w;
+    collected_spans_.push_back(std::move(span));
+  }
+  return Status::OK();
+}
+
+void ExecutorFleet::ScrapeAll() {
+  for (int w = 0; w < num_executors_; ++w) (void)ScrapeStats(w);
+}
+
+std::vector<FleetExecutorStats> ExecutorFleet::ExecutorStats() const {
+  MutexLock l(&stats_mu_);
+  return stats_;
+}
+
+std::vector<TraceSpan> ExecutorFleet::CollectedSpans() const {
+  MutexLock l(&stats_mu_);
+  return std::vector<TraceSpan>(collected_spans_.begin(),
+                                collected_spans_.end());
 }
 
 }  // namespace net

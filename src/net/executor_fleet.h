@@ -4,7 +4,10 @@
 #include <sys/types.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -14,6 +17,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "engine/metrics.h"
+#include "engine/trace.h"
 #include "net/deployment.h"
 #include "net/rpc_client.h"
 
@@ -31,7 +35,15 @@ namespace net {
 /// churn is rare and must serialize anyway.
 class ExecutorFleet {
  public:
-  ExecutorFleet(const DistributedOptions& options, EngineMetrics* metrics);
+  /// `spans` (optional) is the driver's span recorder: data-plane RPCs
+  /// stamp trace headers from the calling thread's TraceContext, mint
+  /// client span ids from it, and record client-side spans into it.
+  /// `now_us` (optional) is the driver's trace-epoch clock, used for
+  /// heartbeat RTT and daemon clock-offset estimation; defaults to
+  /// microseconds since fleet construction.
+  ExecutorFleet(const DistributedOptions& options, EngineMetrics* metrics,
+                SpanRecorder* spans = nullptr,
+                std::function<uint64_t()> now_us = {});
   ~ExecutorFleet();
 
   ExecutorFleet(const ExecutorFleet&) = delete;
@@ -78,8 +90,37 @@ class ExecutorFleet {
   bool ProbeBlock(uint64_t node, int partition) EXCLUDES(mu_);
 
   /// One heartbeat probe of executor w. A miss is counted and, past
-  /// heartbeat_miss_limit consecutive misses, fails the daemon.
+  /// heartbeat_miss_limit consecutive misses, fails the daemon. A
+  /// success records the RTT histogram, refreshes executor w's gauges
+  /// (blocks_held / bytes_in_memory / tasks_run), and re-estimates its
+  /// clock offset from the RTT midpoint.
   Result<HeartbeatResponse> Heartbeat(int w) EXCLUDES(mu_);
+
+  /// Pulls executor w's metrics snapshot and drains its span ring into
+  /// the driver-side span store (so the spans survive a later daemon
+  /// death). Does not count toward heartbeat misses — liveness is the
+  /// heartbeat's job.
+  Status ScrapeStats(int w) EXCLUDES(mu_);
+
+  /// Best-effort ScrapeStats of every executor. Also runs periodically
+  /// on the heartbeat thread when heartbeats are enabled.
+  void ScrapeAll() EXCLUDES(mu_);
+
+  /// Snapshot of the per-executor driver-side stats (heartbeat gauges,
+  /// scraped metric families, clock offsets, restart counts).
+  std::vector<FleetExecutorStats> ExecutorStats() const EXCLUDES(stats_mu_);
+
+  /// Every daemon span collected so far (oldest scrape first), with
+  /// executor ids stamped and timestamps already shifted onto the
+  /// driver's epoch. Includes spans drained from daemons that have since
+  /// been killed or restarted.
+  std::vector<TraceSpan> CollectedSpans() const EXCLUDES(stats_mu_);
+
+  /// Driver-side spans dropped because the collected-span store hit its
+  /// cap (daemon-side ring drops are per-executor in ExecutorStats()).
+  uint64_t collected_spans_dropped() const {
+    return collected_dropped_.load(std::memory_order_relaxed);
+  }
 
   /// Chaos hook: SIGKILL executor w's daemon — its blocks are genuinely
   /// gone — then restart a replacement (empty) daemon if configured.
@@ -109,15 +150,44 @@ class ExecutorFleet {
   RpcClientCounters Counters() const;
   void HeartbeatLoop();
 
+  /// Driver trace-epoch clock (now_us_ or the fleet-local fallback).
+  uint64_t NowUs() const;
+
+  /// Stamps the calling thread's TraceContext into `trace` with a fresh
+  /// client span id; leaves it all-zero when tracing is off or the
+  /// thread is untraced. Returns the stamp time (NowUs()).
+  uint64_t StampTrace(TraceHeader* trace);
+
+  /// Records the driver-side client span for a stamped request (no-op on
+  /// an unstamped one).
+  void RecordClientSpan(const TraceHeader& trace, const char* name,
+                        uint64_t start_us);
+
+  /// Folds one heartbeat/stats reply into executor w's driver-side
+  /// stats. `mid_us` is the RTT midpoint on the driver clock.
+  void UpdateClockOffsetLocked(int w, uint64_t daemon_now_us,
+                               uint64_t mid_us) REQUIRES(stats_mu_);
+
   const DistributedOptions options_;
   const int num_executors_;
   EngineMetrics* const metrics_;
+  SpanRecorder* const spans_;
+  const std::function<uint64_t()> now_us_;
+  const std::chrono::steady_clock::time_point fleet_epoch_;
   std::string binary_;
 
   Mutex mu_{LockRank::kNetFleet, "ExecutorFleet::mu_"};
   std::vector<Slot> slots_ GUARDED_BY(mu_);
   bool started_ GUARDED_BY(mu_) = false;
   bool shutdown_ GUARDED_BY(mu_) = false;
+
+  // Driver-side fleet stats + collected daemon spans. Rank kMetrics:
+  // nothing is acquired under it; it nests safely beneath mu_.
+  static constexpr size_t kMaxCollectedSpans = 65536;
+  mutable Mutex stats_mu_{LockRank::kMetrics, "ExecutorFleet::stats_mu_"};
+  std::vector<FleetExecutorStats> stats_ GUARDED_BY(stats_mu_);
+  std::deque<TraceSpan> collected_spans_ GUARDED_BY(stats_mu_);
+  std::atomic<uint64_t> collected_dropped_{0};
 
   std::atomic<bool> heartbeat_stop_{false};
   std::thread heartbeat_thread_;

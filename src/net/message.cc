@@ -1,5 +1,6 @@
 #include "net/message.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace spangle {
@@ -125,11 +126,24 @@ class Reader {
   size_t pos_ = 0;
 };
 
+void PutTrace(const TraceHeader& t, std::string* out) {
+  PutU64(t.trace_id, out);
+  PutU64(t.span_id, out);
+  PutU64(t.parent_span_id, out);
+}
+
+Status ReadTrace(Reader* r, TraceHeader* t) {
+  SPANGLE_RETURN_NOT_OK(r->ReadU64(&t->trace_id));
+  SPANGLE_RETURN_NOT_OK(r->ReadU64(&t->span_id));
+  SPANGLE_RETURN_NOT_OK(r->ReadU64(&t->parent_span_id));
+  return Status::OK();
+}
+
 }  // namespace
 
 bool IsValidMessageType(uint8_t raw) {
   return raw >= static_cast<uint8_t>(MessageType::kError) &&
-         raw <= static_cast<uint8_t>(MessageType::kShutdownResponse);
+         raw <= static_cast<uint8_t>(MessageType::kStatsResponse);
 }
 
 const char* MessageTypeName(MessageType type) {
@@ -160,6 +174,10 @@ const char* MessageTypeName(MessageType type) {
       return "ShutdownRequest";
     case MessageType::kShutdownResponse:
       return "ShutdownResponse";
+    case MessageType::kStatsRequest:
+      return "StatsRequest";
+    case MessageType::kStatsResponse:
+      return "StatsResponse";
   }
   return "unknown";
 }
@@ -200,6 +218,7 @@ void DispatchTaskRequest::AppendTo(std::string* out) const {
   PutI32(attempt, out);
   PutBytes(task_kind, out);
   PutBytes(payload, out);
+  PutTrace(trace, out);
 }
 
 Result<DispatchTaskRequest> DispatchTaskRequest::Parse(const char* data,
@@ -211,6 +230,7 @@ Result<DispatchTaskRequest> DispatchTaskRequest::Parse(const char* data,
   SPANGLE_RETURN_NOT_OK(r.ReadI32(&m.attempt));
   SPANGLE_RETURN_NOT_OK(r.ReadBytes(&m.task_kind));
   SPANGLE_RETURN_NOT_OK(r.ReadBytes(&m.payload));
+  SPANGLE_RETURN_NOT_OK(ReadTrace(&r, &m.trace));
   SPANGLE_RETURN_NOT_OK(r.Done());
   return m;
 }
@@ -233,6 +253,7 @@ void PutBlockRequest::AppendTo(std::string* out) const {
   PutI32(partition, out);
   PutBytes(bytes, out);
   PutU64(content_hash, out);
+  PutTrace(trace, out);
 }
 
 Result<PutBlockRequest> PutBlockRequest::Parse(const char* data,
@@ -243,6 +264,7 @@ Result<PutBlockRequest> PutBlockRequest::Parse(const char* data,
   SPANGLE_RETURN_NOT_OK(r.ReadI32(&m.partition));
   SPANGLE_RETURN_NOT_OK(r.ReadBytes(&m.bytes));
   SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.content_hash));
+  SPANGLE_RETURN_NOT_OK(ReadTrace(&r, &m.trace));
   SPANGLE_RETURN_NOT_OK(r.Done());
   return m;
 }
@@ -263,6 +285,7 @@ Result<PutBlockResponse> PutBlockResponse::Parse(const char* data,
 void FetchBlockRequest::AppendTo(std::string* out) const {
   PutU64(node, out);
   PutI32(partition, out);
+  PutTrace(trace, out);
 }
 
 Result<FetchBlockRequest> FetchBlockRequest::Parse(const char* data,
@@ -271,6 +294,7 @@ Result<FetchBlockRequest> FetchBlockRequest::Parse(const char* data,
   FetchBlockRequest m;
   SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.node));
   SPANGLE_RETURN_NOT_OK(r.ReadI32(&m.partition));
+  SPANGLE_RETURN_NOT_OK(ReadTrace(&r, &m.trace));
   SPANGLE_RETURN_NOT_OK(r.Done());
   return m;
 }
@@ -336,6 +360,7 @@ void HeartbeatResponse::AppendTo(std::string* out) const {
   PutU64(blocks_held, out);
   PutU64(bytes_in_memory, out);
   PutU64(tasks_run, out);
+  PutU64(now_us, out);
 }
 
 Result<HeartbeatResponse> HeartbeatResponse::Parse(const char* data,
@@ -346,6 +371,7 @@ Result<HeartbeatResponse> HeartbeatResponse::Parse(const char* data,
   SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.blocks_held));
   SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.bytes_in_memory));
   SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.tasks_run));
+  SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.now_us));
   SPANGLE_RETURN_NOT_OK(r.Done());
   return m;
 }
@@ -366,6 +392,79 @@ Result<ShutdownResponse> ShutdownResponse::Parse(const char* data,
   Reader r(data, size);
   SPANGLE_RETURN_NOT_OK(r.Done());
   return ShutdownResponse{};
+}
+
+void StatsRequest::AppendTo(std::string* out) const {
+  PutU8(drain_spans ? 1 : 0, out);
+}
+
+Result<StatsRequest> StatsRequest::Parse(const char* data, size_t size) {
+  Reader r(data, size);
+  StatsRequest m;
+  SPANGLE_RETURN_NOT_OK(r.ReadBool(&m.drain_spans));
+  SPANGLE_RETURN_NOT_OK(r.Done());
+  return m;
+}
+
+void StatsResponse::AppendTo(std::string* out) const {
+  PutU64(now_us, out);
+  PutU64(blocks_held, out);
+  PutU64(bytes_in_memory, out);
+  PutU64(tasks_run, out);
+  PutU64(spans_dropped, out);
+  PutU32(static_cast<uint32_t>(metrics.size()), out);
+  for (const StatsMetric& m : metrics) {
+    PutBytes(m.name, out);
+    PutU8(m.kind, out);
+    PutU64(m.value, out);
+  }
+  PutU32(static_cast<uint32_t>(spans.size()), out);
+  for (const StatsSpan& s : spans) {
+    PutU64(s.trace_id, out);
+    PutU64(s.span_id, out);
+    PutU64(s.parent_span_id, out);
+    PutBytes(s.name, out);
+    PutU64(s.start_us, out);
+    PutU64(s.duration_us, out);
+  }
+}
+
+Result<StatsResponse> StatsResponse::Parse(const char* data, size_t size) {
+  Reader r(data, size);
+  StatsResponse m;
+  SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.now_us));
+  SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.blocks_held));
+  SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.bytes_in_memory));
+  SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.tasks_run));
+  SPANGLE_RETURN_NOT_OK(r.ReadU64(&m.spans_dropped));
+  uint32_t num_metrics = 0;
+  SPANGLE_RETURN_NOT_OK(r.ReadU32(&num_metrics));
+  // Each entry occupies >= 13 bytes on the wire, so a hostile count is
+  // caught by the first truncated read — no preflight allocation risk
+  // beyond one element at a time.
+  m.metrics.reserve(std::min<uint32_t>(num_metrics, 1024));
+  for (uint32_t i = 0; i < num_metrics; ++i) {
+    StatsMetric e;
+    SPANGLE_RETURN_NOT_OK(r.ReadBytes(&e.name));
+    SPANGLE_RETURN_NOT_OK(r.ReadU8(&e.kind));
+    SPANGLE_RETURN_NOT_OK(r.ReadU64(&e.value));
+    m.metrics.push_back(std::move(e));
+  }
+  uint32_t num_spans = 0;
+  SPANGLE_RETURN_NOT_OK(r.ReadU32(&num_spans));
+  m.spans.reserve(std::min<uint32_t>(num_spans, 1024));
+  for (uint32_t i = 0; i < num_spans; ++i) {
+    StatsSpan s;
+    SPANGLE_RETURN_NOT_OK(r.ReadU64(&s.trace_id));
+    SPANGLE_RETURN_NOT_OK(r.ReadU64(&s.span_id));
+    SPANGLE_RETURN_NOT_OK(r.ReadU64(&s.parent_span_id));
+    SPANGLE_RETURN_NOT_OK(r.ReadBytes(&s.name));
+    SPANGLE_RETURN_NOT_OK(r.ReadU64(&s.start_us));
+    SPANGLE_RETURN_NOT_OK(r.ReadU64(&s.duration_us));
+    m.spans.push_back(std::move(s));
+  }
+  SPANGLE_RETURN_NOT_OK(r.Done());
+  return m;
 }
 
 }  // namespace net

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -28,6 +29,8 @@ enum class MessageType : uint8_t {
   kHeartbeatResponse = 11,
   kShutdownRequest = 12,
   kShutdownResponse = 13,
+  kStatsRequest = 14,
+  kStatsResponse = 15,
 };
 
 /// True when `raw` names a defined MessageType; the frame decoder rejects
@@ -60,6 +63,17 @@ struct ErrorResponse {
   static Result<ErrorResponse> Parse(const char* data, size_t size);
 };
 
+/// Trace context carried on data-plane requests (DESIGN.md §14). All
+/// zero means "not traced": the daemon records no span. The daemon's
+/// serve span adopts `trace_id` and parents itself under `span_id`, so a
+/// merged Chrome trace can tie the driver's client span to the daemon's
+/// work via a flow event keyed on `span_id`.
+struct TraceHeader {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+};
+
 /// Driver -> executor: account one task attempt on its assigned daemon.
 /// `task_kind` selects a registered server-side body ("noop", "echo",
 /// "sleep_us"); the RPC doubles as the liveness probe that turns a dead
@@ -72,6 +86,7 @@ struct DispatchTaskRequest {
   int32_t attempt = 0;
   std::string task_kind = "noop";
   std::string payload;
+  TraceHeader trace;
 
   void AppendTo(std::string* out) const;
   static Result<DispatchTaskRequest> Parse(const char* data, size_t size);
@@ -99,6 +114,7 @@ struct PutBlockRequest {
   int32_t partition = 0;
   std::string bytes;  // chunk-frame encoding of the partition
   uint64_t content_hash = 0;
+  TraceHeader trace;
 
   void AppendTo(std::string* out) const;
   static Result<PutBlockRequest> Parse(const char* data, size_t size);
@@ -121,6 +137,7 @@ struct FetchBlockRequest {
 
   uint64_t node = 0;
   int32_t partition = 0;
+  TraceHeader trace;
 
   void AppendTo(std::string* out) const;
   static Result<FetchBlockRequest> Parse(const char* data, size_t size);
@@ -171,6 +188,11 @@ struct HeartbeatRequest {
   static Result<HeartbeatRequest> Parse(const char* data, size_t size);
 };
 
+/// `now_us` is the daemon's monotonic clock (microseconds since daemon
+/// start) sampled while building the response. The driver brackets the
+/// RPC with its own clock and estimates the daemon's clock offset as
+/// now_us - (t_send + t_recv)/2 — the RTT-midpoint estimator — so span
+/// timestamps from different processes can be aligned on one timeline.
 struct HeartbeatResponse {
   static constexpr MessageType kType = MessageType::kHeartbeatResponse;
 
@@ -178,6 +200,7 @@ struct HeartbeatResponse {
   uint64_t blocks_held = 0;
   uint64_t bytes_in_memory = 0;
   uint64_t tasks_run = 0;
+  uint64_t now_us = 0;
 
   void AppendTo(std::string* out) const;
   static Result<HeartbeatResponse> Parse(const char* data, size_t size);
@@ -195,6 +218,55 @@ struct ShutdownResponse {
 
   void AppendTo(std::string* out) const;
   static Result<ShutdownResponse> Parse(const char* data, size_t size);
+};
+
+/// Driver -> executor: pull the daemon's metrics snapshot and (when
+/// `drain_spans`) the contents of its span ring buffer. Draining is
+/// destructive on the daemon — the driver accumulates drained spans, so
+/// spans survive a later SIGKILL of the daemon.
+struct StatsRequest {
+  static constexpr MessageType kType = MessageType::kStatsRequest;
+
+  bool drain_spans = true;
+
+  void AppendTo(std::string* out) const;
+  static Result<StatsRequest> Parse(const char* data, size_t size);
+};
+
+/// One scalar sample from the daemon's EngineMetrics registry. `kind`
+/// mirrors engine MetricKind (0 counter, 1 gauge, 2 timer); histograms
+/// are flattened into `<name>_count` / `<name>_sum` counter entries.
+struct StatsMetric {
+  std::string name;
+  uint8_t kind = 0;
+  uint64_t value = 0;
+};
+
+/// One span drained from the daemon's ring. Timestamps are on the
+/// daemon's own epoch (its `now_us` clock); the driver shifts them by
+/// the estimated clock offset when merging traces.
+struct StatsSpan {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  std::string name;
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+};
+
+struct StatsResponse {
+  static constexpr MessageType kType = MessageType::kStatsResponse;
+
+  uint64_t now_us = 0;  // daemon clock, same epoch as span timestamps
+  uint64_t blocks_held = 0;
+  uint64_t bytes_in_memory = 0;
+  uint64_t tasks_run = 0;
+  uint64_t spans_dropped = 0;  // ring overflow count since daemon start
+  std::vector<StatsMetric> metrics;
+  std::vector<StatsSpan> spans;
+
+  void AppendTo(std::string* out) const;
+  static Result<StatsResponse> Parse(const char* data, size_t size);
 };
 
 }  // namespace net

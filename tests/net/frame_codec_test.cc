@@ -129,6 +129,91 @@ TEST(MessageCodec, HeartbeatAndShutdownRoundTrip) {
   RoundTrip(ShutdownResponse());
 }
 
+TEST(MessageCodec, TraceHeaderRoundTripsOnDataPlaneRequests) {
+  DispatchTaskRequest dispatch;
+  dispatch.stage = "s";
+  dispatch.trace.trace_id = 0x1111222233334444ULL;
+  dispatch.trace.span_id = 0x5555666677778888ULL;
+  dispatch.trace.parent_span_id = 7;
+  const DispatchTaskRequest d = RoundTrip(dispatch);
+  EXPECT_EQ(d.trace.trace_id, dispatch.trace.trace_id);
+  EXPECT_EQ(d.trace.span_id, dispatch.trace.span_id);
+  EXPECT_EQ(d.trace.parent_span_id, 7u);
+
+  PutBlockRequest put;
+  put.bytes = "b";
+  put.trace.trace_id = 9;
+  put.trace.span_id = 10;
+  EXPECT_EQ(RoundTrip(put).trace.trace_id, 9u);
+  EXPECT_EQ(RoundTrip(put).trace.span_id, 10u);
+
+  FetchBlockRequest fetch;
+  fetch.trace.trace_id = 11;
+  fetch.trace.parent_span_id = 12;
+  EXPECT_EQ(RoundTrip(fetch).trace.trace_id, 11u);
+  EXPECT_EQ(RoundTrip(fetch).trace.parent_span_id, 12u);
+
+  // Default (untraced) headers survive as all-zero.
+  const DispatchTaskRequest untraced = RoundTrip(DispatchTaskRequest());
+  EXPECT_EQ(untraced.trace.trace_id, 0u);
+  EXPECT_EQ(untraced.trace.span_id, 0u);
+}
+
+TEST(MessageCodec, StatsMessagesRoundTrip) {
+  StatsRequest req;
+  req.drain_spans = false;
+  EXPECT_FALSE(RoundTrip(req).drain_spans);
+  EXPECT_TRUE(RoundTrip(StatsRequest()).drain_spans);
+
+  StatsResponse resp;
+  resp.now_us = 123456789;
+  resp.blocks_held = 3;
+  resp.bytes_in_memory = 1 << 20;
+  resp.tasks_run = 17;
+  resp.spans_dropped = 2;
+  resp.metrics.push_back({"tasks_run", 0, 17});
+  resp.metrics.push_back({"bytes_cached", 1, 4096});
+  StatsSpan span;
+  span.trace_id = 42;
+  span.span_id = (2ULL << 48) + 5;
+  span.parent_span_id = 99;
+  span.name = "serve_put";
+  span.start_us = 1000;
+  span.duration_us = 250;
+  resp.spans.push_back(span);
+  const StatsResponse got = RoundTrip(resp);
+  EXPECT_EQ(got.now_us, resp.now_us);
+  EXPECT_EQ(got.blocks_held, 3u);
+  EXPECT_EQ(got.bytes_in_memory, resp.bytes_in_memory);
+  EXPECT_EQ(got.tasks_run, 17u);
+  EXPECT_EQ(got.spans_dropped, 2u);
+  ASSERT_EQ(got.metrics.size(), 2u);
+  EXPECT_EQ(got.metrics[0].name, "tasks_run");
+  EXPECT_EQ(got.metrics[0].kind, 0);
+  EXPECT_EQ(got.metrics[0].value, 17u);
+  EXPECT_EQ(got.metrics[1].name, "bytes_cached");
+  EXPECT_EQ(got.metrics[1].kind, 1);
+  ASSERT_EQ(got.spans.size(), 1u);
+  EXPECT_EQ(got.spans[0].trace_id, 42u);
+  EXPECT_EQ(got.spans[0].span_id, span.span_id);
+  EXPECT_EQ(got.spans[0].parent_span_id, 99u);
+  EXPECT_EQ(got.spans[0].name, "serve_put");
+  EXPECT_EQ(got.spans[0].start_us, 1000u);
+  EXPECT_EQ(got.spans[0].duration_us, 250u);
+
+  // Empty response (no metrics, no spans) is legal.
+  const StatsResponse empty = RoundTrip(StatsResponse());
+  EXPECT_TRUE(empty.metrics.empty());
+  EXPECT_TRUE(empty.spans.empty());
+}
+
+TEST(MessageCodec, HeartbeatResponseCarriesDaemonClock) {
+  HeartbeatResponse hb;
+  hb.seq = 5;
+  hb.now_us = 0xabcddcba12344321ULL;
+  EXPECT_EQ(RoundTrip(hb).now_us, hb.now_us);
+}
+
 TEST(MessageCodec, EmptyStringsRoundTrip) {
   DispatchTaskRequest req;
   req.stage = "";
@@ -174,6 +259,29 @@ TEST(MessageCodec, TruncationsAndTrailingBytesFail) {
   HeartbeatResponse hb;
   hb.seq = 1;
   ExpectAllTruncationsFail(hb);
+}
+
+TEST(MessageCodec, StatsResponseTruncationsFail) {
+  StatsResponse resp;
+  resp.now_us = 7;
+  resp.metrics.push_back({"m", 2, 9});
+  StatsSpan span;
+  span.trace_id = 1;
+  span.name = "serve_fetch";
+  resp.spans.push_back(span);
+  ExpectAllTruncationsFail(resp);
+
+  // A hostile element count (claims 2^32-1 spans) must fail cleanly on
+  // the first truncated element, not allocate or scan past the buffer.
+  std::string bytes;
+  StatsResponse small;
+  small.AppendTo(&bytes);
+  // The final u32 is the span count (zero); inflate it.
+  bytes[bytes.size() - 1] = '\xff';
+  bytes[bytes.size() - 2] = '\xff';
+  bytes[bytes.size() - 3] = '\xff';
+  bytes[bytes.size() - 4] = '\xff';
+  EXPECT_FALSE(StatsResponse::Parse(bytes.data(), bytes.size()).ok());
 }
 
 TEST(MessageCodec, BoolFieldRejectsNonBoolByte) {
@@ -302,6 +410,15 @@ TEST(FrameDecoderTest, ArbitraryChunkingRoundTrips) {
   add(MessageType::kHeartbeatResponse, HeartbeatResponse());
   add(MessageType::kShutdownRequest, ShutdownRequest());
   add(MessageType::kShutdownResponse, ShutdownResponse());
+  add(MessageType::kStatsRequest, StatsRequest());
+  StatsResponse stats;
+  stats.now_us = 1;
+  stats.metrics.push_back({"tasks_run", 0, 3});
+  StatsSpan stats_span;
+  stats_span.trace_id = 2;
+  stats_span.name = "serve_task";
+  stats.spans.push_back(stats_span);
+  add(MessageType::kStatsResponse, stats);
 
   std::string stream;
   for (const auto& [type, payload] : frames) {
