@@ -36,17 +36,29 @@ if [[ ! -f "$build_dir/compile_commands.json" ]]; then
   cmake -B "$build_dir" -S "$repo_root" >/dev/null
 fi
 
+# tools/ ships real code (spangle_lint, the executor daemon) and is held
+# to the same bar. Two exclusions: tests/static_analysis/lint_fixtures/
+# holds spangle_lint analysis *inputs* — several are deliberately broken
+# and none are in the build — and tools/fuzz/ is only in the compile
+# database under -DSPANGLE_FUZZERS=ON (Clang-only), so the default build
+# has no flags for it; the fuzz-smoke CI job compiles those harnesses.
 mapfile -t sources < <(
   find "$repo_root/src" "$repo_root/tests" "$repo_root/bench" \
-       -name '*.cc' | sort)
+       "$repo_root/tools" \
+       -name '*.cc' -not -path '*/lint_fixtures/*' \
+       -not -path '*/tools/fuzz/*' | sort)
 echo "-- $tidy ($($tidy --version | sed -n 's/.*version /version /p' | head -1)):" \
      "${#sources[@]} files"
 
+# One clang-tidy process per core: each TU is independent, and tidy is
+# heavily CPU-bound, so the wall-clock win is nearly linear. xargs exits
+# non-zero if any invocation failed.
 status=0
-for src in "${sources[@]}"; do
-  echo "-- tidy ${src#"$repo_root"/}"
-  "$tidy" -p "$build_dir" --quiet "$src" || status=1
-done
+printf '%s\0' "${sources[@]}" |
+  TIDY="$tidy" BUILD_DIR="$build_dir" REPO_ROOT="$repo_root" \
+  xargs -0 -P "$(nproc)" -I {} \
+    bash -c 'echo "-- tidy ${0#"$REPO_ROOT"/}"; exec "$TIDY" -p "$BUILD_DIR" --quiet "$0"' {} \
+  || status=1
 
 if [[ $status -ne 0 ]]; then
   echo "-- clang-tidy FAILED (fix the findings or NOLINT with a reason)" >&2

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# spangle_lint gate: the in-tree static checker for Spangle's own
+# invariants — lock ranks, no blocking under a non-leaf mutex, mandatory
+# Status/Result consumption, untrusted-input discipline in wire decode
+# paths, and GUARDED_BY discipline. Complements clang-tidy
+# (scripts/analyze.sh), which knows none of these rules. Exits non-zero
+# on any finding, so CI gates on it directly.
+#
+# Usage: scripts/lint.sh [build-dir]
+#   build-dir defaults to build/. The tool is built there if missing;
+#   it depends on nothing but a host C++ compiler.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+lint="$build_dir/tools/spangle_lint/spangle_lint"
+if [[ ! -x "$lint" ]]; then
+  echo "-- spangle_lint not built; building it" >&2
+  cmake -B "$build_dir" -S "$repo_root" >/dev/null
+  cmake --build "$build_dir" --target spangle_lint >/dev/null
+fi
+
+echo "-- spangle_lint $("$lint" --version 2>/dev/null || echo '')src/"
+if ! "$lint" --stats "$repo_root/src"; then
+  echo "-- spangle_lint FAILED (fix the findings, or waive a designed" \
+       "exception with '// blocking-ok:' / '// discard-ok:' /" \
+       "'// lock-order-ok:' / '// guarded-ok:' / '// wire-ok:' plus a" \
+       "reason)" >&2
+  exit 1
+fi
+echo "-- spangle_lint clean"

@@ -25,6 +25,9 @@ void PutU64(uint64_t v, std::string* out) {
 }
 
 template <typename T>
+// spangle-lint: untrusted — reads raw bytes from the wire; the caller has
+// already bounds-checked `p`, and misaligned input must not trap (memcpy,
+// never reinterpret_cast).
 T ReadLE(const char* p) {
   T v;
   std::memcpy(&v, p, sizeof(v));
@@ -51,6 +54,8 @@ uint64_t ComputeFrameHash(const char* data, size_t size) {
   return Hash64(data + kFrameHeaderBytes, size - kFrameHeaderBytes, head);
 }
 
+// spangle-lint: untrusted — `data` is a wire buffer; malformed input must
+// surface as Status, never as a crash.
 Result<uint64_t> PeekFrameHash(const char* data, size_t size) {
   if (size < kFrameHeaderBytes) {
     return Status::InvalidArgument("buffer too short for a chunk frame");
@@ -101,6 +106,8 @@ std::string FrameBuilder::Finish(uint64_t* content_hash) {
   return std::move(bytes_);
 }
 
+// spangle-lint: untrusted — the primary chunk-frame decode entry point;
+// every malformed-input shape below returns InvalidArgument/IOError.
 Result<FrameView> FrameView::Parse(const char* data, size_t size,
                                    bool verify_hash) {
   if (size < kFrameHeaderBytes) {

@@ -167,8 +167,8 @@ class CAPABILITY("mutex") Mutex {
     mu_.unlock();
   }
 
-  bool TryLock(const char* file = __builtin_FILE(),
-               int line = __builtin_LINE()) TRY_ACQUIRE(true) {
+  [[nodiscard]] bool TryLock(const char* file = __builtin_FILE(),
+                             int line = __builtin_LINE()) TRY_ACQUIRE(true) {
     const bool ok = mu_.try_lock();
 #if SPANGLE_LOCK_RANK_CHECKS
     if (ok) lock_rank_internal::OnAcquire(this, rank_, name_, file, line);

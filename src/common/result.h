@@ -13,9 +13,10 @@ namespace spangle {
 /// Either a value of type T or a non-OK Status. The library's analogue of
 /// arrow::Result. Accessing the value of an error Result aborts (library
 /// code is exception-free), so callers must check ok() first or use
-/// SPANGLE_ASSIGN_OR_RETURN.
+/// SPANGLE_ASSIGN_OR_RETURN. Marked [[nodiscard]] like Status: an ignored
+/// Result silently drops both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit conversions from values and error statuses keep call sites
   /// terse: `return 42;` or `return Status::IOError(...)`.

@@ -27,8 +27,10 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 /// A success-or-error value. `Status::OK()` carries no allocation; error
-/// statuses carry a code and a message.
-class Status {
+/// statuses carry a code and a message. Marked [[nodiscard]] so a dropped
+/// error is a compile-time warning; deliberate discards must spell out
+/// `(void)` and carry a `// discard-ok:` reason for spangle_lint.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string msg);

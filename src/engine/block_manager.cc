@@ -131,6 +131,8 @@ void BlockManager::RemoveFile(Block& b) {
 
 void BlockManager::EvictBlock(const BlockId& id, Block& b) {
   if (b.level == StorageLevel::kMemoryAndDisk && b.spill != nullptr) {
+    // blocking-ok: spill-before-evict under mu_ is the documented eviction
+    // design — the budget must not be released before the bytes are safe.
     SpillBlock(id, b);
   }
   if (!b.on_disk) b.lost = true;
@@ -155,6 +157,7 @@ void BlockManager::EvictToFit(uint64_t incoming, const BlockId& protect) {
     // A fully unowned payload (mmap readback / dedup-shared) charges
     // nothing against the budget, so evicting it frees nothing.
     if (vb->unowned_bytes >= vb->bytes) continue;
+    // blocking-ok: eviction may spill to disk; designed blocking (above).
     EvictBlock(victim, *vb);
   }
 }
@@ -163,6 +166,7 @@ void BlockManager::Put(const BlockId& id, DataPtr data, uint64_t bytes,
                        StorageLevel level, SpillFn spill, LoadFn load,
                        bool recomputable, uint64_t content_hash) {
   MutexLock lock(&mu_);
+  // blocking-ok: admission may evict-and-spill; designed blocking.
   PutLocked(id, std::move(data), bytes, level, std::move(spill),
             std::move(load), recomputable, content_hash, /*unowned_bytes=*/0);
 }
@@ -193,6 +197,7 @@ bool BlockManager::PutIfAbsent(const BlockId& id, DataPtr data, uint64_t bytes,
       if (src != nullptr && src->data != nullptr &&
           src->content_hash == content_hash) {
         metrics_->shuffle_block_dedup_hits.fetch_add(1);
+        // blocking-ok: admission may evict-and-spill; designed blocking.
         PutLocked(id, src->data, bytes, level, std::move(spill),
                   std::move(load), recomputable, content_hash,
                   /*unowned_bytes=*/bytes);
@@ -201,6 +206,7 @@ bool BlockManager::PutIfAbsent(const BlockId& id, DataPtr data, uint64_t bytes,
       content_index_.erase(cit);  // stale: block gone or rewritten
     }
   }
+  // blocking-ok: admission may evict-and-spill; designed blocking.
   PutLocked(id, std::move(data), bytes, level, std::move(spill),
             std::move(load), recomputable, content_hash, /*unowned_bytes=*/0);
   return true;
@@ -229,6 +235,7 @@ void BlockManager::PutLocked(const BlockId& id, DataPtr data, uint64_t bytes,
     metrics_->spilled_bytes.fetch_add(written);
     return;  // never resident
   }
+  // blocking-ok: eviction may spill to disk; designed blocking.
   EvictToFit(bytes - std::min(unowned_bytes, bytes), id);
   InsertResident(id, b, std::move(data));
 }
@@ -249,6 +256,7 @@ BlockManager::GetResult BlockManager::Get(const BlockId& id) {
       // Re-admit: only the owned portion of the payload competes for
       // budget (mmap-backed bytes stay with the file).
       b->unowned_bytes = std::min(loaded.mapped_bytes, b->bytes);
+      // blocking-ok: re-admission may evict-and-spill; designed blocking.
       EvictToFit(b->bytes - b->unowned_bytes, id);
       InsertResident(id, *b, loaded.data);
     }

@@ -117,6 +117,8 @@ class BlockManager {
   /// Fetches a block: from memory (LRU touch), or from its spill file
   /// (counted as a disk read; re-admitted to memory unless DISK_ONLY).
   /// data == null means the caller must recompute from lineage.
+  // spangle-lint: may-block — a spilled block is re-read from disk via
+  // the (statically unresolvable) LoadFn callback.
   GetResult Get(const BlockId& id) EXCLUDES(mu_);
 
   /// True when the block is available in memory or on disk.
@@ -190,6 +192,9 @@ class BlockManager {
   void ReleaseMemory(Block& b) REQUIRES(mu_);
   void EvictToFit(uint64_t incoming, const BlockId& protect) REQUIRES(mu_);
   void EvictBlock(const BlockId& id, Block& b) REQUIRES(mu_);
+  // spangle-lint: may-block — writes the payload through the SpillFn
+  // callback (disk I/O the call graph cannot see). Spilling under mu_
+  // is the documented eviction design; see DESIGN.md.
   void SpillBlock(const BlockId& id, Block& b) REQUIRES(mu_);
   void RemoveFile(Block& b) REQUIRES(mu_);
   void DropBlockLocked(const BlockId& id, Block& b) REQUIRES(mu_);

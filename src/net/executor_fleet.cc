@@ -182,8 +182,10 @@ Status ExecutorFleet::Start() {
     if (started_) return Status::FailedPrecondition("fleet already started");
     slots_.resize(num_executors_);
     for (int w = 0; w < num_executors_; ++w) {
+      // blocking-ok: startup path; nothing else contends for mu_ yet.
       const Status st = SpawnLocked(w);
       if (!st.ok()) {
+        // blocking-ok: startup unwind; nothing else contends for mu_ yet.
         for (int k = 0; k < w; ++k) KillLocked(k);
         slots_.clear();
         return st;
@@ -216,6 +218,9 @@ Status ExecutorFleet::SpawnLocked(int w) {
   for (auto& a : args) argv.push_back(a.data());
   argv.push_back(nullptr);
 
+  // blocking-ok: spawn/kill must run under mu_ — the slot table and the
+  // processes it points at change together, and a concurrent ReportFailure
+  // for the same slot must observe either the old daemon or the new one.
   const pid_t pid = ::fork();
   if (pid < 0) {
     ::close(pipefd[0]);
@@ -231,21 +236,26 @@ Status ExecutorFleet::SpawnLocked(int w) {
     _exit(127);
   }
   ::close(pipefd[1]);
+  // blocking-ok: bounded by spawn_timeout_ms; part of the atomic spawn.
   const uint16_t port = ReadAnnouncedPort(pipefd[0], options_.spawn_timeout_ms);
   ::close(pipefd[0]);
   if (port == 0) {
     ::kill(pid, SIGKILL);
     int wstatus = 0;
+    // blocking-ok: reaping a just-SIGKILLed child; returns promptly.
     ::waitpid(pid, &wstatus, 0);
     return Status::IOError("executor " + std::to_string(w) +
                            " did not announce a port within " +
                            std::to_string(options_.spawn_timeout_ms) + "ms");
   }
   auto client = std::make_shared<RpcClient>(port, Counters());
+  // blocking-ok: loopback connect to the daemon that just announced; part
+  // of the atomic spawn.
   const Status st = client->Connect();
   if (!st.ok()) {
     ::kill(pid, SIGKILL);
     int wstatus = 0;
+    // blocking-ok: reaping a just-SIGKILLed child; returns promptly.
     ::waitpid(pid, &wstatus, 0);
     return st;
   }
@@ -259,6 +269,7 @@ void ExecutorFleet::KillLocked(int w) {
   if (s.pid > 0) {
     ::kill(s.pid, SIGKILL);
     int wstatus = 0;
+    // blocking-ok: reaping a just-SIGKILLed child; returns promptly.
     ::waitpid(s.pid, &wstatus, 0);
   }
   s = Slot{};
@@ -305,8 +316,11 @@ void ExecutorFleet::ReportFailure(int w, pid_t expected_pid) {
   Slot& s = slots_[w];
   // pid guard: a concurrent report already replaced this daemon.
   if (s.pid != expected_pid || expected_pid <= 0) return;
+  // blocking-ok: kill+respawn must be atomic w.r.t. the slot table — a
+  // dispatcher grabbing mu_ mid-restart must never see a half-dead slot.
   KillLocked(w);
   if (!options_.restart_on_failure) return;
+  // blocking-ok: see KillLocked above — restart is atomic by design.
   const Status st = SpawnLocked(w);
   if (st.ok()) {
     metrics_->executor_restarts.fetch_add(1, std::memory_order_relaxed);
@@ -474,6 +488,8 @@ void ExecutorFleet::HeartbeatLoop() {
   while (!heartbeat_stop_.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(interval);
     if (heartbeat_stop_.load(std::memory_order_relaxed)) return;
+    // discard-ok: a failed heartbeat already routed through ReportFailure;
+    // the loop itself never aborts on one dead executor.
     for (int w = 0; w < num_executors_; ++w) (void)Heartbeat(w);
     // Piggyback the stats pull on the heartbeat cadence: draining the
     // daemon span rings mid-job is what keeps a later SIGKILL from
@@ -536,6 +552,8 @@ Status ExecutorFleet::ScrapeStats(int w) {
 }
 
 void ExecutorFleet::ScrapeAll() {
+  // discard-ok: best-effort stats pull; a dead executor simply contributes
+  // nothing this round.
   for (int w = 0; w < num_executors_; ++w) (void)ScrapeStats(w);
 }
 

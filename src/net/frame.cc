@@ -27,6 +27,8 @@ void EncodeFrame(MessageType type, const std::string& payload,
   out->append(payload);
 }
 
+// spangle-lint: untrusted — `data` arrives straight off a socket; every
+// rejection path must be a Status, never a CHECK.
 Result<FrameHeader> ParseFrameHeader(const char* data) {
   if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("frame: bad magic (not a Spangle peer?)");
@@ -55,6 +57,7 @@ Result<FrameHeader> ParseFrameHeader(const char* data) {
   return h;
 }
 
+// spangle-lint: untrusted — buffers raw socket bytes.
 void FrameDecoder::Feed(const char* data, size_t n) {
   if (!error_.ok()) return;  // corrupt stream: stop buffering
   // Compact the consumed prefix before growing, so a long-lived
@@ -69,6 +72,8 @@ void FrameDecoder::Feed(const char* data, size_t n) {
   buf_.append(data, n);
 }
 
+// spangle-lint: untrusted — frames a byte stream a remote peer controls;
+// a malformed header latches error_ and poisons the connection.
 Result<std::optional<Frame>> FrameDecoder::Next() {
   if (!error_.ok()) return error_;
   if (buf_.size() - consumed_ < kFrameHeaderBytes) {

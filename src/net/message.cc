@@ -41,6 +41,7 @@ class Reader {
  public:
   Reader(const char* data, size_t size) : data_(data), size_(size) {}
 
+  // spangle-lint: untrusted
   Status ReadU8(uint8_t* v) {
     SPANGLE_RETURN_NOT_OK(Need(1));
     *v = static_cast<uint8_t>(data_[pos_]);
@@ -48,6 +49,7 @@ class Reader {
     return Status::OK();
   }
 
+  // spangle-lint: untrusted
   Status ReadU32(uint32_t* v) {
     SPANGLE_RETURN_NOT_OK(Need(4));
     uint32_t out = 0;
@@ -60,6 +62,7 @@ class Reader {
     return Status::OK();
   }
 
+  // spangle-lint: untrusted
   Status ReadU64(uint64_t* v) {
     SPANGLE_RETURN_NOT_OK(Need(8));
     uint64_t out = 0;
@@ -72,6 +75,7 @@ class Reader {
     return Status::OK();
   }
 
+  // spangle-lint: untrusted
   Status ReadI32(int32_t* v) {
     uint32_t raw = 0;
     SPANGLE_RETURN_NOT_OK(ReadU32(&raw));
@@ -79,6 +83,7 @@ class Reader {
     return Status::OK();
   }
 
+  // spangle-lint: untrusted
   Status ReadBool(bool* v) {
     uint8_t raw = 0;
     SPANGLE_RETURN_NOT_OK(ReadU8(&raw));
@@ -90,6 +95,7 @@ class Reader {
     return Status::OK();
   }
 
+  // spangle-lint: untrusted
   Status ReadBytes(std::string* v) {
     uint32_t n = 0;
     SPANGLE_RETURN_NOT_OK(ReadU32(&n));
@@ -101,6 +107,7 @@ class Reader {
 
   /// Strict decoders reject trailing bytes: a framing bug that splices
   /// two payloads together must not half-parse as success.
+  // spangle-lint: untrusted
   Status Done() const {
     if (pos_ != size_) {
       return Status::InvalidArgument(
@@ -111,6 +118,7 @@ class Reader {
   }
 
  private:
+  // spangle-lint: untrusted
   Status Need(size_t n) const {
     if (size_ - pos_ < n) {
       return Status::InvalidArgument("malformed message: truncated (need " +
@@ -132,6 +140,7 @@ void PutTrace(const TraceHeader& t, std::string* out) {
   PutU64(t.parent_span_id, out);
 }
 
+// spangle-lint: untrusted
 Status ReadTrace(Reader* r, TraceHeader* t) {
   SPANGLE_RETURN_NOT_OK(r->ReadU64(&t->trace_id));
   SPANGLE_RETURN_NOT_OK(r->ReadU64(&t->span_id));
@@ -189,6 +198,7 @@ ErrorResponse ErrorResponse::FromStatus(const Status& status) {
   return e;
 }
 
+// spangle-lint: untrusted — `code` came off the wire.
 Status ErrorResponse::ToStatus() const {
   // An OK code inside an error frame is itself a protocol violation.
   if (code == 0 || code > static_cast<uint8_t>(StatusCode::kInternal)) {
@@ -203,6 +213,7 @@ void ErrorResponse::AppendTo(std::string* out) const {
   PutBytes(message, out);
 }
 
+// spangle-lint: untrusted
 Result<ErrorResponse> ErrorResponse::Parse(const char* data, size_t size) {
   Reader r(data, size);
   ErrorResponse m;
@@ -221,6 +232,7 @@ void DispatchTaskRequest::AppendTo(std::string* out) const {
   PutTrace(trace, out);
 }
 
+// spangle-lint: untrusted
 Result<DispatchTaskRequest> DispatchTaskRequest::Parse(const char* data,
                                                        size_t size) {
   Reader r(data, size);
@@ -239,6 +251,7 @@ void DispatchTaskResponse::AppendTo(std::string* out) const {
   PutBytes(result, out);
 }
 
+// spangle-lint: untrusted
 Result<DispatchTaskResponse> DispatchTaskResponse::Parse(const char* data,
                                                          size_t size) {
   Reader r(data, size);
@@ -256,6 +269,7 @@ void PutBlockRequest::AppendTo(std::string* out) const {
   PutTrace(trace, out);
 }
 
+// spangle-lint: untrusted
 Result<PutBlockRequest> PutBlockRequest::Parse(const char* data,
                                                size_t size) {
   Reader r(data, size);
@@ -273,6 +287,7 @@ void PutBlockResponse::AppendTo(std::string* out) const {
   PutU8(deduped ? 1 : 0, out);
 }
 
+// spangle-lint: untrusted
 Result<PutBlockResponse> PutBlockResponse::Parse(const char* data,
                                                  size_t size) {
   Reader r(data, size);
@@ -288,6 +303,7 @@ void FetchBlockRequest::AppendTo(std::string* out) const {
   PutTrace(trace, out);
 }
 
+// spangle-lint: untrusted
 Result<FetchBlockRequest> FetchBlockRequest::Parse(const char* data,
                                                    size_t size) {
   Reader r(data, size);
@@ -305,6 +321,7 @@ void FetchBlockResponse::AppendTo(std::string* out) const {
   PutU64(content_hash, out);
 }
 
+// spangle-lint: untrusted
 Result<FetchBlockResponse> FetchBlockResponse::Parse(const char* data,
                                                      size_t size) {
   Reader r(data, size);
@@ -321,6 +338,7 @@ void ProbeBlockRequest::AppendTo(std::string* out) const {
   PutI32(partition, out);
 }
 
+// spangle-lint: untrusted
 Result<ProbeBlockRequest> ProbeBlockRequest::Parse(const char* data,
                                                    size_t size) {
   Reader r(data, size);
@@ -335,6 +353,7 @@ void ProbeBlockResponse::AppendTo(std::string* out) const {
   PutU8(found ? 1 : 0, out);
 }
 
+// spangle-lint: untrusted
 Result<ProbeBlockResponse> ProbeBlockResponse::Parse(const char* data,
                                                      size_t size) {
   Reader r(data, size);
@@ -346,6 +365,7 @@ Result<ProbeBlockResponse> ProbeBlockResponse::Parse(const char* data,
 
 void HeartbeatRequest::AppendTo(std::string* out) const { PutU64(seq, out); }
 
+// spangle-lint: untrusted
 Result<HeartbeatRequest> HeartbeatRequest::Parse(const char* data,
                                                  size_t size) {
   Reader r(data, size);
@@ -363,6 +383,7 @@ void HeartbeatResponse::AppendTo(std::string* out) const {
   PutU64(now_us, out);
 }
 
+// spangle-lint: untrusted
 Result<HeartbeatResponse> HeartbeatResponse::Parse(const char* data,
                                                    size_t size) {
   Reader r(data, size);
@@ -378,6 +399,7 @@ Result<HeartbeatResponse> HeartbeatResponse::Parse(const char* data,
 
 void ShutdownRequest::AppendTo(std::string* out) const { (void)out; }
 
+// spangle-lint: untrusted
 Result<ShutdownRequest> ShutdownRequest::Parse(const char* data,
                                                size_t size) {
   Reader r(data, size);
@@ -387,6 +409,7 @@ Result<ShutdownRequest> ShutdownRequest::Parse(const char* data,
 
 void ShutdownResponse::AppendTo(std::string* out) const { (void)out; }
 
+// spangle-lint: untrusted
 Result<ShutdownResponse> ShutdownResponse::Parse(const char* data,
                                                  size_t size) {
   Reader r(data, size);
@@ -398,6 +421,7 @@ void StatsRequest::AppendTo(std::string* out) const {
   PutU8(drain_spans ? 1 : 0, out);
 }
 
+// spangle-lint: untrusted
 Result<StatsRequest> StatsRequest::Parse(const char* data, size_t size) {
   Reader r(data, size);
   StatsRequest m;
@@ -429,6 +453,7 @@ void StatsResponse::AppendTo(std::string* out) const {
   }
 }
 
+// spangle-lint: untrusted
 Result<StatsResponse> StatsResponse::Parse(const char* data, size_t size) {
   Reader r(data, size);
   StatsResponse m;

@@ -10,10 +10,13 @@ namespace net {
 Status RpcClient::Connect() {
   MutexLock l(&mu_);
   if (conn_.valid()) return Status::OK();
+  // blocking-ok: mu_ serializes this client's single connection; holding it
+  // across connect/send/recv IS the per-client request pipeline (§DESIGN 9).
   return ConnectLocked();
 }
 
 Status RpcClient::ConnectLocked() {
+  // blocking-ok: see Connect() — the lock is this client's request pipeline.
   auto socket = Socket::ConnectLoopback(port_);
   SPANGLE_RETURN_NOT_OK(socket.status());
   conn_ = Connection(std::move(*socket),
@@ -33,8 +36,10 @@ Result<std::string> RpcClient::Call(MessageType request_type,
                                     MessageType expected_response_type) {
   MutexLock l(&mu_);
   if (!conn_.valid()) {
+    // blocking-ok: see Connect() — the lock is the request pipeline.
     SPANGLE_RETURN_NOT_OK(ConnectLocked());
   }
+  // blocking-ok: one in-flight RPC per client by design; Abort() unblocks.
   Status st = conn_.Send(request_type, request_payload);
   if (!st.ok()) {
     DropConnectionLocked();
@@ -42,6 +47,7 @@ Result<std::string> RpcClient::Call(MessageType request_type,
   }
   MessageType resp_type;
   std::string resp_payload;
+  // blocking-ok: one in-flight RPC per client by design; Abort() unblocks.
   st = conn_.Recv(&resp_type, &resp_payload);
   if (!st.ok()) {
     DropConnectionLocked();

@@ -40,16 +40,19 @@ class Socket {
 
   /// Blocking connect to 127.0.0.1:port (TCP_NODELAY set: the RPCs are
   /// small request/response pairs, Nagle only adds latency).
+  // spangle-lint: may-block
   static Result<Socket> ConnectLoopback(uint16_t port);
 
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
   /// Writes all n bytes or returns an IOError.
+  // spangle-lint: may-block
   Status SendAll(const char* data, size_t n);
 
   /// Reads exactly n bytes. A clean EOF mid-read is an IOError too: the
   /// framing layer never expects a peer to close inside a frame.
+  // spangle-lint: may-block
   Status RecvAll(char* data, size_t n);
 
   /// Receive timeout for subsequent reads; 0 disables. A timed-out read
@@ -99,6 +102,7 @@ class Listener {
   /// Blocks for one inbound connection. After ShutdownAccept() (from any
   /// thread), pending and future Accept calls return an error — the
   /// server's stop path.
+  // spangle-lint: may-block
   Result<Socket> Accept();
 
   /// Unblocks Accept() from another thread (shutdown(2) on the listening

@@ -1,0 +1,167 @@
+// Golden-fixture tests for tools/spangle_lint. Each fixture under
+// lint_fixtures/ is analyzed in its own spangle_lint invocation; the
+// fixture declares its expected findings inline as
+//
+//   // expect: [check-name] message substring
+//
+// placed on the offending line or the line directly above it. The test
+// requires an exact two-way match: every expectation must be produced,
+// and every diagnostic must be expected — so the *_ok.cc fixtures, which
+// carry no expectations, double as false-positive regression tests.
+//
+// A fixture's first line may pass extra flags to the tool:
+//
+//   // lint-args: --wire-file=wire_coverage_bad.cc
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#ifndef SPANGLE_LINT_BIN
+#error "SPANGLE_LINT_BIN must be defined by the build"
+#endif
+#ifndef SPANGLE_LINT_FIXTURE_DIR
+#error "SPANGLE_LINT_FIXTURE_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct Expectation {
+  int line = 0;  // line the expect comment sits on
+  std::string check;
+  std::string substring;
+  bool matched = false;
+};
+
+struct Finding {
+  int line = 0;
+  std::string check;
+  std::string msg;
+  bool matched = false;
+};
+
+std::string RunTool(const std::string& args, int* exit_code) {
+  const std::string cmd = std::string(SPANGLE_LINT_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
+  if (pipe == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) out.append(buf, n);
+  const int raw = pclose(pipe);
+  *exit_code = raw >= 0 && WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  return out;
+}
+
+/// Parses "// expect: [check] substring" annotations out of a fixture.
+std::vector<Expectation> ParseExpectations(const std::string& path) {
+  std::vector<Expectation> out;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read fixture " << path;
+  std::string text;
+  int lineno = 0;
+  while (std::getline(in, text)) {
+    ++lineno;
+    const size_t at = text.find("// expect: [");
+    if (at == std::string::npos) continue;
+    const size_t open = text.find('[', at);
+    const size_t close = text.find(']', open);
+    EXPECT_NE(close, std::string::npos) << path << ":" << lineno;
+    if (close == std::string::npos) continue;
+    Expectation e;
+    e.line = lineno;
+    e.check = text.substr(open + 1, close - open - 1);
+    e.substring = text.substr(close + 1);
+    // Trim surrounding whitespace from the substring.
+    const size_t b = e.substring.find_first_not_of(' ');
+    e.substring = b == std::string::npos ? "" : e.substring.substr(b);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+/// First-line "// lint-args: ..." escape hatch for per-fixture flags.
+std::string ParseLintArgs(const std::string& path) {
+  std::ifstream in(path);
+  std::string first;
+  std::getline(in, first);
+  const size_t at = first.find("// lint-args:");
+  if (at == std::string::npos) return "";
+  return first.substr(at + sizeof("// lint-args:") - 1);
+}
+
+/// Parses "<file>:<line>: error: [<check>] <msg>" diagnostics.
+std::vector<Finding> ParseFindings(const std::string& output) {
+  std::vector<Finding> out;
+  std::istringstream in(output);
+  std::string text;
+  while (std::getline(in, text)) {
+    const size_t err = text.find(": error: [");
+    if (err == std::string::npos) continue;
+    const size_t open = text.find('[', err);
+    const size_t close = text.find(']', open);
+    if (close == std::string::npos) continue;
+    const size_t colon = text.rfind(':', err - 1);
+    if (colon == std::string::npos) continue;
+    Finding f;
+    f.line = std::atoi(text.c_str() + colon + 1);
+    f.check = text.substr(open + 1, close - open - 1);
+    f.msg = text.substr(close + 1);
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+void CheckFixture(const std::string& name) {
+  const std::string path =
+      std::string(SPANGLE_LINT_FIXTURE_DIR) + "/" + name;
+  std::vector<Expectation> expects = ParseExpectations(path);
+  int exit_code = -1;
+  const std::string output =
+      RunTool(ParseLintArgs(path) + " " + path, &exit_code);
+  std::vector<Finding> findings = ParseFindings(output);
+  SCOPED_TRACE("fixture " + name + "\ntool output:\n" + output);
+
+  // A usage/IO failure (exit 2) is never acceptable.
+  EXPECT_NE(exit_code, 2);
+  EXPECT_EQ(exit_code, expects.empty() ? 0 : 1);
+
+  for (Expectation& e : expects) {
+    for (Finding& f : findings) {
+      // The expect comment sits on the offending line or the line above.
+      if (f.matched || f.check != e.check) continue;
+      if (f.line != e.line && f.line != e.line + 1) continue;
+      if (f.msg.find(e.substring) == std::string::npos) continue;
+      f.matched = e.matched = true;
+      break;
+    }
+    EXPECT_TRUE(e.matched) << "missing finding: line " << e.line << " ["
+                           << e.check << "] ... " << e.substring;
+  }
+  for (const Finding& f : findings) {
+    EXPECT_TRUE(f.matched) << "unexpected finding: line " << f.line << " ["
+                           << f.check << "]" << f.msg;
+  }
+}
+
+TEST(SpangleLintFixtures, LockRankBad) { CheckFixture("lock_rank_bad.cc"); }
+TEST(SpangleLintFixtures, LockRankOk) { CheckFixture("lock_rank_ok.cc"); }
+TEST(SpangleLintFixtures, BlockingBad) { CheckFixture("blocking_bad.cc"); }
+TEST(SpangleLintFixtures, BlockingOk) { CheckFixture("blocking_ok.cc"); }
+TEST(SpangleLintFixtures, FallibleBad) { CheckFixture("fallible_bad.cc"); }
+TEST(SpangleLintFixtures, FallibleOk) { CheckFixture("fallible_ok.cc"); }
+TEST(SpangleLintFixtures, UntrustedBad) { CheckFixture("untrusted_bad.cc"); }
+TEST(SpangleLintFixtures, UntrustedOk) { CheckFixture("untrusted_ok.cc"); }
+TEST(SpangleLintFixtures, WireCoverageBad) {
+  CheckFixture("wire_coverage_bad.cc");
+}
+TEST(SpangleLintFixtures, GuardedBad) { CheckFixture("guarded_bad.cc"); }
+TEST(SpangleLintFixtures, GuardedOk) { CheckFixture("guarded_ok.cc"); }
+
+}  // namespace

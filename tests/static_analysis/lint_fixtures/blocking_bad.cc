@@ -1,0 +1,49 @@
+// Positive fixture for the blocking-under-lock check: direct blocking
+// primitives, transitive may-block callees, and annotated roots must all
+// be caught when a non-leaf mutex is held.
+#include "common.h"
+
+namespace fixture {
+
+enum class LockRank : int {
+  kLeaf = 0,
+  kState = 20,
+};
+
+// spangle-lint: may-block
+void WaitsOnHardware();
+
+// Derived may-block: transitively reaches a blocking primitive.
+inline void DrainPipe(int fd) {
+  char buf[64];
+  ::read(fd, buf, sizeof(buf));
+}
+
+class Server {
+ public:
+  void DirectSyscallUnderLock(int fd) {
+    MutexLock l(&mu_);
+    char b = 0;
+    ::write(fd, &b, 1);  // expect: [blocking-under-lock] blocking primitive
+  }
+
+  void SleepUnderLock() {
+    MutexLock l(&mu_);
+    ::usleep(100);  // expect: [blocking-under-lock] blocking primitive
+  }
+
+  void TransitiveUnderLock(int fd) {
+    MutexLock l(&mu_);
+    DrainPipe(fd);  // expect: [blocking-under-lock] may block
+  }
+
+  void AnnotatedUnderLock() {
+    MutexLock l(&mu_);
+    WaitsOnHardware();  // expect: [blocking-under-lock] may-block
+  }
+
+ private:
+  Mutex mu_{LockRank::kState, "Server::mu_"};
+};
+
+}  // namespace fixture

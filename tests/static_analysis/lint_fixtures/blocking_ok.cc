@@ -1,0 +1,65 @@
+// Negative fixture for the blocking-under-lock check: blocking with no
+// lock held, under a leaf mutex, after release, inside a deferred lambda,
+// waiting on the very mutex a cv releases, and behind an explicit waiver
+// must all stay silent.
+#include "common.h"
+
+namespace fixture {
+
+enum class LockRank : int {
+  kLeaf = 0,
+  kState = 20,
+};
+
+class Server {
+ public:
+  void BlockWithoutLock(int fd) {
+    char b = 0;
+    ::write(fd, &b, 1);
+  }
+
+  void BlockUnderLeaf(int fd) {
+    MutexLock l(&counter_mu_);
+    char b = 0;
+    ::write(fd, &b, 1);  // leaf-rank critical sections may do quick I/O
+  }
+
+  void BlockAfterRelease(int fd) {
+    {
+      MutexLock l(&mu_);
+    }
+    char b = 0;
+    ::read(fd, &b, 1);
+  }
+
+  void SpawnWorkerUnderLock(int fd) {
+    MutexLock l(&mu_);
+    // The lambda runs later on another thread; mu_ is not held there.
+    worker_ = [this, fd] {
+      char b = 0;
+      ::read(fd, &b, 1);
+    };
+  }
+
+  void WaitReleasesTheLock() {
+    MutexLock l(&mu_);
+    while (!ready_) cv_.Wait(&mu_);  // Wait drops mu_ for the duration
+  }
+
+  void WaivedBlocking(int fd) {
+    MutexLock l(&mu_);
+    char b = 0;
+    // blocking-ok: single-writer pipe, bounded by the 1-byte kernel
+    // buffer; holding mu_ across it is the documented handoff design.
+    ::write(fd, &b, 1);
+  }
+
+ private:
+  Mutex mu_{LockRank::kState, "Server::mu_"};
+  Mutex counter_mu_{LockRank::kLeaf, "Server::counter_mu_"};
+  CondVar cv_;
+  bool ready_ = false;
+  void (*worker_)() = nullptr;
+};
+
+}  // namespace fixture

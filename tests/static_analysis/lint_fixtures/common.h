@@ -1,0 +1,16 @@
+#ifndef SPANGLE_LINT_FIXTURE_COMMON_H_
+#define SPANGLE_LINT_FIXTURE_COMMON_H_
+
+// Shared mini-environment for the spangle_lint golden fixtures. The
+// fixtures are analysis inputs, not build inputs: spangle_lint does not
+// preprocess, so the annotation macros below are read as plain tokens and
+// this header only exists to keep the fixtures readable as C++. Each
+// fixture re-declares the LockRank enum itself because the rank table is
+// harvested from parsed source, and the tool is pointed at one fixture
+// file at a time.
+
+#define GUARDED_BY(x)
+#define REQUIRES(...)
+#define EXCLUDES(...)
+
+#endif  // SPANGLE_LINT_FIXTURE_COMMON_H_

@@ -1,0 +1,30 @@
+// Positive fixture for the unchecked-fallible check: a Status or
+// Result<T> dropped on the floor — silently or via a bare (void) — is an
+// error.
+#include "common.h"
+
+namespace fixture {
+
+class Status;
+template <typename T>
+class Result;
+
+Status FlushJournal();
+Result<int> CountRows();
+
+class Store {
+ public:
+  Status Compact();
+
+  void TickNoReason() {
+    FlushJournal();  // expect: [unchecked-fallible] ignores the Status
+    Compact();       // expect: [unchecked-fallible] ignores the Status
+  }
+
+  void DiscardNoReason() {
+    (void)FlushJournal();  // expect: [unchecked-fallible] without a
+    (void)CountRows();     // expect: [unchecked-fallible] without a
+  }
+};
+
+}  // namespace fixture

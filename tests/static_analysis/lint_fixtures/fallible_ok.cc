@@ -1,0 +1,39 @@
+// Negative fixture for the unchecked-fallible check: consumed, returned,
+// branched-on, and reason-carrying discards are all fine — as is a
+// void-returning function called for effect.
+#include "common.h"
+
+namespace fixture {
+
+class Status;
+template <typename T>
+class Result;
+
+Status FlushJournal();
+Result<int> CountRows();
+void Log(const char* what);
+
+class Store {
+ public:
+  Status Compact();
+
+  Status Tick() {
+    Log("tick");  // void-returning: statement position is fine
+    const Status st = FlushJournal();
+    if (!st.ok()) return st;
+    return Compact();
+  }
+
+  void BestEffortTick() {
+    // discard-ok: journal flush retries on the next tick; dropping one
+    // failure here only delays durability, never loses it.
+    (void)FlushJournal();
+  }
+
+  int RowsOrZero() {
+    auto rows = CountRows();
+    return rows.ok() ? *rows : 0;
+  }
+};
+
+}  // namespace fixture

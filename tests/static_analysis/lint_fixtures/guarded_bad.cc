@@ -1,0 +1,59 @@
+// Positive fixture for the guarded-field check, built from the bug
+// shapes a prior release shipped: a destructor iterating a guarded map,
+// a cross-function unlocked read, method calls on guarded containers,
+// and cv-wait predicate lambdas reading guarded state.
+#include "common.h"
+
+namespace fixture {
+
+enum class LockRank : int {
+  kLeaf = 0,
+  kGate = 10,
+  kState = 20,
+};
+
+struct Gate {
+  Mutex mu{LockRank::kGate, "Gate::mu"};
+  bool done GUARDED_BY(mu);
+};
+
+class Registry {
+ public:
+  ~Registry() {
+    for (int b : blocks_) {  // expect: [guarded-field] destructors are not exempt
+      last_ = b;             // expect: [guarded-field] destructors are not exempt
+    }
+  }
+
+  int PeekCount() {
+    return count_;  // expect: [guarded-field] without holding
+  }
+
+  void DropAll() {
+    blocks_.clear();  // expect: [guarded-field] 'blocks_'
+  }
+
+  void FinishGate(Gate* gate) {
+    {
+      MutexLock l(&gate->mu);
+      gate->done = true;
+    }
+    if (gate->done) {  // expect: [guarded-field] 'gate->done'
+      count_ = 0;      // expect: [guarded-field] 'count_'
+    }
+  }
+
+  void WaitForGate(Gate* gate) {
+    MutexLock l(&mu_);
+    cv_.Wait(&mu_, [gate] { return gate->done; });  // expect: [guarded-field] predicates must touch only locals
+  }
+
+ private:
+  Mutex mu_{LockRank::kState, "Registry::mu_"};
+  CondVar cv_;
+  std::vector<int> blocks_ GUARDED_BY(mu_);
+  int count_ GUARDED_BY(mu_) = 0;
+  int last_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

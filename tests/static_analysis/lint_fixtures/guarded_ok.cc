@@ -1,0 +1,57 @@
+// Negative fixture for the guarded-field check: lock-held access,
+// REQUIRES contracts, AssertHeld, constructor initialization, explicit
+// waivers, and local snapshot structs whose field names collide with
+// guarded fields must all stay silent.
+#include "common.h"
+
+namespace fixture {
+
+enum class LockRank : int {
+  kLeaf = 0,
+  kState = 20,
+};
+
+struct Snapshot {
+  int count;  // same name as the guarded field — different object
+};
+
+class Registry {
+ public:
+  Registry() {
+    count_ = 0;  // single-threaded construction is exempt
+  }
+
+  void Bump() {
+    MutexLock l(&mu_);
+    count_++;
+  }
+
+  void BumpLocked() REQUIRES(mu_) { count_++; }
+
+  void BumpAsserted() {
+    mu_.AssertHeld();
+    count_++;
+  }
+
+  int WaivedRead() {
+    // guarded-ok: torn reads are acceptable for this monitoring-only
+    // counter; the value is advisory.
+    return count_;
+  }
+
+  Snapshot Stats() {
+    Snapshot out;
+    out.count = 0;  // local snapshot struct: not the guarded field
+    {
+      MutexLock l(&mu_);
+      out.count = count_;
+    }
+    return out;
+  }
+
+ private:
+  Mutex mu_{LockRank::kState, "Registry::mu_"};
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

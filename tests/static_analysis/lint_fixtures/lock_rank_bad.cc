@@ -1,0 +1,52 @@
+// Positive fixture for the static-lock-rank check: every acquisition
+// order the runtime detector would reject must be caught statically.
+#include "common.h"
+
+namespace fixture {
+
+enum class LockRank : int {
+  kLeaf = 0,
+  kLow = 10,
+  kMid = 20,
+  kHigh = 30,
+};
+
+class Inverted {
+ public:
+  void AcquireUp() {
+    MutexLock outer(&low_);
+    MutexLock inner(&high_);  // expect: [lock-rank] ranks must strictly decrease
+  }
+
+  void AcquireEqual() {
+    MutexLock outer(&low_);
+    MutexLock inner(&low_twin_);  // expect: [lock-rank] ranks must strictly decrease
+  }
+
+  void AcquireRecursive() {
+    MutexLock outer(&mid_);
+    MutexLock inner(&mid_);  // expect: [lock-rank] non-reentrant
+  }
+
+  void DirectLockUp() {
+    MutexLock outer(&low_);
+    high_.Lock();  // expect: [lock-rank] ranks must strictly decrease
+    high_.Unlock();
+  }
+
+  // The transitive form: the callee's acquisition is the violation.
+  void TakesMid() { MutexLock l(&mid_); }
+
+  void CallUnderLow() {
+    MutexLock outer(&low_);
+    TakesMid();  // expect: [lock-rank] may acquire
+  }
+
+ private:
+  Mutex low_{LockRank::kLow, "Inverted::low_"};
+  Mutex low_twin_{LockRank::kLow, "Inverted::low_twin_"};
+  Mutex mid_{LockRank::kMid, "Inverted::mid_"};
+  Mutex high_{LockRank::kHigh, "Inverted::high_"};
+};
+
+}  // namespace fixture

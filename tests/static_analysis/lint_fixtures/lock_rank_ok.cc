@@ -1,0 +1,50 @@
+// Negative fixture for the static-lock-rank check: strictly descending
+// orders, scoped release before re-acquire, and an explicit waiver must
+// all stay silent.
+#include "common.h"
+
+namespace fixture {
+
+enum class LockRank : int {
+  kLeaf = 0,
+  kLow = 10,
+  kMid = 20,
+  kHigh = 30,
+};
+
+class Ordered {
+ public:
+  void Descend() {
+    MutexLock outer(&high_);
+    MutexLock mid(&mid_);
+    MutexLock inner(&low_);
+  }
+
+  void ReleaseThenClimb() {
+    {
+      MutexLock l(&low_);
+    }
+    MutexLock h(&high_);  // low_ is no longer held: no inversion
+  }
+
+  void MidScopeRelease() {
+    MutexLock l(&low_);
+    l.Unlock();
+    MutexLock h(&high_);  // explicit Unlock dropped low_ first
+    l.Lock();             // NOLINT -- reacquired after h's scope analysis
+  }
+
+  void WaivedInversion() {
+    MutexLock outer(&low_);
+    // lock-order-ok: bootstrap path; no concurrent holder of high_ exists
+    // until this function returns.
+    MutexLock inner(&high_);
+  }
+
+ private:
+  Mutex low_{LockRank::kLow, "Ordered::low_"};
+  Mutex mid_{LockRank::kMid, "Ordered::mid_"};
+  Mutex high_{LockRank::kHigh, "Ordered::high_"};
+};
+
+}  // namespace fixture

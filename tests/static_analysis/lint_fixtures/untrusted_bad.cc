@@ -1,0 +1,30 @@
+// Positive fixture for the untrusted-input check: inside an annotated
+// decode path, aborts, throws, and raw reinterpret_casts of wire bytes
+// are all errors.
+#include "common.h"
+
+namespace fixture {
+
+class Status;
+template <typename T>
+class Result;
+
+struct Header {
+  unsigned magic;
+};
+
+class Decoder {
+ public:
+  // spangle-lint: untrusted
+  Result<Header> Parse(const char* data, unsigned long size) {
+    SPANGLE_CHECK_GE(size, 4u);  // expect: [untrusted-input] never abort
+    if (data[0] != 'S') {
+      throw "bad magic";  // expect: [untrusted-input] exception-free
+    }
+    Header h;
+    h.magic = *reinterpret_cast<const unsigned*>(data);  // expect: [untrusted-input] bounds-checked readers
+    return h;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Negative fixture for the untrusted-input check: Status returns on
+// malformed input, SPANGLE_DCHECK for internal contracts, a wire-ok
+// waivered cast, and aborts in functions *outside* the decode path are
+// all fine.
+#include "common.h"
+
+namespace fixture {
+
+class Status;
+template <typename T>
+class Result;
+
+struct Header {
+  unsigned magic;
+};
+
+class Decoder {
+ public:
+  // spangle-lint: untrusted
+  Result<Header> Parse(const char* data, unsigned long size) {
+    SPANGLE_DCHECK(data != nullptr);  // internal contract, not wire state
+    if (size < 4) {
+      return Status::InvalidArgument("header truncated");
+    }
+    Header h;
+    // wire-ok: 4-byte alignment established by the frame allocator; the
+    // cast reads within the bounds checked above.
+    h.magic = *reinterpret_cast<const unsigned*>(data);
+    return h;
+  }
+
+  // Not a decode path: encoder-side invariants may abort freely.
+  void Append(const Header& h, char* out) {
+    SPANGLE_CHECK(out != nullptr);
+    *reinterpret_cast<unsigned*>(out) = h.magic;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// lint-args: --wire-file=wire_coverage_bad.cc
+// Positive fixture for untrusted-input *coverage*: in a registered wire
+// file, decode-shaped functions that are not annotated
+// '// spangle-lint: untrusted' are themselves findings.
+#include "common.h"
+
+namespace fixture {
+
+class Status;
+template <typename T>
+class Result;
+
+struct Header {
+  unsigned magic;
+};
+
+// expect: [untrusted-input] must be annotated
+Result<Header> ParseHeader(const char* data, unsigned long size) {
+  Header h;
+  h.magic = static_cast<unsigned>(data[0]) | (size != 0u);
+  return h;
+}
+
+class Reader {
+ public:
+  // expect: [untrusted-input] must be annotated
+  Status ReadU32(unsigned* v) {
+    *v = 0;
+    return Status();
+  }
+
+  // spangle-lint: untrusted
+  Status ReadU64(unsigned long* v) {  // annotated: no finding
+    *v = 0;
+    return Status();
+  }
+
+  void Reset() { pos_ = 0; }  // not decode-shaped: no finding
+
+ private:
+  unsigned pos_ = 0;
+};
+
+}  // namespace fixture

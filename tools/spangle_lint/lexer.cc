@@ -1,0 +1,182 @@
+#include "spangle_lint/lexer.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace spangle {
+namespace lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+LexedFile Lex(const std::string& path, const std::string& source) {
+  LexedFile out;
+  out.path = path;
+  const size_t n = source.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the newline
+
+  auto push = [&](TokKind kind, std::string text) {
+    out.tokens.push_back(Token{kind, std::move(text), line});
+  };
+  auto add_comment = [&](int at, const std::string& text) {
+    std::string& slot = out.comments[at];
+    if (!slot.empty()) slot += ' ';
+    slot += text;
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: swallow the logical line (honoring
+    // backslash continuations). Macro *uses* are ordinary tokens; only
+    // the directives themselves disappear.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (source[i] == '\\' && i + 1 < n && source[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (source[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Comments: collected per line, never tokenized.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      const size_t start = i + 2;
+      size_t end = start;
+      while (end < n && source[end] != '\n') ++end;
+      add_comment(line, source.substr(start, end - start));
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const int start_line = line;
+      size_t j = i + 2;
+      std::string text;
+      while (j + 1 < n && !(source[j] == '*' && source[j + 1] == '/')) {
+        if (source[j] == '\n') ++line;
+        text += source[j];
+        ++j;
+      }
+      add_comment(start_line, text);
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && source[j] != '(' && source[j] != '\n' &&
+             delim.size() <= 16) {
+        delim += source[j++];
+      }
+      if (j < n && source[j] == '(') {
+        const std::string closer = ")" + delim + "\"";
+        const size_t body = j + 1;
+        const size_t close = source.find(closer, body);
+        const size_t end = (close == std::string::npos) ? n : close;
+        std::string text = source.substr(body, end - body);
+        const int tok_line = line;
+        for (char tc : text) {
+          if (tc == '\n') ++line;
+        }
+        out.tokens.push_back(Token{TokKind::kString, std::move(text),
+                                   tok_line});
+        i = (close == std::string::npos) ? n : close + closer.size();
+        continue;
+      }
+      // Not a raw string after all — fall through as identifier 'R'.
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      std::string text;
+      while (j < n && source[j] != quote) {
+        if (source[j] == '\\' && j + 1 < n) {
+          text += source[j];
+          text += source[j + 1];
+          j += 2;
+          continue;
+        }
+        if (source[j] == '\n') ++line;  // unterminated; keep going
+        text += source[j++];
+      }
+      push(quote == '"' ? TokKind::kString : TokKind::kChar, std::move(text));
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(source[j])) ++j;
+      push(TokKind::kIdent, source.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      // Good enough for C++ numeric literals including hex, separators,
+      // exponents, and suffixes; precision is irrelevant to the checks.
+      while (j < n && (IsIdentChar(source[j]) || source[j] == '\'' ||
+                       ((source[j] == '+' || source[j] == '-') && j > i &&
+                        (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+                         source[j - 1] == 'p' || source[j - 1] == 'P')) ||
+                       source[j] == '.')) {
+        ++j;
+      }
+      push(TokKind::kNumber, source.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    // Multi-char puncts the parser wants whole.
+    if (c == ':' && i + 1 < n && source[i + 1] == ':') {
+      push(TokKind::kPunct, "::");
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && source[i + 1] == '>') {
+      push(TokKind::kPunct, "->");
+      i += 2;
+      continue;
+    }
+    push(TokKind::kPunct, std::string(1, c));
+    ++i;
+  }
+  push(TokKind::kEnd, "");
+  return out;
+}
+
+bool LexFile(const std::string& path, LexedFile* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = Lex(path, buf.str());
+  return true;
+}
+
+}  // namespace lint
+}  // namespace spangle

@@ -1,0 +1,53 @@
+#ifndef SPANGLE_LINT_LEXER_H_
+#define SPANGLE_LINT_LEXER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spangle {
+namespace lint {
+
+// A pragmatic C++ token stream for spangle_lint (see README in this
+// directory). The lexer does NOT preprocess: macro names stay visible as
+// ordinary identifier tokens (which is exactly what the checks match —
+// SPANGLE_CHECK, GUARDED_BY, REQUIRES and friends), preprocessor
+// directives are skipped whole, and comments are kept on the side as
+// per-line annotation text (the `// discard-ok:` / `// blocking-ok:` /
+// `// spangle-lint:` conventions live in comments).
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords (no distinction needed here)
+  kNumber,  // integer / float literals, any base or suffix
+  kString,  // "..." or R"(...)" (text excludes quotes; escapes kept raw)
+  kChar,    // '...'
+  kPunct,   // one operator/punctuator; "::" and "->" come as one token
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  int line = 0;
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;  // always terminated by one kEnd token
+  // All comment text seen on a given line, concatenated (block comments
+  // are attributed to the line they start on).
+  std::map<int, std::string> comments;
+};
+
+/// Tokenizes `source`. Never fails: unrecognized bytes become single-char
+/// punct tokens, so hostile or odd input degrades to noise, not a crash.
+LexedFile Lex(const std::string& path, const std::string& source);
+
+/// Reads and tokenizes the file at `path`; returns false when the file
+/// cannot be read.
+bool LexFile(const std::string& path, LexedFile* out);
+
+}  // namespace lint
+}  // namespace spangle
+
+#endif  // SPANGLE_LINT_LEXER_H_

@@ -1,0 +1,110 @@
+#ifndef SPANGLE_LINT_MODEL_H_
+#define SPANGLE_LINT_MODEL_H_
+
+#include <string>
+#include <vector>
+
+namespace spangle {
+namespace lint {
+
+// The source model spangle_lint's checks run over: a frontend-agnostic
+// digest of the program — ranked mutex declarations, guarded fields,
+// function records with their ordered body events, and the held-lock
+// context at every event. parser.cc populates it from the token stream;
+// checks.cc consumes it. Nothing below depends on how the AST was built,
+// so a libTooling frontend can be swapped in without touching the checks.
+
+/// A spangle::Mutex / SharedMutex declaration carrying a LockRank, e.g.
+///   Mutex mu_{LockRank::kBlockManager, "BlockManager::mu_"};
+struct MutexDecl {
+  std::string owner;      // enclosing class ("" for a free variable)
+  std::string field;      // declared name, e.g. "mu_"
+  std::string rank_name;  // "kBlockManager"
+  int rank = -1;          // numeric rank; -1 when the name is unknown
+  bool shared = false;    // SharedMutex
+  std::string file;
+  int line = 0;
+};
+
+/// A field declared GUARDED_BY(mu) — e.g. `size_t bytes_ GUARDED_BY(mu_);`
+struct GuardedField {
+  std::string owner;  // enclosing class
+  std::string field;
+  std::string mutex;  // the guard expression's last component, e.g. "mu_"
+  std::string file;
+  int line = 0;
+};
+
+/// One mutex the thread holds at an event: the acquisition expression
+/// split into receiver ("gate", "node", "" for a bare member) and the
+/// mutex's final component ("mu_").
+struct HeldMutex {
+  std::string recv;
+  std::string field;
+  bool shared = false;
+  bool via_requires = false;  // held by REQUIRES() contract, not a guard
+  int acquire_line = 0;
+};
+
+enum class EventKind {
+  kAcquire,          // MutexLock/ReaderMutexLock/WriterMutexLock ctor, or
+                     // a direct expr.Lock()/ReaderLock() — `held` is the
+                     // context *before* this acquisition
+  kCall,             // any call expression `callee(...)`
+  kCheckMacro,       // SPANGLE_CHECK / SPANGLE_CHECK_* / assert use
+  kThrow,            // throw expression
+  kReinterpretCast,  // reinterpret_cast token
+  kVoidDiscard,      // (void)call(...) — an explicit result discard
+  kFieldUse,         // bare or recv-qualified use of an identifier that
+                     // may name a guarded field (filtered at check time)
+};
+
+struct Event {
+  EventKind kind = EventKind::kCall;
+  int line = 0;
+  std::string name;  // callee text "a->b.c" / mutex expr / field / macro
+  std::string recv;  // receiver part for kCall/kFieldUse ("" when bare)
+  std::string arg0;  // first-argument text for kCall (cv-wait mutex)
+  bool stmt = false;          // kCall in statement position (result unused)
+  bool has_reason = false;    // a discard-ok:/blocking-ok:/wire-ok: applies
+  bool lock_order_ok = false;  // a lock-order-ok: waiver comment applies
+  bool guarded_ok = false;     // a guarded-ok: waiver comment applies
+  bool in_wait_pred = false;  // inside a cv Wait/WaitFor predicate lambda
+  bool in_lambda = false;     // inside any lambda body (deferred execution:
+                              // enclosing locks/contracts do not apply)
+  bool shared_acquire = false;       // kAcquire via reader lock
+  std::vector<HeldMutex> held;       // held-lock context at this event
+};
+
+/// One function declaration or definition.
+struct FunctionRecord {
+  std::string owner;  // enclosing class ("" for free functions)
+  std::string name;   // final name component ("Parse", "~BlockManager")
+  std::string qual;   // display name, e.g. "FrameView::Parse"
+  std::string ret;    // return type text ("Result<FrameView>", "void", …)
+  bool fallible = false;     // returns Status or Result<…>
+  bool has_body = false;
+  bool is_ctor = false;
+  bool is_dtor = false;
+  bool may_block_annotated = false;  // "spangle-lint: may-block"
+  bool untrusted_annotated = false;  // "spangle-lint: untrusted"
+  std::vector<std::string> requires_args;  // REQUIRES(mu_, …) arguments
+  std::string file;
+  int line = 0;
+  std::vector<Event> events;  // body events, in source order (defs only)
+};
+
+/// Everything extracted from one source file.
+struct FileModel {
+  std::string path;
+  std::vector<MutexDecl> mutexes;
+  std::vector<GuardedField> guarded;
+  std::vector<FunctionRecord> functions;
+  // LockRank enumerator values harvested from `enum class LockRank`.
+  std::vector<std::pair<std::string, int>> rank_values;
+};
+
+}  // namespace lint
+}  // namespace spangle
+
+#endif  // SPANGLE_LINT_MODEL_H_

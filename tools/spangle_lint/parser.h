@@ -1,0 +1,20 @@
+#ifndef SPANGLE_LINT_PARSER_H_
+#define SPANGLE_LINT_PARSER_H_
+
+#include "spangle_lint/lexer.h"
+#include "spangle_lint/model.h"
+
+namespace spangle {
+namespace lint {
+
+/// Builds the source model for one lexed file: namespace/class context,
+/// ranked mutex declarations, GUARDED_BY fields, function records, and
+/// per-function body events with held-lock context. Tolerant by design —
+/// anything it cannot classify is skipped, never fatal (the checks are
+/// deliberately under-approximate in the face of parse ambiguity).
+FileModel ParseFile(const LexedFile& file);
+
+}  // namespace lint
+}  // namespace spangle
+
+#endif  // SPANGLE_LINT_PARSER_H_

@@ -1,0 +1,729 @@
+#include "spangle_lint/program.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace spangle {
+namespace lint {
+
+namespace {
+
+/// Splits "a->b.c" into recv "a->b" and field "c" (mirror of parser.cc).
+void SplitChain(const std::string& chain, std::string* recv,
+                std::string* field) {
+  size_t pos = std::string::npos;
+  for (size_t i = chain.size(); i > 0; --i) {
+    const char c = chain[i - 1];
+    if (c == '.' || c == ':') {
+      pos = i - 1;
+      break;
+    }
+    if (c == '>' && i >= 2 && chain[i - 2] == '-') {
+      pos = i - 2;
+      break;
+    }
+  }
+  if (pos == std::string::npos) {
+    recv->clear();
+    *field = chain;
+    return;
+  }
+  *field = chain.substr(chain[pos] == '-' ? pos + 2 : pos + 1);
+  *recv = chain.substr(0, chain[pos] == ':' && pos > 0 ? pos - 1 : pos);
+}
+
+std::string ChainLast(const std::string& chain) {
+  std::string recv, field;
+  SplitChain(chain, &recv, &field);
+  return field;
+}
+
+std::string FirstComponent(const std::string& chain) {
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (chain[i] == '.' || chain[i] == ':' ||
+        (chain[i] == '-' && i + 1 < chain.size() && chain[i + 1] == '>')) {
+      return chain.substr(0, i);
+    }
+  }
+  return chain;
+}
+
+/// Blocking leaf primitives recognized by name alone: raw socket/file
+/// syscalls, stream I/O, process control, and sleeps. Spangle's own
+/// wrappers (Socket::SendAll, disk spill, …) are annotated with
+/// "// spangle-lint: may-block" instead, and propagate from there.
+const std::set<std::string>& BlockingBuiltins() {
+  static const std::set<std::string> names = {
+      "read",       "write",      "pread",     "pwrite",   "fsync",
+      "fdatasync",  "recv",       "send",      "recvmsg",  "sendmsg",
+      "accept",     "connect",    "poll",      "select",   "fork",
+      "waitpid",    "system",     "popen",     "usleep",   "nanosleep",
+      "sleep_for",  "sleep_until","getline",   "fread",    "fwrite",
+      "seekg",      "seekp",      "flush",
+  };
+  return names;
+}
+
+bool IsCvWait(const std::string& name) {
+  return name == "Wait" || name == "WaitFor" || name == "WaitUntil";
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Is this function, by name, part of a wire-decode surface?
+bool IsDecodeName(const std::string& name) {
+  if (name == "Parse" || name == "Next" || name == "Feed" ||
+      name == "Done" || name == "ToStatus") {
+    return true;
+  }
+  return StartsWith(name, "Parse") || StartsWith(name, "Decode") ||
+         StartsWith(name, "Read") || StartsWith(name, "Peek");
+}
+
+struct AcqEntry {
+  std::string desc;  // mutex expression or declared name
+  std::string via;   // "" for direct, else the callee that acquires it
+};
+
+struct FnInfo {
+  const FunctionRecord* rec = nullptr;
+  bool is_def = false;
+  bool may_block = false;
+  bool untrusted = false;
+  std::string block_via;  // human-readable root cause for may_block
+  std::map<int, AcqEntry> acquires;  // rank -> how it gets acquired
+};
+
+class Linter {
+ public:
+  Linter(const std::vector<FileModel>& files, const LintOptions& opts)
+      : files_(files), opts_(opts) {}
+
+  std::vector<Diagnostic> Run() {
+    BuildIndexes();
+    ComputeFixpoints();
+    if (Enabled("lock-rank")) CheckLockRank();
+    if (Enabled("blocking-under-lock")) CheckBlocking();
+    if (Enabled("unchecked-fallible")) CheckFallible();
+    if (Enabled("untrusted-input")) CheckUntrusted();
+    if (Enabled("guarded-field")) CheckGuarded();
+    if (opts_.stats) PrintStats();
+    std::vector<Diagnostic> out(diags_.begin(), diags_.end());
+    return out;
+  }
+
+ private:
+  bool Enabled(const char* check) const {
+    return opts_.checks.empty() || opts_.checks.count(check) != 0;
+  }
+
+  void Diag(const std::string& file, int line, const char* check,
+            std::string msg) {
+    diags_.insert(Diagnostic{file, line, check, std::move(msg)});
+  }
+
+  // ---- indexes --------------------------------------------------------
+  void BuildIndexes() {
+    for (const FileModel& fm : files_) {
+      for (const auto& rv : fm.rank_values) {
+        ranks_[rv.first] = rv.second;
+        rank_names_[rv.second] = rv.first;
+      }
+      for (const MutexDecl& m : fm.mutexes) {
+        mutex_by_field_[m.field].push_back(&m);
+        if (!m.owner.empty()) {
+          mutex_by_owner_field_[m.owner + "::" + m.field] = &m;
+        }
+      }
+      for (const GuardedField& g : fm.guarded) {
+        guarded_by_field_[g.field].push_back(&g);
+      }
+      for (const FunctionRecord& f : fm.functions) {
+        FnInfo info;
+        info.rec = &f;
+        info.is_def = f.has_body;
+        fns_.push_back(info);
+      }
+    }
+    for (size_t i = 0; i < fns_.size(); ++i) {
+      const FunctionRecord& f = *fns_[i].rec;
+      if (f.name.empty()) continue;
+      auto& fal = fallibility_[f.name];
+      (f.fallible ? fal.first : fal.second) += 1;
+      if (f.may_block_annotated) block_quals_.insert(f.qual);
+      if (f.untrusted_annotated) untrusted_quals_.insert(f.qual);
+      if (!fns_[i].is_def) {
+        if (f.may_block_annotated || f.untrusted_annotated) {
+          ann_decl_by_name_[f.name].push_back(static_cast<int>(i));
+          ann_decl_by_qual_[f.qual].push_back(static_cast<int>(i));
+        }
+        continue;
+      }
+      def_by_name_[f.name].push_back(static_cast<int>(i));
+      def_by_qual_[f.qual].push_back(static_cast<int>(i));
+    }
+    // REQUIRES() usually lives on the header declaration while the body
+    // sits in the .cc file — merge contracts across same-qual records.
+    for (const FnInfo& info : fns_) {
+      for (const std::string& arg : info.rec->requires_args) {
+        std::string a = arg;
+        while (!a.empty() && (a[0] == '&' || a[0] == '*' || a[0] == ' ')) {
+          a = a.substr(1);
+        }
+        HeldMutex h;
+        SplitChain(a, &h.recv, &h.field);
+        if (h.recv == "this") h.recv.clear();
+        h.via_requires = true;
+        requires_by_qual_[info.rec->qual].push_back(h);
+      }
+    }
+    for (FnInfo& info : fns_) {
+      if (block_quals_.count(info.rec->qual)) {
+        info.may_block = true;
+        info.block_via = "annotated '// spangle-lint: may-block'";
+      }
+      info.untrusted = untrusted_quals_.count(info.rec->qual) != 0;
+    }
+  }
+
+  /// The event's held set plus the function's merged REQUIRES contract.
+  /// Inside a lambda body the contract does not apply — the body may run
+  /// later, on a thread that holds nothing.
+  std::vector<HeldMutex> EffectiveHeld(const FunctionRecord& f,
+                                       const Event& ev) const {
+    std::vector<HeldMutex> held = ev.held;
+    if (ev.in_lambda) return held;
+    auto it = requires_by_qual_.find(f.qual);
+    if (it != requires_by_qual_.end()) {
+      for (const HeldMutex& r : it->second) {
+        bool present = false;
+        for (const HeldMutex& h : held) {
+          if (h.recv == r.recv && h.field == r.field) {
+            present = true;
+            break;
+          }
+        }
+        if (!present) held.push_back(r);
+      }
+    }
+    return held;
+  }
+
+  /// Receivers whose locks this function provably interacts with
+  /// (acquired, asserted, or REQUIRES-contracted). Used to scope the
+  /// guarded-field check for `recv->field` accesses: a receiver the
+  /// function never locks is almost always a local snapshot struct.
+  std::set<std::string> LockReceivers(const FunctionRecord& f) const {
+    std::set<std::string> recvs;
+    auto add = [&recvs](const std::string& r) {
+      recvs.insert(r == "this" ? std::string() : r);
+    };
+    for (const Event& ev : f.events) {
+      if (ev.kind == EventKind::kAcquire) add(ev.recv);
+      for (const HeldMutex& h : ev.held) add(h.recv);
+    }
+    auto it = requires_by_qual_.find(f.qual);
+    if (it != requires_by_qual_.end()) {
+      for (const HeldMutex& h : it->second) add(h.recv);
+    }
+    return recvs;
+  }
+
+  /// True when `name` names only Status/Result-returning functions.
+  bool NameIsFallible(const std::string& name) const {
+    auto it = fallibility_.find(name);
+    return it != fallibility_.end() && it->second.first > 0 &&
+           it->second.second == 0;
+  }
+
+  /// Resolves a call to candidate definition indexes — only when the
+  /// resolution is confident: an Owner::Name match, a same-class match,
+  /// or a program-unique name. Ambiguity returns empty (the checks
+  /// under-approximate rather than guess).
+  std::vector<int> ResolveCallees(const FunctionRecord& caller,
+                                  const Event& ev) const {
+    std::vector<int> none;
+    const std::string last = ChainLast(ev.name);
+    if (last.empty()) return none;
+    if (ev.name.find("::") != std::string::npos) {
+      std::string recv, field;
+      SplitChain(ev.name, &recv, &field);
+      const std::string owner = ChainLast(recv);
+      auto it = def_by_qual_.find(owner + "::" + last);
+      if (it != def_by_qual_.end()) return it->second;
+      it = ann_decl_by_qual_.find(owner + "::" + last);
+      if (it != ann_decl_by_qual_.end()) return it->second;
+    } else if (ev.recv.empty() || ev.recv == "this") {
+      if (!caller.owner.empty()) {
+        auto it = def_by_qual_.find(caller.owner + "::" + last);
+        if (it != def_by_qual_.end()) return it->second;
+        it = ann_decl_by_qual_.find(caller.owner + "::" + last);
+        if (it != ann_decl_by_qual_.end()) return it->second;
+      }
+    }
+    auto it = def_by_name_.find(last);
+    if (it != def_by_name_.end() && it->second.size() == 1) return it->second;
+    // A definition-free function can still contribute facts through its
+    // annotations — resolve to the annotated declaration as a last resort.
+    it = ann_decl_by_name_.find(last);
+    if (it != ann_decl_by_name_.end() && it->second.size() == 1)
+      return it->second;
+    return none;
+  }
+
+  /// Resolves a mutex expression to its declared rank, or -1.
+  int RankOf(const std::string& recv, const std::string& field,
+             const std::string& owner, const std::string& file) const {
+    if (field.empty()) return -1;
+    if ((recv.empty() || recv == "this") && !owner.empty()) {
+      auto it = mutex_by_owner_field_.find(owner + "::" + field);
+      if (it != mutex_by_owner_field_.end()) return RankValue(*it->second);
+    }
+    auto it = mutex_by_field_.find(field);
+    if (it == mutex_by_field_.end()) return -1;
+    if (it->second.size() == 1) return RankValue(*it->second.front());
+    const MutexDecl* same_file = nullptr;
+    for (const MutexDecl* m : it->second) {
+      if (m->file == file) {
+        if (same_file != nullptr) return -1;  // ambiguous within the file
+        same_file = m;
+      }
+    }
+    return same_file != nullptr ? RankValue(*same_file) : -1;
+  }
+
+  int RankValue(const MutexDecl& m) const {
+    auto it = ranks_.find(m.rank_name);
+    return it == ranks_.end() ? -1 : it->second;
+  }
+
+  std::string RankLabel(int rank) const {
+    std::string label = "LockRank " + std::to_string(rank);
+    auto it = rank_names_.find(rank);
+    if (it != rank_names_.end()) label += " " + it->second;
+    return label;
+  }
+
+  static std::string HeldDesc(const HeldMutex& h) {
+    return h.recv.empty() ? h.field : h.recv + "->" + h.field;
+  }
+
+  // ---- fixpoints ------------------------------------------------------
+  void ComputeFixpoints() {
+    // Direct facts.
+    for (FnInfo& info : fns_) {
+      const FunctionRecord& f = *info.rec;
+      if (!info.is_def) continue;
+      for (const Event& ev : f.events) {
+        if (ev.kind == EventKind::kAcquire) {
+          const int rank =
+              RankOf(ev.recv, ChainLast(ev.name), f.owner, f.file);
+          if (rank >= 0 && !info.acquires.count(rank)) {
+            info.acquires[rank] = AcqEntry{ev.name, ""};
+          }
+          continue;
+        }
+        if (ev.kind != EventKind::kCall && ev.kind != EventKind::kVoidDiscard)
+          continue;
+        const std::string last = ChainLast(ev.name);
+        if (!info.may_block &&
+            (BlockingBuiltins().count(last) != 0 || IsCvWait(last))) {
+          info.may_block = true;
+          info.block_via = "calls '" + last + "'";
+        }
+      }
+    }
+    // Propagate through the call graph to fixpoint.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (FnInfo& info : fns_) {
+        if (!info.is_def) continue;
+        const FunctionRecord& f = *info.rec;
+        for (const Event& ev : f.events) {
+          if (ev.kind != EventKind::kCall &&
+              ev.kind != EventKind::kVoidDiscard) {
+            continue;
+          }
+          for (int ci : ResolveCallees(f, ev)) {
+            const FnInfo& callee = fns_[static_cast<size_t>(ci)];
+            if (callee.may_block && !info.may_block) {
+              info.may_block = true;
+              info.block_via = "calls '" + callee.rec->qual + "'";
+              changed = true;
+            }
+            for (const auto& acq : callee.acquires) {
+              if (!info.acquires.count(acq.first)) {
+                info.acquires[acq.first] =
+                    AcqEntry{acq.second.desc, callee.rec->qual};
+                changed = true;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // ---- check 1: static lock ranking ----------------------------------
+  void CheckLockRank() {
+    for (const FnInfo& info : fns_) {
+      if (!info.is_def) continue;
+      const FunctionRecord& f = *info.rec;
+      for (const Event& ev : f.events) {
+        if (ev.lock_order_ok) continue;
+        if (ev.kind == EventKind::kAcquire) {
+          const std::string field = ChainLast(ev.name);
+          const int ra = RankOf(ev.recv, field, f.owner, f.file);
+          if (ra < 0) continue;
+          for (const HeldMutex& h : EffectiveHeld(f, ev)) {
+            const int rh = RankOf(h.recv, h.field, f.owner, f.file);
+            if (rh < 0) continue;
+            const bool same = h.field == field && h.recv == ev.recv;
+            if (same && ra == rh) {
+              Diag(f.file, ev.line, "lock-rank",
+                   "'" + f.qual + "' recursively acquires '" + ev.name +
+                       "' (" + RankLabel(ra) + ") already held at line " +
+                       std::to_string(h.acquire_line) +
+                       "; spangle::Mutex is non-reentrant");
+            } else if (ra >= rh) {
+              Diag(f.file, ev.line, "lock-rank",
+                   "'" + f.qual + "' acquires '" + ev.name + "' (" +
+                       RankLabel(ra) + ") while holding '" + HeldDesc(h) +
+                       "' (" + RankLabel(rh) +
+                       "); ranks must strictly decrease "
+                       "(src/common/mutex.h §10)");
+            }
+          }
+          continue;
+        }
+        if (ev.kind == EventKind::kCall ||
+            ev.kind == EventKind::kVoidDiscard) {
+          const std::vector<HeldMutex> held = EffectiveHeld(f, ev);
+          if (held.empty()) continue;
+          for (int ci : ResolveCallees(f, ev)) {
+            const FnInfo& callee = fns_[static_cast<size_t>(ci)];
+            if (callee.rec == &f) continue;  // self-recursion: direct
+                                             // events already cover it
+            for (const auto& acq : callee.acquires) {
+              const int ra = acq.first;
+              for (const HeldMutex& h : held) {
+                const int rh = RankOf(h.recv, h.field, f.owner, f.file);
+                if (rh < 0 || ra < rh) continue;
+                std::string via = acq.second.via.empty()
+                                      ? std::string()
+                                      : " via '" + acq.second.via + "'";
+                Diag(f.file, ev.line, "lock-rank",
+                     "'" + f.qual + "' calls '" + callee.rec->qual +
+                         "' which may acquire '" + acq.second.desc + "' (" +
+                         RankLabel(ra) + via + ") while holding '" +
+                         HeldDesc(h) + "' (" + RankLabel(rh) +
+                         "); ranks must strictly decrease "
+                         "(src/common/mutex.h §10)");
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // ---- check 2: blocking under a non-leaf mutex -----------------------
+  void CheckBlocking() {
+    for (const FnInfo& info : fns_) {
+      if (!info.is_def) continue;
+      const FunctionRecord& f = *info.rec;
+      for (const Event& ev : f.events) {
+        if (ev.kind != EventKind::kCall && ev.kind != EventKind::kVoidDiscard)
+          continue;
+        if (ev.has_reason) continue;
+        const std::vector<HeldMutex> held = EffectiveHeld(f, ev);
+        if (held.empty()) continue;
+        const std::string last = ChainLast(ev.name);
+        const bool cv_wait = IsCvWait(last);
+        std::string why;
+        if (cv_wait) {
+          why = "waits on a condition variable";
+        } else if (BlockingBuiltins().count(last) != 0) {
+          why = "calls blocking primitive '" + last + "'";
+        } else {
+          for (int ci : ResolveCallees(f, ev)) {
+            const FnInfo& callee = fns_[static_cast<size_t>(ci)];
+            if (callee.may_block) {
+              why = "calls '" + callee.rec->qual + "' which may block (" +
+                    callee.block_via + ")";
+              break;
+            }
+          }
+        }
+        if (why.empty()) continue;
+        // The cv-wait mutex is released for the duration of the wait.
+        std::string wrecv, wfield;
+        if (cv_wait) {
+          std::string arg = ev.arg0;
+          while (!arg.empty() && (arg[0] == '&' || arg[0] == ' ' ||
+                                  arg[0] == '*')) {
+            arg = arg.substr(1);
+          }
+          SplitChain(arg, &wrecv, &wfield);
+        }
+        for (const HeldMutex& h : held) {
+          if (cv_wait && h.field == wfield &&
+              (h.recv == wrecv || h.recv.empty() || wrecv.empty())) {
+            continue;
+          }
+          const int rh = RankOf(h.recv, h.field, f.owner, f.file);
+          if (rh <= 0) continue;  // leaf mutexes exempt; unknown stays quiet
+          Diag(f.file, ev.line, "blocking-under-lock",
+               "'" + f.qual + "' " + why + " while holding '" + HeldDesc(h) +
+                   "' (" + RankLabel(rh) +
+                   "); blocking under a non-leaf mutex stalls every waiter"
+                   " — drop the lock first, or annotate the call with"
+                   " '// blocking-ok: <reason>' if this is by design");
+        }
+      }
+    }
+  }
+
+  // ---- check 3: mandatory Status/Result consumption -------------------
+  void CheckFallible() {
+    for (const FnInfo& info : fns_) {
+      if (!info.is_def) continue;
+      const FunctionRecord& f = *info.rec;
+      for (const Event& ev : f.events) {
+        const std::string last = ChainLast(ev.name);
+        if (ev.kind == EventKind::kCall && ev.stmt && NameIsFallible(last)) {
+          Diag(f.file, ev.line, "unchecked-fallible",
+               "'" + f.qual + "' ignores the Status/Result returned by '" +
+                   last +
+                   "'; handle it, or discard explicitly with (void) plus a"
+                   " '// discard-ok: <reason>' comment");
+        }
+        if (ev.kind == EventKind::kVoidDiscard && NameIsFallible(last) &&
+            !ev.has_reason) {
+          Diag(f.file, ev.line, "unchecked-fallible",
+               "'" + f.qual + "' (void)-discards the Status/Result of '" +
+                   last + "' without a '// discard-ok: <reason>' comment");
+        }
+      }
+    }
+  }
+
+  // ---- check 4: untrusted-input discipline ----------------------------
+  void CheckUntrusted() {
+    for (const FnInfo& info : fns_) {
+      if (!info.is_def) continue;
+      const FunctionRecord& f = *info.rec;
+      if (info.untrusted) {
+        for (const Event& ev : f.events) {
+          if (ev.kind == EventKind::kCheckMacro) {
+            Diag(f.file, ev.line, "untrusted-input",
+                 "'" + f.qual + "' uses '" + ev.name +
+                     "' on untrusted wire input; decode paths must return"
+                     " Status on malformed bytes, never abort"
+                     " (SPANGLE_DCHECK is allowed for internal contracts)");
+          } else if (ev.kind == EventKind::kThrow) {
+            Diag(f.file, ev.line, "untrusted-input",
+                 "'" + f.qual +
+                     "' throws on untrusted wire input; decode paths are"
+                     " exception-free — surface failures as Status");
+          } else if (ev.kind == EventKind::kReinterpretCast &&
+                     !ev.has_reason) {
+            Diag(f.file, ev.line, "untrusted-input",
+                 "'" + f.qual +
+                     "' reinterpret_casts untrusted wire bytes; use the"
+                     " bounds-checked readers, or annotate with"
+                     " '// wire-ok: <reason>' if layout-safe");
+          }
+        }
+      }
+      // Coverage: decode-shaped functions in wire files must be marked.
+      for (const std::string& wf : opts_.wire_files) {
+        if (!EndsWith(f.file, wf)) continue;
+        if (f.is_ctor || f.is_dtor || info.untrusted) break;
+        if (IsDecodeName(f.name)) {
+          Diag(f.file, f.line, "untrusted-input",
+               "wire-facing decode function '" + f.qual +
+                   "' must be annotated '// spangle-lint: untrusted' so the"
+                   " no-abort/no-throw discipline is enforced on it");
+        }
+        break;
+      }
+    }
+  }
+
+  // ---- check 5: GUARDED_BY discipline ---------------------------------
+  void CheckGuarded() {
+    for (const FnInfo& info : fns_) {
+      if (!info.is_def) continue;
+      const FunctionRecord& f = *info.rec;
+      if (f.is_ctor) continue;  // single-threaded construction
+      const std::set<std::string> lock_recvs = LockReceivers(f);
+      for (const Event& ev : f.events) {
+        if (ev.guarded_ok) continue;
+        std::string cand_field, cand_recv;
+        if (ev.kind == EventKind::kFieldUse) {
+          cand_field = ev.name;
+          cand_recv = ev.recv;
+        } else if (ev.kind == EventKind::kCall ||
+                   ev.kind == EventKind::kVoidDiscard) {
+          // The *receiver* of a method call is the access: blocks_.erase()
+          // touches blocks_; gate->done.store() touches gate->done.
+          if (ev.recv.empty()) continue;
+          const std::string c0 = FirstComponent(ev.recv);
+          if (c0 == ev.recv) {
+            cand_field = c0;
+          } else {
+            cand_recv = c0;
+            cand_field = ChainLast(ev.recv);
+          }
+        } else {
+          continue;
+        }
+        if (cand_field.empty() || cand_recv.find('?') != std::string::npos ||
+            cand_field.find('?') != std::string::npos) {
+          continue;
+        }
+        const GuardedField* g = nullptr;
+        if (cand_recv.empty() || cand_recv == "this") {
+          cand_recv.clear();
+          if (f.owner.empty()) continue;
+          auto it = guarded_by_field_.find(cand_field);
+          if (it == guarded_by_field_.end()) continue;
+          for (const GuardedField* cand : it->second) {
+            if (cand->owner == f.owner) {
+              g = cand;
+              break;
+            }
+          }
+        } else {
+          // A receiver whose lock this function never touches is almost
+          // always a local snapshot/output struct whose field name
+          // happens to collide with a guarded field — stay quiet unless
+          // the access sits inside a cv-wait predicate.
+          if (!ev.in_wait_pred && lock_recvs.count(cand_recv) == 0) continue;
+          auto it = guarded_by_field_.find(cand_field);
+          if (it == guarded_by_field_.end() || it->second.size() != 1)
+            continue;  // unknown receiver type: only unambiguous names
+          g = it->second.front();
+        }
+        if (g == nullptr) continue;
+        bool held = false;
+        for (const HeldMutex& h : EffectiveHeld(f, ev)) {
+          if (h.field != g->mutex) continue;
+          if (cand_recv.empty()
+                  ? (h.recv.empty() || h.recv == "this")
+                  : (h.recv == cand_recv)) {
+            held = true;
+            break;
+          }
+        }
+        const std::string access = cand_recv.empty()
+                                       ? cand_field
+                                       : cand_recv + "->" + cand_field;
+        if (ev.in_wait_pred) {
+          Diag(f.file, ev.line, "guarded-field",
+               "cv-wait predicate in '" + f.qual + "' reads '" + access +
+                   "' (GUARDED_BY '" + g->mutex +
+                   "'); predicates must touch only locals — rewrite as an"
+                   " explicit 'while (!cond) cv.Wait(mu);' loop"
+                   " (src/common/mutex.h)");
+          continue;
+        }
+        if (!held) {
+          std::string msg = "'" + f.qual + "' accesses '" + access +
+                            "' (GUARDED_BY '" + g->mutex +
+                            "') without holding the mutex";
+          if (f.is_dtor) {
+            msg += "; destructors are not exempt — concurrent readers may"
+                   " still be live, take the lock";
+          }
+          Diag(f.file, ev.line, "guarded-field", msg);
+        }
+      }
+    }
+  }
+
+  void PrintStats() const {
+    size_t defs = 0, events = 0, acquires = 0, blockers = 0;
+    for (const FnInfo& info : fns_) {
+      if (!info.is_def) continue;
+      ++defs;
+      events += info.rec->events.size();
+      if (info.may_block) ++blockers;
+      acquires += info.acquires.size();
+    }
+    std::fprintf(stderr,
+                 "spangle_lint: %zu files, %zu functions (%zu defs), "
+                 "%zu mutex decls, %zu guarded fields, %zu rank names, "
+                 "%zu events, %zu may-block defs, %zu acquire facts\n",
+                 files_.size(), fns_.size(), defs,
+                 mutex_by_field_.size() == 0
+                     ? size_t{0}
+                     : [this] {
+                         size_t n = 0;
+                         for (const auto& kv : mutex_by_field_)
+                           n += kv.second.size();
+                         return n;
+                       }(),
+                 [this] {
+                   size_t n = 0;
+                   for (const auto& kv : guarded_by_field_)
+                     n += kv.second.size();
+                   return n;
+                 }(),
+                 ranks_.size(), events, blockers, acquires);
+  }
+
+  const std::vector<FileModel>& files_;
+  const LintOptions& opts_;
+
+  std::map<std::string, int> ranks_;
+  std::map<int, std::string> rank_names_;
+  std::map<std::string, std::vector<const MutexDecl*>> mutex_by_field_;
+  std::map<std::string, const MutexDecl*> mutex_by_owner_field_;
+  std::map<std::string, std::vector<const GuardedField*>> guarded_by_field_;
+  std::vector<FnInfo> fns_;
+  std::map<std::string, std::vector<int>> def_by_name_;
+  std::map<std::string, std::vector<int>> def_by_qual_;
+  // Annotated declaration-only functions (no body anywhere in the
+  // analyzed set — e.g. an extern that waits on hardware). They carry
+  // facts purely through their '// spangle-lint:' annotations, so call
+  // resolution must be able to land on them when no definition exists.
+  std::map<std::string, std::vector<int>> ann_decl_by_name_;
+  std::map<std::string, std::vector<int>> ann_decl_by_qual_;
+  std::map<std::string, std::vector<HeldMutex>> requires_by_qual_;
+  std::map<std::string, std::pair<int, int>> fallibility_;
+  std::set<std::string> block_quals_;
+  std::set<std::string> untrusted_quals_;
+  std::set<Diagnostic> diags_;
+};
+
+}  // namespace
+
+void Program::AddFile(FileModel m) { files_.push_back(std::move(m)); }
+
+std::vector<Diagnostic> Program::Run(const LintOptions& opts) {
+  return Linter(files_, opts).Run();
+}
+
+const std::set<std::string>& AllCheckNames() {
+  static const std::set<std::string> names = {
+      "lock-rank", "blocking-under-lock", "unchecked-fallible",
+      "untrusted-input", "guarded-field"};
+  return names;
+}
+
+}  // namespace lint
+}  // namespace spangle

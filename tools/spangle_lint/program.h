@@ -1,0 +1,63 @@
+#ifndef SPANGLE_LINT_PROGRAM_H_
+#define SPANGLE_LINT_PROGRAM_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "spangle_lint/model.h"
+
+namespace spangle {
+namespace lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string check;  // "lock-rank", "blocking-under-lock", …
+  std::string msg;
+
+  bool operator<(const Diagnostic& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    if (check != o.check) return check < o.check;
+    return msg < o.msg;
+  }
+  bool operator==(const Diagnostic& o) const {
+    return file == o.file && line == o.line && check == o.check &&
+           msg == o.msg;
+  }
+};
+
+struct LintOptions {
+  // Enabled check names; empty means all of:
+  //   lock-rank, blocking-under-lock, unchecked-fallible, untrusted-input,
+  //   guarded-field
+  std::set<std::string> checks;
+  // Path suffixes of wire-facing decode files: every Parse/Decode/Read…
+  // function defined in them must carry "// spangle-lint: untrusted".
+  std::vector<std::string> wire_files;
+  bool stats = false;  // print model statistics to stderr
+};
+
+/// The whole-program model: merged per-file models plus the derived
+/// indexes the checks need (rank table, call graph, may-block and
+/// acquired-while-held fixpoints).
+class Program {
+ public:
+  void AddFile(FileModel m);
+
+  /// Builds indexes and runs the enabled checks. Diagnostics come back
+  /// sorted and de-duplicated.
+  std::vector<Diagnostic> Run(const LintOptions& opts);
+
+ private:
+  std::vector<FileModel> files_;
+};
+
+/// Known check names, for --checks= validation.
+const std::set<std::string>& AllCheckNames();
+
+}  // namespace lint
+}  // namespace spangle
+
+#endif  // SPANGLE_LINT_PROGRAM_H_

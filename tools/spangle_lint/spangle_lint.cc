@@ -1,0 +1,217 @@
+// spangle_lint — Spangle's in-tree static checker (see DESIGN.md §16).
+//
+// Usage:
+//   spangle_lint [-p <build-dir>] [--filter=<substr>] [--checks=a,b]
+//                [--wire-file=<suffix>]... [--stats] [paths...]
+//
+// Paths may be files or directories (directories are walked for *.h and
+// *.cc). With -p, the translation units are taken from the build dir's
+// compile_commands.json (optionally narrowed by --filter), and headers
+// are picked up from the source directories those units live in. Exit
+// status: 0 clean, 1 findings, 2 usage or I/O error.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "spangle_lint/lexer.h"
+#include "spangle_lint/parser.h"
+#include "spangle_lint/program.h"
+
+namespace spangle {
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasSourceExt(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+/// Pulls every "file" entry out of compile_commands.json. The format is
+/// machine-written by CMake, so a targeted scan beats a JSON dependency:
+/// find the "file" key, take the next string, unescape the two escapes
+/// CMake emits (\\ and \").
+std::vector<std::string> SourcesFromCompileDb(const std::string& build_dir,
+                                              std::string* error) {
+  const fs::path db_path = fs::path(build_dir) / "compile_commands.json";
+  std::ifstream in(db_path);
+  if (!in) {
+    *error = "cannot open " + db_path.string() +
+             " (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)";
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::vector<std::string> files;
+  size_t pos = 0;
+  while ((pos = text.find("\"file\"", pos)) != std::string::npos) {
+    pos += 6;
+    const size_t colon = text.find(':', pos);
+    if (colon == std::string::npos) break;
+    const size_t open = text.find('"', colon);
+    if (open == std::string::npos) break;
+    std::string value;
+    size_t i = open + 1;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) {
+        value += text[i + 1];
+        i += 2;
+      } else {
+        value += text[i++];
+      }
+    }
+    files.push_back(value);
+    pos = i;
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+void AddPath(const std::string& path, std::set<std::string>* out) {
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    for (auto it = fs::recursive_directory_iterator(path, ec);
+         !ec && it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_regular_file(ec) && HasSourceExt(it->path())) {
+        out->insert(it->path().lexically_normal().string());
+      }
+    }
+    return;
+  }
+  out->insert(fs::path(path).lexically_normal().string());
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [-p <build-dir>] [--filter=<substr>] [--checks=a,b]\n"
+      "          [--wire-file=<suffix>]... [--stats] [paths...]\n"
+      "checks: lock-rank blocking-under-lock unchecked-fallible\n"
+      "        untrusted-input guarded-field (default: all)\n",
+      argv0);
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  std::string build_dir;
+  std::string filter;
+  LintOptions opts;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-p") {
+      if (++i >= argc) return Usage(argv[0]);
+      build_dir = argv[i];
+    } else if (arg.rfind("-p=", 0) == 0) {
+      build_dir = arg.substr(3);
+    } else if (arg.rfind("--filter=", 0) == 0) {
+      filter = arg.substr(9);
+    } else if (arg.rfind("--checks=", 0) == 0) {
+      std::string list = arg.substr(9);
+      std::stringstream ss(list);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        if (item.empty()) continue;
+        if (AllCheckNames().count(item) == 0) {
+          std::fprintf(stderr, "%s: unknown check '%s'\n", argv[0],
+                       item.c_str());
+          return 2;
+        }
+        opts.checks.insert(item);
+      }
+    } else if (arg.rfind("--wire-file=", 0) == 0) {
+      opts.wire_files.push_back(arg.substr(12));
+    } else if (arg == "--stats") {
+      opts.stats = true;
+    } else if (arg == "-h" || arg == "--help") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (build_dir.empty() && inputs.empty()) return Usage(argv[0]);
+
+  if (opts.wire_files.empty()) {
+    // Spangle's wire-facing decode surfaces (ISSUE: untrusted-input).
+    opts.wire_files = {"src/net/message.cc", "src/net/frame.cc",
+                       "src/codec/chunk_frame.cc"};
+  }
+
+  std::set<std::string> paths;
+  if (!build_dir.empty()) {
+    std::string error;
+    std::vector<std::string> units = SourcesFromCompileDb(build_dir, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+      return 2;
+    }
+    std::set<std::string> header_roots;
+    for (const std::string& u : units) {
+      if (!filter.empty() && u.find(filter) == std::string::npos) continue;
+      if (fs::path(u).extension() != ".cc") continue;
+      paths.insert(fs::path(u).lexically_normal().string());
+      header_roots.insert(fs::path(u).parent_path().string());
+    }
+    // Headers beside the selected translation units.
+    for (const std::string& dir : header_roots) {
+      std::error_code ec;
+      for (fs::directory_iterator it(dir, ec), end; !ec && it != end; ++it) {
+        if (it->is_regular_file(ec) && it->path().extension() == ".h") {
+          paths.insert(it->path().lexically_normal().string());
+        }
+      }
+    }
+  }
+  for (const std::string& input : inputs) AddPath(input, &paths);
+
+  if (paths.empty()) {
+    std::fprintf(stderr, "%s: no sources selected\n", argv[0]);
+    return 2;
+  }
+
+  Program program;
+  bool io_error = false;
+  for (const std::string& path : paths) {
+    LexedFile lexed;
+    if (!LexFile(path, &lexed)) {
+      std::fprintf(stderr, "%s: cannot read %s\n", argv[0], path.c_str());
+      io_error = true;
+      continue;
+    }
+    program.AddFile(ParseFile(lexed));
+  }
+  if (io_error) return 2;
+
+  const std::vector<Diagnostic> diags = program.Run(opts);
+  for (const Diagnostic& d : diags) {
+    std::printf("%s:%d: error: [%s] %s\n", d.file.c_str(), d.line,
+                d.check.c_str(), d.msg.c_str());
+  }
+  if (!diags.empty()) {
+    std::printf("spangle_lint: %zu finding%s\n", diags.size(),
+                diags.size() == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace spangle
+
+int main(int argc, char** argv) { return spangle::lint::Main(argc, argv); }
